@@ -1,0 +1,24 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test bench report examples cover
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go vet ./...
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+report:
+	go run ./cmd/report
+
+examples:
+	@for d in examples/*/; do echo "== $$d"; go run ./$$d; echo; done
+
+cover:
+	go test -cover ./internal/... .

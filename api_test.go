@@ -1,0 +1,115 @@
+package dvemig
+
+import (
+	"testing"
+	"time"
+
+	"dvemig/internal/proc"
+)
+
+// TestPublicAPIMigrationFlow walks the whole public surface: build a
+// cluster, run a process holding a live connection, migrate it with the
+// facade types only.
+func TestPublicAPIMigrationFlow(t *testing.T) {
+	sched := NewScheduler()
+	cluster := NewCluster(sched, 2)
+	var migs []*Migrator
+	for _, n := range cluster.Nodes {
+		m, err := NewMigrator(n, DefaultMigrationConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		migs = append(migs, m)
+	}
+	srv := cluster.Nodes[0].Spawn("svc", 1)
+	lst := NewTCPSocket(cluster.Nodes[0])
+	if err := lst.Listen(cluster.ClusterIP, 9000); err != nil {
+		t.Fatal(err)
+	}
+	srv.FDs.Install(&proc.TCPFile{Sock: lst})
+	lst.OnAccept = func(ch *TCPSocket) { srv.FDs.Install(&proc.TCPFile{Sock: ch}) }
+	var got []byte
+	srv.Tick = func(self *Process) {
+		tcp, _ := self.Sockets()
+		for _, sk := range tcp {
+			got = append(got, sk.Recv()...)
+		}
+	}
+	cluster.Nodes[0].StartLoop(srv, 50*time.Millisecond)
+
+	ext := cluster.NewExternalHost("cli")
+	cli := NewTCPSocketOn(ext)
+	if err := cli.Connect(cluster.ClusterIP, 9000); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(time.Second)
+	cli.Send([]byte("before"))
+	var m *MigrationMetrics
+	migs[0].Migrate(srv, cluster.Nodes[1].LocalIP, func(mm *MigrationMetrics, err error) {
+		if err != nil {
+			t.Errorf("migrate: %v", err)
+		}
+		m = mm
+	})
+	sched.RunFor(5 * time.Second)
+	if m == nil || m.FreezeTime <= 0 {
+		t.Fatal("migration did not complete")
+	}
+	cli.Send([]byte("+after"))
+	sched.RunFor(time.Second)
+	if string(got) != "before+after" {
+		t.Fatalf("stream = %q", got)
+	}
+	if m.Strategy != IncrementalCollective {
+		t.Fatal("default strategy wrong")
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	cfg := DefaultDVEConfig()
+	cfg.Duration = 20e9
+	r, err := RunDVE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CPU.Get("node1").Len() == 0 {
+		t.Fatal("no samples")
+	}
+	if cfg.Clients != 10000 || cfg.Nodes != 5 {
+		t.Fatal("defaults drifted from the paper")
+	}
+}
+
+func TestPublicAPIConductor(t *testing.T) {
+	sched := NewScheduler()
+	cluster := NewCluster(sched, 2)
+	for _, n := range cluster.Nodes {
+		m, err := NewMigrator(n, DefaultMigrationConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewConductor(n, m, DefaultConductorConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched.RunFor(3 * time.Second)
+}
+
+func TestPublicAPIFailover(t *testing.T) {
+	sched := NewScheduler()
+	cluster := NewCluster(sched, 2)
+	sb, err := NewStandby(cluster.Nodes[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cluster.Nodes[0].Spawn("svc", 1)
+	p.AS.Mmap(4*4096, "rw-")
+	g, err := NewGuardian(p, cluster.Nodes[1].LocalIP, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(time.Second)
+	if g.Sent == 0 || !sb.Have("svc") {
+		t.Fatal("guardian/standby flow broken via facade")
+	}
+}

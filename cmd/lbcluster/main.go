@@ -1,0 +1,97 @@
+// Command lbcluster is an interactive-scale demo of the decentralized
+// middleware: it builds a cluster, spawns unevenly sized worker
+// processes, lets the conductors balance (or consolidate) them, and
+// prints the per-node load every few simulated seconds.
+//
+// Usage:
+//
+//	lbcluster [-nodes 5] [-workers 12] [-mode balance|consolidate] [-duration 120]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dvemig/internal/lb"
+	"dvemig/internal/migration"
+	"dvemig/internal/proc"
+	"dvemig/internal/simtime"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 5, "cluster size")
+	workers := flag.Int("workers", 12, "worker processes, all spawned on node1")
+	mode := flag.String("mode", "balance", "balance|consolidate")
+	duration := flag.Int("duration", 120, "simulated seconds")
+	flag.Parse()
+
+	sched := simtime.NewScheduler()
+	cluster := proc.NewCluster(sched, *nodes)
+	cfg := lb.DefaultConfig()
+	cfg.CalmDown = 5e9
+	switch *mode {
+	case "balance":
+		cfg.Mode = lb.ModeBalance
+	case "consolidate":
+		cfg.Mode = lb.ModeConsolidate
+	default:
+		fmt.Fprintf(os.Stderr, "lbcluster: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	var conductors []*lb.Conductor
+	for _, n := range cluster.Nodes {
+		m, err := migration.NewMigrator(n, migration.DefaultConfig())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbcluster: %v\n", err)
+			os.Exit(1)
+		}
+		cd, err := lb.NewConductor(n, m, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbcluster: %v\n", err)
+			os.Exit(1)
+		}
+		conductors = append(conductors, cd)
+	}
+
+	// All workers start on node1 with varied demand: the worst case for a
+	// sender-initiated balancer.
+	rnd := simtime.NewRand(7)
+	for i := 0; i < *workers; i++ {
+		p := cluster.Nodes[0].Spawn(fmt.Sprintf("worker%d", i), 1)
+		v := p.AS.Mmap(64*proc.PageSize, "rw-")
+		p.CPUDemand = 0.1 + 0.05*float64(rnd.Intn(8))
+		heap := v.Start
+		p.Tick = func(self *proc.Process) { _ = self.AS.Touch(heap) }
+		cluster.Nodes[0].StartLoop(p, 50*1e6)
+	}
+
+	fmt.Printf("%8s", "t(s)")
+	for _, n := range cluster.Nodes {
+		fmt.Printf("%18s", n.Name)
+	}
+	fmt.Println()
+	printer := simtime.NewTicker(sched, 5e9, "print", func() {
+		fmt.Printf("%8.0f", sched.Now().Seconds())
+		for _, n := range cluster.Nodes {
+			fmt.Printf("  %5.1f%% (%2d procs)", n.Utilization()*100, n.NumProcesses())
+		}
+		fmt.Println()
+	})
+	printer.Start()
+	sched.RunUntil(simtime.Duration(*duration) * 1e9)
+
+	total := 0
+	for _, cd := range conductors {
+		total += cd.Migrations
+	}
+	fmt.Printf("\ncompleted migrations: %d\n", total)
+	for _, cd := range conductors {
+		for _, e := range cd.Events {
+			if e.Kind == "migrate-out" {
+				fmt.Printf("  %6.0fs %s pid=%d -> %v\n", e.At.Seconds(), cd.Node.Name, e.PID, e.Peer)
+			}
+		}
+	}
+}

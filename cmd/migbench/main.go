@@ -1,0 +1,62 @@
+// Command migbench regenerates Fig 5b (worst-case process freeze time)
+// and Fig 5c (socket bytes transferred during the freeze phase) by live
+// migrating a zone server with 16…1024 client TCP connections plus one
+// MySQL session, under the iterative, collective and incremental
+// collective socket migration strategies.
+//
+// Usage:
+//
+//	migbench [-conns 16,32,...] [-repeats 3] [-what freeze|bytes|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dvemig/internal/eval"
+)
+
+func main() {
+	connsFlag := flag.String("conns", "16,32,64,128,256,512,1024", "comma-separated connection counts")
+	repeats := flag.Int("repeats", 3, "repetitions per point (worst case is reported)")
+	what := flag.String("what", "all", "freeze|bytes|all")
+	flag.Parse()
+
+	var conns []int
+	for _, tok := range strings.Split(*connsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "migbench: bad connection count %q\n", tok)
+			os.Exit(2)
+		}
+		conns = append(conns, n)
+	}
+
+	var points []*eval.FreezePoint
+	for _, n := range conns {
+		for _, s := range eval.SweepStrategies {
+			fc := eval.DefaultFreezeConfig(s, n)
+			fc.Repeats = *repeats
+			pt, err := eval.RunFreezePoint(fc)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "migbench: %v\n", err)
+				os.Exit(1)
+			}
+			points = append(points, pt)
+			fmt.Fprintf(os.Stderr, "  measured %4d conns / %-24s freeze=%6.1fms bytes=%d\n",
+				n, s, float64(pt.WorstFreeze)/1e6, pt.WorstSockBytes)
+		}
+	}
+	fmt.Println()
+	if *what == "freeze" || *what == "all" {
+		fmt.Println("=== Fig 5b ===")
+		fmt.Println(eval.Fig5bTable(points))
+	}
+	if *what == "bytes" || *what == "all" {
+		fmt.Println("=== Fig 5c ===")
+		fmt.Println(eval.Fig5cTable(points))
+	}
+}

@@ -1,0 +1,121 @@
+// Command report runs the complete evaluation — Fig 4, the Fig 5b/5c
+// sweep, the Fig 5d/5e/5f simulations and the extension experiments —
+// and prints one consolidated paper-vs-measured report.
+//
+// Usage:
+//
+//	report [-full]    # -full uses the paper-scale parameters (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dvemig/internal/dve"
+	"dvemig/internal/eval"
+	"dvemig/internal/openarena"
+	"dvemig/internal/stream"
+)
+
+func main() {
+	full := flag.Bool("full", false, "paper-scale sweep (1024 connections, 900s simulations)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "report: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("=== dvemig evaluation report (all quantities simulated) ===")
+	fmt.Println()
+
+	// Fig 4.
+	fig4, err := openarena.RunFig4(openarena.DefaultFig4Config())
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("Fig 4 — OpenArena, 24 clients, live migration mid-game")
+	fmt.Printf("  freeze %.1f ms (paper ~20), packet delay %.1f ms (paper ~25), cadence %.1f ms\n",
+		float64(fig4.Metrics.FreezeTime)/1e6, float64(fig4.ExtraDelay)/1e6, float64(fig4.BaselineGap)/1e6)
+	fmt.Println()
+
+	// Fig 5b/5c sweep.
+	conns := []int{16, 64, 256}
+	repeats := 1
+	if *full {
+		conns = eval.SweepConns
+		repeats = 3
+	}
+	var points []*eval.FreezePoint
+	for _, n := range conns {
+		for _, s := range eval.SweepStrategies {
+			fc := eval.DefaultFreezeConfig(s, n)
+			fc.Repeats = repeats
+			pt, err := eval.RunFreezePoint(fc)
+			if err != nil {
+				fail(err)
+			}
+			points = append(points, pt)
+		}
+	}
+	fmt.Println("Fig 5b — " + eval.Fig5bTable(points))
+	fmt.Println("Fig 5c — " + eval.Fig5cTable(points))
+
+	// Fig 5d/e/f.
+	dcfg := dve.DefaultConfig()
+	if !*full {
+		dcfg.Duration = 300e9
+		dcfg.MoveStart = 30e9
+		dcfg.MoveProb = 0.08
+	}
+	off, err := runDVE(dcfg, false)
+	if err != nil {
+		fail(err)
+	}
+	on, err := runDVE(dcfg, true)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("Fig 5e/5f — DVE load balancing")
+	fmt.Print(eval.DVESummary(off, false))
+	fmt.Print(eval.DVESummary(on, true))
+	fmt.Println()
+
+	// Extensions.
+	st, err := stream.RunExperiment(stream.DefaultExperimentConfig())
+	if err != nil {
+		fail(err)
+	}
+	bc, nat, err := eval.RunDispatchComparison(eval.DefaultDispatchConfig())
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("Extensions")
+	fmt.Printf("  streaming: %d viewer stalls across a live migration (freeze %.1f ms)\n",
+		st.Rebuffers, float64(st.Metrics.FreezeTime)/1e6)
+	fmt.Printf("  dispatch: %s lost %d datagrams; %s lost %d\n",
+		bc.Mode, bc.Lost, nat.Mode, nat.Lost)
+	fmt.Printf("  client outage: OS-level %.2f client-seconds vs app-layer baseline %.2f\n",
+		on.OutageClientSeconds, mustAppLayer(dcfg).OutageClientSeconds)
+}
+
+func runDVE(cfg dve.Config, lb bool) (*dve.Results, error) {
+	cfg.LB = lb
+	sim, err := dve.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(), nil
+}
+
+func mustAppLayer(cfg dve.Config) *dve.Results {
+	cfg.LB = false
+	cfg.AppLayerLB = true
+	sim, err := dve.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "report: %v\n", err)
+		os.Exit(1)
+	}
+	return sim.Run()
+}

@@ -1,0 +1,34 @@
+// Package dvemig is a full reproduction of "An Efficient Process Live
+// Migration Mechanism for Load Balanced Distributed Virtual Environments"
+// (Gerofi, Fujita, Ishikawa — IEEE CLUSTER 2010).
+//
+// The system migrates live processes that hold massive numbers of TCP and
+// UDP connections between the nodes of a single-IP-address cluster, with
+// incremental collective socket migration keeping the freeze time short
+// enough for interactive game servers, broadcast-based capture preventing
+// incoming packet loss, netfilter-style address translation keeping
+// in-cluster connections alive, and a decentralized conductor middleware
+// using the mechanism to balance load across the cluster.
+//
+// Because real OS-level process state cannot be captured from Go, the
+// entire substrate is a deterministic discrete-event simulation of the
+// paper's testbed: see DESIGN.md for the system inventory and the
+// substitution argument, EXPERIMENTS.md for paper-vs-measured results,
+// and the benchmarks in bench_test.go for the figure-by-figure harness.
+//
+// Layout:
+//
+//	internal/simtime    virtual clock, event scheduler, jiffies
+//	internal/netsim     packets, links, broadcast router, switch
+//	internal/netstack   TCP/UDP stack with netfilter hooks
+//	internal/proc       nodes, processes, dirty-page address spaces
+//	internal/ckpt       BLCR-equivalent checkpoint/restart + precopy
+//	internal/capture    incoming-packet-loss prevention
+//	internal/xlat       local address translation + transd
+//	internal/sockmig    iterative/collective/incremental socket migration
+//	internal/migration  the live-migration engine (migd)
+//	internal/lb         the conductor load-balancing middleware
+//	internal/dve        the 10×10-zone DVE workload (Fig 5)
+//	internal/openarena  the OpenArena workload (Fig 4)
+//	internal/eval       experiment harnesses
+package dvemig

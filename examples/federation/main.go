@@ -1,0 +1,51 @@
+// Federation: the distributed-simulation face of DVEs (HLA, the paper's
+// §I). Five federates advance in conservative lockstep over all-to-all
+// in-cluster TCP; one federate is live-migrated mid-run and the
+// federation never breaks its time-synchronization invariant.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvemig/internal/hla"
+	"dvemig/internal/migration"
+	"dvemig/internal/proc"
+	"dvemig/internal/simtime"
+)
+
+func main() {
+	sched := simtime.NewScheduler()
+	cluster := proc.NewCluster(sched, 3)
+	var migs []*migration.Migrator
+	for _, n := range cluster.Nodes {
+		m, err := migration.NewMigrator(n, migration.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		migs = append(migs, m)
+	}
+	fed, err := hla.New(cluster, cluster.Nodes, hla.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched.RunFor(3e9)
+	fmt.Printf("t=3s: federation at logical step %d..%d (lockstep)\n", fed.MinStep(), fed.MaxStep())
+
+	target := fed.Federates[1]
+	fmt.Printf("live-migrating %s from node2 to node3 while the federation runs...\n", target.Proc.Name)
+	migs[1].Migrate(target.Proc, cluster.Nodes[2].LocalIP, func(m *migration.Metrics, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  frozen for %v; %d TCP connections moved, %d packets captured\n",
+			m.FreezeTime, m.TCPMigrated, m.Captured)
+	})
+	sched.RunFor(7e9)
+
+	fmt.Printf("t=10s: federation at step %d..%d, sync violations: %d\n",
+		fed.MinStep(), fed.MaxStep(), fed.Violations())
+	if fed.Violations() == 0 && fed.MaxStep()-fed.MinStep() <= 1 {
+		fmt.Println("conservative time synchronization held through the migration.")
+	}
+}

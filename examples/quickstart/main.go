@@ -1,0 +1,94 @@
+// Quickstart: build a two-node single-IP cluster, run a process that
+// holds a live TCP connection to an external client, live-migrate it to
+// the other node, and watch the connection survive — no client-side
+// cooperation, no packet loss.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvemig/internal/migration"
+	"dvemig/internal/netstack"
+	"dvemig/internal/proc"
+	"dvemig/internal/simtime"
+)
+
+func main() {
+	// 1. The testbed: a broadcast router fronting one public IP, two
+	//    server nodes, an in-cluster switch. Everything runs on a
+	//    deterministic virtual clock.
+	sched := simtime.NewScheduler()
+	cluster := proc.NewCluster(sched, 2)
+
+	// 2. Migration daemons (migd + capture + translation) on every node.
+	migCfg := migration.DefaultConfig() // incremental collective strategy
+	var migs []*migration.Migrator
+	for _, n := range cluster.Nodes {
+		m, err := migration.NewMigrator(n, migCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		migs = append(migs, m)
+	}
+
+	// 3. A server process on node1 listening on the cluster IP.
+	srv := cluster.Nodes[0].Spawn("echo_server", 1)
+	lst := netstack.NewTCPSocket(cluster.Nodes[0].Stack)
+	if err := lst.Listen(cluster.ClusterIP, 9000); err != nil {
+		log.Fatal(err)
+	}
+	srv.FDs.Install(&proc.TCPFile{Sock: lst})
+	lst.OnAccept = func(ch *netstack.TCPSocket) {
+		srv.FDs.Install(&proc.TCPFile{Sock: ch})
+	}
+	// The app: an echo loop, polled at 20 Hz. The closure travels with
+	// the process when it migrates.
+	srv.Tick = func(self *proc.Process) {
+		tcp, _ := self.Sockets()
+		for _, sk := range tcp {
+			if data := sk.Recv(); len(data) > 0 {
+				_ = sk.Send(append([]byte("echo:"), data...))
+			}
+		}
+	}
+	cluster.Nodes[0].StartLoop(srv, 50*1e6)
+
+	// 4. An external client connects through the router and talks.
+	ext := cluster.NewExternalHost("laptop")
+	cli := netstack.NewTCPSocket(ext)
+	if err := cli.Connect(cluster.ClusterIP, 9000); err != nil {
+		log.Fatal(err)
+	}
+	var replies []byte
+	cli.OnReadable = func() { replies = append(replies, cli.Recv()...) }
+	sched.RunFor(1e9)
+	cli.Send([]byte("hello-before;"))
+	sched.RunFor(1e9)
+
+	// 5. Live-migrate the server to node2 while the client keeps sending.
+	ticker := simtime.NewTicker(sched, 30*1e6, "client", func() {
+		cli.Send([]byte("x"))
+	})
+	ticker.Start()
+	migs[0].Migrate(srv, cluster.Nodes[1].LocalIP, func(m *migration.Metrics, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("migrated in %v total, process frozen for only %v\n", m.TotalTime, m.FreezeTime)
+		fmt.Printf("precopy rounds: %d, captured during freeze: %d packets (zero loss)\n",
+			m.Rounds, m.Captured)
+	})
+	sched.RunFor(5e9)
+	ticker.Stop()
+
+	// 6. The very same connection still works, served from node2.
+	cli.Send([]byte("hello-after;"))
+	sched.RunFor(1e9)
+	fmt.Printf("client received %d bytes over one uninterrupted connection\n", len(replies))
+	fmt.Printf("server now lives on node2 with %d processes; node1 has %d\n",
+		cluster.Nodes[1].NumProcesses(), cluster.Nodes[0].NumProcesses())
+	if cli.Retransmits == 0 {
+		fmt.Println("client TCP never retransmitted: the freeze window was fully captured")
+	}
+}

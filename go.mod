@@ -1,0 +1,3 @@
+module dvemig
+
+go 1.22

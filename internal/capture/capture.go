@@ -1,0 +1,150 @@
+// Package capture implements the incoming-packet-loss prevention
+// mechanism of §III-B / §V-B (the cap_trans_mod kernel module): while a
+// socket is being migrated, the destination node captures packets that
+// match the migrating connection on the NF_INET_LOCAL_IN hook, dedups
+// TCP segments by sequence number, and reinjects the queue through the
+// okfn (ip_rcv_finish) once the socket is restored.
+//
+// The single-IP broadcast router makes this possible with no router
+// changes: the destination node already sees every client packet.
+package capture
+
+import (
+	"fmt"
+
+	"dvemig/internal/netsim"
+	"dvemig/internal/netstack"
+)
+
+// Filter captures packets for one migrating connection (TCP: exact
+// remote IP/port + local port) or one migrating server port (UDP:
+// RemoteIP/RemotePort zero act as wildcards, since a UDP server socket
+// receives from arbitrary peers).
+type Filter struct {
+	Key netsim.FlowKey
+
+	queue   []*netsim.Packet
+	seqSeen map[uint32]bool
+
+	// Captured and Deduped count packets queued and duplicates skipped.
+	Captured, Deduped uint64
+}
+
+func (f *Filter) matches(p *netsim.Packet) bool {
+	if p.Proto != f.Key.Proto {
+		return false
+	}
+	if p.DstPort != f.Key.LocalPort {
+		return false
+	}
+	if f.Key.RemoteIP != 0 && p.SrcIP != f.Key.RemoteIP {
+		return false
+	}
+	if f.Key.RemotePort != 0 && p.SrcPort != f.Key.RemotePort {
+		return false
+	}
+	return true
+}
+
+// QueueLen reports captured packets currently held.
+func (f *Filter) QueueLen() int { return len(f.queue) }
+
+// Service owns the capture filters of one node.
+type Service struct {
+	stack   *netstack.Stack
+	hook    netstack.HookID
+	hooked  bool
+	filters []*Filter
+
+	// TotalCaptured counts across all filters' lifetimes.
+	TotalCaptured uint64
+}
+
+// NewService creates the capture service for a node's stack. The hook is
+// installed lazily when the first filter is enabled.
+func NewService(st *netstack.Stack) *Service {
+	return &Service{stack: st}
+}
+
+// Enable starts capturing packets matching key. It returns the filter so
+// the migration engine can inspect the queue.
+func (s *Service) Enable(key netsim.FlowKey) *Filter {
+	f := &Filter{Key: key, seqSeen: make(map[uint32]bool)}
+	s.filters = append(s.filters, f)
+	if !s.hooked {
+		// Negative priority: run before translation and anything else on
+		// LOCAL_IN, so the capture window is airtight.
+		s.hook = s.stack.RegisterHook(netstack.HookLocalIn, -100, s.hookFn)
+		s.hooked = true
+	}
+	return f
+}
+
+func (s *Service) hookFn(p *netsim.Packet) netstack.Verdict {
+	for _, f := range s.filters {
+		if !f.matches(p) {
+			continue
+		}
+		// TCP sequence dedup: "checks TCP sequence numbers and stores
+		// duplicated packets only once" (§III-B).
+		if p.Proto == netsim.ProtoTCP {
+			if f.seqSeen[p.Seq] {
+				f.Deduped++
+				return netstack.VerdictStolen // duplicate consumed, not requeued
+			}
+			f.seqSeen[p.Seq] = true
+		}
+		f.queue = append(f.queue, p)
+		f.Captured++
+		s.TotalCaptured++
+		return netstack.VerdictStolen
+	}
+	return netstack.VerdictAccept
+}
+
+// ReinjectAndDisable removes the filter and submits each captured packet
+// back to the stack through the okfn, in arrival order. The migrated
+// socket — rehashed just before this call — processes them as if they
+// had just arrived. Returns the number of packets reinjected.
+func (s *Service) ReinjectAndDisable(f *Filter) (int, error) {
+	idx := -1
+	for i, g := range s.filters {
+		if g == f {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("capture: filter %v not enabled", f.Key)
+	}
+	s.filters = append(s.filters[:idx], s.filters[idx+1:]...)
+	if len(s.filters) == 0 && s.hooked {
+		s.stack.UnregisterHook(s.hook)
+		s.hooked = false
+	}
+	n := 0
+	for _, p := range f.queue {
+		s.stack.Reinject(p)
+		n++
+	}
+	f.queue = nil
+	return n, nil
+}
+
+// Drop discards a filter and its queue without reinjection (abort path).
+func (s *Service) Drop(f *Filter) {
+	for i, g := range s.filters {
+		if g == f {
+			s.filters = append(s.filters[:i], s.filters[i+1:]...)
+			break
+		}
+	}
+	if len(s.filters) == 0 && s.hooked {
+		s.stack.UnregisterHook(s.hook)
+		s.hooked = false
+	}
+	f.queue = nil
+}
+
+// ActiveFilters reports how many filters are enabled.
+func (s *Service) ActiveFilters() int { return len(s.filters) }

@@ -1,0 +1,64 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Context-file persistence: BLCR writes checkpoints to "context files"
+// that can be restarted later (and the paper assumes shared or replicated
+// storage, §II-A). WriteImage/ReadImage frame an encoded image with a
+// magic, a format version and a CRC so a torn or corrupted file is
+// detected instead of restored.
+
+const (
+	fileMagic   = 0x44564d47 // "DVMG"
+	fileVersion = 1
+)
+
+// WriteImage serializes the image to w in context-file format.
+func WriteImage(w io.Writer, img *Image) error {
+	body := img.Encode()
+	var hdr [16]byte
+	binary.BigEndian.PutUint32(hdr[0:], fileMagic)
+	binary.BigEndian.PutUint32(hdr[4:], fileVersion)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[12:], crc32.ChecksumIEEE(body))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("ckpt: write header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("ckpt: write body: %w", err)
+	}
+	return nil
+}
+
+// ReadImage parses a context file written by WriteImage, verifying the
+// magic, version, length and checksum. Behavior is nil in the result, as
+// with DecodeImage.
+func ReadImage(r io.Reader) (*Image, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("ckpt: read header: %w", err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:]) != fileMagic {
+		return nil, fmt.Errorf("ckpt: not a context file (bad magic)")
+	}
+	if v := binary.BigEndian.Uint32(hdr[4:]); v != fileVersion {
+		return nil, fmt.Errorf("ckpt: unsupported context-file version %d", v)
+	}
+	n := binary.BigEndian.Uint32(hdr[8:])
+	if n > 1<<30 {
+		return nil, fmt.Errorf("ckpt: absurd context-file size %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("ckpt: read body: %w", err)
+	}
+	if crc := crc32.ChecksumIEEE(body); crc != binary.BigEndian.Uint32(hdr[12:]) {
+		return nil, fmt.Errorf("ckpt: context file corrupted (checksum mismatch)")
+	}
+	return DecodeImage(body)
+}

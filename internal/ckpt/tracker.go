@@ -1,0 +1,194 @@
+package ckpt
+
+import (
+	"sort"
+
+	"dvemig/internal/proc"
+)
+
+// MemDelta is one round of incremental address-space updates: geometry
+// changes against the tracking list plus the content of pages dirtied
+// since the previous round.
+type MemDelta struct {
+	Round   int
+	NewVMAs []VMARange
+	Removed []uint64 // start addresses of unmapped regions
+	Resized []VMARange
+	Pages   []PageImage
+}
+
+// Empty reports whether the delta carries nothing.
+func (d *MemDelta) Empty() bool {
+	return len(d.NewVMAs) == 0 && len(d.Removed) == 0 && len(d.Resized) == 0 && len(d.Pages) == 0
+}
+
+// Encode serializes the delta (this is what crosses the network each
+// precopy round).
+func (d *MemDelta) Encode() []byte {
+	var w wbuf
+	w.u32(uint32(d.Round))
+	w.u32(uint32(len(d.NewVMAs)))
+	for _, v := range d.NewVMAs {
+		w.u64(v.Start)
+		w.u64(v.End)
+		w.str(v.Perms)
+	}
+	w.u32(uint32(len(d.Removed)))
+	for _, s := range d.Removed {
+		w.u64(s)
+	}
+	w.u32(uint32(len(d.Resized)))
+	for _, v := range d.Resized {
+		w.u64(v.Start)
+		w.u64(v.End)
+		w.str(v.Perms)
+	}
+	w.u32(uint32(len(d.Pages)))
+	for _, p := range d.Pages {
+		w.u64(p.VMAStart)
+		w.u64(p.Index)
+		w.bytes(p.Data)
+	}
+	return w.b
+}
+
+// DecodeMemDelta parses an encoded delta.
+func DecodeMemDelta(data []byte) (*MemDelta, error) {
+	r := &rbuf{b: data}
+	d := &MemDelta{Round: int(r.u32())}
+	n := int(r.u32())
+	for i := 0; i < n && r.err == nil; i++ {
+		d.NewVMAs = append(d.NewVMAs, VMARange{Start: r.u64(), End: r.u64(), Perms: r.str()})
+	}
+	n = int(r.u32())
+	for i := 0; i < n && r.err == nil; i++ {
+		d.Removed = append(d.Removed, r.u64())
+	}
+	n = int(r.u32())
+	for i := 0; i < n && r.err == nil; i++ {
+		d.Resized = append(d.Resized, VMARange{Start: r.u64(), End: r.u64(), Perms: r.str()})
+	}
+	n = int(r.u32())
+	for i := 0; i < n && r.err == nil; i++ {
+		d.Pages = append(d.Pages, PageImage{VMAStart: r.u64(), Index: r.u64(), Data: r.bytes()})
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return d, nil
+}
+
+type trackEntry struct {
+	start, end uint64
+	perms      string
+}
+
+// Tracker maintains the linked list of "our own tracking structures that
+// store the memory area properties of the last incremental loop" (§V-A).
+// Each round it diffs the live vm_area list against the tracking list,
+// emits geometry changes, collects dirty pages and clears their bits.
+type Tracker struct {
+	prev  []trackEntry
+	round int
+}
+
+// NewTracker returns an empty tracker; the first Delta call transfers
+// the full mapping and all resident pages (the initial precopy transfer
+// of "memory mappings" in Fig 3).
+func NewTracker() *Tracker { return &Tracker{} }
+
+// Round returns how many deltas have been produced.
+func (t *Tracker) Round() int { return t.round }
+
+// Delta computes one incremental round against the address space.
+func (t *Tracker) Delta(as *proc.AddressSpace) *MemDelta {
+	t.round++
+	d := &MemDelta{Round: t.round}
+	live := as.VMAs()
+
+	// Diff the live VMA list against the tracking list. Both are sorted
+	// by start address.
+	prevByStart := make(map[uint64]trackEntry, len(t.prev))
+	for _, e := range t.prev {
+		prevByStart[e.start] = e
+	}
+	liveByStart := make(map[uint64]bool, len(live))
+	firstRound := t.round == 1
+	for _, v := range live {
+		liveByStart[v.Start] = true
+		e, known := prevByStart[v.Start]
+		switch {
+		case !known:
+			d.NewVMAs = append(d.NewVMAs, VMARange{Start: v.Start, End: v.End, Perms: v.Perms})
+		case e.end != v.End || e.perms != v.Perms:
+			d.Resized = append(d.Resized, VMARange{Start: v.Start, End: v.End, Perms: v.Perms})
+		}
+	}
+	for _, e := range t.prev {
+		if !liveByStart[e.start] {
+			d.Removed = append(d.Removed, e.start)
+		}
+	}
+	sort.Slice(d.Removed, func(i, j int) bool { return d.Removed[i] < d.Removed[j] })
+
+	// Page content: on the first round everything resident, afterwards
+	// only pages with the dirty bit set.
+	if firstRound {
+		for _, v := range live {
+			idxs := make([]uint64, 0, len(v.Pages))
+			for idx := range v.Pages {
+				idxs = append(idxs, idx)
+			}
+			sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+			for _, idx := range idxs {
+				d.Pages = append(d.Pages, PageImage{
+					VMAStart: v.Start, Index: idx,
+					Data: append([]byte(nil), v.Pages[idx].Data...),
+				})
+			}
+		}
+	} else {
+		for _, ref := range as.DirtyPages() {
+			pg := ref.VMA.Pages[ref.PageIndex]
+			d.Pages = append(d.Pages, PageImage{
+				VMAStart: ref.VMA.Start, Index: ref.PageIndex,
+				Data: append([]byte(nil), pg.Data...),
+			})
+		}
+	}
+	as.ClearDirty()
+
+	// Update the tracking list.
+	t.prev = t.prev[:0]
+	for _, v := range live {
+		t.prev = append(t.prev, trackEntry{start: v.Start, end: v.End, perms: v.Perms})
+	}
+	return d
+}
+
+// ApplyDelta replays one round onto the destination's shadow address
+// space: geometry first, then page content.
+func ApplyDelta(as *proc.AddressSpace, d *MemDelta) error {
+	for _, s := range d.Removed {
+		if err := as.Munmap(s); err != nil {
+			return err
+		}
+	}
+	for _, v := range d.NewVMAs {
+		if _, err := as.MmapFixed(v.Start, v.End, v.Perms); err != nil {
+			return err
+		}
+	}
+	for _, v := range d.Resized {
+		if err := as.Resize(v.Start, v.End-v.Start); err != nil {
+			return err
+		}
+	}
+	for _, p := range d.Pages {
+		if err := as.Write(p.VMAStart+p.Index*proc.PageSize, p.Data); err != nil {
+			return err
+		}
+	}
+	as.ClearDirty()
+	return nil
+}

@@ -1,0 +1,211 @@
+package dve
+
+import (
+	"dvemig/internal/simtime"
+)
+
+// Application-layer load balancing baseline — the approach of the prior
+// work the paper argues against (§I, [3][4][5]): instead of migrating the
+// zone-server *process*, the *zone* is reassigned to another node. That
+// has two structural costs the paper names:
+//
+//  1. "Client migrations are heavy, because client state has to be
+//     subtracted and transferred between the zones and clients have to
+//     reconnect to the new server" — the zone is unavailable for the
+//     state transfer plus a reconnect storm, and every client of the
+//     zone experiences the outage;
+//  2. "the load of a particular server ... can be directly migrated only
+//     to a server handling a neighboring zone in the virtual space" —
+//     the receiver must already own an adjacent zone, severely limiting
+//     placement.
+//
+// The balancer below implements exactly that: threshold-driven handoffs
+// of boundary zones to the cooler owner of an adjacent zone, charging a
+// client-visible outage per handoff. Comparing its OutageClientSeconds
+// with the OS-level middleware's (freeze times of a few milliseconds)
+// quantifies the paper's motivation.
+
+// AppLayerConfig tunes the baseline.
+type AppLayerConfig struct {
+	// Period between balancing decisions.
+	Period simtime.Duration
+	// Threshold on max-min node utilisation before acting.
+	Threshold float64
+	// ZoneStateBytes is the client/world state subtracted and transferred
+	// during a handoff.
+	ZoneStateBytes int
+	// ReconnectPerClient is the per-client reconnection cost added to the
+	// outage (handshakes, re-authentication, state download).
+	ReconnectPerClient simtime.Duration
+	// LinkBandwidth for the state transfer, bits/s.
+	LinkBandwidth float64
+	// CalmDown after a handoff.
+	CalmDown simtime.Duration
+}
+
+// DefaultAppLayerConfig uses a 4 MiB zone state and a 2 ms per-client
+// reconnect cost over Gigabit Ethernet.
+func DefaultAppLayerConfig() AppLayerConfig {
+	return AppLayerConfig{
+		Period:             1e9,
+		Threshold:          0.16,
+		ZoneStateBytes:     4 << 20,
+		ReconnectPerClient: 2e6,
+		LinkBandwidth:      1e9,
+		CalmDown:           15e9,
+	}
+}
+
+// Outage records one handoff's client-visible unavailability.
+type Outage struct {
+	At       simtime.Time
+	Zone     ZoneID
+	Clients  int
+	Duration simtime.Duration
+}
+
+// AppLayerBalancer performs zone handoffs on a running simulation.
+type AppLayerBalancer struct {
+	sim *Simulation
+	cfg AppLayerConfig
+
+	// owner maps each zone to its current node index.
+	owner     [GridW * GridH]int
+	calmUntil simtime.Time
+
+	// Handoffs counts completed reassignments; Outages itemizes them.
+	Handoffs int
+	Outages  []Outage
+
+	ticker *simtime.Ticker
+}
+
+func newAppLayerBalancer(sim *Simulation, cfg AppLayerConfig) *AppLayerBalancer {
+	b := &AppLayerBalancer{sim: sim, cfg: cfg}
+	for z := ZoneID(0); z < GridW*GridH; z++ {
+		b.owner[z] = z.HomeNode()
+	}
+	b.ticker = simtime.NewTicker(sim.Cluster.Sched, cfg.Period, "applb.tick", b.tick)
+	b.ticker.Start()
+	return b
+}
+
+// nodeLoads computes per-node utilisation from the owner map.
+func (b *AppLayerBalancer) nodeLoads() []float64 {
+	loads := make([]float64, b.sim.Config.Nodes)
+	zc := b.sim.Config.Zone
+	for z := ZoneID(0); z < GridW*GridH; z++ {
+		loads[b.owner[z]] += zc.BaseCPU + zc.PerClientCPU*float64(b.sim.pop[z])
+	}
+	for i, n := range b.sim.Cluster.Nodes[:b.sim.Config.Nodes] {
+		loads[i] /= n.Cores
+	}
+	return loads
+}
+
+func (b *AppLayerBalancer) tick() {
+	now := b.sim.Cluster.Sched.Now()
+	if now < b.calmUntil {
+		return
+	}
+	loads := b.nodeLoads()
+	hot, cold := 0, 0
+	for i := range loads {
+		if loads[i] > loads[hot] {
+			hot = i
+		}
+		if loads[i] < loads[cold] {
+			cold = i
+		}
+	}
+	if loads[hot]-loads[cold] < b.cfg.Threshold {
+		return
+	}
+	// Location constraint: the receiver must own a zone adjacent (in the
+	// virtual space) to the zone being handed off. Pick the hot node's
+	// boundary zone whose coolest adjacent owner is lightest.
+	bestZone := ZoneID(-1)
+	bestTo := -1
+	bestLoad := loads[hot]
+	for z := ZoneID(0); z < GridW*GridH; z++ {
+		if b.owner[z] != hot {
+			continue
+		}
+		for _, w := range adjacentZones(z) {
+			to := b.owner[w]
+			if to != hot && loads[to] < bestLoad {
+				bestLoad = loads[to]
+				bestZone = z
+				bestTo = to
+			}
+		}
+	}
+	if bestZone < 0 {
+		return // no feasible neighbor-constrained move (the paper's point)
+	}
+	b.handoff(bestZone, bestTo)
+	b.calmUntil = now + b.cfg.CalmDown
+}
+
+// adjacentZones lists the 4-neighborhood of z in the virtual space.
+func adjacentZones(z ZoneID) []ZoneID {
+	x, y := z.XY()
+	var out []ZoneID
+	if x > 0 {
+		out = append(out, ZoneAt(x-1, y))
+	}
+	if x+1 < GridW {
+		out = append(out, ZoneAt(x+1, y))
+	}
+	if y > 0 {
+		out = append(out, ZoneAt(x, y-1))
+	}
+	if y+1 < GridH {
+		out = append(out, ZoneAt(x, y+1))
+	}
+	return out
+}
+
+// handoff reassigns zone z to node index to: the old zone server exits,
+// its clients are disconnected for the transfer + reconnect storm, and a
+// fresh server spawns on the receiver when the outage ends.
+func (b *AppLayerBalancer) handoff(z ZoneID, to int) {
+	sim := b.sim
+	pop := sim.pop[z]
+	transfer := simtime.Duration(float64(b.cfg.ZoneStateBytes*8) / b.cfg.LinkBandwidth * 1e9)
+	outage := transfer + simtime.Duration(pop)*b.cfg.ReconnectPerClient
+	b.Handoffs++
+	b.Outages = append(b.Outages, Outage{
+		At: sim.Cluster.Sched.Now(), Zone: z, Clients: pop, Duration: outage,
+	})
+	if p := sim.zoneProcs[z]; p != nil {
+		p.Exit()
+		delete(sim.zoneProcs, z)
+	}
+	b.owner[z] = to
+	node := sim.Cluster.Nodes[to]
+	sim.Cluster.Sched.After(outage, "applb.respawn", func() {
+		popFn := func(zz ZoneID) int { return sim.pop[zz] }
+		p, err := SpawnZoneServer(node, z, sim.Cluster.ClusterIP, sim.DBNode.LocalIP, sim.Config.Zone, popFn)
+		if err != nil {
+			// The port may still be winding down; retry shortly.
+			sim.Cluster.Sched.After(1e9, "applb.retry", func() {
+				if p2, err2 := SpawnZoneServer(node, z, sim.Cluster.ClusterIP, sim.DBNode.LocalIP, sim.Config.Zone, popFn); err2 == nil {
+					sim.zoneProcs[z] = p2
+				}
+			})
+			return
+		}
+		sim.zoneProcs[z] = p
+	})
+}
+
+// OutageClientSeconds sums clients × outage duration over all handoffs —
+// the total client-visible unavailability this balancing style caused.
+func (b *AppLayerBalancer) OutageClientSeconds() float64 {
+	total := 0.0
+	for _, o := range b.Outages {
+		total += float64(o.Clients) * o.Duration.Seconds()
+	}
+	return total
+}

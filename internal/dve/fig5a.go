@@ -1,0 +1,49 @@
+package dve
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fig5a renders the initial virtual-space partitioning and the main
+// movement directions of the simulation — the textual equivalent of the
+// paper's Fig 5a. Each cell shows the node initially responsible for the
+// zone; arrows mark the high-level drift of the middle-region clients
+// toward the up-left and down-right corners.
+func Fig5a() string {
+	var b strings.Builder
+	b.WriteString("initial zone assignment (10x10 grid, two rows per node)\n")
+	b.WriteString("and client movement directions:\n\n")
+	for y := 0; y < GridH; y++ {
+		b.WriteString("  ")
+		for x := 0; x < GridW; x++ {
+			node := ZoneAt(x, y).HomeNode() + 1
+			mark := " "
+			switch {
+			case y >= 2 && y <= 4:
+				mark = "↖" // upper middle drifts up-left
+			case y >= 5 && y <= 7:
+				mark = "↘" // lower middle drifts down-right
+			}
+			fmt.Fprintf(&b, "n%d%s ", node, mark)
+		}
+		fmt.Fprintf(&b, "  <- node%d\n", y/2+1)
+	}
+	b.WriteString("\n  ↖ upper-middle clients head for the up-left corner (node1)\n")
+	b.WriteString("  ↘ lower-middle clients head for the down-right corner (node5)\n")
+	return b.String()
+}
+
+// PopulationHeatmap renders the current per-zone client counts as a grid,
+// for inspecting the drift during a simulation.
+func PopulationHeatmap(pop Population) string {
+	var b strings.Builder
+	for y := 0; y < GridH; y++ {
+		b.WriteString("  ")
+		for x := 0; x < GridW; x++ {
+			fmt.Fprintf(&b, "%4d", pop[ZoneAt(x, y)])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,357 @@
+package dve
+
+import (
+	"fmt"
+
+	"dvemig/internal/lb"
+	"dvemig/internal/migration"
+	"dvemig/internal/netstack"
+	"dvemig/internal/proc"
+	"dvemig/internal/simtime"
+	"dvemig/internal/trace"
+	"dvemig/internal/xlat"
+)
+
+// Config parameterizes the §VI-C experiment.
+type Config struct {
+	Nodes    int
+	Clients  int
+	Duration simtime.Duration
+	// LB enables the conductor middleware (Fig 5f vs Fig 5e).
+	LB        bool
+	LBConfig  lb.Config
+	MigConfig migration.Config
+	Zone      ZoneServerConfig
+
+	// NeighborLinks connects every zone server with its right and down
+	// grid neighbors over in-cluster TCP (the inter-server connections
+	// §VI-C leaves as future work; supported here via both-ends
+	// migration).
+	NeighborLinks bool
+
+	// AppLayerLB replaces the OS-level middleware with the prior-work
+	// application-layer zone-handoff baseline (mutually exclusive with
+	// LB).
+	AppLayerLB bool
+	AppLayer   AppLayerConfig
+
+	// Movement model: MobileFrac of middle-row clients drift toward the
+	// corners, each stepping one zone per second with MoveProb, starting
+	// at MoveStart.
+	MobileFrac float64
+	MoveProb   float64
+	MoveStart  simtime.Duration
+
+	SampleEvery simtime.Duration
+	Seed        uint64
+}
+
+// DefaultConfig reproduces the paper's setup: 5 nodes, 10,000 clients,
+// ~15 minutes.
+func DefaultConfig() Config {
+	lbCfg := lb.DefaultConfig()
+	// The DVE drift is gradual; a tighter imbalance trigger lets the
+	// middleware keep pace with it (Fig 5f converges over many small
+	// adjustments).
+	lbCfg.ImbalanceThreshold = 0.08
+	return Config{
+		Nodes:       5,
+		Clients:     10000,
+		Duration:    900 * 1e9,
+		LB:          false,
+		LBConfig:    lbCfg,
+		MigConfig:   migration.DefaultConfig(),
+		Zone:        DefaultZoneConfig(),
+		MobileFrac:  0.20,
+		MoveProb:    0.02,
+		MoveStart:   120 * 1e9,
+		SampleEvery: 5 * 1e9,
+		Seed:        2010,
+		AppLayer:    DefaultAppLayerConfig(),
+	}
+}
+
+// Results collects the experiment's time series and migration log.
+type Results struct {
+	// CPU holds per-node CPU percentage series (Fig 5e/5f).
+	CPU *trace.SeriesSet
+	// Procs holds per-node zone-server counts (Fig 5d).
+	Procs *trace.SeriesSet
+	// UpdateRate holds the effective client-update rate per node in
+	// updates/s: 20 Hz while the node keeps up, degrading once demand
+	// exceeds capacity — the interactivity loss that motivates the whole
+	// system ("adversely affecting the response time and damaging the
+	// interactivity", §I).
+	UpdateRate *trace.SeriesSet
+	// Migrations is the number of completed process migrations.
+	Migrations int
+	// FreezeTimes of every migration performed by the middleware.
+	FreezeTimes []simtime.Duration
+	// Events is the concatenated conductor decision log.
+	Events []lb.Event
+	// FinalSpread is max-min node CPU (%) over the last quarter of the
+	// run — the imbalance measure the paper discusses.
+	FinalSpread float64
+	// OutageClientSeconds is the total client-visible unavailability the
+	// balancing caused: Σ clients × downtime over all moves. For the
+	// OS-level middleware this is freeze time × affected clients (a few
+	// client-seconds at most); for the app-layer baseline it is the zone
+	// handoff outage (orders of magnitude larger).
+	OutageClientSeconds float64
+	// Handoffs counts app-layer zone reassignments (baseline mode).
+	Handoffs int
+}
+
+// Simulation is the assembled experiment.
+type Simulation struct {
+	Config  Config
+	Cluster *proc.Cluster
+	DBNode  *proc.Node
+	DB      *DBServer
+
+	Migrators  []*migration.Migrator
+	Conductors []*lb.Conductor
+	AppLB      *AppLayerBalancer
+	Movement   *MovementModel
+
+	zoneProcs map[ZoneID]*proc.Process
+	pop       Population
+
+	cpuSeries  *trace.SeriesSet
+	procSeries *trace.SeriesSet
+	rateSeries *trace.SeriesSet
+}
+
+// New builds the cluster, database, zone servers and (optionally) the
+// load-balancing middleware.
+func New(cfg Config) (*Simulation, error) {
+	sched := simtime.NewScheduler()
+	s := &Simulation{
+		Config:     cfg,
+		Cluster:    proc.NewCluster(sched, cfg.Nodes),
+		zoneProcs:  make(map[ZoneID]*proc.Process),
+		cpuSeries:  trace.NewSeriesSet(),
+		procSeries: trace.NewSeriesSet(),
+		rateSeries: trace.NewSeriesSet(),
+	}
+	// The database machine is a sixth node without conductor/migd; it
+	// still runs a translation daemon so in-cluster DB sessions can be
+	// redirected when their zone server migrates.
+	s.DBNode = s.Cluster.AddNode("db")
+	var err error
+	if s.DB, err = StartDBServer(s.DBNode); err != nil {
+		return nil, err
+	}
+	if _, err := xlat.StartTransd(s.DBNode.Stack, s.DBNode.LocalIP); err != nil {
+		return nil, err
+	}
+
+	for _, n := range s.Cluster.Nodes[:cfg.Nodes] {
+		m, err := migration.NewMigrator(n, cfg.MigConfig)
+		if err != nil {
+			return nil, err
+		}
+		s.Migrators = append(s.Migrators, m)
+	}
+
+	// Movement model and initial population.
+	s.Movement = NewMovementModel(cfg.Clients, cfg.MobileFrac, cfg.MoveProb, simtime.NewRand(cfg.Seed))
+	s.pop = s.Movement.Population()
+
+	// Zone servers on their home nodes (Fig 5a assignment).
+	popFn := func(z ZoneID) int { return s.pop[z] }
+	for z := ZoneID(0); z < GridW*GridH; z++ {
+		home := z.HomeNode()
+		if home >= cfg.Nodes {
+			return nil, fmt.Errorf("dve: zone %d has no home with %d nodes", z, cfg.Nodes)
+		}
+		n := s.Cluster.Nodes[home]
+		p, err := SpawnZoneServer(n, z, s.Cluster.ClusterIP, s.DBNode.LocalIP, cfg.Zone, popFn)
+		if err != nil {
+			return nil, err
+		}
+		s.zoneProcs[z] = p
+	}
+	if cfg.NeighborLinks {
+		if err := s.connectNeighbors(); err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.LB && cfg.AppLayerLB {
+		return nil, fmt.Errorf("dve: LB and AppLayerLB are mutually exclusive")
+	}
+	if cfg.LB {
+		for i, n := range s.Cluster.Nodes[:cfg.Nodes] {
+			cd, err := lb.NewConductor(n, s.Migrators[i], cfg.LBConfig)
+			if err != nil {
+				return nil, err
+			}
+			s.Conductors = append(s.Conductors, cd)
+		}
+	}
+	if cfg.AppLayerLB {
+		s.AppLB = newAppLayerBalancer(s, cfg.AppLayer)
+	}
+
+	// Movement ticker.
+	mv := simtime.NewTicker(sched, 1e9, "dve.move", func() {
+		if sched.Now() >= cfg.MoveStart {
+			s.Movement.Tick()
+			s.pop = s.Movement.Population()
+		}
+	})
+	mv.Start()
+
+	// Sampler.
+	sm := simtime.NewTicker(sched, cfg.SampleEvery, "dve.sample", s.sample)
+	sm.Start()
+	return s, nil
+}
+
+// connectNeighbors links every zone server with its right and down grid
+// neighbors over the in-cluster network: each zone accepts on
+// NeighborBase+zone of its home node's local address.
+func (s *Simulation) connectNeighbors() error {
+	cfg := s.Config.Zone
+	for z := ZoneID(0); z < GridW*GridH; z++ {
+		n := s.Cluster.Nodes[z.HomeNode()]
+		lst := netstack.NewTCPSocket(n.Stack)
+		if err := lst.Listen(n.LocalIP, cfg.NeighborBase+uint16(z)); err != nil {
+			return err
+		}
+		owner := s.zoneProcs[z]
+		lst.OnAccept = func(ch *netstack.TCPSocket) {
+			owner.FDs.Install(&proc.TCPFile{Sock: ch})
+		}
+		owner.FDs.Install(&proc.TCPFile{Sock: lst})
+	}
+	for z := ZoneID(0); z < GridW*GridH; z++ {
+		x, y := z.XY()
+		var targets []ZoneID
+		if x+1 < GridW {
+			targets = append(targets, ZoneAt(x+1, y))
+		}
+		if y+1 < GridH {
+			targets = append(targets, ZoneAt(x, y+1))
+		}
+		from := s.Cluster.Nodes[z.HomeNode()]
+		for _, w := range targets {
+			to := s.Cluster.Nodes[w.HomeNode()]
+			sk := netstack.NewTCPSocket(from.Stack)
+			if err := sk.Connect(to.LocalIP, cfg.NeighborBase+uint16(w)); err != nil {
+				return err
+			}
+			s.zoneProcs[z].FDs.Install(&proc.TCPFile{Sock: sk})
+		}
+	}
+	// Let all handshakes complete before the simulation proper starts.
+	s.Cluster.Sched.RunFor(1e9)
+	return nil
+}
+
+func (s *Simulation) sample() {
+	now := s.Cluster.Sched.Now()
+	hz := float64(1e9) / float64(s.Config.Zone.LoopPeriod)
+	for _, n := range s.Cluster.Nodes[:s.Config.Nodes] {
+		s.cpuSeries.Get(n.Name).Add(now, n.Utilization()*100)
+		s.procSeries.Get(n.Name).Add(now, float64(countZoneServers(n)))
+		// Effective update rate: oversubscription stretches every
+		// real-time loop iteration by demand/capacity, and queueing
+		// already erodes deadlines as the CPU approaches saturation
+		// (a linear knee above 90% utilisation).
+		demand := 0.0
+		for _, p := range n.Processes() {
+			if p.State == proc.ProcRunning {
+				demand += p.CPUDemand
+			}
+		}
+		util := demand / n.Cores
+		rate := hz
+		switch {
+		case util > 1:
+			rate = hz * 0.8 / util
+		case util > 0.9:
+			rate = hz * (1 - 2*(util-0.9))
+		}
+		s.rateSeries.Get(n.Name).Add(now, rate)
+	}
+}
+
+func countZoneServers(n *proc.Node) int {
+	c := 0
+	for _, p := range n.Processes() {
+		if len(p.Name) > 9 && p.Name[:9] == "zone_serv" {
+			c++
+		}
+	}
+	return c
+}
+
+// Run executes the simulation and gathers the results.
+func (s *Simulation) Run() *Results {
+	s.Cluster.Sched.RunUntil(s.Config.Duration)
+	r := &Results{CPU: s.cpuSeries, Procs: s.procSeries, UpdateRate: s.rateSeries}
+	zc := s.Config.Zone
+	for _, m := range s.Migrators {
+		for _, mm := range m.Completed {
+			r.Migrations++
+			r.FreezeTimes = append(r.FreezeTimes, mm.FreezeTime)
+			// Clients affected by the freeze, from the process's demand
+			// at freeze time.
+			clients := (mm.ProcCPUDemand - zc.BaseCPU) / zc.PerClientCPU
+			if clients < 0 {
+				clients = 0
+			}
+			r.OutageClientSeconds += clients * mm.FreezeTime.Seconds()
+		}
+	}
+	if s.AppLB != nil {
+		r.Handoffs = s.AppLB.Handoffs
+		r.OutageClientSeconds += s.AppLB.OutageClientSeconds()
+	}
+	for _, cd := range s.Conductors {
+		r.Events = append(r.Events, cd.Events...)
+	}
+	r.FinalSpread = s.finalSpread()
+	return r
+}
+
+// finalSpread computes max-min average node CPU over the last quarter.
+func (s *Simulation) finalSpread() float64 {
+	from := s.Config.Duration * 3 / 4
+	lo, hi := 1e18, -1e18
+	for _, name := range s.cpuSeries.Names() {
+		mean := s.cpuSeries.Get(name).After(from).Mean()
+		if mean < lo {
+			lo = mean
+		}
+		if mean > hi {
+			hi = mean
+		}
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// NodeCPUMean returns a node's average CPU (%) over [from, end].
+func (r *Results) NodeCPUMean(name string, from simtime.Duration) float64 {
+	return r.CPU.Get(name).After(from).Mean()
+}
+
+// WorstUpdateRate returns the lowest effective update rate any node hit —
+// the interactivity floor of the run (20 means nobody ever lagged).
+func (r *Results) WorstUpdateRate() float64 {
+	worst := 1e18
+	for _, name := range r.UpdateRate.Names() {
+		if m := r.UpdateRate.Get(name).Min(); m < worst {
+			worst = m
+		}
+	}
+	if worst == 1e18 {
+		return 0
+	}
+	return worst
+}

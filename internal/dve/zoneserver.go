@@ -1,0 +1,121 @@
+package dve
+
+import (
+	"fmt"
+
+	"dvemig/internal/netsim"
+	"dvemig/internal/netstack"
+	"dvemig/internal/proc"
+	"dvemig/internal/simtime"
+)
+
+// ZoneServerConfig shapes the zone server processes.
+type ZoneServerConfig struct {
+	// BaseCPU is the fixed demand of an empty zone; PerClientCPU scales
+	// with population ("CPU consumption of a zone server process grows
+	// proportionally with the number of clients present", §VI-C).
+	BaseCPU      float64
+	PerClientCPU float64
+	// LoopPeriod is the real-time loop rate: 20 updates per second, the
+	// Quake III default.
+	LoopPeriod simtime.Duration
+	// DBEveryTicks: issue one database update every n loop iterations.
+	DBEveryTicks int
+	// MemPages is the server's working-set size.
+	MemPages uint64
+	// BasePort: zone i listens on BasePort+i of the cluster IP.
+	BasePort uint16
+	// NeighborBase: zone i accepts neighbor-server connections on
+	// NeighborBase+i of its node's in-cluster address (0 disables).
+	// SyncEveryTicks: state-sync message rate toward neighbors.
+	NeighborBase   uint16
+	SyncEveryTicks int
+}
+
+// DefaultZoneConfig is calibrated so five nodes × 20 zones × 100 clients
+// sit near 78% CPU, matching the opening of Fig 5e.
+func DefaultZoneConfig() ZoneServerConfig {
+	return ZoneServerConfig{
+		BaseCPU:        0.01,
+		PerClientCPU:   0.00068,
+		LoopPeriod:     50 * 1e6, // 50ms → 20 Hz
+		DBEveryTicks:   10,
+		MemPages:       64,
+		BasePort:       10000,
+		NeighborBase:   20000,
+		SyncEveryTicks: 10,
+	}
+}
+
+// SpawnZoneServer creates the zone server process for zone z on node n:
+// a listening TCP socket on the cluster IP (clients of this zone connect
+// here), one MySQL session to the database node, a small working set, and
+// the real-time loop that processes events, updates the world state in
+// the database and tracks its CPU demand from the zone population.
+//
+// population is called each loop iteration to learn the current client
+// count (the aggregate stand-in for per-client packet processing).
+func SpawnZoneServer(n *proc.Node, z ZoneID, clusterIP, dbIP netsim.Addr,
+	cfg ZoneServerConfig, population func(ZoneID) int) (*proc.Process, error) {
+
+	p := n.Spawn(fmt.Sprintf("zone_serv%d", int(z)), 2)
+	v := p.AS.Mmap(cfg.MemPages*proc.PageSize, "rw-")
+	for i := uint64(0); i < cfg.MemPages; i += 8 {
+		if err := p.AS.Write(v.Start+i*proc.PageSize, []byte{byte(z), byte(i)}); err != nil {
+			return nil, err
+		}
+	}
+	p.FDs.Install(&proc.RegularFile{Path: fmt.Sprintf("/srv/zones/%d.map", int(z))})
+
+	lst := netstack.NewTCPSocket(n.Stack)
+	if err := lst.Listen(clusterIP, cfg.BasePort+uint16(z)); err != nil {
+		return nil, err
+	}
+	p.FDs.Install(&proc.TCPFile{Sock: lst})
+
+	db := netstack.NewTCPSocket(n.Stack)
+	if err := db.Connect(dbIP, DBPort); err != nil {
+		return nil, err
+	}
+	p.FDs.Install(&proc.TCPFile{Sock: db})
+
+	zone := z
+	ticks := 0
+	heapStart := v.Start
+	p.Tick = func(self *proc.Process) {
+		ticks++
+		pop := population(zone)
+		self.CPUDemand = cfg.BaseCPU + cfg.PerClientCPU*float64(pop)
+		// The real-time loop touches its working set...
+		_ = self.AS.Touch(heapStart + uint64(ticks%int(cfg.MemPages))*proc.PageSize)
+		// ...drains whatever arrived, sorting sessions by role...
+		tcp, _ := self.Sockets()
+		var dbSock *netstack.TCPSocket
+		var neighbors []*netstack.TCPSocket
+		for _, sk := range tcp {
+			if sk.State != netstack.TCPEstablished {
+				continue
+			}
+			sk.Recv() // consume replies / client traffic / neighbor sync
+			if sk.RemotePort == DBPort {
+				dbSock = sk
+			} else {
+				neighbors = append(neighbors, sk)
+			}
+		}
+		// ...repeatedly updates the virtual world in the database...
+		if dbSock != nil && cfg.DBEveryTicks > 0 && ticks%cfg.DBEveryTicks == 0 {
+			_ = dbSock.Send([]byte(fmt.Sprintf("SET zone%d pop%d;", int(zone), pop)))
+		}
+		// ...and exchanges boundary state with neighboring zone servers.
+		if cfg.SyncEveryTicks > 0 && ticks%cfg.SyncEveryTicks == 0 {
+			msg := []byte(fmt.Sprintf("SYNC z%d t%d;", int(zone), ticks))
+			for _, nb := range neighbors {
+				_ = nb.Send(msg)
+			}
+		}
+	}
+	p.CPUDemand = cfg.BaseCPU + cfg.PerClientCPU*float64(population(zone))
+	n.StartLoop(p, cfg.LoopPeriod)
+	return p, nil
+}

@@ -1,0 +1,226 @@
+// Package hla models the other DVE class the paper opens with:
+// distributed simulations in the style of the High-Level Architecture
+// (IEEE 1516). A federation of federate processes advances in conservative
+// lockstep — a federate may move from logical step k to k+1 only after
+// every peer's step-k message arrived — over in-cluster TCP connections.
+//
+// The safety property conservative synchronization guarantees (no
+// federate ever runs more than one step ahead of any other) must hold
+// through a live migration of any federate: the step messages ride the
+// very connections the migration mechanism preserves.
+package hla
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dvemig/internal/netstack"
+	"dvemig/internal/proc"
+	"dvemig/internal/simtime"
+)
+
+// BasePort: federate i accepts federation connections on BasePort+i of
+// its node's in-cluster address.
+const BasePort = 23000
+
+// Config shapes a federation.
+type Config struct {
+	// Federates is the federation size.
+	Federates int
+	// PollPeriod is each federate's real-time loop period (how often it
+	// checks for grant messages and tries to advance).
+	PollPeriod simtime.Duration
+	// WorkPages is the per-federate state touched each step.
+	WorkPages uint64
+	// CPUDemand per federate.
+	CPUDemand float64
+}
+
+// DefaultConfig is a five-federate federation polling at 100 Hz.
+func DefaultConfig() Config {
+	return Config{Federates: 5, PollPeriod: 10 * 1e6, WorkPages: 32, CPUDemand: 0.25}
+}
+
+// Federate is one member's handle.
+type Federate struct {
+	Index int
+	Proc  *proc.Process
+
+	// Step is the federate's current logical time.
+	Step uint64
+	// Advances counts completed steps; Violations counts observations of
+	// a peer more than one step away (must stay zero).
+	Advances   uint64
+	Violations uint64
+
+	peerStep []uint64 // latest step heard from each peer
+}
+
+// Federation wires the federates together and tracks global invariants.
+type Federation struct {
+	Config    Config
+	Federates []*Federate
+}
+
+// stepMsg encodes "I completed step k".
+func stepMsg(from int, step uint64) []byte {
+	b := make([]byte, 12)
+	binary.BigEndian.PutUint32(b, uint32(from))
+	binary.BigEndian.PutUint64(b[4:], step)
+	return b
+}
+
+// New creates the federation: federate i runs on nodes[i%len(nodes)],
+// with all-to-all TCP connections over the in-cluster network.
+func New(cluster *proc.Cluster, nodes []*proc.Node, cfg Config) (*Federation, error) {
+	if cfg.Federates < 2 {
+		return nil, fmt.Errorf("hla: need at least two federates")
+	}
+	fed := &Federation{Config: cfg}
+	type endpoint struct {
+		proc *proc.Process
+		f    *Federate
+	}
+	endpoints := make([]*endpoint, cfg.Federates)
+
+	// Spawn federate processes with listeners.
+	for i := 0; i < cfg.Federates; i++ {
+		n := nodes[i%len(nodes)]
+		p := n.Spawn(fmt.Sprintf("federate%d", i), 1)
+		v := p.AS.Mmap(cfg.WorkPages*proc.PageSize, "rw-")
+		_ = v
+		p.CPUDemand = cfg.CPUDemand
+		f := &Federate{Index: i, Proc: p, peerStep: make([]uint64, cfg.Federates)}
+		lst := netstack.NewTCPSocket(n.Stack)
+		if err := lst.Listen(n.LocalIP, BasePort+uint16(i)); err != nil {
+			return nil, err
+		}
+		p.FDs.Install(&proc.TCPFile{Sock: lst})
+		owner := p
+		lst.OnAccept = func(ch *netstack.TCPSocket) {
+			owner.FDs.Install(&proc.TCPFile{Sock: ch})
+		}
+		endpoints[i] = &endpoint{proc: p, f: f}
+		fed.Federates = append(fed.Federates, f)
+	}
+	// All-to-all connections (i dials j for i < j).
+	for i := 0; i < cfg.Federates; i++ {
+		for j := i + 1; j < cfg.Federates; j++ {
+			from := nodes[i%len(nodes)]
+			to := nodes[j%len(nodes)]
+			sk := netstack.NewTCPSocket(from.Stack)
+			if err := sk.Connect(to.LocalIP, BasePort+uint16(j)); err != nil {
+				return nil, err
+			}
+			endpoints[i].proc.FDs.Install(&proc.TCPFile{Sock: sk})
+		}
+	}
+	cluster.Sched.RunFor(1e9) // handshakes
+
+	// The federate program: parse grant messages, advance when every
+	// peer reached our step, announce the new step. All state the loop
+	// needs lives in the closure and the process, so it migrates.
+	for i := 0; i < cfg.Federates; i++ {
+		f := endpoints[i].f
+		idx := i
+		// Reassembly buffers are keyed by the connection's remote
+		// identity, which is stable across migrations (socket objects
+		// are rebuilt; their peers are not).
+		type connKey struct {
+			ip   uint32
+			port uint16
+		}
+		buf := make(map[connKey][]byte)
+		heap := endpoints[i].proc.AS.VMAs()[0]
+		first := true
+		endpoints[i].proc.Tick = func(self *proc.Process) {
+			if first {
+				first = false
+				f.broadcast(self, stepMsg(idx, 0))
+			}
+			tcp, _ := self.Sockets()
+			for _, sk := range tcp {
+				if sk.State != netstack.TCPEstablished {
+					continue
+				}
+				k := connKey{uint32(sk.RemoteIP), sk.RemotePort}
+				data := sk.Recv()
+				if len(data) > 0 {
+					buf[k] = append(buf[k], data...)
+					for len(buf[k]) >= 12 {
+						from := int(binary.BigEndian.Uint32(buf[k]))
+						step := binary.BigEndian.Uint64(buf[k][4:])
+						buf[k] = buf[k][12:]
+						if from >= 0 && from < len(f.peerStep) && step > f.peerStep[from] {
+							f.peerStep[from] = step
+						}
+					}
+				}
+			}
+			// Conservative advance rule: move to Step+1 only when every
+			// peer announced at least Step.
+			ready := true
+			for p, s := range f.peerStep {
+				if p == idx {
+					continue
+				}
+				if s < f.Step {
+					ready = false
+				}
+				// Invariant probe: conservative sync bounds the skew.
+				if s > f.Step+1 {
+					f.Violations++
+				}
+			}
+			if ready {
+				f.Step++
+				f.Advances++
+				_ = self.AS.Touch(heap.Start + (f.Step%cfg.WorkPages)*proc.PageSize)
+				f.broadcast(self, stepMsg(idx, f.Step))
+			}
+		}
+		nodes[i%len(nodes)].StartLoop(endpoints[i].proc, cfg.PollPeriod)
+	}
+	return fed, nil
+}
+
+// broadcast sends the message on every established connection.
+func (f *Federate) broadcast(self *proc.Process, msg []byte) {
+	tcp, _ := self.Sockets()
+	for _, sk := range tcp {
+		if sk.State == netstack.TCPEstablished {
+			_ = sk.Send(msg)
+		}
+	}
+}
+
+// MinStep and MaxStep report the federation's logical-time spread.
+func (fed *Federation) MinStep() uint64 {
+	m := fed.Federates[0].Step
+	for _, f := range fed.Federates {
+		if f.Step < m {
+			m = f.Step
+		}
+	}
+	return m
+}
+
+// MaxStep reports the most advanced federate.
+func (fed *Federation) MaxStep() uint64 {
+	m := fed.Federates[0].Step
+	for _, f := range fed.Federates {
+		if f.Step > m {
+			m = f.Step
+		}
+	}
+	return m
+}
+
+// Violations sums invariant violations across federates.
+func (fed *Federation) Violations() uint64 {
+	var v uint64
+	for _, f := range fed.Federates {
+		v += f.Violations
+	}
+	return v
+}

@@ -1,0 +1,124 @@
+package hla
+
+import (
+	"testing"
+	"time"
+
+	"dvemig/internal/migration"
+	"dvemig/internal/proc"
+	"dvemig/internal/simtime"
+)
+
+func newFederation(t *testing.T, nodes int, cfg Config) (*proc.Cluster, []*migration.Migrator, *Federation) {
+	t.Helper()
+	c := proc.NewCluster(simtime.NewScheduler(), nodes)
+	var migs []*migration.Migrator
+	for _, n := range c.Nodes {
+		m, err := migration.NewMigrator(n, migration.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		migs = append(migs, m)
+	}
+	fed, err := New(c, c.Nodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, migs, fed
+}
+
+func TestFederationAdvancesInLockstep(t *testing.T) {
+	c, _, fed := newFederation(t, 3, DefaultConfig())
+	c.Sched.RunFor(10 * time.Second)
+	if fed.MinStep() < 100 {
+		t.Fatalf("federation too slow: min step %d", fed.MinStep())
+	}
+	if fed.MaxStep()-fed.MinStep() > 1 {
+		t.Fatalf("lockstep broken: spread %d..%d", fed.MinStep(), fed.MaxStep())
+	}
+	if fed.Violations() != 0 {
+		t.Fatalf("conservative-sync violations: %d", fed.Violations())
+	}
+}
+
+func TestFederationSurvivesFederateMigration(t *testing.T) {
+	c, migs, fed := newFederation(t, 3, DefaultConfig())
+	c.Sched.RunFor(3 * time.Second)
+	before := fed.MinStep()
+
+	// Migrate federate1 (on node2) to node3 mid-run.
+	target := fed.Federates[1].Proc
+	var done bool
+	var mErr error
+	migs[1].Migrate(target, c.Nodes[2].LocalIP, func(m *migration.Metrics, err error) {
+		done, mErr = true, err
+	})
+	c.Sched.RunFor(10 * time.Second)
+	if !done || mErr != nil {
+		t.Fatalf("migration: done=%v err=%v", done, mErr)
+	}
+	if fed.MinStep() <= before+50 {
+		t.Fatalf("federation stalled after migration: %d -> %d", before, fed.MinStep())
+	}
+	if fed.MaxStep()-fed.MinStep() > 1 {
+		t.Fatalf("lockstep broken after migration: %d..%d", fed.MinStep(), fed.MaxStep())
+	}
+	if fed.Violations() != 0 {
+		t.Fatalf("violations after migration: %d", fed.Violations())
+	}
+	// The federate really moved.
+	found := false
+	for _, p := range c.Nodes[2].Processes() {
+		if p.Name == "federate1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("federate1 not on node3")
+	}
+}
+
+func TestFederationSurvivesEveryFederateMigratingOnce(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Federates = 4
+	c, migs, fed := newFederation(t, 4, cfg)
+	c.Sched.RunFor(2 * time.Second)
+	// Rotate every federate to the next node, one at a time.
+	for i := 0; i < cfg.Federates; i++ {
+		from := i % len(c.Nodes)
+		to := (i + 1) % len(c.Nodes)
+		var done bool
+		var mErr error
+		migs[from].Migrate(fed.Federates[i].Proc, c.Nodes[to].LocalIP, func(m *migration.Metrics, err error) {
+			done, mErr = true, err
+		})
+		c.Sched.RunFor(5 * time.Second)
+		if !done || mErr != nil {
+			t.Fatalf("rotating federate %d: done=%v err=%v", i, done, mErr)
+		}
+		// Track the moved process handle for the next operations.
+		for _, p := range c.Nodes[to].Processes() {
+			if p.Name == fed.Federates[i].Proc.Name {
+				fed.Federates[i].Proc = p
+			}
+		}
+	}
+	before := fed.MinStep()
+	c.Sched.RunFor(5 * time.Second)
+	if fed.MinStep() <= before {
+		t.Fatal("federation dead after full rotation")
+	}
+	if fed.Violations() != 0 {
+		t.Fatalf("violations: %d", fed.Violations())
+	}
+	if fed.MaxStep()-fed.MinStep() > 1 {
+		t.Fatalf("lockstep spread %d..%d", fed.MinStep(), fed.MaxStep())
+	}
+}
+
+func TestFederationRejectsTrivialSize(t *testing.T) {
+	c := proc.NewCluster(simtime.NewScheduler(), 1)
+	if _, err := New(c, c.Nodes, Config{Federates: 1, PollPeriod: 1e7}); err == nil {
+		t.Fatal("single-federate federation accepted")
+	}
+}

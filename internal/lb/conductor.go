@@ -1,0 +1,492 @@
+// Package lb implements the decentralized dynamic load-balancing
+// middleware of §IV: the conductor daemon (cond) that discovers peers,
+// monitors local resource consumption (the role atop plays in the paper),
+// exchanges periodic load broadcasts, and instruments process migrations
+// according to the four classic policies — transfer, location, selection
+// and information [Shivaratri/Krueger/Singhal].
+package lb
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dvemig/internal/migration"
+	"dvemig/internal/netsim"
+	"dvemig/internal/netstack"
+	"dvemig/internal/proc"
+	"dvemig/internal/simtime"
+)
+
+// CondPort is the UDP port conductor daemons use.
+const CondPort = 7901
+
+// Mode selects the balancing objective.
+type Mode int
+
+// Modes: Balance equalizes load (the paper); Consolidate packs load onto
+// few nodes to let others idle (the power-management future-work use).
+const (
+	ModeBalance Mode = iota
+	ModeConsolidate
+)
+
+// Config tunes the conductor.
+type Config struct {
+	// Period between monitoring/broadcast ticks (information policy).
+	Period simtime.Duration
+	// HighThreshold: load above which a node is overloaded outright.
+	HighThreshold float64
+	// ImbalanceThreshold: load-minus-cluster-average above which the node
+	// initiates a migration even below HighThreshold.
+	ImbalanceThreshold float64
+	// CalmDown is the post-migration stabilization period on both ends.
+	CalmDown simtime.Duration
+	// PeerTimeout expires silent peers (missed heartbeats).
+	PeerTimeout simtime.Duration
+	// ScanMax bounds the discovery scan of the local /24.
+	ScanMax byte
+	// EWMA smoothing factor for the load signal (0..1, weight of the new
+	// sample).
+	EWMA float64
+	Mode Mode
+	// LowThreshold (consolidate mode): a node below it tries to drain.
+	LowThreshold float64
+}
+
+// DefaultConfig mirrors the evaluation setup.
+func DefaultConfig() Config {
+	return Config{
+		Period:             1e9, // 1s
+		HighThreshold:      0.90,
+		ImbalanceThreshold: 0.12,
+		CalmDown:           15e9, // 15s
+		PeerTimeout:        4e9,
+		ScanMax:            32,
+		EWMA:               0.5,
+		Mode:               ModeBalance,
+		LowThreshold:       0.25,
+	}
+}
+
+type condState int
+
+const (
+	stateIdle condState = iota
+	stateSending
+	stateReceiving
+)
+
+type peerInfo struct {
+	addr     netsim.Addr
+	load     float64
+	lastSeen simtime.Time
+}
+
+// Event records one load-balancing decision, for the experiment logs.
+type Event struct {
+	At   simtime.Time
+	Kind string // "migrate-out", "migrate-in", "reject", "abort"
+	Peer netsim.Addr
+	PID  int
+	Load float64
+	// Err carries the failure for "abort" events.
+	Err string
+}
+
+// Conductor is one node's cond daemon.
+type Conductor struct {
+	Node   *proc.Node
+	Mig    *migration.Migrator
+	Config Config
+
+	sock   *netstack.UDPSocket
+	ticker *simtime.Ticker
+
+	peers map[netsim.Addr]*peerInfo
+	load  float64 // smoothed local load
+
+	state      condState
+	calmUntil  simtime.Time
+	reserveSeq uint32
+	reserveAt  simtime.Time
+	nextSeq    uint32
+
+	// Events logs decisions; Migrations counts completed outbound moves.
+	Events     []Event
+	Migrations int
+}
+
+// Wire opcodes.
+const (
+	opDiscover      = 1
+	opDiscoverReply = 2
+	opHeartbeat     = 3
+	opPropose       = 4
+	opAccept        = 5
+	opReject        = 6
+	opDone          = 7
+	opRelease       = 8
+)
+
+// NewConductor starts the daemon on a node that already runs a migration
+// service. It binds the conductor port and scans the local network for
+// peers (§IV: "the conductor daemon process scans the local network").
+func NewConductor(n *proc.Node, mig *migration.Migrator, cfg Config) (*Conductor, error) {
+	c := &Conductor{Node: n, Mig: mig, Config: cfg, peers: make(map[netsim.Addr]*peerInfo)}
+	c.sock = netstack.NewUDPSocket(n.Stack)
+	if err := c.sock.Bind(n.LocalIP, CondPort); err != nil {
+		return nil, fmt.Errorf("cond: %w", err)
+	}
+	c.sock.OnReadable = c.serve
+	c.ticker = simtime.NewTicker(n.Sched, cfg.Period, "cond.tick", c.tick)
+	c.ticker.Start()
+	c.scan()
+	return c, nil
+}
+
+// Stop halts the daemon (node leaving the cluster).
+func (c *Conductor) Stop() {
+	c.ticker.Stop()
+	c.sock.Close()
+}
+
+// Load returns the smoothed local load in [0,1].
+func (c *Conductor) Load() float64 { return c.load }
+
+// PeerCount returns the live peer count.
+func (c *Conductor) PeerCount() int { return len(c.peers) }
+
+// ClusterAverage approximates the overall cluster load from the local
+// sample and the latest peer broadcasts (§IV: each node maintains "an
+// approximation on the overall load of the whole cluster").
+func (c *Conductor) ClusterAverage() float64 {
+	sum := c.load
+	n := 1.0
+	for _, p := range c.peers {
+		sum += p.load
+		n++
+	}
+	return sum / n
+}
+
+func (c *Conductor) now() simtime.Time { return c.Node.Sched.Now() }
+
+// scan probes every address on the local /24 up to ScanMax.
+func (c *Conductor) scan() {
+	base := proc.LocalNet
+	for i := byte(1); i <= c.Config.ScanMax; i++ {
+		addr := base + netsim.Addr(i)
+		if addr == c.Node.LocalIP {
+			continue
+		}
+		c.send(addr, []byte{opDiscover})
+	}
+}
+
+func (c *Conductor) send(to netsim.Addr, payload []byte) {
+	_ = c.sock.SendTo(to, CondPort, payload)
+}
+
+func loadMsg(op byte, load float64) []byte {
+	b := make([]byte, 9)
+	b[0] = op
+	binary.BigEndian.PutUint64(b[1:], uint64(load*1e6))
+	return b
+}
+
+func seqMsg(op byte, seq uint32) []byte {
+	b := make([]byte, 5)
+	b[0] = op
+	binary.BigEndian.PutUint32(b[1:], seq)
+	return b
+}
+
+// tick is the periodic monitor + information policy + decision step.
+func (c *Conductor) tick() {
+	// Monitor (atop role): smooth the instantaneous utilisation.
+	u := c.Node.Utilization()
+	c.load = c.Config.EWMA*u + (1-c.Config.EWMA)*c.load
+
+	// Information policy: periodic broadcast doubling as heartbeat.
+	hb := loadMsg(opHeartbeat, c.load)
+	for addr := range c.peers {
+		c.send(addr, hb)
+	}
+
+	// Expire silent peers.
+	for addr, p := range c.peers {
+		if c.now()-p.lastSeen > c.Config.PeerTimeout {
+			delete(c.peers, addr)
+		}
+	}
+
+	// Release a stuck reservation (sender never delivered).
+	if c.state == stateReceiving && c.now()-c.reserveAt > 5*c.Config.Period {
+		c.state = stateIdle
+	}
+
+	if c.state != stateIdle || c.now() < c.calmUntil || len(c.peers) == 0 {
+		return
+	}
+	switch c.Config.Mode {
+	case ModeBalance:
+		c.considerBalance()
+	case ModeConsolidate:
+		c.considerConsolidate()
+	}
+}
+
+// considerBalance implements the sender-initiated transfer policy and the
+// location policy of §IV-A/B.
+func (c *Conductor) considerBalance() {
+	avg := c.ClusterAverage()
+	over := c.load > c.Config.HighThreshold || c.load-avg > c.Config.ImbalanceThreshold
+	if !over {
+		return
+	}
+	excess := c.load - avg
+	// Location policy: a node about as far below the average as we are
+	// above it, so both converge to the average after the move.
+	var best *peerInfo
+	bestScore := 1e18
+	for _, p := range c.peers {
+		if p.load >= avg {
+			continue
+		}
+		score := abs(excess - (avg - p.load))
+		if score < bestScore {
+			bestScore = score
+			best = p
+		}
+	}
+	if best == nil {
+		return
+	}
+	if c.selectProcess(excess) == nil {
+		return // nothing suitable to move
+	}
+	c.propose(best.addr)
+}
+
+// considerConsolidate drains a lightly loaded node onto the busiest peer
+// that still has headroom (power-management mode).
+func (c *Conductor) considerConsolidate() {
+	if c.load >= c.Config.LowThreshold || c.Node.NumProcesses() == 0 {
+		return
+	}
+	var best *peerInfo
+	for _, p := range c.peers {
+		if p.load+c.load > c.Config.HighThreshold {
+			continue
+		}
+		if best == nil || p.load > best.load {
+			best = p
+		}
+	}
+	if best == nil {
+		return
+	}
+	c.propose(best.addr)
+}
+
+func (c *Conductor) propose(to netsim.Addr) {
+	c.nextSeq++
+	c.state = stateSending
+	c.reserveSeq = c.nextSeq
+	c.reserveAt = c.now()
+	msg := make([]byte, 13)
+	msg[0] = opPropose
+	binary.BigEndian.PutUint32(msg[1:], c.nextSeq)
+	binary.BigEndian.PutUint64(msg[5:], uint64(c.load*1e6))
+	c.send(to, msg)
+	// Proposal timeout.
+	seq := c.nextSeq
+	c.Node.Sched.After(3*c.Config.Period, "cond.propose-timeout", func() {
+		if c.state == stateSending && c.reserveSeq == seq {
+			c.state = stateIdle
+		}
+	})
+}
+
+// selectProcess applies the selection policy of §IV-C: the process whose
+// CPU consumption is closest to the local excess over the cluster
+// average.
+func (c *Conductor) selectProcess(excess float64) *proc.Process {
+	desired := excess * c.Node.Cores
+	var best *proc.Process
+	bestScore := 1e18
+	for _, p := range c.Node.Processes() {
+		if p.State != proc.ProcRunning || p.CPUDemand <= 0 {
+			continue
+		}
+		score := abs(p.CPUDemand - desired)
+		if score < bestScore {
+			bestScore = score
+			best = p
+		}
+	}
+	return best
+}
+
+func (c *Conductor) serve() {
+	for {
+		dg, ok := c.sock.Recv()
+		if !ok {
+			return
+		}
+		if len(dg.Payload) == 0 {
+			continue
+		}
+		from := dg.SrcIP
+		switch dg.Payload[0] {
+		case opDiscover:
+			c.notePeer(from, -1)
+			c.send(from, loadMsg(opDiscoverReply, c.load))
+		case opDiscoverReply, opHeartbeat:
+			if len(dg.Payload) >= 9 {
+				c.notePeer(from, float64(binary.BigEndian.Uint64(dg.Payload[1:]))/1e6)
+			}
+		case opPropose:
+			c.handlePropose(from, dg.Payload)
+		case opAccept:
+			c.handleAccept(from, dg.Payload)
+		case opReject:
+			if c.state == stateSending {
+				c.state = stateIdle
+				c.Events = append(c.Events, Event{At: c.now(), Kind: "reject", Peer: from})
+			}
+		case opDone:
+			// Sender finished delivering into us; calm down.
+			if c.state == stateReceiving {
+				c.state = stateIdle
+				c.calmUntil = c.now() + c.Config.CalmDown
+			}
+		case opRelease:
+			if c.state == stateReceiving {
+				c.state = stateIdle
+			}
+		}
+	}
+}
+
+func (c *Conductor) notePeer(addr netsim.Addr, load float64) {
+	p := c.peers[addr]
+	if p == nil {
+		p = &peerInfo{addr: addr}
+		c.peers[addr] = p
+	}
+	if load >= 0 {
+		p.load = load
+	}
+	p.lastSeen = c.now()
+}
+
+// handlePropose runs the receiver side of the transfer policy: accept at
+// most one migration at a time (two-phase commit, §IV-A), reject while
+// calming down or already migrating.
+func (c *Conductor) handlePropose(from netsim.Addr, payload []byte) {
+	if len(payload) < 13 {
+		return
+	}
+	seq := binary.BigEndian.Uint32(payload[1:])
+	if c.state != stateIdle || c.now() < c.calmUntil {
+		c.send(from, seqMsg(opReject, seq))
+		return
+	}
+	c.state = stateReceiving
+	c.reserveAt = c.now()
+	c.send(from, seqMsg(opAccept, seq))
+}
+
+func (c *Conductor) handleAccept(from netsim.Addr, payload []byte) {
+	if len(payload) < 5 || c.state != stateSending {
+		return
+	}
+	if binary.BigEndian.Uint32(payload[1:]) != c.reserveSeq {
+		return
+	}
+	avg := c.ClusterAverage()
+	p := c.selectProcess(c.load - avg)
+	if p == nil {
+		c.send(from, seqMsg(opRelease, c.reserveSeq))
+		c.state = stateIdle
+		return
+	}
+	pid := p.PID
+	c.Mig.Migrate(p, from, func(m *migration.Metrics, err error) {
+		kind := "migrate-out"
+		errStr := ""
+		if err != nil {
+			kind = "abort"
+			errStr = err.Error()
+		} else {
+			c.Migrations++
+		}
+		c.Events = append(c.Events, Event{At: c.now(), Kind: kind, Peer: from, PID: pid, Load: c.load, Err: errStr})
+		c.send(from, seqMsg(opDone, c.reserveSeq))
+		c.state = stateIdle
+		c.calmUntil = c.now() + c.Config.CalmDown
+	})
+}
+
+// Drain gracefully evacuates the node ("machines may join and leave at
+// any time", §IV): every running process is migrated to the live peer
+// with the lowest known load, one after another, and done fires with the
+// number of processes moved and the first error if any. The conductor
+// stops making its own balancing decisions while draining.
+func (c *Conductor) Drain(done func(moved int, err error)) {
+	c.state = stateSending // block the balancing loop
+	moved := 0
+	var step func()
+	step = func() {
+		procs := c.Node.Processes()
+		var victim *proc.Process
+		for _, p := range procs {
+			if p.State == proc.ProcRunning {
+				victim = p
+				break
+			}
+		}
+		if victim == nil {
+			c.state = stateIdle
+			if done != nil {
+				done(moved, nil)
+			}
+			return
+		}
+		var best *peerInfo
+		for _, p := range c.peers {
+			if best == nil || p.load < best.load {
+				best = p
+			}
+		}
+		if best == nil {
+			c.state = stateIdle
+			if done != nil {
+				done(moved, fmt.Errorf("cond: no peers to drain to"))
+			}
+			return
+		}
+		pid := victim.PID
+		c.Mig.Migrate(victim, best.addr, func(m *migration.Metrics, err error) {
+			if err != nil {
+				c.state = stateIdle
+				if done != nil {
+					done(moved, err)
+				}
+				return
+			}
+			moved++
+			c.Events = append(c.Events, Event{At: c.now(), Kind: "drain", Peer: best.addr, PID: pid})
+			step()
+		})
+	}
+	step()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

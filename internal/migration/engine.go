@@ -1,0 +1,786 @@
+package migration
+
+import (
+	"errors"
+	"fmt"
+
+	"dvemig/internal/capture"
+	"dvemig/internal/ckpt"
+	"dvemig/internal/netsim"
+	"dvemig/internal/netstack"
+	"dvemig/internal/proc"
+	"dvemig/internal/simtime"
+	"dvemig/internal/sockmig"
+	"dvemig/internal/xlat"
+)
+
+// CostModel charges the CPU work of checkpointing that the simulated
+// event loop would otherwise execute for free. Values are per-socket or
+// per-operation and approximate a mid-2000s Opteron (§VI-A); they are
+// what gives the freeze-time curves their paper-like scale — network
+// transfer times come from the simulated links themselves.
+type CostModel struct {
+	// SockSubtract: full state subtraction + serialization of one socket.
+	SockSubtract simtime.Duration
+	// SockTrack: hash-compare of one unchanged socket in an incremental
+	// round.
+	SockTrack simtime.Duration
+	// SockRestore: allocating, filling and rehashing one socket on the
+	// destination.
+	SockRestore simtime.Duration
+	// FreezeOverhead: signal delivery, thread barriers, leader election.
+	FreezeOverhead simtime.Duration
+}
+
+// DefaultCosts is the calibrated model.
+var DefaultCosts = CostModel{
+	SockSubtract:   15 * 1e3, // 15µs
+	SockTrack:      8 * 1e3,  // 8µs
+	SockRestore:    25 * 1e3, // 25µs
+	FreezeOverhead: 200 * 1e3,
+}
+
+// Config controls a migrator.
+type Config struct {
+	Strategy sockmig.Strategy
+	// InitialTimeout is the first precopy loop timeout; each iteration
+	// halves it and the freeze phase starts when it drops below
+	// FreezeThreshold (20 ms in the paper, §III-A).
+	InitialTimeout  simtime.Duration
+	FreezeThreshold simtime.Duration
+	// EnablePrecopy false degrades to stop-and-copy (ablation).
+	EnablePrecopy bool
+	// EnableCapture false disables incoming-packet-loss prevention
+	// (ablation: §VI ablation shows retransmission delays without it).
+	EnableCapture bool
+	// LocalNetBits sizes the in-cluster subnet for address rewriting.
+	LocalNetBits int
+	// Deadline aborts a migration that has not completed in this much
+	// (simulated) time; the process thaws and keeps running at the
+	// source.
+	Deadline simtime.Duration
+	Costs    CostModel
+}
+
+// DefaultConfig returns the paper's configuration with the incremental
+// collective strategy.
+func DefaultConfig() Config {
+	return Config{
+		Strategy:        sockmig.IncrementalCollective,
+		InitialTimeout:  500 * 1e6, // 500ms
+		FreezeThreshold: 20 * 1e6,  // 20ms
+		EnablePrecopy:   true,
+		EnableCapture:   true,
+		LocalNetBits:    24,
+		Deadline:        30 * 1e9,
+		Costs:           DefaultCosts,
+	}
+}
+
+// Metrics reports one migration, the quantities Figs 4/5b/5c measure.
+type Metrics struct {
+	Strategy sockmig.Strategy
+	// PID / ProcName / ProcCPUDemand identify the migrated process and
+	// its CPU demand at freeze time (experiments derive client counts
+	// from it).
+	PID           int
+	ProcName      string
+	ProcCPUDemand float64
+
+	Start            simtime.Time
+	FreezeStart      simtime.Time
+	ResumeAt         simtime.Time
+	FreezeTime       simtime.Duration
+	TotalTime        simtime.Duration
+	Rounds           int
+	TCPMigrated      int
+	UDPMigrated      int
+	PrecopyMemBytes  uint64
+	PrecopySockBytes uint64
+	FreezeMemBytes   uint64
+	FreezeSockBytes  uint64
+	Captured         uint32
+	Reinjected       uint32
+}
+
+// Migrator is the per-node migration daemon (migd) plus the kernel
+// module functionality (mig_mod): it listens for inbound migrations and
+// initiates outbound ones.
+type Migrator struct {
+	Node    *proc.Node
+	Config  Config
+	Capture *capture.Service
+	Xlat    *xlat.Client
+	Transd  *xlat.Transd
+
+	listener *netstack.TCPSocket
+
+	// OnArrived fires when a migrated process resumes on this node.
+	OnArrived func(p *proc.Process, m *Metrics)
+
+	// Completed collects metrics of finished outbound migrations.
+	Completed []*Metrics
+}
+
+// NewMigrator starts the migration service on a node: the migd listener
+// on the in-cluster interface, the capture service, the translation
+// daemon and the translation request client.
+func NewMigrator(n *proc.Node, cfg Config) (*Migrator, error) {
+	m := &Migrator{Node: n, Config: cfg}
+	m.Capture = capture.NewService(n.Stack)
+	m.Xlat = xlat.NewClient(n.Stack, n.LocalIP)
+	var err error
+	if m.Transd, err = xlat.StartTransd(n.Stack, n.LocalIP); err != nil {
+		return nil, err
+	}
+	m.listener = netstack.NewTCPSocket(n.Stack)
+	if err := m.listener.Listen(n.LocalIP, MigdPort); err != nil {
+		return nil, err
+	}
+	m.listener.OnAccept = func(ch *netstack.TCPSocket) {
+		ib := &inbound{m: m, conn: NewConn(ch)}
+		ib.conn.OnMsg = ib.onMsg
+		ib.conn.OnClose = ib.cleanup
+	}
+	return m, nil
+}
+
+// Stop shuts the migration service down: the migd listener closes and
+// no further inbound migrations are accepted (a node preparing to leave
+// calls this after draining).
+func (m *Migrator) Stop() {
+	m.listener.Close()
+}
+
+func (m *Migrator) sched() *simtime.Scheduler { return m.Node.Sched }
+
+// Migrate live-migrates process p to the node at dest (in-cluster IP).
+// done fires with the metrics on completion or an error on failure.
+func (m *Migrator) Migrate(p *proc.Process, dest netsim.Addr, done func(*Metrics, error)) {
+	if p.Node != m.Node {
+		done(nil, fmt.Errorf("migration: process %d not on node %s", p.PID, m.Node.Name))
+		return
+	}
+	if p.State != proc.ProcRunning {
+		done(nil, fmt.Errorf("migration: process %d not running", p.PID))
+		return
+	}
+	ob := &outbound{
+		m: m, p: p, dest: dest, done: done,
+		memTracker:  ckpt.NewTracker(),
+		sockTracker: sockmig.NewTracker(),
+		timeout:     m.Config.InitialTimeout,
+		metrics: &Metrics{Strategy: m.Config.Strategy, Start: m.sched().Now(),
+			PID: p.PID, ProcName: p.Name},
+	}
+	sk := netstack.NewTCPSocket(m.Node.Stack)
+	ob.conn = NewConn(sk)
+	ob.conn.OnMsg = ob.onMsg
+	sk.OnReadable = func() {
+		ob.conn.onReadable()
+		if sk.State == netstack.TCPEstablished && !ob.started {
+			ob.started = true
+			ob.start()
+		}
+	}
+	ob.conn.OnClose = func() {
+		if !ob.finished {
+			ob.fail(errors.New("migration: destination closed the connection"))
+		}
+	}
+	if err := sk.Connect(dest, MigdPort); err != nil {
+		done(nil, err)
+		return
+	}
+	// Guard against an unreachable destination.
+	m.sched().After(5*1e9, "migd.conn-timeout", func() {
+		if !ob.started && !ob.failed {
+			ob.fail(errors.New("migration: destination unreachable"))
+		}
+	})
+	// Overall deadline: a destination that dies mid-migration must not
+	// leave the process frozen forever.
+	if m.Config.Deadline > 0 {
+		m.sched().After(m.Config.Deadline, "migd.deadline", func() {
+			if !ob.finished && !ob.failed {
+				ob.fail(errors.New("migration: deadline exceeded"))
+			}
+		})
+	}
+}
+
+// --- source side ---------------------------------------------------------
+
+type outbound struct {
+	m    *Migrator
+	p    *proc.Process
+	dest netsim.Addr
+	conn *Conn
+	done func(*Metrics, error)
+
+	memTracker  *ckpt.Tracker
+	sockTracker *sockmig.Tracker
+	timeout     simtime.Duration
+	metrics     *Metrics
+	token       uint64
+
+	started  bool
+	frozen   bool
+	failed   bool
+	finished bool
+
+	onCaptureAck func()
+}
+
+func (ob *outbound) start() {
+	ob.token = registerBehavior(&ckpt.Behavior{Tick: ob.p.Tick, SigHandlers: ob.p.SigHandlers})
+	req := migrateReq{PID: ob.p.PID, Strategy: ob.m.Config.Strategy, Token: ob.token, Name: ob.p.Name}
+	ob.send(MsgMigrateReq, req.encode())
+}
+
+func (ob *outbound) send(t MsgType, payload []byte) {
+	if err := ob.conn.Send(t, payload); err != nil {
+		ob.fail(err)
+	}
+}
+
+func (ob *outbound) fail(err error) {
+	if ob.failed || ob.finished {
+		return
+	}
+	ob.failed = true
+	if ob.p.State == proc.ProcFrozen {
+		// Thaw: migration aborted, the process keeps running here. Its
+		// sockets were disabled at the freeze point; bring them back.
+		ob.p.State = proc.ProcRunning
+		tcp, udp := ob.p.Sockets()
+		for _, sk := range tcp {
+			if sk.Unhashed() {
+				_ = sk.Rehash()
+				sk.RestartRetransTimer()
+			}
+		}
+		for _, us := range udp {
+			if us.Unhashed() {
+				_ = us.Rehash()
+			}
+		}
+		if ob.p.LoopPeriod > 0 && ob.p.Tick != nil {
+			ob.m.Node.StartLoop(ob.p, ob.p.LoopPeriod)
+		}
+	}
+	ob.conn.Send(MsgAbort, nil)
+	ob.conn.Close()
+	if ob.done != nil {
+		ob.done(nil, err)
+	}
+}
+
+func (ob *outbound) onMsg(t MsgType, payload []byte) {
+	if ob.failed || ob.finished {
+		return
+	}
+	switch t {
+	case MsgMigrateAck:
+		if ob.m.Config.EnablePrecopy {
+			ob.precopyRound()
+		} else {
+			ob.freeze()
+		}
+	case MsgCaptureAck:
+		if cb := ob.onCaptureAck; cb != nil {
+			ob.onCaptureAck = nil
+			cb()
+		}
+	case MsgRestoreDone:
+		rd, err := decodeRestoreDone(payload)
+		if err != nil {
+			ob.fail(err)
+			return
+		}
+		ob.finish(rd)
+	case MsgAbort:
+		if len(payload) > 0 {
+			ob.fail(fmt.Errorf("%w: %s", errAborted, payload))
+		} else {
+			ob.fail(errAborted)
+		}
+	}
+}
+
+// precopyRound runs one iteration of the Fig 3 helper-thread loop: dump
+// address-space changes (and, for the incremental strategy, socket
+// changes), then sleep for the current timeout while the application
+// keeps running; halve the timeout and either iterate or freeze.
+func (ob *outbound) precopyRound() {
+	ob.metrics.Rounds++
+	d := ob.memTracker.Delta(ob.p.AS)
+	enc := d.Encode()
+	ob.metrics.PrecopyMemBytes += uint64(len(enc))
+	ob.send(MsgMemDelta, enc)
+	var trackCost simtime.Duration
+	if ob.m.Config.Strategy == sockmig.IncrementalCollective {
+		sd := ob.sockTracker.Delta(ob.p, false)
+		ntcp, nudp := ob.p.Sockets()
+		trackCost = simtime.Duration(len(ntcp)+len(nudp)) * ob.m.Config.Costs.SockTrack
+		if !sd.Empty() {
+			senc := sd.Encode()
+			ob.metrics.PrecopySockBytes += uint64(len(senc))
+			ob.send(MsgSockDelta, senc)
+		}
+	}
+	wait := ob.timeout + trackCost
+	ob.timeout /= 2
+	ob.m.sched().After(wait, "migd.precopy", func() {
+		if ob.failed || ob.finished {
+			return
+		}
+		if ob.timeout < ob.m.Config.FreezeThreshold {
+			ob.freeze()
+		} else {
+			ob.precopyRound()
+		}
+	})
+}
+
+// freeze enters the freeze phase: signal the application (threads abandon
+// system calls and return to userspace, leaving backlog and prequeue
+// empty), stop the real-time loop, then run capture setup, address
+// translation and socket migration according to the strategy.
+func (ob *outbound) freeze() {
+	ob.frozen = true
+	ob.metrics.FreezeStart = ob.m.sched().Now()
+	ob.metrics.ProcCPUDemand = ob.p.CPUDemand
+	ob.p.Signal(proc.SIGCKPT)
+	ob.p.State = proc.ProcFrozen
+	ob.m.Node.StopLoop(ob.p)
+	ob.m.sched().After(ob.m.Config.Costs.FreezeOverhead, "migd.freeze", func() {
+		ob.setupTranslation(func() {
+			switch ob.m.Config.Strategy {
+			case sockmig.Iterative:
+				tcp, udp := sockmig.SocketsInFDOrder(ob.p)
+				ob.iterativeStep(tcp, udp)
+			default:
+				ob.collectivePhase1()
+			}
+		})
+	})
+}
+
+// setupTranslation installs translation filters on the peers of all
+// in-cluster connections (§III-C): the peer rewrites packets addressed to
+// the connection's original identity so they reach the destination node.
+func (ob *outbound) setupTranslation(then func()) {
+	var rules []struct {
+		peer netsim.Addr
+		rule xlat.Rule
+	}
+	tcp, _ := ob.p.Sockets()
+	for _, sk := range tcp {
+		if sk.State != netstack.TCPEstablished || !ob.inCluster(sk.RemoteIP) {
+			continue
+		}
+		oldAddr := sk.OrigLocalIP
+		if oldAddr == 0 {
+			oldAddr = sk.LocalIP
+		}
+		// The socket names the peer by its *original* address; if the
+		// peer has itself migrated, our local translation table knows
+		// its current home — send the request there (both-ends
+		// migration support).
+		peer := sk.RemoteIP
+		if cur, ok := ob.m.Transd.Translator().LookupPeer(netsim.ProtoTCP,
+			sk.RemoteIP, sk.LocalPort, sk.RemotePort); ok {
+			peer = cur
+		}
+		rules = append(rules, struct {
+			peer netsim.Addr
+			rule xlat.Rule
+		}{
+			peer: peer,
+			rule: xlat.Rule{Proto: netsim.ProtoTCP, OldAddr: oldAddr, NewAddr: ob.dest,
+				LocalPort: sk.RemotePort, RemotePort: sk.LocalPort},
+		})
+		// If this node is translating the socket's own outgoing traffic
+		// (its peer migrated before), the rule must move with the socket:
+		// replicate it onto the destination node.
+		if local, ok := ob.m.Transd.Translator().FlowRule(netsim.ProtoTCP,
+			sk.RemoteIP, sk.LocalPort, sk.RemotePort); ok {
+			rules = append(rules, struct {
+				peer netsim.Addr
+				rule xlat.Rule
+			}{peer: ob.dest, rule: local})
+		}
+	}
+	if len(rules) == 0 {
+		then()
+		return
+	}
+	pending := len(rules)
+	var firstErr error
+	for _, r := range rules {
+		ob.m.Xlat.Request(r.peer, true, r.rule, func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			pending--
+			if pending == 0 {
+				if firstErr != nil {
+					ob.fail(firstErr)
+					return
+				}
+				then()
+			}
+		})
+	}
+}
+
+func (ob *outbound) inCluster(addr netsim.Addr) bool {
+	bits := ob.m.Config.LocalNetBits
+	if bits == 0 {
+		return false
+	}
+	mask := netsim.Addr(^uint32(0) << (32 - bits))
+	return addr&mask == proc.LocalNet&mask
+}
+
+// iterativeStep migrates sockets one by one: capture sync, disable,
+// subtract, transfer — repeated per connection (§III-C's "natural way",
+// whose overhead motivated the collective design).
+func (ob *outbound) iterativeStep(tcp []*netstack.TCPSocket, udp []*netstack.UDPSocket) {
+	if len(tcp) == 0 && len(udp) == 0 {
+		ob.sendFreeze(nil)
+		return
+	}
+	var key netsim.FlowKey
+	var fd int
+	if len(tcp) > 0 {
+		sk := tcp[0]
+		fd = sockmig.FDOf(ob.p, sk)
+		if sk.State == netstack.TCPListen {
+			key = netsim.FlowKey{LocalPort: sk.LocalPort, Proto: netsim.ProtoTCP}
+		} else {
+			key = netsim.FlowKey{RemoteIP: sk.RemoteIP, RemotePort: sk.RemotePort,
+				LocalPort: sk.LocalPort, Proto: netsim.ProtoTCP}
+		}
+	} else {
+		us := udp[0]
+		fd = sockmig.FDOfUDP(ob.p, us)
+		key = netsim.FlowKey{LocalPort: us.LocalPort, Proto: netsim.ProtoUDP}
+	}
+	transfer := func() {
+		// Subtract this one socket's state and ship it in its own
+		// message (the per-socket computation/transmission interleaving).
+		ob.m.sched().After(ob.m.Config.Costs.SockSubtract, "migd.subtract", func() {
+			var sd *sockmig.SockDelta
+			if len(tcp) > 0 {
+				sk := tcp[0]
+				sk.Unhash()
+				sd = sockmig.SingleTCP(fd, sk)
+				ob.metrics.TCPMigrated++
+			} else {
+				us := udp[0]
+				us.Unhash()
+				sd = sockmig.SingleUDP(fd, us)
+				ob.metrics.UDPMigrated++
+			}
+			enc := sd.Encode()
+			ob.metrics.FreezeSockBytes += uint64(len(enc))
+			ob.send(MsgSockDelta, enc)
+			if len(tcp) > 0 {
+				ob.iterativeStep(tcp[1:], udp)
+			} else {
+				ob.iterativeStep(tcp, udp[1:])
+			}
+		})
+	}
+	if ob.m.Config.EnableCapture {
+		ob.onCaptureAck = transfer
+		ob.send(MsgCaptureReq, encodeCaptureReq([]netsim.FlowKey{key}))
+	} else {
+		transfer()
+	}
+}
+
+// collectivePhase1 ships the capture details of all connections in one
+// message and waits for a single acknowledgement.
+func (ob *outbound) collectivePhase1() {
+	proceed := func() { ob.collectivePhase2() }
+	if ob.m.Config.EnableCapture {
+		keys := sockmig.CaptureKeys(ob.p)
+		ob.onCaptureAck = proceed
+		ob.send(MsgCaptureReq, encodeCaptureReq(keys))
+	} else {
+		proceed()
+	}
+}
+
+// collectivePhase2 disables all sockets, subtracts their state into one
+// unified buffer and transfers it in one go; the incremental variant
+// subtracts only the sections changed since the last precopy round.
+func (ob *outbound) collectivePhase2() {
+	tcp, udp := ob.p.Sockets()
+	n := len(tcp) + len(udp)
+	var cost simtime.Duration
+	if ob.m.Config.Strategy == sockmig.IncrementalCollective {
+		cost = simtime.Duration(n) * ob.m.Config.Costs.SockTrack
+	} else {
+		cost = simtime.Duration(n) * ob.m.Config.Costs.SockSubtract
+	}
+	ob.m.sched().After(cost, "migd.subtract", func() {
+		ntcp, nudp := sockmig.DisableAll(ob.p)
+		ob.metrics.TCPMigrated = ntcp
+		ob.metrics.UDPMigrated = nudp
+		var sd *sockmig.SockDelta
+		if ob.m.Config.Strategy == sockmig.IncrementalCollective {
+			sd = ob.sockTracker.Delta(ob.p, true)
+		} else {
+			sd = sockmig.FullDelta(ob.p)
+		}
+		ob.sendFreeze(sd)
+	})
+}
+
+// sendFreeze transfers the final memory delta, thread contexts and the
+// non-socket FD table (phase 3: BLCR's regular iteration excluding the
+// already-processed connections), plus — for collective strategies — the
+// unified socket buffer.
+func (ob *outbound) sendFreeze(sd *sockmig.SockDelta) {
+	if ob.m.Config.Strategy == sockmig.Iterative {
+		// Sockets were unhashed one by one already.
+	} else if sd == nil {
+		sd = &sockmig.SockDelta{}
+	}
+	img := &ckpt.Image{
+		PID: ob.p.PID, Name: ob.p.Name,
+		CPUDemand: ob.p.CPUDemand, LoopPeriod: ob.p.LoopPeriod,
+		FDs: ckpt.CheckpointFDsExcludingSockets(ob.p),
+	}
+	for sig := range ob.p.SigHandlers {
+		img.HandledSignals = append(img.HandledSignals, sig)
+	}
+	for _, th := range ob.p.Threads {
+		img.Threads = append(img.Threads, ckpt.ThreadImage{TID: th.TID, Regs: th.Regs})
+	}
+	memDelta := ob.memTracker.Delta(ob.p.AS)
+	memEnc := memDelta.Encode()
+	ob.metrics.FreezeMemBytes += uint64(len(memEnc))
+	fm := freezeMsg{
+		FreezeStart: ob.metrics.FreezeStart,
+		Image:       img.Encode(),
+		MemDelta:    memEnc,
+	}
+	if sd != nil {
+		fm.SockDelta = sd.Encode()
+		ob.metrics.FreezeSockBytes += uint64(len(fm.SockDelta))
+		if ob.m.Config.Strategy != sockmig.Iterative {
+			ob.metrics.TCPMigrated, ob.metrics.UDPMigrated = countSockets(ob.p)
+		}
+	}
+	ob.send(MsgFreeze, fm.encode())
+}
+
+func countSockets(p *proc.Process) (int, int) {
+	tcp, udp := p.Sockets()
+	return len(tcp), len(udp)
+}
+
+func (ob *outbound) finish(rd restoreDone) {
+	ob.finished = true
+	ob.metrics.ResumeAt = rd.ResumeAt
+	ob.metrics.FreezeTime = rd.ResumeAt - ob.metrics.FreezeStart
+	ob.metrics.TotalTime = rd.ResumeAt - ob.metrics.Start
+	ob.metrics.Captured = rd.Captured
+	ob.metrics.Reinjected = rd.Reinjected
+	// The process now lives on the destination; dismantle it here and
+	// drop any local translation rules that protected its (departed)
+	// in-cluster connections.
+	tcp, _ := ob.p.Sockets()
+	for _, sk := range tcp {
+		if ob.inCluster(sk.RemoteIP) {
+			ob.m.Transd.Translator().RemoveFlow(netsim.ProtoTCP, sk.RemoteIP, sk.LocalPort, sk.RemotePort)
+		}
+	}
+	ob.p.State = proc.ProcExited
+	ob.m.Node.Detach(ob.p)
+	ob.conn.Close()
+	ob.m.Completed = append(ob.m.Completed, ob.metrics)
+	if ob.done != nil {
+		ob.done(ob.metrics, nil)
+	}
+}
+
+// --- destination side ------------------------------------------------------
+
+type inbound struct {
+	m    *Migrator
+	conn *Conn
+	req  migrateReq
+
+	shadowAS *proc.AddressSpace
+	store    *sockmig.Store
+	filters  []*capture.Filter
+
+	active bool
+}
+
+func (ib *inbound) onMsg(t MsgType, payload []byte) {
+	switch t {
+	case MsgMigrateReq:
+		req, err := decodeMigrateReq(payload)
+		if err != nil {
+			ib.abort(err)
+			return
+		}
+		ib.req = req
+		ib.shadowAS = proc.NewAddressSpace()
+		ib.store = sockmig.NewStore()
+		ib.active = true
+		ib.conn.Send(MsgMigrateAck, nil)
+	case MsgMemDelta:
+		d, err := ckpt.DecodeMemDelta(payload)
+		if err != nil {
+			ib.abort(err)
+			return
+		}
+		if err := ckpt.ApplyDelta(ib.shadowAS, d); err != nil {
+			ib.abort(err)
+		}
+	case MsgSockDelta:
+		sd, err := sockmig.DecodeSockDelta(payload)
+		if err != nil {
+			ib.abort(err)
+			return
+		}
+		if err := ib.store.Apply(sd); err != nil {
+			ib.abort(err)
+		}
+	case MsgCaptureReq:
+		keys, err := decodeCaptureReq(payload)
+		if err != nil {
+			ib.abort(err)
+			return
+		}
+		for _, k := range keys {
+			ib.filters = append(ib.filters, ib.m.Capture.Enable(k))
+		}
+		ib.conn.Send(MsgCaptureAck, nil)
+	case MsgFreeze:
+		fm, err := decodeFreezeMsg(payload)
+		if err != nil {
+			ib.abort(err)
+			return
+		}
+		ib.restore(fm)
+	case MsgAbort:
+		ib.cleanup()
+	}
+}
+
+func (ib *inbound) abort(err error) {
+	var payload []byte
+	if err != nil {
+		payload = []byte(err.Error())
+	}
+	ib.conn.Send(MsgAbort, payload)
+	ib.cleanup()
+	ib.conn.Close()
+}
+
+func (ib *inbound) cleanup() {
+	for _, f := range ib.filters {
+		ib.m.Capture.Drop(f)
+	}
+	ib.filters = nil
+	ib.active = false
+}
+
+// restore runs the destination freeze-phase work: fold in the final
+// deltas, rebuild the process, rehash sockets, reinject captured packets
+// and resume execution.
+func (ib *inbound) restore(fm freezeMsg) {
+	img, err := ckpt.DecodeImage(fm.Image)
+	if err != nil {
+		ib.abort(err)
+		return
+	}
+	memDelta, err := ckpt.DecodeMemDelta(fm.MemDelta)
+	if err != nil {
+		ib.abort(err)
+		return
+	}
+	if err := ckpt.ApplyDelta(ib.shadowAS, memDelta); err != nil {
+		ib.abort(err)
+		return
+	}
+	if len(fm.SockDelta) > 0 {
+		sd, err := sockmig.DecodeSockDelta(fm.SockDelta)
+		if err != nil {
+			ib.abort(err)
+			return
+		}
+		if err := ib.store.Apply(sd); err != nil {
+			ib.abort(err)
+			return
+		}
+	}
+	nsock := ib.store.TCPCount() + ib.store.UDPCount()
+	cost := simtime.Duration(nsock)*ib.m.Config.Costs.SockRestore + ib.m.Config.Costs.FreezeOverhead
+	ib.m.sched().After(cost, "migd.restore", func() {
+		ib.finishRestore(img)
+	})
+}
+
+func (ib *inbound) finishRestore(img *ckpt.Image) {
+	n := ib.m.Node
+	p := n.Spawn(img.Name, 0)
+	n.Detach(p)
+	p.PID = ib.req.PID
+	n.Adopt(p)
+	p.Threads = p.Threads[:0]
+	for _, ti := range img.Threads {
+		th := p.NewThread()
+		th.TID = ti.TID
+		th.Regs = ti.Regs
+	}
+	p.AS = ib.shadowAS
+	p.CPUDemand = img.CPUDemand
+	if err := ckpt.RestoreFDs(n, p, img.FDs); err != nil {
+		ib.abort(err)
+		return
+	}
+	opt := sockmig.RestoreOptions{
+		LocalNet: proc.LocalNet, LocalNetBits: ib.m.Config.LocalNetBits,
+		NewLocalIP: n.LocalIP,
+	}
+	if _, _, err := ib.store.RestoreAll(n.Stack, p, opt); err != nil {
+		ib.abort(err)
+		return
+	}
+	if b := takeBehavior(ib.req.Token); b != nil {
+		p.Tick = b.Tick
+		if b.SigHandlers != nil {
+			p.SigHandlers = b.SigHandlers
+		}
+	}
+	// Reinject captured packets through the okfn, then resume.
+	var captured, reinjected uint32
+	for _, f := range ib.filters {
+		captured += uint32(f.Captured)
+		nrj, err := ib.m.Capture.ReinjectAndDisable(f)
+		if err == nil {
+			reinjected += uint32(nrj)
+		}
+	}
+	ib.filters = nil
+	p.State = proc.ProcRunning
+	if img.LoopPeriod > 0 && p.Tick != nil {
+		n.StartLoop(p, img.LoopPeriod)
+	}
+	now := ib.m.sched().Now()
+	ib.conn.Send(MsgRestoreDone, restoreDone{ResumeAt: now, Captured: captured, Reinjected: reinjected}.encode())
+	if ib.m.OnArrived != nil {
+		m := &Metrics{Strategy: ib.req.Strategy, ResumeAt: now}
+		ib.m.OnArrived(p, m)
+	}
+}

@@ -1,0 +1,203 @@
+package migration
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dvemig/internal/ckpt"
+	"dvemig/internal/netsim"
+	"dvemig/internal/netstack"
+	"dvemig/internal/proc"
+	"dvemig/internal/simtime"
+)
+
+// Fault tolerance (paper §VIII names it as future work for the
+// mechanism): a Guardian periodically checkpoints a process and streams
+// the image to a Standby on a buddy node; when the home node dies, the
+// standby restarts the process from the most recent image.
+//
+// Connection state cannot outlive a crash the way it outlives a planned
+// migration — the post-checkpoint socket state died with the node, so
+// replaying a stale snapshot would desynchronize sequence numbers with
+// the peers. On activation the standby therefore restores listening TCP
+// sockets and UDP server sockets (ports the service owns) but drops
+// established TCP connections: clients reconnect, exactly as after a
+// server crash with fast restart.
+
+// StandbyPort is the TCP port standby daemons listen on.
+const StandbyPort = 7802
+
+// Checkpoint stream message types (separate space from migd messages).
+const (
+	msgCkptImage MsgType = 100 + iota
+	msgCkptAck
+)
+
+// Standby receives and stores checkpoint images and can activate them.
+type Standby struct {
+	Node *proc.Node
+
+	listener *netstack.TCPSocket
+	images   map[string]*standbyImage
+
+	// Stored counts images received; useful for tests.
+	Stored uint64
+}
+
+type standbyImage struct {
+	data  []byte
+	token uint64
+	seq   uint64
+}
+
+// NewStandby starts the standby daemon on a node.
+func NewStandby(n *proc.Node) (*Standby, error) {
+	s := &Standby{Node: n, images: make(map[string]*standbyImage)}
+	s.listener = netstack.NewTCPSocket(n.Stack)
+	if err := s.listener.Listen(n.LocalIP, StandbyPort); err != nil {
+		return nil, err
+	}
+	s.listener.OnAccept = func(ch *netstack.TCPSocket) {
+		conn := NewConn(ch)
+		conn.OnMsg = func(t MsgType, payload []byte) {
+			if t != msgCkptImage {
+				return
+			}
+			name, token, seq, img, err := decodeCkptImage(payload)
+			if err != nil {
+				return
+			}
+			cur := s.images[name]
+			if cur == nil || seq > cur.seq {
+				s.images[name] = &standbyImage{data: img, token: token, seq: seq}
+				s.Stored++
+			}
+			conn.Send(msgCkptAck, payload[:8])
+		}
+	}
+	return s, nil
+}
+
+// Have reports whether an image for the process name is stored.
+func (s *Standby) Have(name string) bool { return s.images[name] != nil }
+
+// Activate restarts the named process from its latest image on the
+// standby's node. Established TCP connections from the image are dropped
+// (see package comment); listening and UDP sockets are restored so the
+// service is immediately reachable again.
+func (s *Standby) Activate(name string) (*proc.Process, error) {
+	si := s.images[name]
+	if si == nil {
+		return nil, fmt.Errorf("failover: no image for %q", name)
+	}
+	img, err := ckpt.DecodeImage(si.data)
+	if err != nil {
+		return nil, err
+	}
+	// Filter the FD table: keep files, listeners and UDP sockets.
+	kept := img.FDs[:0]
+	for _, f := range img.FDs {
+		switch {
+		case f.Kind == "file":
+			kept = append(kept, f)
+		case f.Kind == "udp":
+			kept = append(kept, f)
+		case f.Kind == "tcp" && f.TCP.Listening:
+			kept = append(kept, f)
+		}
+	}
+	img.FDs = kept
+	img.Behavior = takeBehavior(si.token)
+	p, err := ckpt.Restore(s.Node, img)
+	if err != nil {
+		return nil, err
+	}
+	delete(s.images, name)
+	return p, nil
+}
+
+// Guardian periodically checkpoints one process to a standby node.
+type Guardian struct {
+	Node    *proc.Node
+	Proc    *proc.Process
+	BuddyIP netsim.Addr
+
+	conn   *Conn
+	ticker *simtime.Ticker
+	seq    uint64
+	token  uint64
+
+	// Sent counts shipped checkpoints; LastBytes the latest image size.
+	Sent      uint64
+	LastBytes int
+}
+
+// NewGuardian starts periodic checkpointing of p to the standby at
+// buddy. The first checkpoint is taken after one interval.
+func NewGuardian(p *proc.Process, buddy netsim.Addr, interval simtime.Duration) (*Guardian, error) {
+	if p.Node == nil {
+		return nil, errors.New("failover: process has no node")
+	}
+	g := &Guardian{Node: p.Node, Proc: p, BuddyIP: buddy}
+	sk := netstack.NewTCPSocket(g.Node.Stack)
+	g.conn = NewConn(sk)
+	if err := sk.Connect(buddy, StandbyPort); err != nil {
+		return nil, err
+	}
+	g.ticker = simtime.NewTicker(g.Node.Sched, interval, "guardian", g.checkpoint)
+	g.ticker.Start()
+	return g, nil
+}
+
+// Stop halts periodic checkpointing.
+func (g *Guardian) Stop() {
+	g.ticker.Stop()
+	g.conn.Close()
+}
+
+// checkpoint takes a consistent image of the (briefly signalled) process
+// and ships it. The process keeps running: this is a cooperative
+// checkpoint, not a freeze — sockets are snapshotted in place.
+func (g *Guardian) checkpoint() {
+	if g.Proc.State != proc.ProcRunning {
+		return
+	}
+	// The checkpoint signal flushes syscall state like the migration
+	// freeze does, so socket queues are quiescent for the snapshot.
+	g.Proc.Signal(proc.SIGCKPT)
+	img := ckpt.Checkpoint(g.Proc)
+	token := registerBehavior(img.Behavior)
+	g.token = token
+	g.seq++
+	payload := encodeCkptImage(g.Proc.Name, token, g.seq, img.Encode())
+	g.LastBytes = len(payload)
+	if err := g.conn.Send(msgCkptImage, payload); err == nil {
+		g.Sent++
+	}
+}
+
+func encodeCkptImage(name string, token, seq uint64, img []byte) []byte {
+	b := make([]byte, 8+8+4+len(name)+len(img))
+	binary.BigEndian.PutUint64(b, seq)
+	binary.BigEndian.PutUint64(b[8:], token)
+	binary.BigEndian.PutUint32(b[16:], uint32(len(name)))
+	copy(b[20:], name)
+	copy(b[20+len(name):], img)
+	return b
+}
+
+func decodeCkptImage(b []byte) (name string, token, seq uint64, img []byte, err error) {
+	if len(b) < 20 {
+		return "", 0, 0, nil, errors.New("failover: short image message")
+	}
+	seq = binary.BigEndian.Uint64(b)
+	token = binary.BigEndian.Uint64(b[8:])
+	nl := int(binary.BigEndian.Uint32(b[16:]))
+	if nl < 0 || 20+nl > len(b) {
+		return "", 0, 0, nil, errors.New("failover: corrupt image message")
+	}
+	name = string(b[20 : 20+nl])
+	img = b[20+nl:]
+	return name, token, seq, img, nil
+}

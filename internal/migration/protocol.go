@@ -1,0 +1,116 @@
+// Package migration is the live-migration engine: the migd daemon and
+// mig_mod kernel-module equivalent. It drives the precopy loop of Fig 3,
+// orchestrates incoming-packet-loss prevention (capture), local address
+// translation for in-cluster connections, the three socket migration
+// strategies, the freeze-phase transfer and the destination-side restore,
+// and reports the metrics the evaluation section plots.
+package migration
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dvemig/internal/netstack"
+)
+
+// MigdPort is the TCP port migration daemons listen on (in-cluster
+// interface).
+const MigdPort = 7801
+
+// MsgType identifies a migd protocol message.
+type MsgType byte
+
+// Protocol messages, in rough flow order.
+const (
+	MsgMigrateReq  MsgType = iota + 1 // S→D: open a migration
+	MsgMigrateAck                     // D→S: accepted
+	MsgMemDelta                       // S→D: one precopy round of memory
+	MsgSockDelta                      // S→D: socket updates (precopy or freeze)
+	MsgCaptureReq                     // S→D: enable capture filters
+	MsgCaptureAck                     // D→S: filters active
+	MsgFreeze                         // S→D: final state (mem, threads, fds)
+	MsgRestoreDone                    // D→S: process resumed
+	MsgAbort                          // either direction
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		MsgMigrateReq: "MIGRATE_REQ", MsgMigrateAck: "MIGRATE_ACK",
+		MsgMemDelta: "MEM_DELTA", MsgSockDelta: "SOCK_DELTA",
+		MsgCaptureReq: "CAPTURE_REQ", MsgCaptureAck: "CAPTURE_ACK",
+		MsgFreeze: "FREEZE", MsgRestoreDone: "RESTORE_DONE", MsgAbort: "ABORT",
+	}
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("MSG(%d)", byte(t))
+}
+
+// Conn frames migd messages over a simulated TCP connection.
+type Conn struct {
+	sk  *netstack.TCPSocket
+	buf []byte
+	// OnMsg receives each complete message.
+	OnMsg func(t MsgType, payload []byte)
+	// OnClose fires when the peer closes or the connection dies.
+	OnClose func()
+
+	// BytesSent counts framed payload bytes, for metrics.
+	BytesSent uint64
+}
+
+// NewConn wraps an (established or establishing) TCP socket.
+func NewConn(sk *netstack.TCPSocket) *Conn {
+	c := &Conn{sk: sk}
+	sk.OnReadable = c.onReadable
+	return c
+}
+
+// Socket exposes the underlying transport socket.
+func (c *Conn) Socket() *netstack.TCPSocket { return c.sk }
+
+// Send transmits one framed message: type byte + u32 length + payload.
+func (c *Conn) Send(t MsgType, payload []byte) error {
+	hdr := make([]byte, 5)
+	hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	c.BytesSent += uint64(len(payload)) + 5
+	if err := c.sk.Send(hdr); err != nil {
+		return err
+	}
+	return c.sk.Send(payload)
+}
+
+func (c *Conn) onReadable() {
+	if data := c.sk.Recv(); len(data) > 0 {
+		c.buf = append(c.buf, data...)
+	}
+	for {
+		if len(c.buf) < 5 {
+			break
+		}
+		n := int(binary.BigEndian.Uint32(c.buf[1:5]))
+		if len(c.buf) < 5+n {
+			break
+		}
+		t := MsgType(c.buf[0])
+		payload := append([]byte(nil), c.buf[5:5+n]...)
+		c.buf = c.buf[5+n:]
+		if c.OnMsg != nil {
+			c.OnMsg(t, payload)
+		}
+	}
+	if c.sk.EOF() && c.OnClose != nil {
+		cb := c.OnClose
+		c.OnClose = nil
+		cb()
+	}
+}
+
+// Close shuts the transport down.
+func (c *Conn) Close() { c.sk.Close() }
+
+// errAborted signals a migration aborted by the peer.
+var errAborted = errors.New("migration: aborted by peer")

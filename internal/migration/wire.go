@@ -1,0 +1,168 @@
+package migration
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"dvemig/internal/ckpt"
+	"dvemig/internal/netsim"
+	"dvemig/internal/simtime"
+	"dvemig/internal/sockmig"
+)
+
+// migrateReq opens a migration.
+type migrateReq struct {
+	PID      int
+	Strategy sockmig.Strategy
+	Token    uint64
+	Name     string
+}
+
+func (m migrateReq) encode() []byte {
+	b := make([]byte, 13, 13+len(m.Name))
+	binary.BigEndian.PutUint32(b[0:], uint32(m.PID))
+	b[4] = byte(m.Strategy)
+	binary.BigEndian.PutUint64(b[5:], m.Token)
+	return append(b, m.Name...)
+}
+
+func decodeMigrateReq(b []byte) (migrateReq, error) {
+	if len(b) < 13 {
+		return migrateReq{}, errors.New("migration: short MIGRATE_REQ")
+	}
+	return migrateReq{
+		PID:      int(binary.BigEndian.Uint32(b[0:])),
+		Strategy: sockmig.Strategy(b[4]),
+		Token:    binary.BigEndian.Uint64(b[5:]),
+		Name:     string(b[13:]),
+	}, nil
+}
+
+func encodeCaptureReq(keys []netsim.FlowKey) []byte {
+	b := make([]byte, 4, 4+9*len(keys))
+	binary.BigEndian.PutUint32(b, uint32(len(keys)))
+	for _, k := range keys {
+		var e [9]byte
+		binary.BigEndian.PutUint32(e[0:], uint32(k.RemoteIP))
+		binary.BigEndian.PutUint16(e[4:], k.RemotePort)
+		binary.BigEndian.PutUint16(e[6:], k.LocalPort)
+		e[8] = k.Proto
+		b = append(b, e[:]...)
+	}
+	return b
+}
+
+func decodeCaptureReq(b []byte) ([]netsim.FlowKey, error) {
+	if len(b) < 4 {
+		return nil, errors.New("migration: short CAPTURE_REQ")
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	if n < 0 || len(b) < 4+9*n {
+		return nil, errors.New("migration: truncated CAPTURE_REQ")
+	}
+	keys := make([]netsim.FlowKey, 0, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		keys = append(keys, netsim.FlowKey{
+			RemoteIP:   netsim.Addr(binary.BigEndian.Uint32(b[off:])),
+			RemotePort: binary.BigEndian.Uint16(b[off+4:]),
+			LocalPort:  binary.BigEndian.Uint16(b[off+6:]),
+			Proto:      b[off+8],
+		})
+		off += 9
+	}
+	return keys, nil
+}
+
+// freezeMsg carries everything the destination still needs at freeze
+// time: the final memory delta, the execution contexts and non-socket
+// FDs (inside the ckpt image), and — for collective strategies — the
+// socket payload.
+type freezeMsg struct {
+	FreezeStart simtime.Time
+	Image       []byte // encoded ckpt.Image (threads, regular fds, meta)
+	MemDelta    []byte // encoded ckpt.MemDelta
+	SockDelta   []byte // encoded sockmig.SockDelta (may be empty)
+}
+
+func (m freezeMsg) encode() []byte {
+	b := make([]byte, 8, 8+12+len(m.Image)+len(m.MemDelta)+len(m.SockDelta))
+	binary.BigEndian.PutUint64(b, uint64(m.FreezeStart))
+	for _, part := range [][]byte{m.Image, m.MemDelta, m.SockDelta} {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(part)))
+		b = append(b, l[:]...)
+		b = append(b, part...)
+	}
+	return b
+}
+
+func decodeFreezeMsg(b []byte) (freezeMsg, error) {
+	var m freezeMsg
+	if len(b) < 8 {
+		return m, errors.New("migration: short FREEZE")
+	}
+	m.FreezeStart = simtime.Time(binary.BigEndian.Uint64(b))
+	off := 8
+	parts := make([][]byte, 3)
+	for i := range parts {
+		if off+4 > len(b) {
+			return m, errors.New("migration: truncated FREEZE")
+		}
+		n := int(binary.BigEndian.Uint32(b[off:]))
+		off += 4
+		if off+n > len(b) {
+			return m, errors.New("migration: truncated FREEZE part")
+		}
+		parts[i] = b[off : off+n]
+		off += n
+	}
+	m.Image, m.MemDelta, m.SockDelta = parts[0], parts[1], parts[2]
+	return m, nil
+}
+
+// restoreDone reports completion back to the source.
+type restoreDone struct {
+	ResumeAt   simtime.Time
+	Captured   uint32
+	Reinjected uint32
+}
+
+func (m restoreDone) encode() []byte {
+	b := make([]byte, 16)
+	binary.BigEndian.PutUint64(b, uint64(m.ResumeAt))
+	binary.BigEndian.PutUint32(b[8:], m.Captured)
+	binary.BigEndian.PutUint32(b[12:], m.Reinjected)
+	return b
+}
+
+func decodeRestoreDone(b []byte) (restoreDone, error) {
+	if len(b) < 16 {
+		return restoreDone{}, errors.New("migration: short RESTORE_DONE")
+	}
+	return restoreDone{
+		ResumeAt:   simtime.Time(binary.BigEndian.Uint64(b)),
+		Captured:   binary.BigEndian.Uint32(b[8:]),
+		Reinjected: binary.BigEndian.Uint32(b[12:]),
+	}, nil
+}
+
+// behaviorRegistry carries process behaviour (Go closures standing in for
+// program text) between engine instances within one simulation. In a real
+// deployment the executable is present on all nodes (§II-A); here the
+// token in MIGRATE_REQ names the entry.
+var behaviorRegistry = map[uint64]*ckpt.Behavior{}
+
+var nextBehaviorToken uint64
+
+func registerBehavior(b *ckpt.Behavior) uint64 {
+	nextBehaviorToken++
+	behaviorRegistry[nextBehaviorToken] = b
+	return nextBehaviorToken
+}
+
+func takeBehavior(token uint64) *ckpt.Behavior {
+	b := behaviorRegistry[token]
+	delete(behaviorRegistry, token)
+	return b
+}

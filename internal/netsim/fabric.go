@@ -1,0 +1,236 @@
+package netsim
+
+import (
+	"fmt"
+
+	"dvemig/internal/simtime"
+)
+
+// Handler consumes packets delivered to a NIC.
+type Handler interface {
+	DeliverPacket(p *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(p *Packet)
+
+// DeliverPacket calls the function.
+func (f HandlerFunc) DeliverPacket(p *Packet) { f(p) }
+
+// LinkParams describe a link's performance: Bandwidth in bits per second,
+// one-way propagation Latency, and an optional random LossRate in [0,1).
+// The paper's testbed is Gigabit Ethernet on both the public and the
+// in-cluster network; loss is used by robustness experiments only.
+type LinkParams struct {
+	Bandwidth float64 // bits per second
+	Latency   simtime.Duration
+	LossRate  float64
+}
+
+// GigabitEthernet matches the evaluation testbed (§VI-A).
+var GigabitEthernet = LinkParams{Bandwidth: 1e9, Latency: 50 * 1e3} // 50µs
+
+// TransferTime returns serialization delay for n bytes on the link.
+func (lp LinkParams) TransferTime(n int) simtime.Duration {
+	if lp.Bandwidth <= 0 {
+		return 0
+	}
+	bits := float64(n) * 8
+	return simtime.Duration(bits / lp.Bandwidth * 1e9)
+}
+
+// NIC is a network interface: an address on a segment plus egress
+// serialization state. Ingress is pushed to the Handler by the segment.
+type NIC struct {
+	Name    string
+	Addr    Addr
+	Params  LinkParams
+	handler Handler
+	seg     segment
+	sched   *simtime.Scheduler
+
+	busyUntil simtime.Time // egress serialization horizon
+	sniffers  []Sniffer
+	lossRand  *simtime.Rand
+
+	// Counters for diagnostics and tests.
+	TxPackets, RxPackets uint64
+	TxBytes, RxBytes     uint64
+	// LossDropped counts packets the link's random-loss model discarded.
+	LossDropped uint64
+}
+
+// SetHandler installs the ingress consumer (the node's network stack).
+func (n *NIC) SetHandler(h Handler) { n.handler = h }
+
+// AttachSniffer adds a tcpdump-style tap observing both directions.
+func (n *NIC) AttachSniffer(s Sniffer) { n.sniffers = append(n.sniffers, s) }
+
+// Send transmits the packet on the NIC's segment. Transmission is
+// serialized: back-to-back sends queue behind each other at line rate,
+// which is what makes the iterative socket-migration strategy pay a
+// per-message penalty while collective transfers stream at full bandwidth.
+func (n *NIC) Send(p *Packet) {
+	if n.seg == nil {
+		panic(fmt.Sprintf("netsim: NIC %s not attached to a segment", n.Name))
+	}
+	now := n.sched.Now()
+	start := now
+	if n.busyUntil > start {
+		start = n.busyUntil
+	}
+	done := start + n.Params.TransferTime(p.Len())
+	n.busyUntil = done
+	n.TxPackets++
+	n.TxBytes += uint64(p.Len())
+	for _, s := range n.sniffers {
+		s.Capture(now, "tx", p)
+	}
+	if n.Params.LossRate > 0 {
+		if n.lossRand == nil {
+			seed := uint64(17)
+			for _, c := range n.Name {
+				seed = seed*131 + uint64(c)
+			}
+			n.lossRand = simtime.NewRand(seed)
+		}
+		if n.lossRand.Float64() < n.Params.LossRate {
+			n.LossDropped++
+			return // swallowed by the wire
+		}
+	}
+	arrive := done + n.Params.Latency
+	n.sched.At(arrive, "netsim.deliver", func() {
+		n.seg.route(n, p)
+	})
+}
+
+func (n *NIC) deliver(p *Packet) {
+	n.RxPackets++
+	n.RxBytes += uint64(p.Len())
+	for _, s := range n.sniffers {
+		s.Capture(n.sched.Now(), "rx", p)
+	}
+	if n.handler != nil {
+		n.handler.DeliverPacket(p)
+	}
+}
+
+// segment is a physical medium packets traverse.
+type segment interface {
+	route(from *NIC, p *Packet)
+}
+
+// Switch is the in-cluster network: a learning switch that delivers each
+// packet to the NIC owning the destination address.
+type Switch struct {
+	sched *simtime.Scheduler
+	ports map[Addr]*NIC
+	// Dropped counts packets to unknown addresses (e.g. sent to a node
+	// that left the cluster), visible to fault-tolerance tests.
+	Dropped uint64
+}
+
+// NewSwitch creates an empty in-cluster switch.
+func NewSwitch(s *simtime.Scheduler) *Switch {
+	return &Switch{sched: s, ports: make(map[Addr]*NIC)}
+}
+
+// Attach creates a NIC with the given address and connects it.
+func (sw *Switch) Attach(name string, addr Addr, params LinkParams) *NIC {
+	if _, dup := sw.ports[addr]; dup {
+		panic(fmt.Sprintf("netsim: duplicate switch address %s", addr))
+	}
+	n := &NIC{Name: name, Addr: addr, Params: params, seg: sw, sched: sw.sched}
+	sw.ports[addr] = n
+	return n
+}
+
+// Detach removes the NIC from the switch (node leaves the cluster).
+func (sw *Switch) Detach(n *NIC) { delete(sw.ports, n.Addr) }
+
+func (sw *Switch) route(from *NIC, p *Packet) {
+	dst, ok := sw.ports[p.DstIP]
+	if !ok {
+		sw.Dropped++
+		return
+	}
+	dst.deliver(p)
+}
+
+// BroadcastRouter is the single-IP-address router (§II-A): every packet
+// arriving from the public side whose destination is the cluster address
+// is *broadcast* to all server-node public NICs; each node's stack then
+// decides (by port ownership) whether to process or silently drop it.
+// Packets from server nodes to external addresses are routed out to the
+// matching client NIC. The broadcast property is what lets sockets migrate
+// inside the cluster with no router reconfiguration, and what the capture
+// module exploits to prevent incoming packet loss.
+type BroadcastRouter struct {
+	sched      *simtime.Scheduler
+	ClusterIP  Addr
+	servers    []*NIC
+	external   map[Addr]*NIC
+	Broadcasts uint64
+	Dropped    uint64
+}
+
+// NewBroadcastRouter creates a router fronting the given cluster IP.
+func NewBroadcastRouter(s *simtime.Scheduler, clusterIP Addr) *BroadcastRouter {
+	return &BroadcastRouter{sched: s, ClusterIP: clusterIP, external: make(map[Addr]*NIC)}
+}
+
+// AttachServer connects a server node's public interface. All server
+// public NICs share the cluster IP, so the NIC is identified by name only.
+func (r *BroadcastRouter) AttachServer(name string, params LinkParams) *NIC {
+	n := &NIC{Name: name, Addr: r.ClusterIP, Params: params, seg: r, sched: r.sched}
+	r.servers = append(r.servers, n)
+	return n
+}
+
+// DetachServer disconnects a server NIC (node leaves).
+func (r *BroadcastRouter) DetachServer(n *NIC) {
+	for i, s := range r.servers {
+		if s == n {
+			r.servers = append(r.servers[:i], r.servers[i+1:]...)
+			return
+		}
+	}
+}
+
+// AttachExternal connects a client machine on the WAN side.
+func (r *BroadcastRouter) AttachExternal(name string, addr Addr, params LinkParams) *NIC {
+	if addr == r.ClusterIP {
+		panic("netsim: external host cannot use the cluster IP")
+	}
+	if _, dup := r.external[addr]; dup {
+		panic(fmt.Sprintf("netsim: duplicate external address %s", addr))
+	}
+	n := &NIC{Name: name, Addr: addr, Params: params, seg: r, sched: r.sched}
+	r.external[addr] = n
+	return n
+}
+
+func (r *BroadcastRouter) route(from *NIC, p *Packet) {
+	if p.DstIP == r.ClusterIP {
+		// Broadcast to every server node; each gets its own clone so
+		// netfilter hooks can mangle independently.
+		r.Broadcasts++
+		for _, srv := range r.servers {
+			if srv == from {
+				continue
+			}
+			srv.deliver(p.Clone())
+		}
+		return
+	}
+	if dst, ok := r.external[p.DstIP]; ok {
+		dst.deliver(p)
+		return
+	}
+	r.Dropped++
+}
+
+// ServerCount reports how many server NICs are attached (used by tests
+// and by the discovery protocol's expectations).
+func (r *BroadcastRouter) ServerCount() int { return len(r.servers) }

@@ -1,0 +1,76 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"dvemig/internal/simtime"
+)
+
+func TestNATRouterDispatchesByPort(t *testing.T) {
+	s := simtime.NewScheduler()
+	r := NewNATRouter(s, MakeAddr(203, 0, 113, 10), 5*time.Millisecond)
+	var hits1, hits2 int
+	n1 := r.AttachServer("n1", GigabitEthernet)
+	n1.SetHandler(HandlerFunc(func(p *Packet) { hits1++ }))
+	n2 := r.AttachServer("n2", GigabitEthernet)
+	n2.SetHandler(HandlerFunc(func(p *Packet) { hits2++ }))
+	cli := r.AttachExternal("cli", MakeAddr(198, 51, 100, 1), GigabitEthernet)
+	r.MapPort(ProtoUDP, 5000, n1)
+	r.MapPort(ProtoUDP, 6000, n2)
+
+	cli.Send(&Packet{SrcIP: cli.Addr, DstIP: r.ClusterIP, Proto: ProtoUDP, DstPort: 5000})
+	cli.Send(&Packet{SrcIP: cli.Addr, DstIP: r.ClusterIP, Proto: ProtoUDP, DstPort: 6000})
+	cli.Send(&Packet{SrcIP: cli.Addr, DstIP: r.ClusterIP, Proto: ProtoUDP, DstPort: 7000})
+	s.Run()
+	if hits1 != 1 || hits2 != 1 {
+		t.Fatalf("dispatch wrong: %d/%d", hits1, hits2)
+	}
+	if r.DroppedUnmapped != 1 {
+		t.Fatalf("unmapped drops = %d", r.DroppedUnmapped)
+	}
+}
+
+func TestNATRouterUpdateDelayWindow(t *testing.T) {
+	s := simtime.NewScheduler()
+	r := NewNATRouter(s, MakeAddr(203, 0, 113, 10), 10*time.Millisecond)
+	var hits1, hits2 int
+	n1 := r.AttachServer("n1", GigabitEthernet)
+	n1.SetHandler(HandlerFunc(func(p *Packet) { hits1++ }))
+	n2 := r.AttachServer("n2", GigabitEthernet)
+	n2.SetHandler(HandlerFunc(func(p *Packet) { hits2++ }))
+	cli := r.AttachExternal("cli", MakeAddr(198, 51, 100, 1), GigabitEthernet)
+	r.MapPort(ProtoUDP, 5000, n1)
+
+	updated := false
+	r.UpdateMapping(ProtoUDP, 5000, n2, func() { updated = true })
+	// During the delay packets still land on n1.
+	s.RunFor(5 * time.Millisecond)
+	cli.Send(&Packet{SrcIP: cli.Addr, DstIP: r.ClusterIP, Proto: ProtoUDP, DstPort: 5000})
+	s.RunFor(2 * time.Millisecond)
+	if hits1 != 1 || hits2 != 0 || updated {
+		t.Fatalf("update applied early: %d/%d/%v", hits1, hits2, updated)
+	}
+	// After the delay they flow to n2.
+	s.RunFor(10 * time.Millisecond)
+	cli.Send(&Packet{SrcIP: cli.Addr, DstIP: r.ClusterIP, Proto: ProtoUDP, DstPort: 5000})
+	s.Run()
+	if !updated || hits2 != 1 {
+		t.Fatalf("update not applied: %d/%d/%v", hits1, hits2, updated)
+	}
+}
+
+func TestNATRouterServerToClient(t *testing.T) {
+	s := simtime.NewScheduler()
+	r := NewNATRouter(s, MakeAddr(203, 0, 113, 10), 0)
+	srv := r.AttachServer("n1", GigabitEthernet)
+	got := 0
+	cli := r.AttachExternal("cli", MakeAddr(198, 51, 100, 1), GigabitEthernet)
+	cli.SetHandler(HandlerFunc(func(p *Packet) { got++ }))
+	srv.Send(&Packet{SrcIP: r.ClusterIP, DstIP: cli.Addr})
+	srv.Send(&Packet{SrcIP: r.ClusterIP, DstIP: MakeAddr(9, 9, 9, 9)})
+	s.Run()
+	if got != 1 || r.Dropped != 1 {
+		t.Fatalf("outbound path wrong: got=%d dropped=%d", got, r.Dropped)
+	}
+}

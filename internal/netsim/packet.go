@@ -1,0 +1,233 @@
+// Package netsim models the physical network of the single-IP-address
+// cluster from the paper: IPv4/TCP/UDP packets, network interfaces, links
+// with bandwidth and latency, the broadcast router that replicates every
+// incoming public packet to all DVE server nodes, and the in-cluster
+// switch used for private communication.
+package netsim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dvemig/internal/simtime"
+)
+
+// Addr is an IPv4 address.
+type Addr uint32
+
+// MakeAddr builds an address from dotted-quad components.
+func MakeAddr(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// String renders the address in dotted-quad notation.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Protocol numbers, matching IANA assignments.
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// TCP header flag bits.
+const (
+	FlagFIN = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+)
+
+// Packet is a simulated IP datagram carrying either a TCP segment or a UDP
+// datagram. Header fields are kept as plain struct members; Marshal
+// produces a canonical wire encoding used for checksums, size accounting
+// and serialization across the simulated network.
+type Packet struct {
+	// IP header.
+	SrcIP Addr
+	DstIP Addr
+	Proto byte
+	TTL   byte
+
+	// Transport header (shared field layout for TCP and UDP).
+	SrcPort uint16
+	DstPort uint16
+
+	// TCP-only fields.
+	Seq      uint32
+	Ack      uint32
+	Flags    byte
+	Window   uint16
+	TSVal    uint32 // TCP timestamp option: sender jiffies
+	TSEcr    uint32 // TCP timestamp option: echoed timestamp
+	Checksum uint16
+
+	Payload []byte
+
+	// Dst is the destination cache entry the packet inherited from its
+	// originating socket (see paper §V-D); nil for forwarded packets.
+	Dst *DstEntry
+}
+
+// DstEntry models a Linux IP destination cache entry: the resolved next
+// hop for a flow. During local address translation the entry inherited
+// from the peer's socket still points at the pre-migration address, so the
+// translation filter must replace it (paper §V-D).
+type DstEntry struct {
+	NextHop Addr
+	Iface   string
+}
+
+// headerBytes is the canonical encoded header size (a simplified fixed
+// layout: 20-byte IP header plus a 20-byte transport header with a 12-byte
+// timestamp option area, mirroring a typical TCP header with options).
+const headerBytes = 52
+
+// Len returns the total wire length of the packet in bytes, which drives
+// the link-level transfer-time model.
+func (p *Packet) Len() int { return headerBytes + len(p.Payload) }
+
+// Clone returns a deep copy. The broadcast router clones packets so each
+// node can mangle its copy independently (netfilter hooks rewrite headers
+// in place).
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.Payload = append([]byte(nil), p.Payload...)
+	if p.Dst != nil {
+		d := *p.Dst
+		q.Dst = &d
+	}
+	return &q
+}
+
+// Marshal encodes the packet into the canonical wire format.
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, headerBytes+len(p.Payload))
+	binary.BigEndian.PutUint32(buf[0:], uint32(p.SrcIP))
+	binary.BigEndian.PutUint32(buf[4:], uint32(p.DstIP))
+	buf[8] = p.Proto
+	buf[9] = p.TTL
+	binary.BigEndian.PutUint16(buf[10:], p.SrcPort)
+	binary.BigEndian.PutUint16(buf[12:], p.DstPort)
+	binary.BigEndian.PutUint32(buf[14:], p.Seq)
+	binary.BigEndian.PutUint32(buf[18:], p.Ack)
+	buf[22] = p.Flags
+	binary.BigEndian.PutUint16(buf[23:], p.Window)
+	binary.BigEndian.PutUint32(buf[25:], p.TSVal)
+	binary.BigEndian.PutUint32(buf[29:], p.TSEcr)
+	binary.BigEndian.PutUint16(buf[33:], p.Checksum)
+	copy(buf[headerBytes:], p.Payload)
+	return buf
+}
+
+// Unmarshal decodes a packet from the canonical wire format.
+func Unmarshal(buf []byte) (*Packet, error) {
+	if len(buf) < headerBytes {
+		return nil, fmt.Errorf("netsim: short packet: %d bytes", len(buf))
+	}
+	p := &Packet{
+		SrcIP:    Addr(binary.BigEndian.Uint32(buf[0:])),
+		DstIP:    Addr(binary.BigEndian.Uint32(buf[4:])),
+		Proto:    buf[8],
+		TTL:      buf[9],
+		SrcPort:  binary.BigEndian.Uint16(buf[10:]),
+		DstPort:  binary.BigEndian.Uint16(buf[12:]),
+		Seq:      binary.BigEndian.Uint32(buf[14:]),
+		Ack:      binary.BigEndian.Uint32(buf[18:]),
+		Flags:    buf[22],
+		Window:   binary.BigEndian.Uint16(buf[23:]),
+		TSVal:    binary.BigEndian.Uint32(buf[25:]),
+		TSEcr:    binary.BigEndian.Uint32(buf[29:]),
+		Checksum: binary.BigEndian.Uint16(buf[33:]),
+		Payload:  append([]byte(nil), buf[headerBytes:]...),
+	}
+	return p, nil
+}
+
+// ComputeChecksum returns the Internet checksum over the packet's
+// pseudo-header and payload with the checksum field zeroed, following RFC
+// 1071 folding. Translation filters must recompute it after rewriting
+// addresses (paper §V-D).
+func (p *Packet) ComputeChecksum() uint16 {
+	saved := p.Checksum
+	p.Checksum = 0
+	sum := internetChecksum(p.Marshal())
+	p.Checksum = saved
+	return sum
+}
+
+// FixChecksum recomputes and stores the checksum.
+func (p *Packet) FixChecksum() { p.Checksum = p.ComputeChecksum() }
+
+// ChecksumOK reports whether the stored checksum matches the content.
+func (p *Packet) ChecksumOK() bool { return p.Checksum == p.ComputeChecksum() }
+
+func internetChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// FlagString renders TCP flags, e.g. "SYN|ACK".
+func FlagString(f byte) string {
+	s := ""
+	add := func(bit byte, name string) {
+		if f&bit != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += name
+		}
+	}
+	add(FlagSYN, "SYN")
+	add(FlagFIN, "FIN")
+	add(FlagRST, "RST")
+	add(FlagPSH, "PSH")
+	add(FlagACK, "ACK")
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+// String renders a one-line summary used by the tracer.
+func (p *Packet) String() string {
+	proto := "UDP"
+	if p.Proto == ProtoTCP {
+		proto = "TCP"
+	}
+	return fmt.Sprintf("%s %s:%d > %s:%d %s seq=%d ack=%d len=%d",
+		proto, p.SrcIP, p.SrcPort, p.DstIP, p.DstPort, FlagString(p.Flags), p.Seq, p.Ack, len(p.Payload))
+}
+
+// FlowKey identifies one direction of a transport flow; it is the match
+// key used by capture filters (remote IP, remote port, local port — paper
+// §III-B uses exactly this triple, and we add the protocol).
+type FlowKey struct {
+	RemoteIP   Addr
+	RemotePort uint16
+	LocalPort  uint16
+	Proto      byte
+}
+
+// MatchesIncoming reports whether an incoming packet belongs to the flow.
+func (k FlowKey) MatchesIncoming(p *Packet) bool {
+	return p.Proto == k.Proto && p.SrcIP == k.RemoteIP &&
+		p.SrcPort == k.RemotePort && p.DstPort == k.LocalPort
+}
+
+// Sniffer receives a copy of every packet delivered on the interface it is
+// attached to; it is the tcpdump of the simulation (used for Fig 4).
+type Sniffer interface {
+	Capture(at simtime.Time, dir string, p *Packet)
+}

@@ -1,0 +1,569 @@
+package netstack
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dvemig/internal/netsim"
+)
+
+// Socket checkpointing: "subtracting state information" in the paper's
+// terms. A snapshot is split into *sections* so the incremental collective
+// strategy can ship only the sections that changed between precopy loops.
+//
+// Serialized sizes mirror a Linux 2.6 kernel: dumping one established TCP
+// socket costs roughly the size of the tcp_sock/inet_sock/socket structure
+// complex (KernelSockImageBytes of core state) plus one skb shell per
+// queued buffer (SkbOverheadBytes + wire bytes). These constants make the
+// bytes-transferred experiment (Fig 5c) land in the paper's range
+// (~3.5 MB for 1024 connections) while the *content* is the real simulated
+// socket state.
+const (
+	// KernelSockImageBytes is the encoded size of the core section.
+	KernelSockImageBytes = 3072
+	// SkbOverheadBytes is the per-buffer struct sk_buff shell.
+	SkbOverheadBytes = 192
+	// UDPSockImageBytes is the (smaller) UDP socket structure dump.
+	UDPSockImageBytes = 1024
+)
+
+// SectionID names one independently transferable piece of socket state.
+type SectionID byte
+
+// Sections of a socket snapshot.
+const (
+	SecIdentity SectionID = iota
+	SecCore
+	SecWriteQueue
+	SecReceiveQueue
+	SecOOOQueue
+	numSections
+)
+
+// String names the section.
+func (s SectionID) String() string {
+	switch s {
+	case SecIdentity:
+		return "identity"
+	case SecCore:
+		return "core"
+	case SecWriteQueue:
+		return "write-queue"
+	case SecReceiveQueue:
+		return "receive-queue"
+	case SecOOOQueue:
+		return "ooo-queue"
+	}
+	return "unknown"
+}
+
+// TCPSnapshot is the extracted state of one TCP socket.
+type TCPSnapshot struct {
+	LocalIP, RemoteIP     netsim.Addr
+	OrigLocalIP           netsim.Addr
+	LocalPort, RemotePort uint16
+	State                 TCPState
+	Listening             bool
+
+	ISS, SndUna, SndNxt uint32
+	IRS, RcvNxt         uint32
+	Cwnd, Ssthresh      uint32
+	SndWnd              uint32
+	RcvBufMax           int32
+	SRTTms, RTTVarms    int32
+	RTOms               int32
+	TSRecent            uint32
+	LastTxJiffies       uint32
+	// SrcJiffies is the source node's jiffies at checkpoint time; the
+	// destination computes the adjustment delta from it (§V-C1).
+	SrcJiffies uint32
+	MSS        int32
+
+	SndBuf       []byte
+	WriteQueue   [][]byte // marshaled packets
+	ReceiveQueue [][]byte
+	OOOQueue     [][]byte
+
+	BytesIn, BytesOut uint64
+}
+
+// SnapshotTCP extracts the socket's state. The caller must ensure the
+// socket is quiescent (unhashed, or precopy rules: not locked, prequeue
+// empty) — the snapshot does not include backlog or prequeue because the
+// signal-based freeze guarantees both are empty (§V-C1).
+func SnapshotTCP(sk *TCPSocket) *TCPSnapshot {
+	s := &TCPSnapshot{
+		LocalIP: sk.LocalIP, RemoteIP: sk.RemoteIP, OrigLocalIP: sk.OrigLocalIP,
+		LocalPort: sk.LocalPort, RemotePort: sk.RemotePort,
+		State: sk.State, Listening: sk.State == TCPListen,
+		ISS: sk.ISS, SndUna: sk.SndUna, SndNxt: sk.SndNxt,
+		IRS: sk.IRS, RcvNxt: sk.RcvNxt,
+		Cwnd: sk.Cwnd, Ssthresh: sk.Ssthresh,
+		SndWnd: sk.SndWnd, RcvBufMax: int32(sk.RcvBufMax),
+		SRTTms: int32(sk.SRTTms), RTTVarms: int32(sk.RTTVarms), RTOms: int32(sk.RTOms),
+		TSRecent: sk.TSRecent, LastTxJiffies: sk.LastTxJiffies,
+		SrcJiffies: sk.stack.Jiffies(),
+		MSS:        int32(sk.MSS),
+		SndBuf:     append([]byte(nil), sk.sndBuf...),
+		BytesIn:    sk.BytesIn, BytesOut: sk.BytesOut,
+	}
+	s.WriteQueue = marshalQueue(sk.writeQueue)
+	s.ReceiveQueue = marshalQueue(sk.receiveQueue)
+	s.OOOQueue = marshalQueue(sk.oooQueue)
+	return s
+}
+
+func marshalQueue(q []*netsim.Packet) [][]byte {
+	out := make([][]byte, len(q))
+	for i, p := range q {
+		out[i] = p.Marshal()
+	}
+	return out
+}
+
+func unmarshalQueue(q [][]byte) ([]*netsim.Packet, error) {
+	out := make([]*netsim.Packet, len(q))
+	for i, b := range q {
+		p, err := netsim.Unmarshal(b)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// --- binary encoding helpers -------------------------------------------
+
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v byte)    { w.b = append(w.b, v) }
+func (w *wbuf) u16(v uint16) { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *wbuf) u32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *wbuf) u64(v uint64) { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *wbuf) bytes(v []byte) {
+	w.u32(uint32(len(v)))
+	w.b = append(w.b, v...)
+}
+func (w *wbuf) pad(total int) {
+	for len(w.b) < total {
+		w.b = append(w.b, 0)
+	}
+}
+
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) fail() {
+	if r.err == nil {
+		r.err = errors.New("netstack: truncated snapshot")
+	}
+}
+func (r *rbuf) u8() byte {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+func (r *rbuf) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+func (r *rbuf) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+func (r *rbuf) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+func (r *rbuf) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	v := append([]byte(nil), r.b[r.off:r.off+n]...)
+	r.off += n
+	return v
+}
+
+// EncodeSection serializes one section of the snapshot.
+func (s *TCPSnapshot) EncodeSection(id SectionID) []byte {
+	var w wbuf
+	switch id {
+	case SecIdentity:
+		w.u32(uint32(s.LocalIP))
+		w.u32(uint32(s.RemoteIP))
+		w.u32(uint32(s.OrigLocalIP))
+		w.u16(s.LocalPort)
+		w.u16(s.RemotePort)
+		w.u8(byte(s.State))
+		if s.Listening {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		// The bulk of the kernel socket structure complex (socket,
+		// inet_sock, protocol options, sk_buff_head headers, timers, ...)
+		// is configuration fixed at connection setup: it rides with the
+		// identity section, which never changes after the first transfer.
+		w.pad(KernelSockImageBytes)
+	case SecCore:
+		w.u32(s.ISS)
+		w.u32(s.SndUna)
+		w.u32(s.SndNxt)
+		w.u32(s.IRS)
+		w.u32(s.RcvNxt)
+		w.u32(s.Cwnd)
+		w.u32(s.Ssthresh)
+		w.u32(s.SndWnd)
+		w.u32(uint32(s.RcvBufMax))
+		w.u32(uint32(s.SRTTms))
+		w.u32(uint32(s.RTTVarms))
+		w.u32(uint32(s.RTOms))
+		w.u32(s.TSRecent)
+		w.u32(s.LastTxJiffies)
+		w.u32(s.SrcJiffies)
+		w.u32(uint32(s.MSS))
+		w.u64(s.BytesIn)
+		w.u64(s.BytesOut)
+		w.bytes(s.SndBuf)
+	case SecWriteQueue:
+		encodeQueue(&w, s.WriteQueue)
+	case SecReceiveQueue:
+		encodeQueue(&w, s.ReceiveQueue)
+	case SecOOOQueue:
+		encodeQueue(&w, s.OOOQueue)
+	}
+	return w.b
+}
+
+// SectionHashBytes returns the section encoding with the capture-time
+// clock (SrcJiffies) masked out. Change trackers must hash this form:
+// SrcJiffies is stamped at every snapshot and would otherwise make an
+// idle socket's core section look modified every precopy round.
+func (s *TCPSnapshot) SectionHashBytes(id SectionID) []byte {
+	if id != SecCore {
+		return s.EncodeSection(id)
+	}
+	saved := s.SrcJiffies
+	s.SrcJiffies = 0
+	b := s.EncodeSection(id)
+	s.SrcJiffies = saved
+	return b
+}
+
+func encodeQueue(w *wbuf, q [][]byte) {
+	w.u32(uint32(len(q)))
+	for _, pkt := range q {
+		w.bytes(pkt)
+		// Each buffer carries its sk_buff shell.
+		w.b = append(w.b, make([]byte, SkbOverheadBytes)...)
+	}
+}
+
+func decodeQueue(r *rbuf) [][]byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > 1<<20 {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	q := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		q = append(q, r.bytes())
+		// Skip the sk_buff shell.
+		if r.off+SkbOverheadBytes > len(r.b) {
+			r.fail()
+			return nil
+		}
+		r.off += SkbOverheadBytes
+	}
+	return q
+}
+
+// ApplySection decodes one encoded section into the snapshot, overwriting
+// that section's fields. The destination node accumulates sections from
+// successive precopy rounds this way and applies the final state in the
+// freeze phase.
+func (s *TCPSnapshot) ApplySection(id SectionID, data []byte) error {
+	r := &rbuf{b: data}
+	switch id {
+	case SecIdentity:
+		s.LocalIP = netsim.Addr(r.u32())
+		s.RemoteIP = netsim.Addr(r.u32())
+		s.OrigLocalIP = netsim.Addr(r.u32())
+		s.LocalPort = r.u16()
+		s.RemotePort = r.u16()
+		s.State = TCPState(r.u8())
+		s.Listening = r.u8() == 1
+		if len(data) >= KernelSockImageBytes {
+			r.off = KernelSockImageBytes // skip the static structure image
+		}
+	case SecCore:
+		s.ISS = r.u32()
+		s.SndUna = r.u32()
+		s.SndNxt = r.u32()
+		s.IRS = r.u32()
+		s.RcvNxt = r.u32()
+		s.Cwnd = r.u32()
+		s.Ssthresh = r.u32()
+		s.SndWnd = r.u32()
+		s.RcvBufMax = int32(r.u32())
+		s.SRTTms = int32(r.u32())
+		s.RTTVarms = int32(r.u32())
+		s.RTOms = int32(r.u32())
+		s.TSRecent = r.u32()
+		s.LastTxJiffies = r.u32()
+		s.SrcJiffies = r.u32()
+		s.MSS = int32(r.u32())
+		s.BytesIn = r.u64()
+		s.BytesOut = r.u64()
+		s.SndBuf = r.bytes()
+	case SecWriteQueue:
+		s.WriteQueue = decodeQueue(r)
+	case SecReceiveQueue:
+		s.ReceiveQueue = decodeQueue(r)
+	case SecOOOQueue:
+		s.OOOQueue = decodeQueue(r)
+	default:
+		return fmt.Errorf("netstack: unknown section %d", id)
+	}
+	return r.err
+}
+
+// Encode serializes the whole snapshot as a sequence of tagged sections.
+func (s *TCPSnapshot) Encode() []byte {
+	var w wbuf
+	for id := SectionID(0); id < numSections; id++ {
+		sec := s.EncodeSection(id)
+		w.u8(byte(id))
+		w.bytes(sec)
+	}
+	return w.b
+}
+
+// DecodeTCPSnapshot parses a snapshot produced by Encode.
+func DecodeTCPSnapshot(data []byte) (*TCPSnapshot, error) {
+	s := &TCPSnapshot{}
+	r := &rbuf{b: data}
+	for r.off < len(r.b) {
+		id := SectionID(r.u8())
+		sec := r.bytes()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if err := s.ApplySection(id, sec); err != nil {
+			return nil, err
+		}
+	}
+	return s, r.err
+}
+
+// RestoreTCP materializes a socket on st from the snapshot: allocate a
+// fresh socket structure, apply the latest state, rebuild the queues with
+// timestamps adjusted by the jiffies delta, rehash into ehash/bhash and
+// restart the retransmission timer (§V-C1 restore path).
+func RestoreTCP(st *Stack, snap *TCPSnapshot) (*TCPSocket, error) {
+	sk := NewTCPSocket(st)
+	sk.LocalIP = snap.LocalIP
+	sk.OrigLocalIP = snap.OrigLocalIP
+	sk.RemoteIP = snap.RemoteIP
+	sk.LocalPort = snap.LocalPort
+	sk.RemotePort = snap.RemotePort
+	sk.State = snap.State
+	sk.ISS = snap.ISS
+	sk.SndUna = snap.SndUna
+	sk.SndNxt = snap.SndNxt
+	sk.IRS = snap.IRS
+	sk.RcvNxt = snap.RcvNxt
+	sk.Cwnd = snap.Cwnd
+	sk.Ssthresh = snap.Ssthresh
+	sk.SndWnd = snap.SndWnd
+	if snap.RcvBufMax > 0 {
+		sk.RcvBufMax = int(snap.RcvBufMax)
+	}
+	sk.SRTTms = int(snap.SRTTms)
+	sk.RTTVarms = int(snap.RTTVarms)
+	sk.RTOms = int(snap.RTOms)
+	sk.MSS = int(snap.MSS)
+	sk.sndBuf = append([]byte(nil), snap.SndBuf...)
+	sk.BytesIn = snap.BytesIn
+	sk.BytesOut = snap.BytesOut
+	sk.unhashed = true
+
+	// Jiffies adjustment: delta between this node's clock and the source
+	// node's clock at checkpoint time. TSRecent holds the *peer's*
+	// timestamp and is copied verbatim; LastTxJiffies and the timestamps
+	// on write-queue buffers are local-clock values and must be shifted,
+	// otherwise RTT measurement and retransmission computations on the
+	// destination operate on a foreign clock.
+	delta := st.Jiffies() - snap.SrcJiffies
+	sk.TSRecent = snap.TSRecent
+	sk.LastTxJiffies = snap.LastTxJiffies + delta
+
+	var err error
+	if sk.writeQueue, err = unmarshalQueue(snap.WriteQueue); err != nil {
+		return nil, err
+	}
+	for _, p := range sk.writeQueue {
+		p.TSVal += delta
+		p.FixChecksum()
+	}
+	if sk.receiveQueue, err = unmarshalQueue(snap.ReceiveQueue); err != nil {
+		return nil, err
+	}
+	for _, p := range sk.receiveQueue {
+		sk.rcvBufUsed += len(p.Payload)
+	}
+	if sk.oooQueue, err = unmarshalQueue(snap.OOOQueue); err != nil {
+		return nil, err
+	}
+	if !snap.Listening {
+		if err := sk.AdoptStack(st); err != nil {
+			return nil, err
+		}
+	} else {
+		sk.stack = st
+	}
+	if err := sk.Rehash(); err != nil {
+		return nil, err
+	}
+	sk.RestartRetransTimer()
+	return sk, nil
+}
+
+// --- UDP ----------------------------------------------------------------
+
+// UDPSnapshot is the extracted state of a UDP socket: the main structure
+// plus the receive-queue buffers (§V-C2).
+type UDPSnapshot struct {
+	LocalIP    netsim.Addr
+	LocalPort  uint16
+	SrcJiffies uint32
+	Queue      []Datagram
+
+	BytesIn, BytesOut     uint64
+	PacketsIn, PacketsOut uint64
+}
+
+// SnapshotUDP extracts the socket state.
+func SnapshotUDP(us *UDPSocket) *UDPSnapshot {
+	q := make([]Datagram, len(us.receiveQueue))
+	for i, d := range us.receiveQueue {
+		q[i] = Datagram{SrcIP: d.SrcIP, SrcPort: d.SrcPort, TSVal: d.TSVal,
+			Payload: append([]byte(nil), d.Payload...)}
+	}
+	return &UDPSnapshot{
+		LocalIP: us.LocalIP, LocalPort: us.LocalPort,
+		SrcJiffies: us.stack.Jiffies(), Queue: q,
+		BytesIn: us.BytesIn, BytesOut: us.BytesOut,
+		PacketsIn: us.PacketsIn, PacketsOut: us.PacketsOut,
+	}
+}
+
+// Encode serializes the UDP snapshot.
+func (s *UDPSnapshot) Encode() []byte {
+	var w wbuf
+	w.u32(uint32(s.LocalIP))
+	w.u16(s.LocalPort)
+	w.u32(s.SrcJiffies)
+	w.u64(s.BytesIn)
+	w.u64(s.BytesOut)
+	w.u64(s.PacketsIn)
+	w.u64(s.PacketsOut)
+	w.u32(uint32(len(s.Queue)))
+	for _, d := range s.Queue {
+		w.u32(uint32(d.SrcIP))
+		w.u16(d.SrcPort)
+		w.u32(d.TSVal)
+		w.bytes(d.Payload)
+		w.b = append(w.b, make([]byte, SkbOverheadBytes)...)
+	}
+	w.pad(len(w.b) + UDPSockImageBytes) // socket structure image
+	return w.b
+}
+
+// HashBytes returns the encoding with SrcJiffies masked, for change
+// tracking (see TCPSnapshot.SectionHashBytes).
+func (s *UDPSnapshot) HashBytes() []byte {
+	saved := s.SrcJiffies
+	s.SrcJiffies = 0
+	b := s.Encode()
+	s.SrcJiffies = saved
+	return b
+}
+
+// DecodeUDPSnapshot parses an encoded UDP snapshot.
+func DecodeUDPSnapshot(data []byte) (*UDPSnapshot, error) {
+	r := &rbuf{b: data}
+	s := &UDPSnapshot{}
+	s.LocalIP = netsim.Addr(r.u32())
+	s.LocalPort = r.u16()
+	s.SrcJiffies = r.u32()
+	s.BytesIn = r.u64()
+	s.BytesOut = r.u64()
+	s.PacketsIn = r.u64()
+	s.PacketsOut = r.u64()
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > 1<<20 {
+		return nil, errors.New("netstack: corrupt UDP snapshot")
+	}
+	for i := 0; i < n; i++ {
+		d := Datagram{}
+		d.SrcIP = netsim.Addr(r.u32())
+		d.SrcPort = r.u16()
+		d.TSVal = r.u32()
+		d.Payload = r.bytes()
+		if r.off+SkbOverheadBytes > len(r.b) {
+			r.fail()
+			break
+		}
+		r.off += SkbOverheadBytes
+		s.Queue = append(s.Queue, d)
+	}
+	return s, r.err
+}
+
+// RestoreUDP materializes a UDP socket on st from the snapshot and
+// rehashes it.
+func RestoreUDP(st *Stack, snap *UDPSnapshot) (*UDPSocket, error) {
+	us := NewUDPSocket(st)
+	us.LocalIP = snap.LocalIP
+	us.LocalPort = snap.LocalPort
+	us.BytesIn = snap.BytesIn
+	us.BytesOut = snap.BytesOut
+	us.PacketsIn = snap.PacketsIn
+	us.PacketsOut = snap.PacketsOut
+	us.receiveQueue = append(us.receiveQueue, snap.Queue...)
+	us.unhashed = true
+	if err := us.Rehash(); err != nil {
+		return nil, err
+	}
+	return us, nil
+}

@@ -1,0 +1,293 @@
+package netstack
+
+import (
+	"fmt"
+
+	"dvemig/internal/netsim"
+	"dvemig/internal/simtime"
+)
+
+// FourTuple identifies an established TCP connection in the ehash table.
+type FourTuple struct {
+	LocalIP    netsim.Addr
+	LocalPort  uint16
+	RemoteIP   netsim.Addr
+	RemotePort uint16
+}
+
+// Stats counts stack-level events; tests and experiments read them.
+type Stats struct {
+	Delivered      uint64 // packets demuxed to a socket
+	NoSocketDrops  uint64 // broadcast copies for connections owned elsewhere
+	HookDrops      uint64
+	Reinjected     uint64 // packets resubmitted through the okfn
+	ChecksumErrors uint64
+}
+
+// Stack is one node's network stack.
+type Stack struct {
+	Name  string
+	sched *simtime.Scheduler
+
+	// BootJiffies is the node's jiffies counter value at simulation time
+	// zero. Nodes boot at different times, so counters differ — the reason
+	// TCP timestamps must be adjusted during migration (paper §V-C1).
+	BootJiffies uint32
+
+	nics       []*netsim.NIC
+	routes     []route
+	localAddrs map[netsim.Addr]bool
+
+	hooks    hookTable
+	dstCache map[netsim.Addr]*netsim.DstEntry
+
+	// The kernel lookup tables the paper names: ehash for established
+	// connections, bhash for bound/listening ports, and the UDP hash.
+	ehash map[FourTuple]*TCPSocket
+	bhash map[uint16]*TCPSocket
+	udph  map[uint16]*UDPSocket
+
+	nextEphemeral uint16
+	isnCounter    uint32
+
+	Stats Stats
+}
+
+type route struct {
+	prefix netsim.Addr
+	bits   int
+	nic    *netsim.NIC
+	src    netsim.Addr
+}
+
+// NewStack creates a stack bound to the scheduler with a per-node jiffies
+// boot offset.
+func NewStack(sched *simtime.Scheduler, name string, bootJiffies uint32) *Stack {
+	return &Stack{
+		Name:        name,
+		sched:       sched,
+		BootJiffies: bootJiffies,
+		localAddrs:  make(map[netsim.Addr]bool),
+		dstCache:    make(map[netsim.Addr]*netsim.DstEntry),
+		ehash:       make(map[FourTuple]*TCPSocket),
+		bhash:       make(map[uint16]*TCPSocket),
+		udph:        make(map[uint16]*UDPSocket),
+		// The ephemeral-port cursor starts at a node-specific point, as
+		// it would on machines with distinct histories; without this,
+		// identical allocation sequences on every node would make a
+		// migrated in-cluster connection collide with the destination's
+		// own connection to the same peer on the full four-tuple.
+		nextEphemeral: 32768 + uint16((uint64(bootJiffies)*2654435761>>16)%28000),
+		isnCounter:    uint32(bootJiffies)*2654435761 + 7,
+	}
+}
+
+// Scheduler exposes the virtual clock the stack runs on.
+func (s *Stack) Scheduler() *simtime.Scheduler { return s.sched }
+
+// Jiffies returns this node's current jiffies counter, the clock TCP
+// timestamps are taken from.
+func (s *Stack) Jiffies() uint32 { return simtime.Jiffies(s.sched.Now(), s.BootJiffies) }
+
+// AttachNIC registers an interface and the address it owns, and installs
+// the stack as the NIC's ingress handler.
+func (s *Stack) AttachNIC(nic *netsim.NIC, addr netsim.Addr) {
+	s.nics = append(s.nics, nic)
+	s.localAddrs[addr] = true
+	nic.SetHandler(netsim.HandlerFunc(func(p *netsim.Packet) { s.input(p) }))
+}
+
+// AddRoute installs a prefix route: packets to addresses matching the
+// first bits of prefix leave through nic with source address src.
+func (s *Stack) AddRoute(prefix netsim.Addr, bits int, nic *netsim.NIC, src netsim.Addr) {
+	s.routes = append(s.routes, route{prefix: prefix, bits: bits, nic: nic, src: src})
+}
+
+func (s *Stack) routeFor(dst netsim.Addr) (route, bool) {
+	best := -1
+	var found route
+	for _, r := range s.routes {
+		mask := netsim.Addr(0)
+		if r.bits > 0 {
+			mask = netsim.Addr(^uint32(0) << (32 - r.bits))
+		}
+		if dst&mask == r.prefix&mask && r.bits > best {
+			best = r.bits
+			found = r
+		}
+	}
+	return found, best >= 0
+}
+
+// SourceAddrFor returns the local address the stack would use to reach
+// dst; sockets call it when connecting.
+func (s *Stack) SourceAddrFor(dst netsim.Addr) (netsim.Addr, error) {
+	r, ok := s.routeFor(dst)
+	if !ok {
+		return 0, fmt.Errorf("netstack %s: no route to %s", s.Name, dst)
+	}
+	return r.src, nil
+}
+
+// DstFor returns the (cached) destination entry for addr, modelling the
+// Linux IP destination cache. Sockets hold on to the entry and stamp it
+// onto every outgoing packet; the output path forwards by the entry, not
+// by the header address — the exact behaviour that bites local address
+// translation in §V-D.
+func (s *Stack) DstFor(addr netsim.Addr) (*netsim.DstEntry, error) {
+	if e, ok := s.dstCache[addr]; ok {
+		return e, nil
+	}
+	r, ok := s.routeFor(addr)
+	if !ok {
+		return nil, fmt.Errorf("netstack %s: no route to %s", s.Name, addr)
+	}
+	e := &netsim.DstEntry{NextHop: addr, Iface: r.nic.Name}
+	s.dstCache[addr] = e
+	return e, nil
+}
+
+// InvalidateDst drops the cached entry for addr.
+func (s *Stack) InvalidateDst(addr netsim.Addr) { delete(s.dstCache, addr) }
+
+// MakeDst builds a fresh destination entry for addr without touching the
+// shared cache; the translation filter uses it to replace the entry
+// inherited from the peer socket.
+func (s *Stack) MakeDst(addr netsim.Addr) (*netsim.DstEntry, error) {
+	r, ok := s.routeFor(addr)
+	if !ok {
+		return nil, fmt.Errorf("netstack %s: no route to %s", s.Name, addr)
+	}
+	return &netsim.DstEntry{NextHop: addr, Iface: r.nic.Name}, nil
+}
+
+// input is the ip_rcv path: PRE_ROUTING hooks, local-address check,
+// LOCAL_IN hooks, then transport demux.
+func (s *Stack) input(p *netsim.Packet) {
+	if s.runHooks(HookPreRouting, p) != VerdictAccept {
+		return
+	}
+	if !s.localAddrs[p.DstIP] {
+		// Not ours and we do not forward; broadcast copies for other
+		// nodes' flows die here too when the address differs.
+		s.Stats.NoSocketDrops++
+		return
+	}
+	if s.runHooks(HookLocalIn, p) != VerdictAccept {
+		return
+	}
+	s.demux(p)
+}
+
+// Reinject is the okfn (ip_rcv_finish): it resubmits a stolen packet to
+// local delivery, bypassing the LOCAL_IN chain so a capture filter does
+// not steal its own reinjection.
+func (s *Stack) Reinject(p *netsim.Packet) {
+	s.Stats.Reinjected++
+	s.demux(p)
+}
+
+func (s *Stack) demux(p *netsim.Packet) {
+	switch p.Proto {
+	case netsim.ProtoTCP:
+		if sk := s.ehash[FourTuple{p.DstIP, p.DstPort, p.SrcIP, p.SrcPort}]; sk != nil {
+			s.Stats.Delivered++
+			sk.input(p)
+			return
+		}
+		if lk := s.bhash[p.DstPort]; lk != nil && lk.State == TCPListen {
+			s.Stats.Delivered++
+			lk.listenInput(p)
+			return
+		}
+		// Silent drop: on the broadcast cluster every node sees every
+		// client packet; only the connection owner may answer (no RST).
+		s.Stats.NoSocketDrops++
+	case netsim.ProtoUDP:
+		if us := s.udph[p.DstPort]; us != nil {
+			s.Stats.Delivered++
+			us.input(p)
+			return
+		}
+		s.Stats.NoSocketDrops++
+	default:
+		s.Stats.NoSocketDrops++
+	}
+}
+
+// TransmitRaw pushes a fully formed packet through the output path (raw
+// socket equivalent): LOCAL_OUT and POST_ROUTING hooks run, then the
+// packet leaves through the interface chosen by its destination entry.
+func (s *Stack) TransmitRaw(p *netsim.Packet) { s.transmit(p) }
+
+// transmit runs LOCAL_OUT hooks and sends the packet out the interface
+// selected by its destination cache entry.
+func (s *Stack) transmit(p *netsim.Packet) {
+	if p.Dst == nil {
+		e, err := s.DstFor(p.DstIP)
+		if err != nil {
+			return // unroutable; counted implicitly by peers timing out
+		}
+		p.Dst = e
+	}
+	if s.runHooks(HookLocalOut, p) != VerdictAccept {
+		return
+	}
+	if s.runHooks(HookPostRouting, p) != VerdictAccept {
+		return
+	}
+	nic := s.nicByName(p.Dst.Iface)
+	if nic == nil {
+		return
+	}
+	nic.Send(p)
+}
+
+func (s *Stack) nicByName(name string) *netsim.NIC {
+	for _, n := range s.nics {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// allocEphemeral returns a free local port for outgoing connections.
+func (s *Stack) allocEphemeral() uint16 {
+	for i := 0; i < 65536; i++ {
+		p := s.nextEphemeral
+		s.nextEphemeral++
+		if s.nextEphemeral < 32768 {
+			s.nextEphemeral = 32768
+		}
+		if s.bhash[p] == nil && s.udph[p] == nil {
+			return p
+		}
+	}
+	panic("netstack: ephemeral ports exhausted")
+}
+
+func (s *Stack) nextISN() uint32 {
+	s.isnCounter = s.isnCounter*1664525 + 1013904223
+	return s.isnCounter
+}
+
+// EstablishedSockets returns the established TCP sockets, in no
+// particular order; the migration engine iterates the FD table instead,
+// this accessor exists for tests and monitoring.
+func (s *Stack) EstablishedSockets() []*TCPSocket {
+	out := make([]*TCPSocket, 0, len(s.ehash))
+	for _, sk := range s.ehash {
+		out = append(out, sk)
+	}
+	return out
+}
+
+// LookupEstablished finds a socket in the ehash table.
+func (s *Stack) LookupEstablished(t FourTuple) *TCPSocket { return s.ehash[t] }
+
+// LookupBound finds a listening socket in the bhash table.
+func (s *Stack) LookupBound(port uint16) *TCPSocket { return s.bhash[port] }
+
+// LookupUDP finds a bound UDP socket.
+func (s *Stack) LookupUDP(port uint16) *UDPSocket { return s.udph[port] }

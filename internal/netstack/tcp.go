@@ -1,0 +1,917 @@
+package netstack
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dvemig/internal/netsim"
+	"dvemig/internal/simtime"
+)
+
+// TCPState is the protocol state of a socket.
+type TCPState int
+
+// TCP states (the subset of RFC 793 the simulation exercises; the paper
+// migrates sockets in Established or Listen state).
+const (
+	TCPClosed TCPState = iota
+	TCPListen
+	TCPSynSent
+	TCPSynRcvd
+	TCPEstablished
+	TCPFinWait1
+	TCPFinWait2
+	TCPCloseWait
+	TCPLastAck
+	TCPClosing
+	TCPTimeWait
+)
+
+// String names the state.
+func (s TCPState) String() string {
+	names := [...]string{"CLOSED", "LISTEN", "SYN_SENT", "SYN_RCVD", "ESTABLISHED",
+		"FIN_WAIT1", "FIN_WAIT2", "CLOSE_WAIT", "LAST_ACK", "CLOSING", "TIME_WAIT"}
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return "UNKNOWN"
+}
+
+// TCP tuning constants.
+const (
+	// DefaultMSS is the maximum segment payload; 1448 matches Ethernet
+	// MTU 1500 minus IP/TCP headers with timestamps.
+	DefaultMSS = 1448
+	// MinRTO / MaxRTO bound the retransmission timeout like Linux
+	// (TCP_RTO_MIN is 200 ms on 2.6 kernels).
+	MinRTO = 200 * simtime.Duration(1e6)
+	MaxRTO = 120 * simtime.Duration(1e9)
+	// InitialCwnd / DefaultSsthresh, in segments.
+	InitialCwnd     = 10
+	DefaultSsthresh = 64
+	// TimeWaitDelay is deliberately short; the simulation does not study
+	// 2MSL behaviour.
+	TimeWaitDelay = 200 * simtime.Duration(1e6)
+	// DefaultRcvBuf is the receive buffer bound, and thus the largest
+	// window a socket advertises (fits the 16-bit header field).
+	DefaultRcvBuf = 65535
+	// PersistInterval paces zero-window probes when the peer's buffer is
+	// full and the window-update ACK might have been lost.
+	PersistInterval = 500 * simtime.Duration(1e6)
+)
+
+// ErrNotConnected is returned by Send on a socket that cannot carry data.
+var ErrNotConnected = errors.New("netstack: socket not connected")
+
+// TCPSocket models struct tcp_sock closely enough for the migration
+// mechanism: identity, sequence state, congestion/RTT state, jiffies
+// timestamps, and the five socket-buffer queues enumerated in §V-C1.
+type TCPSocket struct {
+	stack *Stack
+
+	State      TCPState
+	LocalIP    netsim.Addr
+	LocalPort  uint16
+	RemoteIP   netsim.Addr
+	RemotePort uint16
+
+	// OrigLocalIP preserves the connection's original local address
+	// across (repeated) in-cluster migrations: the peer's socket still
+	// names that address as its remote, and every translation rule must
+	// be keyed on it (§III-C). Zero until the first migration rewrites
+	// LocalIP.
+	OrigLocalIP netsim.Addr
+
+	// Send sequence state.
+	ISS    uint32 // initial send sequence
+	SndUna uint32 // oldest unacknowledged
+	SndNxt uint32 // next to send
+
+	// Receive sequence state.
+	IRS    uint32 // initial receive sequence
+	RcvNxt uint32 // next expected
+
+	// Congestion and RTT state (cwnd/ssthresh in segments, times in ms).
+	Cwnd     uint32
+	Ssthresh uint32
+	SRTTms   int
+	RTTVarms int
+	RTOms    int
+
+	// Flow control: SndWnd is the peer's last advertised receive window;
+	// RcvBufMax bounds the local receive buffer and therefore the window
+	// this socket advertises.
+	SndWnd    uint32
+	RcvBufMax int
+
+	// TSRecent is the most recent peer timestamp (jiffies of the *peer*);
+	// LastTxJiffies is the local jiffies of the last transmission. Both
+	// are what timestamp adjustment rewrites after migration.
+	TSRecent      uint32
+	LastTxJiffies uint32
+
+	MSS int
+
+	// The five queues of §V-C1. writeQueue holds sent-but-unacked
+	// segments (retransmission source); sndBuf is app data not yet
+	// segmented because cwnd is full. receiveQueue holds in-order data
+	// the application has not read; oooQueue holds out-of-window-order
+	// segments; backlog holds packets that arrived while the socket was
+	// locked by a system call; prequeue feeds the fast-path receive.
+	writeQueue   []*netsim.Packet
+	sndBuf       []byte
+	receiveQueue []*netsim.Packet
+	oooQueue     []*netsim.Packet
+	backlog      []*netsim.Packet
+	prequeue     []*netsim.Packet
+
+	retransTimer *simtime.Event
+	rtoPending   bool
+	dupAcks      int
+	// Retransmits counts timer-driven resends; the capture ablation
+	// experiment shows these appearing when capture is disabled.
+	// FastRetransmits counts triple-dup-ack recoveries.
+	Retransmits     uint64
+	FastRetransmits uint64
+
+	locked        bool
+	readerWaiting bool
+	unhashed      bool
+	ownsBind      bool
+	rcvBufUsed    int
+	persistTimer  *simtime.Event
+
+	dst *netsim.DstEntry
+
+	// Listener state.
+	acceptQueue []*TCPSocket
+	OnAccept    func(child *TCPSocket)
+
+	// OnReadable fires when data (or EOF) becomes available.
+	OnReadable func()
+	eof        bool
+
+	// BytesIn / BytesOut count application payload for tests.
+	BytesIn, BytesOut uint64
+}
+
+// NewTCPSocket allocates a closed socket on the stack.
+func NewTCPSocket(s *Stack) *TCPSocket {
+	return &TCPSocket{
+		stack:     s,
+		State:     TCPClosed,
+		Cwnd:      InitialCwnd,
+		Ssthresh:  DefaultSsthresh,
+		RTOms:     1000,
+		MSS:       DefaultMSS,
+		SndWnd:    DefaultRcvBuf,
+		RcvBufMax: DefaultRcvBuf,
+	}
+}
+
+// Stack returns the owning stack.
+func (sk *TCPSocket) Stack() *Stack { return sk.stack }
+
+// Tuple returns the connection four-tuple.
+func (sk *TCPSocket) Tuple() FourTuple {
+	return FourTuple{sk.LocalIP, sk.LocalPort, sk.RemoteIP, sk.RemotePort}
+}
+
+// Listen binds the socket to port on addr and enters LISTEN state,
+// inserting it into the bhash table.
+func (sk *TCPSocket) Listen(addr netsim.Addr, port uint16) error {
+	if sk.stack.bhash[port] != nil {
+		return fmt.Errorf("netstack %s: port %d already bound", sk.stack.Name, port)
+	}
+	sk.LocalIP = addr
+	sk.LocalPort = port
+	sk.State = TCPListen
+	sk.ownsBind = true
+	sk.stack.bhash[port] = sk
+	return nil
+}
+
+// Connect initiates the three-way handshake toward addr:port.
+func (sk *TCPSocket) Connect(addr netsim.Addr, port uint16) error {
+	src, err := sk.stack.SourceAddrFor(addr)
+	if err != nil {
+		return err
+	}
+	sk.LocalIP = src
+	sk.LocalPort = sk.stack.allocEphemeral()
+	sk.RemoteIP = addr
+	sk.RemotePort = port
+	sk.ownsBind = true
+	sk.stack.bhash[sk.LocalPort] = sk
+	sk.ISS = sk.stack.nextISN()
+	sk.SndUna = sk.ISS
+	sk.SndNxt = sk.ISS + 1
+	sk.State = TCPSynSent
+	sk.stack.ehash[sk.Tuple()] = sk
+	if sk.dst, err = sk.stack.DstFor(addr); err != nil {
+		return err
+	}
+	syn := sk.makePacket(netsim.FlagSYN, sk.ISS, 0, nil)
+	sk.writeQueue = append(sk.writeQueue, syn)
+	sk.stack.transmit(syn.Clone())
+	sk.armRetransTimer()
+	return nil
+}
+
+// listenInput handles a segment addressed to a listening port: a SYN
+// spawns a half-open child socket that is immediately inserted into the
+// ehash table (so retransmitted handshake segments find it).
+func (sk *TCPSocket) listenInput(p *netsim.Packet) {
+	if p.Flags&netsim.FlagSYN == 0 || p.Flags&netsim.FlagACK != 0 {
+		return
+	}
+	child := NewTCPSocket(sk.stack)
+	child.LocalIP = p.DstIP
+	child.LocalPort = p.DstPort
+	child.RemoteIP = p.SrcIP
+	child.RemotePort = p.SrcPort
+	if sk.stack.ehash[child.Tuple()] != nil {
+		return // duplicate SYN for an in-progress connection
+	}
+	child.IRS = p.Seq
+	child.RcvNxt = p.Seq + 1
+	child.ISS = sk.stack.nextISN()
+	child.SndUna = child.ISS
+	child.SndNxt = child.ISS + 1
+	child.TSRecent = p.TSVal
+	child.State = TCPSynRcvd
+	sk.stack.ehash[child.Tuple()] = child
+	d, err := sk.stack.DstFor(p.SrcIP)
+	if err != nil {
+		delete(sk.stack.ehash, child.Tuple())
+		return
+	}
+	child.dst = d
+	synack := child.makePacket(netsim.FlagSYN|netsim.FlagACK, child.ISS, child.RcvNxt, nil)
+	child.writeQueue = append(child.writeQueue, synack)
+	sk.stack.transmit(synack.Clone())
+	child.armRetransTimer()
+}
+
+// Send queues application data for transmission. Data beyond the
+// congestion window waits in the send buffer.
+func (sk *TCPSocket) Send(data []byte) error {
+	if sk.unhashed {
+		// Disabled by migration: the connection lives elsewhere now.
+		return ErrNotConnected
+	}
+	switch sk.State {
+	case TCPEstablished, TCPCloseWait:
+	default:
+		return ErrNotConnected
+	}
+	sk.sndBuf = append(sk.sndBuf, data...)
+	sk.BytesOut += uint64(len(data))
+	sk.pushNew()
+	return nil
+}
+
+// Recv drains the in-order receive queue and returns its payload bytes.
+// It never blocks; it returns nil when nothing is buffered.
+func (sk *TCPSocket) Recv() []byte {
+	var out []byte
+	for _, p := range sk.receiveQueue {
+		out = append(out, p.Payload...)
+	}
+	sk.receiveQueue = sk.receiveQueue[:0]
+	if len(out) > 0 {
+		wasFull := sk.rcvBufUsed >= sk.RcvBufMax-sk.MSS
+		sk.rcvBufUsed -= len(out)
+		if sk.rcvBufUsed < 0 {
+			sk.rcvBufUsed = 0
+		}
+		// The application freed a previously exhausted buffer: announce
+		// the reopened window so a stalled sender resumes.
+		if wasFull && sk.State == TCPEstablished && !sk.unhashed {
+			sk.sendAck()
+		}
+	}
+	return out
+}
+
+// EOF reports whether the peer closed its direction.
+func (sk *TCPSocket) EOF() bool { return sk.eof }
+
+// Accept pops a fully established child connection from the listener's
+// accept queue; nil when empty.
+func (sk *TCPSocket) Accept() *TCPSocket {
+	if len(sk.acceptQueue) == 0 {
+		return nil
+	}
+	c := sk.acceptQueue[0]
+	sk.acceptQueue = sk.acceptQueue[1:]
+	return c
+}
+
+// Close starts an orderly shutdown (FIN). A migrated-away (unhashed)
+// socket is disabled: closing it tears down local state without touching
+// the network — the connection now lives on the destination node.
+func (sk *TCPSocket) Close() {
+	if sk.unhashed {
+		sk.State = TCPClosed
+		return
+	}
+	switch sk.State {
+	case TCPListen:
+		delete(sk.stack.bhash, sk.LocalPort)
+		sk.State = TCPClosed
+	case TCPEstablished:
+		sk.State = TCPFinWait1
+		sk.sendFIN()
+	case TCPCloseWait:
+		sk.State = TCPLastAck
+		sk.sendFIN()
+	case TCPClosed:
+	default:
+		// Already closing.
+	}
+}
+
+func (sk *TCPSocket) sendFIN() {
+	fin := sk.makePacket(netsim.FlagFIN|netsim.FlagACK, sk.SndNxt, sk.RcvNxt, nil)
+	sk.SndNxt++
+	sk.writeQueue = append(sk.writeQueue, fin)
+	sk.stack.transmit(fin.Clone())
+	sk.armRetransTimer()
+}
+
+// Lock simulates a thread entering a system call that locks the socket:
+// packets arriving meanwhile land on the backlog queue. The paper's
+// signal-based checkpoint notification guarantees threads return to
+// userspace first, so the backlog is empty during the freeze phase.
+func (sk *TCPSocket) Lock() { sk.locked = true }
+
+// Unlock releases the socket lock and processes the backlog.
+func (sk *TCPSocket) Unlock() {
+	sk.locked = false
+	bl := sk.backlog
+	sk.backlog = nil
+	for _, p := range bl {
+		sk.segArrived(p)
+	}
+}
+
+// Locked reports the lock state (precopy socket tracking skips locked
+// sockets, §V-C1).
+func (sk *TCPSocket) Locked() bool { return sk.locked }
+
+// StartRecvWait simulates a blocked reader enabling the fast-path
+// prequeue; StopRecvWait drains it in process context.
+func (sk *TCPSocket) StartRecvWait() { sk.readerWaiting = true }
+
+// StopRecvWait disables the prequeue and processes deferred packets.
+func (sk *TCPSocket) StopRecvWait() {
+	sk.readerWaiting = false
+	pq := sk.prequeue
+	sk.prequeue = nil
+	for _, p := range pq {
+		sk.segArrived(p)
+	}
+}
+
+// PrequeueBusy reports whether packets are parked on the prequeue.
+func (sk *TCPSocket) PrequeueBusy() bool { return len(sk.prequeue) > 0 }
+
+// BacklogLen returns the number of packets on the backlog queue.
+func (sk *TCPSocket) BacklogLen() int { return len(sk.backlog) }
+
+// WriteQueue, ReceiveQueue and OOOQueue expose the queues the migration
+// mechanism dumps (§V-C1 states copying these three suffices because
+// backlog and prequeue are empty at freeze time).
+func (sk *TCPSocket) WriteQueue() []*netsim.Packet { return sk.writeQueue }
+
+// ReceiveQueue exposes in-order received, unread segments.
+func (sk *TCPSocket) ReceiveQueue() []*netsim.Packet { return sk.receiveQueue }
+
+// OOOQueue exposes out-of-order segments awaiting the gap fill.
+func (sk *TCPSocket) OOOQueue() []*netsim.Packet { return sk.oooQueue }
+
+// SendBufLen reports unsegmented application bytes waiting for cwnd.
+func (sk *TCPSocket) SendBufLen() int { return len(sk.sndBuf) }
+
+// input is the softirq receive path for a hashed socket.
+func (sk *TCPSocket) input(p *netsim.Packet) {
+	if sk.unhashed {
+		return // cannot happen via demux; defensive
+	}
+	if sk.locked {
+		sk.backlog = append(sk.backlog, p)
+		return
+	}
+	if sk.readerWaiting && sk.State == TCPEstablished && p.Flags&(netsim.FlagSYN|netsim.FlagFIN|netsim.FlagRST) == 0 {
+		// Fast path: park on the prequeue, process in "process context"
+		// (a zero-delay event standing in for the awakened reader).
+		sk.prequeue = append(sk.prequeue, p)
+		sk.stack.sched.After(0, "tcp.prequeue", func() {
+			if sk.readerWaiting {
+				sk.StopRecvWait()
+				sk.StartRecvWait()
+			}
+		})
+		return
+	}
+	sk.segArrived(p)
+}
+
+// segArrived runs the TCP state machine on one segment.
+func (sk *TCPSocket) segArrived(p *netsim.Packet) {
+	if p.TSVal != 0 {
+		sk.TSRecent = p.TSVal
+	}
+	switch sk.State {
+	case TCPSynSent:
+		if p.Flags&(netsim.FlagSYN|netsim.FlagACK) == netsim.FlagSYN|netsim.FlagACK && p.Ack == sk.SndNxt {
+			sk.IRS = p.Seq
+			sk.RcvNxt = p.Seq + 1
+			sk.SndUna = p.Ack
+			sk.writeQueue = sk.writeQueue[:0] // SYN acknowledged
+			sk.State = TCPEstablished
+			sk.stopRetransTimer()
+			sk.sendAck()
+			if sk.OnReadable != nil {
+				sk.OnReadable() // connection completion notification
+			}
+		}
+		return
+	case TCPSynRcvd:
+		if p.Flags&netsim.FlagACK != 0 && p.Ack == sk.SndNxt {
+			sk.State = TCPEstablished
+			sk.stopRetransTimer()
+			if parent := sk.stack.bhash[sk.LocalPort]; parent != nil && parent.State == TCPListen {
+				parent.acceptQueue = append(parent.acceptQueue, sk)
+				if parent.OnAccept != nil {
+					parent.OnAccept(sk)
+				}
+			}
+			// Fall through in case the ACK carries data.
+		} else {
+			return
+		}
+	}
+
+	if p.Flags&netsim.FlagACK != 0 {
+		sk.processAck(p)
+	}
+	if len(p.Payload) > 0 {
+		sk.processData(p)
+	}
+	if p.Flags&netsim.FlagFIN != 0 {
+		sk.processFIN(p)
+	}
+}
+
+func seqLE(a, b uint32) bool { return int32(b-a) >= 0 }
+func seqLT(a, b uint32) bool { return int32(b-a) > 0 }
+
+func (sk *TCPSocket) processAck(p *netsim.Packet) {
+	if !seqLT(sk.SndUna, p.Ack) || !seqLE(p.Ack, sk.SndNxt) {
+		if p.Ack == sk.SndUna && len(p.Payload) == 0 {
+			// Window updates ride on duplicate ACKs too.
+			sk.updateSndWnd(p)
+			// A duplicate ACK for the oldest unacknowledged byte signals a
+			// hole at the receiver; the third one triggers fast retransmit.
+			if len(sk.writeQueue) > 0 {
+				sk.dupAcks++
+				if sk.dupAcks == 3 {
+					sk.fastRetransmit()
+				}
+			}
+		}
+		return // old or impossible ack
+	}
+	sk.dupAcks = 0
+	sk.updateSndWnd(p)
+	// RTT sample from the echoed timestamp (jiffies difference on *this*
+	// node's clock; a migrated socket whose buffer timestamps were not
+	// adjusted would compute a garbage RTT here).
+	if p.TSEcr != 0 {
+		deltaJiffies := sk.stack.Jiffies() - p.TSEcr
+		sk.updateRTT(int(deltaJiffies) * int(simtime.JiffyPeriod/1e6))
+	}
+	sk.SndUna = p.Ack
+	// Drop fully acknowledged segments from the write queue.
+	keep := sk.writeQueue[:0]
+	for _, seg := range sk.writeQueue {
+		segEnd := seg.Seq + uint32(len(seg.Payload))
+		if seg.Flags&(netsim.FlagSYN|netsim.FlagFIN) != 0 {
+			segEnd++
+		}
+		if seqLT(p.Ack, segEnd) {
+			keep = append(keep, seg)
+		}
+	}
+	sk.writeQueue = keep
+	// Congestion window growth: slow start below ssthresh, then linear.
+	if sk.Cwnd < sk.Ssthresh {
+		sk.Cwnd++
+	} else {
+		sk.Cwnd += 1 // coarse congestion avoidance: +1 per ACK batch
+	}
+	if len(sk.writeQueue) == 0 {
+		sk.stopRetransTimer()
+	} else {
+		sk.armRetransTimer()
+	}
+	switch sk.State {
+	case TCPFinWait1:
+		if p.Ack == sk.SndNxt {
+			sk.State = TCPFinWait2
+		}
+	case TCPLastAck:
+		if p.Ack == sk.SndNxt {
+			sk.becomeClosed()
+		}
+	case TCPClosing:
+		if p.Ack == sk.SndNxt {
+			sk.enterTimeWait()
+		}
+	}
+	sk.pushNew()
+}
+
+func (sk *TCPSocket) processData(p *netsim.Packet) {
+	switch {
+	case p.Seq == sk.RcvNxt:
+		sk.enqueueInOrder(p)
+		sk.drainOOO()
+		sk.sendAck()
+		if sk.OnReadable != nil {
+			sk.OnReadable()
+		}
+	case seqLT(sk.RcvNxt, p.Seq):
+		sk.insertOOO(p)
+		sk.sendAck() // duplicate ack signals the gap
+	default:
+		// Entirely old data (e.g. a retransmission that raced the ack, or
+		// a captured duplicate): re-ack.
+		sk.sendAck()
+	}
+}
+
+func (sk *TCPSocket) enqueueInOrder(p *netsim.Packet) {
+	sk.receiveQueue = append(sk.receiveQueue, p)
+	sk.rcvBufUsed += len(p.Payload)
+	sk.RcvNxt = p.Seq + uint32(len(p.Payload))
+	sk.BytesIn += uint64(len(p.Payload))
+}
+
+func (sk *TCPSocket) insertOOO(p *netsim.Packet) {
+	for _, q := range sk.oooQueue {
+		if q.Seq == p.Seq {
+			return // duplicate
+		}
+	}
+	sk.oooQueue = append(sk.oooQueue, p)
+	sort.Slice(sk.oooQueue, func(i, j int) bool { return seqLT(sk.oooQueue[i].Seq, sk.oooQueue[j].Seq) })
+}
+
+func (sk *TCPSocket) drainOOO() {
+	for len(sk.oooQueue) > 0 && sk.oooQueue[0].Seq == sk.RcvNxt {
+		q := sk.oooQueue[0]
+		sk.oooQueue = sk.oooQueue[1:]
+		sk.enqueueInOrder(q)
+	}
+	// Discard anything now stale.
+	keep := sk.oooQueue[:0]
+	for _, q := range sk.oooQueue {
+		if seqLT(sk.RcvNxt, q.Seq+uint32(len(q.Payload))) {
+			keep = append(keep, q)
+		}
+	}
+	sk.oooQueue = keep
+}
+
+func (sk *TCPSocket) processFIN(p *netsim.Packet) {
+	finSeq := p.Seq + uint32(len(p.Payload))
+	if finSeq != sk.RcvNxt {
+		return // FIN out of order; wait for retransmission
+	}
+	sk.RcvNxt++
+	sk.eof = true
+	sk.sendAck()
+	switch sk.State {
+	case TCPEstablished:
+		sk.State = TCPCloseWait
+	case TCPFinWait1:
+		sk.State = TCPClosing
+	case TCPFinWait2:
+		sk.enterTimeWait()
+	}
+	if sk.OnReadable != nil {
+		sk.OnReadable()
+	}
+}
+
+func (sk *TCPSocket) enterTimeWait() {
+	sk.State = TCPTimeWait
+	sk.stopRetransTimer()
+	sk.stack.sched.After(TimeWaitDelay, "tcp.timewait", func() {
+		if sk.State == TCPTimeWait {
+			sk.becomeClosed()
+		}
+	})
+}
+
+func (sk *TCPSocket) becomeClosed() {
+	sk.State = TCPClosed
+	sk.stopRetransTimer()
+	if !sk.unhashed {
+		delete(sk.stack.ehash, sk.Tuple())
+		if sk.ownsBind && sk.stack.bhash[sk.LocalPort] == sk {
+			delete(sk.stack.bhash, sk.LocalPort)
+		}
+	}
+}
+
+// updateSndWnd adopts the peer's advertised window and restarts stalled
+// transmission when it reopens.
+func (sk *TCPSocket) updateSndWnd(p *netsim.Packet) {
+	sk.SndWnd = uint32(p.Window)
+	if sk.SndWnd > 0 && len(sk.sndBuf) > 0 {
+		sk.pushNew()
+	}
+}
+
+// pushNew segments and transmits buffered data while both the congestion
+// window and the peer's receive window allow.
+func (sk *TCPSocket) pushNew() {
+	for len(sk.sndBuf) > 0 && uint32(len(sk.writeQueue)) < sk.Cwnd {
+		inflight := sk.SndNxt - sk.SndUna
+		n := len(sk.sndBuf)
+		if n > sk.MSS {
+			n = sk.MSS
+		}
+		if inflight+uint32(n) > sk.SndWnd {
+			// Receiver-limited: stop and arm the persist timer so a lost
+			// window update cannot deadlock the connection.
+			sk.ensurePersistTimer()
+			break
+		}
+		payload := append([]byte(nil), sk.sndBuf[:n]...)
+		sk.sndBuf = sk.sndBuf[n:]
+		seg := sk.makePacket(netsim.FlagACK|netsim.FlagPSH, sk.SndNxt, sk.RcvNxt, payload)
+		sk.SndNxt += uint32(n)
+		sk.writeQueue = append(sk.writeQueue, seg)
+		sk.stack.transmit(seg.Clone())
+	}
+	if len(sk.writeQueue) > 0 {
+		sk.ensureRetransTimer()
+	}
+}
+
+// ensurePersistTimer arms the zero-window probe.
+func (sk *TCPSocket) ensurePersistTimer() {
+	if sk.persistTimer != nil && !sk.persistTimer.Canceled() {
+		return
+	}
+	sk.persistTimer = sk.stack.sched.After(PersistInterval, "tcp.persist", func() {
+		sk.persistTimer = nil
+		if sk.unhashed || sk.State != TCPEstablished {
+			return
+		}
+		next := len(sk.sndBuf)
+		if next > sk.MSS {
+			next = sk.MSS
+		}
+		if len(sk.sndBuf) > 0 && sk.SndNxt-sk.SndUna+uint32(next) > sk.SndWnd {
+			// Window probe: push a single byte past the window. The
+			// receiver acknowledges it with its current window, which
+			// either reopens transmission or re-arms the probe.
+			payload := append([]byte(nil), sk.sndBuf[0])
+			sk.sndBuf = sk.sndBuf[1:]
+			seg := sk.makePacket(netsim.FlagACK|netsim.FlagPSH, sk.SndNxt, sk.RcvNxt, payload)
+			sk.SndNxt++
+			sk.writeQueue = append(sk.writeQueue, seg)
+			sk.stack.transmit(seg.Clone())
+			sk.ensureRetransTimer()
+			sk.ensurePersistTimer()
+		}
+	})
+}
+
+func (sk *TCPSocket) sendAck() {
+	if sk.unhashed {
+		return
+	}
+	ack := sk.makePacket(netsim.FlagACK, sk.SndNxt, sk.RcvNxt, nil)
+	sk.stack.transmit(ack)
+}
+
+// advertisedWindow is the free receive-buffer space this socket announces.
+func (sk *TCPSocket) advertisedWindow() uint16 {
+	free := sk.RcvBufMax - sk.rcvBufUsed
+	if free < 0 {
+		free = 0
+	}
+	if free > 65535 {
+		free = 65535
+	}
+	return uint16(free)
+}
+
+// makePacket stamps identity, timestamps, the advertised window and the
+// destination cache entry onto a new segment.
+func (sk *TCPSocket) makePacket(flags byte, seq, ack uint32, payload []byte) *netsim.Packet {
+	sk.LastTxJiffies = sk.stack.Jiffies()
+	p := &netsim.Packet{
+		SrcIP: sk.LocalIP, DstIP: sk.RemoteIP, Proto: netsim.ProtoTCP, TTL: 64,
+		SrcPort: sk.LocalPort, DstPort: sk.RemotePort,
+		Seq: seq, Ack: ack, Flags: flags, Window: sk.advertisedWindow(),
+		TSVal: sk.LastTxJiffies, TSEcr: sk.TSRecent,
+		Payload: payload,
+		Dst:     sk.dst,
+	}
+	p.FixChecksum()
+	return p
+}
+
+func (sk *TCPSocket) updateRTT(sampleMs int) {
+	if sampleMs < 0 {
+		return
+	}
+	if sk.SRTTms == 0 {
+		sk.SRTTms = sampleMs
+		sk.RTTVarms = sampleMs / 2
+	} else {
+		diff := sampleMs - sk.SRTTms
+		if diff < 0 {
+			diff = -diff
+		}
+		sk.RTTVarms = (3*sk.RTTVarms + diff) / 4
+		sk.SRTTms = (7*sk.SRTTms + sampleMs) / 8
+	}
+	sk.RTOms = sk.SRTTms + 4*sk.RTTVarms
+	if min := int(MinRTO / 1e6); sk.RTOms < min {
+		sk.RTOms = min
+	}
+}
+
+// armRetransTimer (re)starts the retransmission timer for the head of the
+// write queue. RestartRetransTimer is the restore-side entry (§V-C1:
+// "the retransmission timer is restarted").
+func (sk *TCPSocket) armRetransTimer() {
+	sk.stopRetransTimer()
+	rto := simtime.Duration(sk.RTOms) * 1e6
+	if rto < MinRTO {
+		rto = MinRTO
+	}
+	if rto > MaxRTO {
+		rto = MaxRTO
+	}
+	sk.rtoPending = true
+	sk.retransTimer = sk.stack.sched.After(rto, "tcp.rto", sk.onRetransTimeout)
+}
+
+// ensureRetransTimer arms the timer only when none is pending: sending
+// fresh segments must not keep pushing the timeout of the oldest
+// unacknowledged one into the future.
+func (sk *TCPSocket) ensureRetransTimer() {
+	if !sk.rtoPending {
+		sk.armRetransTimer()
+	}
+}
+
+// RestartRetransTimer is called after a socket is restored on the
+// destination node.
+func (sk *TCPSocket) RestartRetransTimer() {
+	if len(sk.writeQueue) > 0 {
+		sk.armRetransTimer()
+	}
+}
+
+func (sk *TCPSocket) stopRetransTimer() {
+	sk.rtoPending = false
+	if sk.retransTimer != nil {
+		sk.stack.sched.Cancel(sk.retransTimer)
+		sk.retransTimer = nil
+	}
+}
+
+// fastRetransmit resends the head of the write queue immediately after
+// three duplicate ACKs, with the multiplicative window reduction of NewReno
+// (simplified: no partial-ack bookkeeping).
+func (sk *TCPSocket) fastRetransmit() {
+	if sk.unhashed || len(sk.writeQueue) == 0 {
+		return
+	}
+	sk.FastRetransmits++
+	inflight := uint32(len(sk.writeQueue))
+	sk.Ssthresh = inflight / 2
+	if sk.Ssthresh < 2 {
+		sk.Ssthresh = 2
+	}
+	sk.Cwnd = sk.Ssthresh
+	head := sk.writeQueue[0]
+	re := head.Clone()
+	re.Ack = sk.RcvNxt
+	re.TSVal = sk.stack.Jiffies()
+	re.TSEcr = sk.TSRecent
+	re.Dst = sk.dst
+	re.FixChecksum()
+	sk.stack.transmit(re)
+	sk.armRetransTimer()
+}
+
+func (sk *TCPSocket) onRetransTimeout() {
+	sk.rtoPending = false
+	if sk.unhashed || len(sk.writeQueue) == 0 {
+		return
+	}
+	sk.Retransmits++
+	// Multiplicative backoff and window collapse.
+	sk.RTOms *= 2
+	if max := int(MaxRTO / 1e6); sk.RTOms > max {
+		sk.RTOms = max
+	}
+	inflight := uint32(len(sk.writeQueue))
+	sk.Ssthresh = inflight / 2
+	if sk.Ssthresh < 2 {
+		sk.Ssthresh = 2
+	}
+	sk.Cwnd = 1
+	head := sk.writeQueue[0]
+	re := head.Clone()
+	re.Ack = sk.RcvNxt
+	re.TSVal = sk.stack.Jiffies()
+	re.TSEcr = sk.TSRecent
+	re.Dst = sk.dst
+	re.FixChecksum()
+	sk.stack.transmit(re)
+	sk.armRetransTimer()
+}
+
+// --- Migration support -------------------------------------------------
+
+// Unhash removes the socket from the ehash and bhash tables and clears
+// the retransmission timer of the write queue: the first step of TCP
+// socket migration (§V-C1). The socket stops receiving and sending.
+func (sk *TCPSocket) Unhash() {
+	if sk.unhashed {
+		return
+	}
+	delete(sk.stack.ehash, sk.Tuple())
+	if sk.ownsBind && sk.stack.bhash[sk.LocalPort] == sk {
+		delete(sk.stack.bhash, sk.LocalPort)
+	}
+	sk.stopRetransTimer()
+	if sk.persistTimer != nil {
+		sk.stack.sched.Cancel(sk.persistTimer)
+		sk.persistTimer = nil
+	}
+	sk.unhashed = true
+}
+
+// Rehash inserts the socket into the lookup tables of its (possibly new)
+// stack; the final restore step before the retransmission timer restart.
+func (sk *TCPSocket) Rehash() error {
+	if !sk.unhashed {
+		return errors.New("netstack: rehash of a hashed socket")
+	}
+	st := sk.stack
+	if sk.State == TCPListen {
+		if st.bhash[sk.LocalPort] != nil {
+			return fmt.Errorf("netstack %s: port %d already bound", st.Name, sk.LocalPort)
+		}
+		st.bhash[sk.LocalPort] = sk
+		sk.ownsBind = true
+		sk.unhashed = false
+		return nil
+	}
+	if st.ehash[sk.Tuple()] != nil {
+		return fmt.Errorf("netstack %s: tuple %v already hashed", st.Name, sk.Tuple())
+	}
+	st.ehash[sk.Tuple()] = sk
+	if st.bhash[sk.LocalPort] == nil {
+		st.bhash[sk.LocalPort] = sk
+		sk.ownsBind = true
+	} else {
+		sk.ownsBind = false
+	}
+	sk.unhashed = false
+	return nil
+}
+
+// Unhashed reports migration-disabled state.
+func (sk *TCPSocket) Unhashed() bool { return sk.unhashed }
+
+// AdoptStack rebinds the socket to a new node's stack and refreshes its
+// destination cache entry there. Called by restore.
+func (sk *TCPSocket) AdoptStack(st *Stack) error {
+	sk.stack = st
+	d, err := st.DstFor(sk.RemoteIP)
+	if err != nil {
+		return err
+	}
+	sk.dst = d
+	return nil
+}
+
+// InjectArrived lets the capture module feed a reinjected packet straight
+// into the state machine (used after Reinject demux found the socket).
+func (sk *TCPSocket) InjectArrived(p *netsim.Packet) { sk.segArrived(p) }

@@ -1,0 +1,163 @@
+package netstack
+
+import (
+	"fmt"
+
+	"dvemig/internal/netsim"
+)
+
+// Datagram is one received UDP message together with its source.
+type Datagram struct {
+	SrcIP   netsim.Addr
+	SrcPort uint16
+	TSVal   uint32 // sender jiffies, adjusted on migration like TCP buffers
+	Payload []byte
+}
+
+// UDPSocket models a UDP server socket bound to a local port. Migrating
+// one means unhashing it, transferring the main structure plus the
+// receive-queue buffers, and rehashing on the destination (§V-C2).
+type UDPSocket struct {
+	stack *Stack
+
+	LocalIP   netsim.Addr
+	LocalPort uint16
+
+	receiveQueue []Datagram
+	unhashed     bool
+
+	// OnReadable fires when a datagram is queued.
+	OnReadable func()
+
+	BytesIn, BytesOut     uint64
+	PacketsIn, PacketsOut uint64
+
+	dstCacheByPeer map[netsim.Addr]*netsim.DstEntry
+}
+
+// NewUDPSocket allocates an unbound UDP socket.
+func NewUDPSocket(s *Stack) *UDPSocket {
+	return &UDPSocket{stack: s, dstCacheByPeer: make(map[netsim.Addr]*netsim.DstEntry)}
+}
+
+// Stack returns the owning stack.
+func (us *UDPSocket) Stack() *Stack { return us.stack }
+
+// Bind hashes the socket under the local port.
+func (us *UDPSocket) Bind(addr netsim.Addr, port uint16) error {
+	if us.stack.udph[port] != nil {
+		return fmt.Errorf("netstack %s: UDP port %d already bound", us.stack.Name, port)
+	}
+	us.LocalIP = addr
+	us.LocalPort = port
+	us.stack.udph[port] = us
+	return nil
+}
+
+// BindEphemeral binds to a stack-chosen port (client sockets).
+func (us *UDPSocket) BindEphemeral(addr netsim.Addr) {
+	us.LocalIP = addr
+	us.LocalPort = us.stack.allocEphemeral()
+	us.stack.udph[us.LocalPort] = us
+}
+
+// SendTo transmits one datagram.
+func (us *UDPSocket) SendTo(dst netsim.Addr, port uint16, payload []byte) error {
+	if us.unhashed {
+		return fmt.Errorf("netstack: send on unhashed UDP socket")
+	}
+	d, ok := us.dstCacheByPeer[dst]
+	if !ok {
+		var err error
+		if d, err = us.stack.DstFor(dst); err != nil {
+			return err
+		}
+		us.dstCacheByPeer[dst] = d
+	}
+	p := &netsim.Packet{
+		SrcIP: us.LocalIP, DstIP: dst, Proto: netsim.ProtoUDP, TTL: 64,
+		SrcPort: us.LocalPort, DstPort: port,
+		TSVal:   us.stack.Jiffies(),
+		Payload: append([]byte(nil), payload...),
+		Dst:     d,
+	}
+	p.FixChecksum()
+	us.PacketsOut++
+	us.BytesOut += uint64(len(payload))
+	us.stack.transmit(p)
+	return nil
+}
+
+func (us *UDPSocket) input(p *netsim.Packet) {
+	if us.unhashed {
+		return
+	}
+	us.receiveQueue = append(us.receiveQueue, Datagram{
+		SrcIP: p.SrcIP, SrcPort: p.SrcPort, TSVal: p.TSVal,
+		Payload: p.Payload,
+	})
+	us.PacketsIn++
+	us.BytesIn += uint64(len(p.Payload))
+	if us.OnReadable != nil {
+		us.OnReadable()
+	}
+}
+
+// Recv pops the oldest queued datagram; ok is false when empty.
+func (us *UDPSocket) Recv() (Datagram, bool) {
+	if len(us.receiveQueue) == 0 {
+		return Datagram{}, false
+	}
+	d := us.receiveQueue[0]
+	us.receiveQueue = us.receiveQueue[1:]
+	return d, true
+}
+
+// QueueLen reports buffered datagrams (dumped at migration time).
+func (us *UDPSocket) QueueLen() int { return len(us.receiveQueue) }
+
+// ReceiveQueue exposes the buffered datagrams for checkpointing.
+func (us *UDPSocket) ReceiveQueue() []Datagram { return us.receiveQueue }
+
+// Close unbinds the socket.
+func (us *UDPSocket) Close() {
+	if !us.unhashed && us.stack.udph[us.LocalPort] == us {
+		delete(us.stack.udph, us.LocalPort)
+	}
+	us.unhashed = true
+}
+
+// Unhash removes the socket from the UDP hash before migration (§V-C2:
+// "each UDP server socket has to be unhashed before the migration").
+func (us *UDPSocket) Unhash() {
+	if us.unhashed {
+		return
+	}
+	if us.stack.udph[us.LocalPort] == us {
+		delete(us.stack.udph, us.LocalPort)
+	}
+	us.unhashed = true
+}
+
+// Rehash inserts the socket into its stack's UDP hash after restore.
+func (us *UDPSocket) Rehash() error {
+	if !us.unhashed {
+		return fmt.Errorf("netstack: rehash of a hashed UDP socket")
+	}
+	if us.stack.udph[us.LocalPort] != nil {
+		return fmt.Errorf("netstack %s: UDP port %d already bound", us.stack.Name, us.LocalPort)
+	}
+	us.stack.udph[us.LocalPort] = us
+	us.unhashed = false
+	return nil
+}
+
+// Unhashed reports migration-disabled state.
+func (us *UDPSocket) Unhashed() bool { return us.unhashed }
+
+// AdoptStack rebinds the socket to a new node's stack, clearing peer
+// destination cache entries so they are re-resolved locally.
+func (us *UDPSocket) AdoptStack(st *Stack) {
+	us.stack = st
+	us.dstCacheByPeer = make(map[netsim.Addr]*netsim.DstEntry)
+}

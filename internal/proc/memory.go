@@ -1,0 +1,249 @@
+// Package proc models the operating-system substrate the migration
+// mechanism runs on: cluster nodes, processes with threads, signals and
+// file-descriptor tables, and virtual address spaces made of vm_area
+// regions whose pages carry the dirty bit the precopy engine tracks.
+package proc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the virtual memory page size.
+const PageSize = 4096
+
+// Page is one resident page: its data and the page-table dirty bit. The
+// paper's implementation tracks dirtiness via the PTE dirty bit with the
+// swap facility relaxed (§V-A); our pages are never swapped either.
+type Page struct {
+	Data  []byte
+	Dirty bool
+}
+
+// VMA is a continuous mapped memory area, the analogue of Linux
+// vm_area_struct. Pages are materialized on first touch.
+type VMA struct {
+	Start uint64 // inclusive, page aligned
+	End   uint64 // exclusive, page aligned
+	Perms string // e.g. "rw-", informational
+	Pages map[uint64]*Page
+}
+
+// Len returns the region size in bytes.
+func (v *VMA) Len() uint64 { return v.End - v.Start }
+
+// Resident returns the number of materialized pages.
+func (v *VMA) Resident() int { return len(v.Pages) }
+
+// AddressSpace is an ordered set of non-overlapping VMAs, the analogue of
+// the mm_struct VMA list the tracking mechanism of §V-A diffs against.
+type AddressSpace struct {
+	vmas    []*VMA // sorted by Start
+	nextMap uint64 // bump allocator for anonymous mappings
+}
+
+// NewAddressSpace creates an empty address space with mappings starting
+// at a conventional base.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{nextMap: 0x4000_0000}
+}
+
+// VMAs returns the live region list in address order. Callers must not
+// mutate it.
+func (as *AddressSpace) VMAs() []*VMA { return as.vmas }
+
+// Mmap maps length bytes at a chosen address and returns the region.
+func (as *AddressSpace) Mmap(length uint64, perms string) *VMA {
+	if length == 0 {
+		length = PageSize
+	}
+	length = (length + PageSize - 1) / PageSize * PageSize
+	v := &VMA{Start: as.nextMap, End: as.nextMap + length, Perms: perms, Pages: make(map[uint64]*Page)}
+	as.nextMap += length + PageSize // guard page gap
+	as.vmas = append(as.vmas, v)
+	sort.Slice(as.vmas, func(i, j int) bool { return as.vmas[i].Start < as.vmas[j].Start })
+	return v
+}
+
+// MmapFixed maps a region at a specific address (restart path).
+func (as *AddressSpace) MmapFixed(start, end uint64, perms string) (*VMA, error) {
+	if start%PageSize != 0 || end%PageSize != 0 || end <= start {
+		return nil, fmt.Errorf("proc: bad fixed mapping [%#x,%#x)", start, end)
+	}
+	for _, v := range as.vmas {
+		if start < v.End && v.Start < end {
+			return nil, fmt.Errorf("proc: mapping [%#x,%#x) overlaps [%#x,%#x)", start, end, v.Start, v.End)
+		}
+	}
+	v := &VMA{Start: start, End: end, Perms: perms, Pages: make(map[uint64]*Page)}
+	as.vmas = append(as.vmas, v)
+	sort.Slice(as.vmas, func(i, j int) bool { return as.vmas[i].Start < as.vmas[j].Start })
+	if end+PageSize > as.nextMap {
+		as.nextMap = end + PageSize
+	}
+	return v, nil
+}
+
+// Munmap removes the region starting at start.
+func (as *AddressSpace) Munmap(start uint64) error {
+	for i, v := range as.vmas {
+		if v.Start == start {
+			as.vmas = append(as.vmas[:i], as.vmas[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("proc: munmap of unmapped address %#x", start)
+}
+
+// Resize grows or shrinks a region in place (mremap-style modification;
+// one of the three kinds of address-space change the tracking list must
+// reflect).
+func (as *AddressSpace) Resize(start, newLen uint64) error {
+	newLen = (newLen + PageSize - 1) / PageSize * PageSize
+	for i, v := range as.vmas {
+		if v.Start != start {
+			continue
+		}
+		newEnd := start + newLen
+		if i+1 < len(as.vmas) && newEnd > as.vmas[i+1].Start {
+			return fmt.Errorf("proc: resize collides with next mapping")
+		}
+		if newEnd < v.End {
+			for idx := range v.Pages {
+				if idx*PageSize >= newEnd-v.Start {
+					delete(v.Pages, idx)
+				}
+			}
+		}
+		v.End = newEnd
+		return nil
+	}
+	return fmt.Errorf("proc: resize of unmapped address %#x", start)
+}
+
+func (as *AddressSpace) findVMA(addr uint64) *VMA {
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].End > addr })
+	if i < len(as.vmas) && as.vmas[i].Start <= addr {
+		return as.vmas[i]
+	}
+	return nil
+}
+
+func (v *VMA) page(addr uint64) *Page {
+	idx := (addr - v.Start) / PageSize
+	p := v.Pages[idx]
+	if p == nil {
+		p = &Page{Data: make([]byte, PageSize)}
+		v.Pages[idx] = p
+	}
+	return p
+}
+
+// Write stores data at addr, faulting pages in and setting dirty bits.
+func (as *AddressSpace) Write(addr uint64, data []byte) error {
+	for len(data) > 0 {
+		v := as.findVMA(addr)
+		if v == nil {
+			return fmt.Errorf("proc: segmentation fault writing %#x", addr)
+		}
+		p := v.page(addr)
+		off := addr % PageSize
+		n := copy(p.Data[off:], data)
+		p.Dirty = true
+		data = data[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// Read copies length bytes starting at addr.
+func (as *AddressSpace) Read(addr uint64, length int) ([]byte, error) {
+	out := make([]byte, 0, length)
+	for length > 0 {
+		v := as.findVMA(addr)
+		if v == nil {
+			return nil, fmt.Errorf("proc: segmentation fault reading %#x", addr)
+		}
+		off := addr % PageSize
+		n := PageSize - int(off)
+		if n > length {
+			n = length
+		}
+		idx := (addr - v.Start) / PageSize
+		if p := v.Pages[idx]; p != nil {
+			out = append(out, p.Data[off:int(off)+n]...)
+		} else {
+			out = append(out, make([]byte, n)...) // unfaulted zero page
+		}
+		length -= n
+		addr += uint64(n)
+	}
+	return out, nil
+}
+
+// Touch dirties a single page (the workload generator's write primitive).
+func (as *AddressSpace) Touch(addr uint64) error {
+	v := as.findVMA(addr)
+	if v == nil {
+		return fmt.Errorf("proc: segmentation fault touching %#x", addr)
+	}
+	p := v.page(addr)
+	p.Dirty = true
+	p.Data[addr%PageSize]++
+	return nil
+}
+
+// DirtyPages returns (vmaStart, pageIndex) pairs of every dirty page.
+func (as *AddressSpace) DirtyPages() []DirtyRef {
+	var out []DirtyRef
+	for _, v := range as.vmas {
+		idxs := make([]uint64, 0, len(v.Pages))
+		for idx, p := range v.Pages {
+			if p.Dirty {
+				idxs = append(idxs, idx)
+			}
+		}
+		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+		for _, idx := range idxs {
+			out = append(out, DirtyRef{VMA: v, PageIndex: idx})
+		}
+	}
+	return out
+}
+
+// DirtyRef names one dirty page.
+type DirtyRef struct {
+	VMA       *VMA
+	PageIndex uint64
+}
+
+// Addr returns the page's virtual address.
+func (d DirtyRef) Addr() uint64 { return d.VMA.Start + d.PageIndex*PageSize }
+
+// ClearDirty resets all dirty bits (done after each precopy transfer
+// round, like clearing PTE dirty bits).
+func (as *AddressSpace) ClearDirty() {
+	for _, v := range as.vmas {
+		for _, p := range v.Pages {
+			p.Dirty = false
+		}
+	}
+}
+
+// ResidentBytes sums materialized page bytes across all regions.
+func (as *AddressSpace) ResidentBytes() uint64 {
+	var n uint64
+	for _, v := range as.vmas {
+		n += uint64(len(v.Pages)) * PageSize
+	}
+	return n
+}
+
+// MappedBytes sums region sizes.
+func (as *AddressSpace) MappedBytes() uint64 {
+	var n uint64
+	for _, v := range as.vmas {
+		n += v.Len()
+	}
+	return n
+}

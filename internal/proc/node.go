@@ -1,0 +1,257 @@
+package proc
+
+import (
+	"fmt"
+	"sort"
+
+	"dvemig/internal/netsim"
+	"dvemig/internal/netstack"
+	"dvemig/internal/simtime"
+)
+
+// Node is one DVE server machine: a network stack on both the public
+// (broadcast) and local (in-cluster) networks, a process table and CPU
+// accounting. The testbed nodes are dual-core Opterons (§VI-A); CPU
+// utilisation is reported as a percentage of the whole machine like atop.
+type Node struct {
+	Name    string
+	Sched   *simtime.Scheduler
+	Stack   *netstack.Stack
+	LocalIP netsim.Addr
+
+	PublicNIC, LocalNIC *netsim.NIC
+
+	// Cores is the machine's CPU capacity in core-equivalents.
+	Cores float64
+
+	Alive bool
+
+	processes map[int]*Process
+	nextPID   int
+	tickers   map[int]*simtime.Ticker
+}
+
+func newNode(name string, sched *simtime.Scheduler, bootJiffies uint32) *Node {
+	return &Node{
+		Name:      name,
+		Sched:     sched,
+		Stack:     netstack.NewStack(sched, name, bootJiffies),
+		Cores:     2,
+		Alive:     true,
+		processes: make(map[int]*Process),
+		tickers:   make(map[int]*simtime.Ticker),
+		nextPID:   100,
+	}
+}
+
+// Spawn creates a process with the given number of threads and a fresh
+// address space and FD table.
+func (n *Node) Spawn(name string, threads int) *Process {
+	n.nextPID++
+	p := &Process{
+		PID:         n.nextPID,
+		Name:        name,
+		Node:        n,
+		State:       ProcRunning,
+		AS:          NewAddressSpace(),
+		FDs:         NewFDTable(),
+		SigHandlers: make(map[Signal]func(*Process, *Thread)),
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	for i := 0; i < threads; i++ {
+		p.NewThread()
+	}
+	n.processes[p.PID] = p
+	return p
+}
+
+// Adopt re-homes a migrated process onto this node, preserving its PID
+// when free (BLCR restores the original PID).
+func (n *Node) Adopt(p *Process) {
+	if _, taken := n.processes[p.PID]; taken {
+		n.nextPID++
+		p.PID = n.nextPID
+	}
+	p.Node = n
+	n.processes[p.PID] = p
+	if p.PID > n.nextPID {
+		n.nextPID = p.PID
+	}
+}
+
+func (n *Node) removeProcess(p *Process) {
+	delete(n.processes, p.PID)
+	if tk := n.tickers[p.PID]; tk != nil {
+		tk.Stop()
+		delete(n.tickers, p.PID)
+	}
+}
+
+// Detach removes the process from the node without exiting it (source
+// side of a completed migration).
+func (n *Node) Detach(p *Process) { n.removeProcess(p) }
+
+// Processes lists processes in PID order.
+func (n *Node) Processes() []*Process {
+	out := make([]*Process, 0, len(n.processes))
+	for _, p := range n.processes {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+// NumProcesses returns the process count.
+func (n *Node) NumProcesses() int { return len(n.processes) }
+
+// StartLoop arms the process's real-time loop at the given period. The
+// loop silently skips while the process is frozen (the freeze phase of a
+// migration) and is re-armed on the destination node after migration.
+func (n *Node) StartLoop(p *Process, period simtime.Duration) {
+	p.LoopPeriod = period
+	if tk := n.tickers[p.PID]; tk != nil {
+		tk.Stop()
+	}
+	tk := simtime.NewTicker(n.Sched, period, p.Name+".loop", func() {
+		if p.State == ProcRunning && p.Tick != nil {
+			p.Tick(p)
+		}
+	})
+	n.tickers[p.PID] = tk
+	tk.Start()
+}
+
+// StopLoop disarms the process loop (source side after migration).
+func (n *Node) StopLoop(p *Process) {
+	if tk := n.tickers[p.PID]; tk != nil {
+		tk.Stop()
+		delete(n.tickers, p.PID)
+	}
+}
+
+// Utilization reports machine CPU usage in [0,1]: the summed demand of
+// runnable processes against the core count, saturating at 1.
+func (n *Node) Utilization() float64 {
+	var demand float64
+	for _, p := range n.processes {
+		if p.State == ProcRunning {
+			demand += p.CPUDemand
+		}
+	}
+	u := demand / n.Cores
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Fail kills the node: processes exit, NICs detach. Used by the
+// fault-tolerance extension.
+func (n *Node) Fail(c *Cluster) {
+	n.Alive = false
+	for _, p := range n.Processes() {
+		p.Exit()
+	}
+	if n.PublicNIC != nil {
+		c.Router.DetachServer(n.PublicNIC)
+	}
+	if n.LocalNIC != nil {
+		c.Switch.Detach(n.LocalNIC)
+	}
+}
+
+// Cluster is the full single-IP-address testbed: a broadcast router on
+// the public side, a switch on the in-cluster side, and the server nodes.
+type Cluster struct {
+	Sched     *simtime.Scheduler
+	ClusterIP netsim.Addr
+	Router    *netsim.BroadcastRouter
+	Switch    *netsim.Switch
+	Nodes     []*Node
+	Rand      *simtime.Rand
+
+	nextExternal    byte
+	nextLocal       byte
+	lastExternalNIC *netsim.NIC
+}
+
+// LocalNet is the in-cluster subnet.
+var LocalNet = netsim.MakeAddr(192, 168, 1, 0)
+
+// NewCluster builds the testbed with n server nodes (the paper uses 5
+// DVE servers plus a MySQL machine; the DB node is added separately with
+// AddNode so experiments can choose).
+func NewCluster(sched *simtime.Scheduler, n int) *Cluster {
+	c := &Cluster{
+		Sched:     sched,
+		ClusterIP: netsim.MakeAddr(203, 0, 113, 10),
+		Rand:      simtime.NewRand(2010),
+		nextLocal: 1,
+	}
+	c.Router = netsim.NewBroadcastRouter(sched, c.ClusterIP)
+	c.Switch = netsim.NewSwitch(sched)
+	for i := 0; i < n; i++ {
+		c.AddNode(fmt.Sprintf("node%d", i+1))
+	}
+	return c
+}
+
+// AddNode attaches a new server node to both networks. Jiffies boot
+// offsets are deliberately distinct across nodes.
+func (c *Cluster) AddNode(name string) *Node {
+	idx := c.nextLocal
+	c.nextLocal++
+	boot := uint32(idx)*1_000_003 + 12345
+	n := newNode(name, c.Sched, boot)
+	n.LocalIP = netsim.MakeAddr(192, 168, 1, idx)
+	n.PublicNIC = c.Router.AttachServer(name+".pub", netsim.GigabitEthernet)
+	n.LocalNIC = c.Switch.Attach(name+".lan", n.LocalIP, netsim.GigabitEthernet)
+	n.Stack.AttachNIC(n.PublicNIC, c.ClusterIP)
+	n.Stack.AttachNIC(n.LocalNIC, n.LocalIP)
+	n.Stack.AddRoute(LocalNet, 24, n.LocalNIC, n.LocalIP)
+	n.Stack.AddRoute(0, 0, n.PublicNIC, c.ClusterIP)
+	c.Nodes = append(c.Nodes, n)
+	return n
+}
+
+// RemoveNode detaches the node from the cluster fabric (clean leave).
+func (c *Cluster) RemoveNode(n *Node) {
+	for i, m := range c.Nodes {
+		if m == n {
+			c.Nodes = append(c.Nodes[:i], c.Nodes[i+1:]...)
+			break
+		}
+	}
+	n.Alive = false
+	c.Router.DetachServer(n.PublicNIC)
+	c.Switch.Detach(n.LocalNIC)
+}
+
+// NodeByLocalIP finds a node by its in-cluster address.
+func (c *Cluster) NodeByLocalIP(ip netsim.Addr) *Node {
+	for _, n := range c.Nodes {
+		if n.LocalIP == ip && n.Alive {
+			return n
+		}
+	}
+	return nil
+}
+
+// NewExternalHost attaches a client machine on the WAN side of the router
+// and returns its stack.
+func (c *Cluster) NewExternalHost(name string) *netstack.Stack {
+	c.nextExternal++
+	addr := netsim.MakeAddr(198, 51, 100, c.nextExternal)
+	st := netstack.NewStack(c.Sched, name, uint32(c.nextExternal)*77777)
+	nic := c.Router.AttachExternal(name, addr, netsim.GigabitEthernet)
+	st.AttachNIC(nic, addr)
+	st.AddRoute(0, 0, nic, addr)
+	c.lastExternalNIC = nic
+	return st
+}
+
+// LastExternalNIC returns the access-link interface of the most recently
+// created external host, for attaching measurement taps.
+func (c *Cluster) LastExternalNIC() *netsim.NIC { return c.lastExternalNIC }

@@ -1,0 +1,249 @@
+package proc
+
+import (
+	"fmt"
+	"sort"
+
+	"dvemig/internal/netstack"
+	"dvemig/internal/simtime"
+)
+
+// Signal numbers used by the checkpoint machinery.
+type Signal int
+
+// Signals. SIGCKPT is the live-checkpoint request BLCR delivers; the
+// handler clones the helper thread (§III-A).
+const (
+	SIGCKPT Signal = 64 + iota
+	SIGFREEZE
+	SIGKILLPROC
+)
+
+// ProcState is a process lifecycle state.
+type ProcState int
+
+// Process states.
+const (
+	ProcRunning ProcState = iota
+	ProcFrozen            // freeze phase of migration: unresponsive
+	ProcExited
+)
+
+// File is anything an FD can reference.
+type File interface {
+	FileKind() string
+}
+
+// RegularFile is an open disk file; the paper assumes file *contents* are
+// available on all nodes (replicated or on a distributed FS), so a
+// checkpoint records only path, offset and flags, and restart re-opens.
+type RegularFile struct {
+	Path   string
+	Offset int64
+	Flags  int
+}
+
+// FileKind identifies the FD type.
+func (f *RegularFile) FileKind() string { return "file" }
+
+// TCPFile wraps a TCP socket in the FD table.
+type TCPFile struct{ Sock *netstack.TCPSocket }
+
+// FileKind identifies the FD type.
+func (f *TCPFile) FileKind() string { return "tcp" }
+
+// UDPFile wraps a UDP socket in the FD table.
+type UDPFile struct{ Sock *netstack.UDPSocket }
+
+// FileKind identifies the FD type.
+func (f *UDPFile) FileKind() string { return "udp" }
+
+// FDTable maps descriptors to open files.
+type FDTable struct {
+	files  map[int]File
+	nextFD int
+}
+
+// NewFDTable returns an empty table with descriptors from 3 (0-2 are the
+// standard streams, uninteresting here).
+func NewFDTable() *FDTable {
+	return &FDTable{files: make(map[int]File), nextFD: 3}
+}
+
+// Install adds a file and returns its descriptor.
+func (t *FDTable) Install(f File) int {
+	fd := t.nextFD
+	t.nextFD++
+	t.files[fd] = f
+	return fd
+}
+
+// InstallAt places a file at a specific descriptor (restart path).
+func (t *FDTable) InstallAt(fd int, f File) error {
+	if _, dup := t.files[fd]; dup {
+		return fmt.Errorf("proc: fd %d already in use", fd)
+	}
+	t.files[fd] = f
+	if fd >= t.nextFD {
+		t.nextFD = fd + 1
+	}
+	return nil
+}
+
+// Get returns the file at fd, or nil.
+func (t *FDTable) Get(fd int) File { return t.files[fd] }
+
+// CloseFD removes the descriptor.
+func (t *FDTable) CloseFD(fd int) { delete(t.files, fd) }
+
+// Len returns the number of open descriptors.
+func (t *FDTable) Len() int { return len(t.files) }
+
+// FDs returns descriptors in ascending order — the iteration order of the
+// migration engine's "file descriptor table iteration".
+func (t *FDTable) FDs() []int {
+	out := make([]int, 0, len(t.files))
+	for fd := range t.files {
+		out = append(out, fd)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Registers is the simulated execution context of one thread; its exact
+// content is irrelevant, but migration must preserve it bit for bit.
+type Registers struct {
+	PC, SP uint64
+	GPR    [8]uint64
+}
+
+// SyscallState records that a thread is blocked inside a system call on a
+// socket; the signal-based checkpoint notification forces it to abandon
+// the call and return to userspace (§III-A), releasing the socket lock —
+// which is why backlog and prequeue are guaranteed empty in the freeze
+// phase (§V-C1).
+type SyscallState struct {
+	Sock     *netstack.TCPSocket
+	RecvWait bool
+}
+
+// Thread is one kernel thread of a process.
+type Thread struct {
+	TID     int
+	Regs    Registers
+	Syscall *SyscallState
+	// SigHandlerRan counts handler invocations, for tests.
+	SigHandlerRan int
+}
+
+// EnterSyscall simulates the thread blocking in a socket call.
+func (th *Thread) EnterSyscall(sk *netstack.TCPSocket, recvWait bool) {
+	th.Syscall = &SyscallState{Sock: sk, RecvWait: recvWait}
+	if recvWait {
+		sk.StartRecvWait()
+	} else {
+		sk.Lock()
+	}
+}
+
+// AbandonSyscall forces the thread back to userspace, releasing socket
+// state. Safe to call when not in a syscall.
+func (th *Thread) AbandonSyscall() {
+	if th.Syscall == nil {
+		return
+	}
+	if th.Syscall.RecvWait {
+		th.Syscall.Sock.StopRecvWait()
+	} else {
+		th.Syscall.Sock.Unlock()
+	}
+	th.Syscall = nil
+}
+
+// Process is a simulated OS process.
+type Process struct {
+	PID     int
+	Name    string
+	Node    *Node
+	State   ProcState
+	Threads []*Thread
+	AS      *AddressSpace
+	FDs     *FDTable
+
+	// SigHandlers maps signals to handlers; the checkpoint signal handler
+	// is installed by the migration library. Handlers run once per thread,
+	// mirroring signal delivery to a thread group.
+	SigHandlers map[Signal]func(p *Process, th *Thread)
+
+	// CPUDemand is the fraction of one CPU the process currently wants;
+	// the DVE zone server raises it proportionally to its client count.
+	CPUDemand float64
+
+	// Tick, if set, runs the application's real-time loop; the node wires
+	// it to a ticker firing every LoopPeriod. It receives the process it
+	// runs as (the object identity changes across a migration, the state
+	// does not).
+	Tick       func(p *Process)
+	LoopPeriod simtime.Duration
+
+	nextTID int
+}
+
+// NewThread adds a thread to the process.
+func (p *Process) NewThread() *Thread {
+	p.nextTID++
+	th := &Thread{TID: p.nextTID}
+	// Give the registers distinguishable content so migration tests can
+	// detect corruption.
+	th.Regs.PC = uint64(p.PID)<<32 | uint64(p.nextTID)
+	th.Regs.SP = 0x7FFF_0000_0000 - uint64(p.nextTID)*0x10000
+	for i := range th.Regs.GPR {
+		th.Regs.GPR[i] = uint64(p.PID*1000+p.nextTID*10) + uint64(i)
+	}
+	p.Threads = append(p.Threads, th)
+	return th
+}
+
+// Signal delivers sig to every thread: each thread abandons any system
+// call first (returning to userspace), then runs the handler.
+func (p *Process) Signal(sig Signal) {
+	h := p.SigHandlers[sig]
+	for _, th := range p.Threads {
+		th.AbandonSyscall()
+		if h != nil {
+			th.SigHandlerRan++
+			h(p, th)
+		}
+	}
+}
+
+// Sockets returns the process's TCP and UDP sockets in FD order.
+func (p *Process) Sockets() (tcp []*netstack.TCPSocket, udp []*netstack.UDPSocket) {
+	for _, fd := range p.FDs.FDs() {
+		switch f := p.FDs.Get(fd).(type) {
+		case *TCPFile:
+			tcp = append(tcp, f.Sock)
+		case *UDPFile:
+			udp = append(udp, f.Sock)
+		}
+	}
+	return tcp, udp
+}
+
+// Exit terminates the process and closes its sockets.
+func (p *Process) Exit() {
+	if p.State == ProcExited {
+		return
+	}
+	p.State = ProcExited
+	tcp, udp := p.Sockets()
+	for _, sk := range tcp {
+		sk.Close()
+	}
+	for _, us := range udp {
+		us.Close()
+	}
+	if p.Node != nil {
+		p.Node.removeProcess(p)
+	}
+}

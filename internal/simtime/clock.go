@@ -1,0 +1,308 @@
+// Package simtime provides the virtual time base of the simulated cluster:
+// a discrete-event scheduler, a virtual clock, Linux-style jiffies with
+// per-node skew, and a deterministic pseudo random number generator.
+//
+// Everything in this repository runs against simulated time. The event
+// loop is single threaded, which makes every experiment bit-for-bit
+// reproducible: benchmarks measure simulated milliseconds and simulated
+// bytes, never wall-clock noise of the host machine.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Duration is a span of virtual time. It reuses time.Duration so that the
+// familiar constants (time.Millisecond etc.) can be used by callers.
+type Duration = time.Duration
+
+// Time is an absolute point in virtual time, measured as a Duration since
+// the start of the simulation.
+type Time = time.Duration
+
+// JiffyPeriod is the length of one jiffy. Linux 2.6 with HZ=100 increments
+// the jiffies counter every 10 milliseconds, which is the configuration the
+// paper assumes for TCP timestamps.
+const JiffyPeriod = 10 * time.Millisecond
+
+// Event is a scheduled callback.
+type Event struct {
+	when     Time
+	seq      uint64 // tie-breaker for deterministic ordering
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped
+	name     string
+}
+
+// Canceled reports whether the event has been canceled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// When returns the virtual time at which the event fires (or would have
+// fired if canceled).
+func (e *Event) When() Time { return e.when }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler is a discrete-event simulator: a priority queue of events
+// ordered by virtual time, with FIFO ordering among events scheduled for
+// the same instant.
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	nsteps uint64
+}
+
+// NewScheduler returns a scheduler whose clock starts at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Steps returns the number of events executed so far. Useful for asserting
+// that simulations terminate.
+func (s *Scheduler) Steps() uint64 { return s.nsteps }
+
+// Pending returns the number of events currently queued (including
+// canceled events that have not yet been discarded).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is a programming error and panics: the event loop cannot rewind.
+func (s *Scheduler) At(t Time, name string, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("simtime: scheduling %q at %v before now %v", name, t, s.now))
+	}
+	s.seq++
+	e := &Event{when: t, seq: s.seq, fn: fn, name: name}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d from now.
+func (s *Scheduler) After(d Duration, name string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, name, fn)
+}
+
+// Cancel marks the event canceled; it will be skipped when its time comes.
+// Canceling an already-fired or nil event is a no-op.
+func (s *Scheduler) Cancel(e *Event) {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// step executes the earliest event. It returns false when the queue is empty.
+func (s *Scheduler) step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.when < s.now {
+			panic("simtime: event queue went backwards")
+		}
+		s.now = e.when
+		s.nsteps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (s *Scheduler) Run() {
+	for s.step() {
+	}
+}
+
+// RunUntil executes events with time ≤ deadline, then advances the clock to
+// the deadline. Events scheduled beyond the deadline remain queued.
+func (s *Scheduler) RunUntil(deadline Time) {
+	for {
+		e := s.peek()
+		if e == nil || e.when > deadline {
+			break
+		}
+		s.step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor is RunUntil(Now()+d).
+func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now + d) }
+
+func (s *Scheduler) peek() *Event {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if e.canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return e
+	}
+	return nil
+}
+
+// NextEventTime returns the virtual time of the next pending event and
+// whether one exists.
+func (s *Scheduler) NextEventTime() (Time, bool) {
+	e := s.peek()
+	if e == nil {
+		return 0, false
+	}
+	return e.when, true
+}
+
+// Jiffies converts an absolute virtual time into a jiffies counter value
+// given a per-node boot offset. The paper's TCP timestamp adjustment relies
+// on different nodes having different jiffies values for the same instant.
+func Jiffies(now Time, bootOffset uint32) uint32 {
+	return bootOffset + uint32(now/JiffyPeriod)
+}
+
+// Ticker invokes fn every period until Stop is called. The first tick
+// fires one period after Start.
+type Ticker struct {
+	s      *Scheduler
+	period Duration
+	fn     func()
+	ev     *Event
+	stop   bool
+	name   string
+}
+
+// NewTicker creates a stopped ticker; call Start to begin.
+func NewTicker(s *Scheduler, period Duration, name string, fn func()) *Ticker {
+	if period <= 0 {
+		panic("simtime: ticker period must be positive")
+	}
+	return &Ticker{s: s, period: period, fn: fn, name: name}
+}
+
+// Start arms the ticker. Starting a running ticker is a no-op.
+func (t *Ticker) Start() {
+	if t.ev != nil && !t.ev.canceled {
+		return
+	}
+	t.stop = false
+	t.arm()
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.s.After(t.period, t.name, func() {
+		if t.stop {
+			return
+		}
+		t.fn()
+		if !t.stop {
+			t.arm()
+		}
+	})
+}
+
+// Stop disarms the ticker.
+func (t *Ticker) Stop() {
+	t.stop = true
+	t.s.Cancel(t.ev)
+}
+
+// Rand is a small, fast, deterministic PRNG (xorshift64*), independent of
+// math/rand so that simulation results never change across Go releases.
+type Rand struct{ state uint64 }
+
+// NewRand seeds a generator; seed 0 is remapped to a fixed constant.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a uniform value in [0, n). It panics when n ≤ 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("simtime: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// ExpDuration returns an exponentially distributed duration with the given
+// mean, clamped to a sane maximum to keep event queues bounded.
+func (r *Rand) ExpDuration(mean Duration) Duration {
+	u := r.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	d := Duration(float64(mean) * -math.Log(u))
+	if d > 100*mean {
+		d = 100 * mean
+	}
+	return d
+}
+
+// Perm returns a deterministic random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,98 @@
+package stream
+
+import (
+	"fmt"
+
+	"dvemig/internal/migration"
+	"dvemig/internal/proc"
+	"dvemig/internal/simtime"
+)
+
+// ExperimentConfig drives the migrate-while-streaming experiment.
+type ExperimentConfig struct {
+	Subscribers int
+	Server      ServerConfig
+	MigCfg      migration.Config
+	// Prebuffer is the client playout buffer depth in time.
+	Prebuffer simtime.Duration
+	MigrateAt simtime.Duration
+	Duration  simtime.Duration
+}
+
+// DefaultExperimentConfig: 8 viewers with 200 ms buffers, migrated at 2 s.
+func DefaultExperimentConfig() ExperimentConfig {
+	return ExperimentConfig{
+		Subscribers: 8,
+		Server:      DefaultServerConfig(),
+		MigCfg:      migration.DefaultConfig(),
+		Prebuffer:   200 * 1e6,
+		MigrateAt:   2 * 1e9,
+		Duration:    8 * 1e9,
+	}
+}
+
+// ExperimentResult reports viewer experience across the migration.
+type ExperimentResult struct {
+	Metrics *migration.Metrics
+	// Rebuffers sums stalls over all viewers; OutOfOrder must be zero.
+	Rebuffers  int
+	OutOfOrder int
+	// ChunksReceived sums whole chunks over all viewers.
+	ChunksReceived uint64
+	// StillPlaying counts viewers playing at the end.
+	StillPlaying int
+}
+
+// RunExperiment streams to the subscribers, migrates the server mid
+// stream, and reports the playback experience.
+func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
+	sched := simtime.NewScheduler()
+	cluster := proc.NewCluster(sched, 2)
+	var migs []*migration.Migrator
+	for _, n := range cluster.Nodes {
+		m, err := migration.NewMigrator(n, cfg.MigCfg)
+		if err != nil {
+			return nil, err
+		}
+		migs = append(migs, m)
+	}
+	srv, err := Start(cluster.Nodes[0], cfg.Server)
+	if err != nil {
+		return nil, err
+	}
+	host := cluster.NewExternalHost("viewers")
+	var clients []*Client
+	for i := 0; i < cfg.Subscribers; i++ {
+		c, err := NewClient(host, cluster.ClusterIP, cfg.Server, cfg.Prebuffer)
+		if err != nil {
+			return nil, err
+		}
+		clients = append(clients, c)
+	}
+
+	var mm *migration.Metrics
+	var migErr error
+	sched.At(cfg.MigrateAt, "stream.migrate", func() {
+		migs[0].Migrate(srv.Proc, cluster.Nodes[1].LocalIP, func(m *migration.Metrics, err error) {
+			mm, migErr = m, err
+		})
+	})
+	sched.RunUntil(cfg.Duration)
+	if migErr != nil {
+		return nil, fmt.Errorf("stream: migration failed: %w", migErr)
+	}
+	if mm == nil {
+		return nil, fmt.Errorf("stream: migration did not finish")
+	}
+	res := &ExperimentResult{Metrics: mm}
+	for _, c := range clients {
+		res.Rebuffers += c.Rebuffers
+		res.OutOfOrder += c.OutOfOrder
+		res.ChunksReceived += c.ChunksReceived
+		if c.Playing() {
+			res.StillPlaying++
+		}
+		c.Stop()
+	}
+	return res, nil
+}

@@ -1,0 +1,257 @@
+// Package trace provides the measurement instruments of the evaluation:
+// a tcpdump-style packet tracer (Fig 4 captures server packets with
+// tcpdump) and time-series recorders for CPU and process-count plots
+// (Fig 5d/5e/5f).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dvemig/internal/netsim"
+	"dvemig/internal/simtime"
+)
+
+// Record is one captured packet.
+type Record struct {
+	At  simtime.Time
+	Dir string // "tx" or "rx"
+	// Summary fields copied out of the packet (the packet itself may be
+	// mutated downstream by netfilter hooks).
+	Proto   byte
+	SrcIP   netsim.Addr
+	DstIP   netsim.Addr
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Len     int
+	Flags   byte
+}
+
+// PacketTrace is a sniffer that retains packet records, optionally
+// filtered by transport port.
+type PacketTrace struct {
+	// FilterPort, when non-zero, keeps only packets with this source or
+	// destination port.
+	FilterPort uint16
+	// FilterDir, when non-empty, keeps only "tx" or "rx" records.
+	FilterDir string
+
+	Records []Record
+}
+
+// Capture implements netsim.Sniffer.
+func (t *PacketTrace) Capture(at simtime.Time, dir string, p *netsim.Packet) {
+	if t.FilterPort != 0 && p.SrcPort != t.FilterPort && p.DstPort != t.FilterPort {
+		return
+	}
+	if t.FilterDir != "" && dir != t.FilterDir {
+		return
+	}
+	t.Records = append(t.Records, Record{
+		At: at, Dir: dir, Proto: p.Proto,
+		SrcIP: p.SrcIP, DstIP: p.DstIP, SrcPort: p.SrcPort, DstPort: p.DstPort,
+		Seq: p.Seq, Len: len(p.Payload), Flags: p.Flags,
+	})
+}
+
+// Gaps returns the time differences between consecutive records — the
+// quantity Fig 4 plots around the migration.
+func (t *PacketTrace) Gaps() []simtime.Duration {
+	if len(t.Records) < 2 {
+		return nil
+	}
+	out := make([]simtime.Duration, 0, len(t.Records)-1)
+	for i := 1; i < len(t.Records); i++ {
+		out = append(out, t.Records[i].At-t.Records[i-1].At)
+	}
+	return out
+}
+
+// MaxGap returns the largest inter-packet gap and the time at which the
+// later packet arrived.
+func (t *PacketTrace) MaxGap() (simtime.Duration, simtime.Time) {
+	var max simtime.Duration
+	var at simtime.Time
+	for i := 1; i < len(t.Records); i++ {
+		if g := t.Records[i].At - t.Records[i-1].At; g > max {
+			max = g
+			at = t.Records[i].At
+		}
+	}
+	return max, at
+}
+
+// Window returns the records with At in [from, to).
+func (t *PacketTrace) Window(from, to simtime.Time) []Record {
+	var out []Record
+	for _, r := range t.Records {
+		if r.At >= from && r.At < to {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Series is a named time series of float samples.
+type Series struct {
+	Name   string
+	Times  []simtime.Time
+	Values []float64
+}
+
+// Add appends a sample.
+func (s *Series) Add(at simtime.Time, v float64) {
+	s.Times = append(s.Times, at)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Min and Max return value extremes (0 when empty).
+func (s *Series) Min() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	m := s.Values[0]
+	for _, v := range s.Values {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample.
+func (s *Series) Max() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	m := s.Values[0]
+	for _, v := range s.Values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the average sample.
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// After returns the sub-series with time ≥ from.
+func (s *Series) After(from simtime.Time) *Series {
+	out := &Series{Name: s.Name}
+	for i, t := range s.Times {
+		if t >= from {
+			out.Add(t, s.Values[i])
+		}
+	}
+	return out
+}
+
+// SeriesSet groups one series per node, keyed by name, preserving
+// insertion order — the shape of the Fig 5 per-node plots.
+type SeriesSet struct {
+	order []string
+	byKey map[string]*Series
+}
+
+// NewSeriesSet creates an empty set.
+func NewSeriesSet() *SeriesSet {
+	return &SeriesSet{byKey: make(map[string]*Series)}
+}
+
+// Get returns (creating if needed) the series with the given name.
+func (ss *SeriesSet) Get(name string) *Series {
+	s, ok := ss.byKey[name]
+	if !ok {
+		s = &Series{Name: name}
+		ss.byKey[name] = s
+		ss.order = append(ss.order, name)
+	}
+	return s
+}
+
+// Names returns series names in insertion order.
+func (ss *SeriesSet) Names() []string { return append([]string(nil), ss.order...) }
+
+// Table renders the set as aligned rows (time in seconds, one column per
+// series), the textual equivalent of the paper's figures.
+func (ss *SeriesSet) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s", "t(s)")
+	for _, n := range ss.order {
+		fmt.Fprintf(&b, "%12s", n)
+	}
+	b.WriteByte('\n')
+	// Assume aligned sampling: use the first series' times.
+	if len(ss.order) == 0 {
+		return b.String()
+	}
+	first := ss.byKey[ss.order[0]]
+	for i, t := range first.Times {
+		fmt.Fprintf(&b, "%10.1f", t.Seconds())
+		for _, n := range ss.order {
+			s := ss.byKey[n]
+			if i < len(s.Values) {
+				fmt.Fprintf(&b, "%12.2f", s.Values[i])
+			} else {
+				fmt.Fprintf(&b, "%12s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the set as comma-separated rows with a header, suitable
+// for gnuplot/spreadsheet import ("t_s,node1,node2,...").
+func (ss *SeriesSet) CSV() string {
+	var b strings.Builder
+	b.WriteString("t_s")
+	for _, n := range ss.order {
+		b.WriteByte(',')
+		b.WriteString(n)
+	}
+	b.WriteByte('\n')
+	if len(ss.order) == 0 {
+		return b.String()
+	}
+	first := ss.byKey[ss.order[0]]
+	for i, t := range first.Times {
+		fmt.Fprintf(&b, "%.3f", t.Seconds())
+		for _, n := range ss.order {
+			s := ss.byKey[n]
+			if i < len(s.Values) {
+				fmt.Fprintf(&b, ",%.4f", s.Values[i])
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Percentile returns the p-th percentile (0-100) of the values.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	idx := int(p / 100 * float64(len(v)-1))
+	return v[idx]
+}

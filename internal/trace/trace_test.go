@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dvemig/internal/netsim"
+)
+
+func rec(tr *PacketTrace, at time.Duration, dir string, sp, dp uint16) {
+	tr.Capture(at, dir, &netsim.Packet{Proto: netsim.ProtoUDP, SrcPort: sp, DstPort: dp, Payload: []byte("xy")})
+}
+
+func TestPacketTraceFilter(t *testing.T) {
+	tr := &PacketTrace{FilterPort: 27960, FilterDir: "tx"}
+	rec(tr, 0, "tx", 27960, 5000)
+	rec(tr, time.Millisecond, "rx", 5000, 27960)  // wrong dir
+	rec(tr, 2*time.Millisecond, "tx", 1234, 5678) // wrong port
+	rec(tr, 3*time.Millisecond, "tx", 5000, 27960)
+	if len(tr.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(tr.Records))
+	}
+}
+
+func TestGapsAndMaxGap(t *testing.T) {
+	tr := &PacketTrace{}
+	for _, at := range []time.Duration{0, 50 * time.Millisecond, 100 * time.Millisecond, 175 * time.Millisecond} {
+		rec(tr, at, "tx", 1, 2)
+	}
+	gaps := tr.Gaps()
+	if len(gaps) != 3 || gaps[0] != 50*time.Millisecond || gaps[2] != 75*time.Millisecond {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	max, at := tr.MaxGap()
+	if max != 75*time.Millisecond || at != 175*time.Millisecond {
+		t.Fatalf("max gap = %v at %v", max, at)
+	}
+	if (&PacketTrace{}).Gaps() != nil {
+		t.Fatal("empty trace gaps")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := &PacketTrace{}
+	for i := 0; i < 10; i++ {
+		rec(tr, time.Duration(i)*time.Second, "tx", 1, 2)
+	}
+	w := tr.Window(3*time.Second, 6*time.Second)
+	if len(w) != 3 || w[0].At != 3*time.Second {
+		t.Fatalf("window = %v", w)
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	s := &Series{Name: "node1"}
+	for i, v := range []float64{80, 95, 65, 100} {
+		s.Add(time.Duration(i)*time.Second, v)
+	}
+	if s.Len() != 4 || s.Min() != 65 || s.Max() != 100 || s.Mean() != 85 {
+		t.Fatalf("stats: len=%d min=%v max=%v mean=%v", s.Len(), s.Min(), s.Max(), s.Mean())
+	}
+	after := s.After(2 * time.Second)
+	if after.Len() != 2 || after.Values[0] != 65 {
+		t.Fatalf("after = %+v", after)
+	}
+	empty := &Series{}
+	if empty.Min() != 0 || empty.Max() != 0 || empty.Mean() != 0 {
+		t.Fatal("empty series stats")
+	}
+}
+
+func TestSeriesSetTable(t *testing.T) {
+	ss := NewSeriesSet()
+	for i := 0; i < 3; i++ {
+		ss.Get("node1").Add(time.Duration(i)*time.Second, float64(90+i))
+		ss.Get("node2").Add(time.Duration(i)*time.Second, float64(70-i))
+	}
+	names := ss.Names()
+	if len(names) != 2 || names[0] != "node1" {
+		t.Fatalf("names = %v", names)
+	}
+	tab := ss.Table()
+	if !strings.Contains(tab, "node1") || !strings.Contains(tab, "92.00") {
+		t.Fatalf("table:\n%s", tab)
+	}
+	lines := strings.Split(strings.TrimSpace(tab), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table rows = %d", len(lines))
+	}
+	if NewSeriesSet().Table() == "" {
+		t.Fatal("empty set renders header")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 3, 2, 4}
+	if Percentile(vals, 0) != 1 || Percentile(vals, 100) != 5 || Percentile(vals, 50) != 3 {
+		t.Fatal("percentile wrong")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+	// Input must not be mutated.
+	if vals[0] != 5 {
+		t.Fatal("percentile sorted its input")
+	}
+}
+
+func TestSeriesSetCSV(t *testing.T) {
+	ss := NewSeriesSet()
+	ss.Get("node1").Add(5*time.Second, 80.5)
+	ss.Get("node2").Add(5*time.Second, 70.25)
+	csv := ss.CSV()
+	want := "t_s,node1,node2\n5.000,80.5000,70.2500\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+	if NewSeriesSet().CSV() != "t_s\n" {
+		t.Fatal("empty csv header wrong")
+	}
+}

@@ -1,0 +1,221 @@
+// Package xlat implements local address translation for in-cluster
+// connection migration (§III-C, §V-D) and the transd daemon that installs
+// translation filters on request.
+//
+// When process P migrates from IP1 to IP2 while holding a connection to a
+// peer on IP3, the peer's host enables a translation filter: outgoing
+// packets addressed to IP1 are rewritten to IP2 (including replacing the
+// inherited IP destination cache entry and fixing the checksum), and
+// incoming packets from IP2 have their source rewritten back to IP1 — so
+// the peer socket never notices the move.
+package xlat
+
+import (
+	"fmt"
+
+	"dvemig/internal/netsim"
+	"dvemig/internal/netstack"
+)
+
+// Rule describes one translated connection from the peer host's point of
+// view: the peer's socket talks to OldAddr; the connection now really
+// lives at NewAddr.
+type Rule struct {
+	Proto      byte
+	OldAddr    netsim.Addr // pre-migration address of the remote endpoint
+	NewAddr    netsim.Addr // node the socket migrated to
+	LocalPort  uint16      // the peer socket's local port
+	RemotePort uint16      // the migrated socket's port
+}
+
+// String renders the rule for logs and examples.
+func (r Rule) String() string {
+	return fmt.Sprintf("xlat %d: %s:%d <-> local:%d now at %s",
+		r.Proto, r.OldAddr, r.RemotePort, r.LocalPort, r.NewAddr)
+}
+
+type activeRule struct {
+	Rule
+	newDst *netsim.DstEntry
+	// TranslatedOut / TranslatedIn count rewritten packets.
+	TranslatedOut, TranslatedIn uint64
+}
+
+// Translator owns the translation rules of one node and the two netfilter
+// hooks (NF_INET_LOCAL_OUT and NF_INET_LOCAL_IN) that apply them.
+type Translator struct {
+	stack   *netstack.Stack
+	rules   []*activeRule
+	inHook  netstack.HookID
+	outHook netstack.HookID
+	hooked  bool
+}
+
+// NewTranslator creates the translator for a node's stack.
+func NewTranslator(st *netstack.Stack) *Translator {
+	return &Translator{stack: st}
+}
+
+// Install activates a rule. It builds an accurate destination cache entry
+// for the new address up front — rewriting only the IP header would still
+// deliver to the old node, because the output path forwards by the dst
+// entry inherited from the socket (§V-D).
+func (t *Translator) Install(r Rule) error {
+	// A migration back to the connection's original home makes the rule
+	// an identity mapping: drop any existing rule instead.
+	if r.OldAddr == r.NewAddr {
+		t.removeMatch(r)
+		return nil
+	}
+	for i, ar := range t.rules {
+		if ar.Rule == r {
+			return nil // idempotent
+		}
+		if sameMatch(ar.Rule, r) {
+			// The connection migrated again: retarget the existing rule.
+			dst, err := t.stack.MakeDst(r.NewAddr)
+			if err != nil {
+				return fmt.Errorf("xlat: no route to new address: %w", err)
+			}
+			t.rules[i] = &activeRule{Rule: r, newDst: dst}
+			return nil
+		}
+	}
+	dst, err := t.stack.MakeDst(r.NewAddr)
+	if err != nil {
+		return fmt.Errorf("xlat: no route to new address: %w", err)
+	}
+	t.rules = append(t.rules, &activeRule{Rule: r, newDst: dst})
+	if !t.hooked {
+		t.outHook = t.stack.RegisterHook(netstack.HookLocalOut, 0, t.outFn)
+		t.inHook = t.stack.RegisterHook(netstack.HookLocalIn, 0, t.inFn)
+		t.hooked = true
+	}
+	return nil
+}
+
+// sameMatch reports whether two rules select the same packets (they may
+// differ in NewAddr).
+func sameMatch(a, b Rule) bool {
+	return a.Proto == b.Proto && a.OldAddr == b.OldAddr &&
+		a.LocalPort == b.LocalPort && a.RemotePort == b.RemotePort
+}
+
+// Remove deactivates a rule.
+func (t *Translator) Remove(r Rule) {
+	for i, ar := range t.rules {
+		if ar.Rule == r {
+			t.rules = append(t.rules[:i], t.rules[i+1:]...)
+			break
+		}
+	}
+	t.maybeUnhook()
+}
+
+func (t *Translator) removeMatch(r Rule) {
+	for i, ar := range t.rules {
+		if sameMatch(ar.Rule, r) {
+			t.rules = append(t.rules[:i], t.rules[i+1:]...)
+			break
+		}
+	}
+	t.maybeUnhook()
+}
+
+func (t *Translator) maybeUnhook() {
+	if len(t.rules) == 0 && t.hooked {
+		t.stack.UnregisterHook(t.outHook)
+		t.stack.UnregisterHook(t.inHook)
+		t.hooked = false
+	}
+}
+
+// Rules returns active rules (for the conductor's bookkeeping).
+func (t *Translator) Rules() []Rule {
+	out := make([]Rule, len(t.rules))
+	for i, ar := range t.rules {
+		out[i] = ar.Rule
+	}
+	return out
+}
+
+// LookupPeer resolves the *current* location of the remote endpoint of a
+// local connection: if a translation rule is redirecting the flow, the
+// peer really lives at the rule's NewAddr. This is what lets a process
+// migrate even when its in-cluster peer has itself migrated before
+// (both-ends migration, the paper's §VI-C future work): the local
+// translation table remembers where the peer went.
+func (t *Translator) LookupPeer(proto byte, remoteAddr netsim.Addr, localPort, remotePort uint16) (netsim.Addr, bool) {
+	for _, ar := range t.rules {
+		if ar.Proto == proto && ar.OldAddr == remoteAddr &&
+			ar.LocalPort == localPort && ar.RemotePort == remotePort {
+			return ar.NewAddr, true
+		}
+	}
+	return 0, false
+}
+
+// FlowRule returns the full rule redirecting the given local flow, if
+// one is installed. The migration engine replicates it onto the
+// destination node so a migrating socket keeps reaching a peer that
+// itself migrated earlier.
+func (t *Translator) FlowRule(proto byte, remoteAddr netsim.Addr, localPort, remotePort uint16) (Rule, bool) {
+	for _, ar := range t.rules {
+		if ar.Proto == proto && ar.OldAddr == remoteAddr &&
+			ar.LocalPort == localPort && ar.RemotePort == remotePort {
+			return ar.Rule, true
+		}
+	}
+	return Rule{}, false
+}
+
+// RemoveFlow drops any rule matching the given flow (cleanup when the
+// local socket of a translated connection migrates away: the rule
+// belongs to the departed socket and must not linger).
+func (t *Translator) RemoveFlow(proto byte, remoteAddr netsim.Addr, localPort, remotePort uint16) {
+	for i, ar := range t.rules {
+		if ar.Proto == proto && ar.OldAddr == remoteAddr &&
+			ar.LocalPort == localPort && ar.RemotePort == remotePort {
+			t.rules = append(t.rules[:i], t.rules[i+1:]...)
+			break
+		}
+	}
+	t.maybeUnhook()
+}
+
+// Stats returns per-rule rewrite counters.
+func (t *Translator) Stats(r Rule) (out, in uint64, ok bool) {
+	for _, ar := range t.rules {
+		if ar.Rule == r {
+			return ar.TranslatedOut, ar.TranslatedIn, true
+		}
+	}
+	return 0, 0, false
+}
+
+func (t *Translator) outFn(p *netsim.Packet) netstack.Verdict {
+	for _, ar := range t.rules {
+		if p.Proto == ar.Proto && p.DstIP == ar.OldAddr &&
+			p.DstPort == ar.RemotePort && p.SrcPort == ar.LocalPort {
+			p.DstIP = ar.NewAddr
+			p.Dst = ar.newDst // replace the inherited destination cache entry
+			p.FixChecksum()   // the rewritten header invalidates the checksum
+			ar.TranslatedOut++
+			break
+		}
+	}
+	return netstack.VerdictAccept
+}
+
+func (t *Translator) inFn(p *netsim.Packet) netstack.Verdict {
+	for _, ar := range t.rules {
+		if p.Proto == ar.Proto && p.SrcIP == ar.NewAddr &&
+			p.SrcPort == ar.RemotePort && p.DstPort == ar.LocalPort {
+			p.SrcIP = ar.OldAddr
+			p.FixChecksum()
+			ar.TranslatedIn++
+			break
+		}
+	}
+	return netstack.VerdictAccept
+}
