@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 
+	"dvemig/internal/faults"
 	"dvemig/internal/migration"
 	"dvemig/internal/netstack"
 	"dvemig/internal/proc"
@@ -78,10 +79,16 @@ func main() {
 	fmt.Printf("before crash: score=%d, checkpoints shipped=%d (last image %d bytes)\n",
 		lastScore, guardian.Sent, guardian.LastBytes)
 
-	// Node1 dies.
+	// Node1 dies — injected through the fault plane, the same mechanism
+	// the chaos suite uses. CrashAt schedules a hard node failure at a
+	// virtual instant; faults.CrashAtPhase can instead arm the crash on a
+	// named migration phase (see internal/migration's crash-matrix test),
+	// and the injector also scripts loss bursts, duplication, reordering
+	// and link partitions on any simulated link.
 	guardian.Stop()
-	cluster.Nodes[0].Fail(cluster)
 	scoreAtCrash := lastScore
+	inj := faults.NewInjector(sched, 1)
+	inj.CrashAt(cluster, cluster.Nodes[0], sched.Now()+1)
 	sched.RunFor(1e9)
 
 	restarted, err := standby.Activate("scoreboard")

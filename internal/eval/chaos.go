@@ -1,0 +1,448 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dvemig/internal/faults"
+	"dvemig/internal/migration"
+	"dvemig/internal/netsim"
+	"dvemig/internal/netstack"
+	"dvemig/internal/proc"
+	"dvemig/internal/simtime"
+)
+
+// ChaosEnv is the environment a scenario's Arm hook gets to sabotage:
+// a three-node cluster (source, destination, DB) with migrators on the
+// first two nodes, external clients streaming against a zone process on
+// the source, and a fault injector seeded for the run.
+type ChaosEnv struct {
+	Sched    *simtime.Scheduler
+	Cluster  *proc.Cluster
+	Inj      *faults.Injector
+	Source   *proc.Node
+	Dest     *proc.Node
+	DB       *proc.Node
+	SrcMig   *migration.Migrator
+	DstMig   *migration.Migrator
+	ClientNIC *netsim.NIC // the external players' access link
+	// MigrateAt is when the harness will initiate the migration.
+	MigrateAt simtime.Time
+}
+
+// ChaosScenario is one named fault script. Arm runs after the healthy
+// environment is built (connections established) and before the
+// migration is initiated.
+type ChaosScenario struct {
+	Name string
+	Arm  func(env *ChaosEnv)
+}
+
+// ChaosConfig parameterizes a sweep.
+type ChaosConfig struct {
+	Scenarios []ChaosScenario
+	Seeds     []uint64
+	// Clients is the number of external TCP connections (default 8).
+	Clients int
+	MigCfg  migration.Config
+}
+
+// DefaultChaosConfig covers the ISSUE's scenario list: loss burst,
+// duplication, reordering, delay jitter, lossy in-cluster links, a
+// partition during freeze, and a destination crash during freeze.
+func DefaultChaosConfig() ChaosConfig {
+	cfg := migration.DefaultConfig()
+	// Resolve aborts well inside the run window.
+	cfg.Deadline = 4 * 1e9
+	cfg.ConnTimeout = 1 * 1e9
+	cfg.ConnRetries = 2
+	return ChaosConfig{
+		Scenarios: DefaultChaosScenarios(),
+		Seeds:     []uint64{1, 2, 3},
+		Clients:   8,
+		MigCfg:    cfg,
+	}
+}
+
+// DefaultChaosScenarios is the standard scenario battery.
+func DefaultChaosScenarios() []ChaosScenario {
+	return []ChaosScenario{
+		{Name: "healthy", Arm: func(*ChaosEnv) {}},
+		{Name: "loss-burst", Arm: func(e *ChaosEnv) {
+			// 30% loss on the public path for 2.5s spanning the
+			// migration window, both directions of the access link.
+			w := faults.Window{From: e.MigrateAt - 500*1e6, To: e.MigrateAt + 2000*1e6}
+			e.Inj.Attach(e.ClientNIC, &faults.Program{Bursts: []faults.Burst{{Window: w, Rate: 0.3}}})
+			e.Inj.Attach(e.Source.PublicNIC, &faults.Program{Bursts: []faults.Burst{{Window: w, Rate: 0.3}}})
+			e.Inj.Attach(e.Dest.PublicNIC, &faults.Program{Bursts: []faults.Burst{{Window: w, Rate: 0.3}}})
+		}},
+		{Name: "dup", Arm: func(e *ChaosEnv) {
+			e.Inj.Attach(e.ClientNIC, &faults.Program{DupRate: 0.05})
+			e.Inj.Attach(e.Source.PublicNIC, &faults.Program{DupRate: 0.05})
+			e.Inj.Attach(e.Dest.PublicNIC, &faults.Program{DupRate: 0.05})
+		}},
+		{Name: "reorder", Arm: func(e *ChaosEnv) {
+			e.Inj.Attach(e.ClientNIC, &faults.Program{ReorderRate: 0.2, ReorderDelay: 3 * 1e6})
+			e.Inj.Attach(e.Source.PublicNIC, &faults.Program{ReorderRate: 0.2, ReorderDelay: 3 * 1e6})
+			e.Inj.Attach(e.Dest.PublicNIC, &faults.Program{ReorderRate: 0.2, ReorderDelay: 3 * 1e6})
+		}},
+		{Name: "jitter", Arm: func(e *ChaosEnv) {
+			e.Inj.Attach(e.ClientNIC, &faults.Program{JitterMax: 2 * 1e6})
+			e.Inj.Attach(e.Source.PublicNIC, &faults.Program{JitterMax: 2 * 1e6})
+		}},
+		{Name: "lossy-cluster", Arm: func(e *ChaosEnv) {
+			// 5% random loss on the in-cluster links the migd protocol,
+			// the DB session and the translation daemons run over.
+			e.Inj.Attach(e.Source.LocalNIC, &faults.Program{BaseLoss: 0.05})
+			e.Inj.Attach(e.Dest.LocalNIC, &faults.Program{BaseLoss: 0.05})
+		}},
+		{Name: "partition-freeze", Arm: func(e *ChaosEnv) {
+			// When the source enters the freeze phase, the destination's
+			// in-cluster link goes dark for 250ms: the freeze transfer
+			// stalls mid-flight and must recover by retransmission.
+			prev := e.SrcMig.OnPhase
+			e.SrcMig.OnPhase = func(ev migration.PhaseEvent) {
+				if prev != nil {
+					prev(ev)
+				}
+				if ev.Phase == migration.PhaseFreeze {
+					e.Inj.DownFor(e.Dest.LocalNIC, ev.Time, ev.Time+250*1e6)
+				}
+			}
+		}},
+		{Name: "crash-freeze", Arm: func(e *ChaosEnv) {
+			faults.CrashAtPhase(e.Cluster, e.SrcMig, e.Dest, migration.PhaseFreeze, 0)
+		}},
+	}
+}
+
+// ChaosResult is the outcome of one (scenario, seed) cell.
+type ChaosResult struct {
+	Scenario string
+	Seed     uint64
+	// Survived: the process is running (on either node) at the end.
+	Survived bool
+	// Completed/Aborted report the migration outcome; AbortReason the
+	// error if aborted.
+	Completed   bool
+	Aborted     bool
+	AbortReason string
+	// Violations lists byte-stream invariant breaches (empty = the
+	// paper's no-loss/no-dup/no-reorder claim held under this fault).
+	Violations []string
+	// ClientRetransmits sums TCP retransmissions over all clients (a
+	// liveness cost indicator, not a violation).
+	ClientRetransmits uint64
+	// TraceHash is an FNV-1a hash over every packet event on the
+	// clients' access link; equal hashes mean bit-identical runs.
+	TraceHash uint64
+	// Metrics is the migration's metric record, if it got far enough.
+	Metrics *migration.Metrics
+}
+
+// ChaosReport aggregates a sweep.
+type ChaosReport struct {
+	Results []*ChaosResult
+}
+
+// Counts returns (survived, completed, aborted, violated) cell counts.
+func (r *ChaosReport) Counts() (survived, completed, aborted, violated int) {
+	for _, res := range r.Results {
+		if res.Survived {
+			survived++
+		}
+		if res.Completed {
+			completed++
+		}
+		if res.Aborted {
+			aborted++
+		}
+		if len(res.Violations) > 0 {
+			violated++
+		}
+	}
+	return
+}
+
+// Table renders the sweep for console output.
+func (r *ChaosReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos sweep: survival / migration outcome / invariant violations per scenario\n")
+	fmt.Fprintf(&b, "%-18s %6s %9s %9s %8s %11s %18s\n",
+		"scenario", "seed", "survived", "migrated", "aborted", "violations", "trace-hash")
+	for _, res := range r.Results {
+		out := "-"
+		if res.Completed {
+			out = "yes"
+		}
+		ab := "-"
+		if res.Aborted {
+			ab = "yes"
+		}
+		fmt.Fprintf(&b, "%-18s %6d %9v %9s %8s %11d %#18x\n",
+			res.Scenario, res.Seed, res.Survived, out, ab, len(res.Violations), res.TraceHash)
+	}
+	s, c, a, v := r.Counts()
+	fmt.Fprintf(&b, "total: %d cells, %d survived, %d migrated, %d aborted, %d with violations\n",
+		len(r.Results), s, c, a, v)
+	return b.String()
+}
+
+// RunChaosSweep runs every scenario at every seed and reports
+// survival/abort/invariant-violation counts per cell.
+func RunChaosSweep(cfg ChaosConfig) (*ChaosReport, error) {
+	rep := &ChaosReport{}
+	for _, sc := range cfg.Scenarios {
+		for _, seed := range cfg.Seeds {
+			res, err := RunChaosScenario(cfg, sc, seed)
+			if err != nil {
+				return nil, fmt.Errorf("chaos %s seed %d: %w", sc.Name, seed, err)
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	return rep, nil
+}
+
+// fnvSniffer folds every packet event on a link into an FNV-1a hash.
+type fnvSniffer struct{ h uint64 }
+
+func newFnvSniffer() *fnvSniffer { return &fnvSniffer{h: 14695981039346656037} }
+
+func (s *fnvSniffer) word(v uint64) {
+	for i := 0; i < 8; i++ {
+		s.h = (s.h ^ (v & 0xff)) * 1099511628211
+		v >>= 8
+	}
+}
+
+func (s *fnvSniffer) Capture(at simtime.Time, dir string, p *netsim.Packet) {
+	s.word(uint64(at))
+	if dir == "tx" {
+		s.word(1)
+	} else {
+		s.word(2)
+	}
+	s.word(uint64(p.SrcIP)<<32 | uint64(p.DstIP))
+	s.word(uint64(p.SrcPort)<<48 | uint64(p.DstPort)<<32 | uint64(p.Flags)<<16 | uint64(p.Proto))
+	s.word(uint64(p.Seq)<<32 | uint64(p.Ack))
+	s.word(uint64(len(p.Payload)))
+}
+
+// RunChaosScenario runs one (scenario, seed) cell: a zone process with
+// external clients and a DB session, a migration under the scenario's
+// faults, and an end-to-end byte-stream audit afterwards.
+func RunChaosScenario(cfg ChaosConfig, sc ChaosScenario, seed uint64) (*ChaosResult, error) {
+	nClients := cfg.Clients
+	if nClients <= 0 {
+		nClients = 8
+	}
+	sched := simtime.NewScheduler()
+	cluster := proc.NewCluster(sched, 3)
+	src, dst, dbNode := cluster.Nodes[0], cluster.Nodes[1], cluster.Nodes[2]
+	srcMig, err := migration.NewMigrator(src, cfg.MigCfg)
+	if err != nil {
+		return nil, err
+	}
+	dstMig, err := migration.NewMigrator(dst, cfg.MigCfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := startTransdOn(dbNode); err != nil {
+		return nil, err
+	}
+
+	// DB listener: accepts the zone's session and swallows pings.
+	dbl := netstack.NewTCPSocket(dbNode.Stack)
+	if err := dbl.Listen(dbNode.LocalIP, 3306); err != nil {
+		return nil, err
+	}
+	var dbPeer *netstack.TCPSocket
+	dbl.OnAccept = func(ch *netstack.TCPSocket) {
+		dbPeer = ch
+		ch.OnReadable = func() { ch.Recv() }
+	}
+
+	// The zone process and its client listener.
+	p := src.Spawn("zone_serv", 2)
+	heap := p.AS.Mmap(128*proc.PageSize, "rw-")
+	lst := netstack.NewTCPSocket(src.Stack)
+	if err := lst.Listen(cluster.ClusterIP, 7777); err != nil {
+		return nil, err
+	}
+	var accepted []*netstack.TCPSocket
+	lst.OnAccept = func(ch *netstack.TCPSocket) { accepted = append(accepted, ch) }
+	p.FDs.Install(&proc.TCPFile{Sock: lst})
+
+	host := cluster.NewExternalHost("players")
+	clientNIC := cluster.LastExternalNIC()
+	sniff := newFnvSniffer()
+	clientNIC.AttachSniffer(sniff)
+
+	recv := make(map[uint16][]byte) // client local port -> bytes observed
+	clients := make([]*netstack.TCPSocket, 0, nClients)
+	for i := 0; i < nClients; i++ {
+		cli := netstack.NewTCPSocket(host)
+		if err := cli.Connect(cluster.ClusterIP, 7777); err != nil {
+			return nil, err
+		}
+		cli.OnReadable = func() {
+			if data := cli.Recv(); len(data) > 0 {
+				recv[cli.LocalPort] = append(recv[cli.LocalPort], data...)
+			}
+		}
+		clients = append(clients, cli)
+	}
+	dbSock := netstack.NewTCPSocket(src.Stack)
+	if err := dbSock.Connect(dbNode.LocalIP, 3306); err != nil {
+		return nil, err
+	}
+	sched.RunFor(2 * 1e9)
+	if len(accepted) != nClients || dbPeer == nil {
+		return nil, fmt.Errorf("chaos setup: accepted=%d db=%v", len(accepted), dbPeer != nil)
+	}
+	for _, sk := range accepted {
+		p.FDs.Install(&proc.TCPFile{Sock: sk})
+	}
+	p.FDs.Install(&proc.TCPFile{Sock: dbSock})
+	sched.RunFor(200 * 1e6)
+
+	// The app: every tick, drain each client connection and push the
+	// next chunk of its deterministic per-connection stream. The stream
+	// ledger lives in the closure and therefore travels with the
+	// process; the audit below compares it against what clients saw.
+	sent := make(map[uint16][]byte) // server's view, by client port
+	sending := true
+	tick := 0
+	dbAddr := dbNode.LocalIP
+	p.Tick = func(self *proc.Process) {
+		tick++
+		tcp, _ := self.Sockets()
+		for _, sk := range tcp {
+			if sk.State != netstack.TCPEstablished {
+				continue
+			}
+			if sk.RemoteIP == dbAddr {
+				sk.Recv()
+				_ = sk.Send([]byte("ping;"))
+				continue
+			}
+			sk.Recv() // client input is drained, not audited here
+			if !sending {
+				continue
+			}
+			port := sk.RemotePort
+			msg := []byte(fmt.Sprintf("s%d.%d|update-payload;", port, len(sent[port])))
+			sent[port] = append(sent[port], msg...)
+			_ = sk.Send(msg)
+		}
+		_ = self.AS.Touch(heap.Start + uint64(tick%128)*proc.PageSize)
+	}
+	p.CPUDemand = 0.4
+	src.StartLoop(p, 50*1e6)
+
+	// Clients send input events to keep both directions busy.
+	cliTicker := simtime.NewTicker(sched, 40*1e6, "chaos.clients", func() {
+		for _, cli := range clients {
+			_ = cli.Send([]byte("ev;"))
+		}
+	})
+	cliTicker.Start()
+
+	env := &ChaosEnv{
+		Sched: sched, Cluster: cluster, Inj: faults.NewInjector(sched, seed),
+		Source: src, Dest: dst, DB: dbNode,
+		SrcMig: srcMig, DstMig: dstMig,
+		ClientNIC: clientNIC, MigrateAt: sched.Now() + 800*1e6,
+	}
+	if sc.Arm != nil {
+		sc.Arm(env)
+	}
+
+	res := &ChaosResult{Scenario: sc.Name, Seed: seed}
+	sched.At(env.MigrateAt, "chaos.migrate", func() {
+		srcMig.Migrate(p, dst.LocalIP, func(m *migration.Metrics, err error) {
+			res.Metrics = m
+			if err != nil {
+				res.Aborted = true
+				res.AbortReason = err.Error()
+			} else {
+				res.Completed = true
+			}
+		})
+	})
+
+	// Run well past every fault window, stop the stream, then drain.
+	sched.RunFor(10 * 1e9)
+	sending = false
+	sched.RunFor(3 * 1e9)
+	cliTicker.Stop()
+
+	// Survival: the process runs on exactly one node.
+	var home *proc.Node
+	for _, n := range []*proc.Node{src, dst} {
+		for _, pr := range n.Processes() {
+			if pr.Name == "zone_serv" && pr.State == proc.ProcRunning {
+				if home != nil {
+					res.Violations = append(res.Violations, "process running on both nodes")
+				}
+				home = n
+			}
+		}
+	}
+	res.Survived = home != nil
+	if home == nil {
+		res.Violations = append(res.Violations, "process not running anywhere")
+	} else if res.Completed && home != dst {
+		res.Violations = append(res.Violations, "migration reported success but process not on destination")
+	} else if res.Aborted && home != src {
+		res.Violations = append(res.Violations, "migration aborted but process not back on source")
+	}
+
+	// Byte-stream audit: what each client observed must be exactly what
+	// the server's ledger says was sent to it — same bytes, same order,
+	// nothing duplicated, nothing missing.
+	ports := make([]int, 0, len(clients))
+	for _, cli := range clients {
+		ports = append(ports, int(cli.LocalPort))
+		res.ClientRetransmits += cli.Retransmits
+	}
+	sort.Ints(ports)
+	for _, pt := range ports {
+		port := uint16(pt)
+		got, want := recv[port], sent[port]
+		if string(got) != string(want) {
+			detail := ""
+			if home != nil {
+				for _, pr := range home.Processes() {
+					if pr.Name != "zone_serv" {
+						continue
+					}
+					tcp, _ := pr.Sockets()
+					for _, sk := range tcp {
+						if sk.RemotePort == port {
+							detail = fmt.Sprintf(" (server sock state=%v unhashed=%v sndbuf=%d wq=%d una=%d nxt=%d cwnd=%d swnd=%d retrans=%d fast=%d rto=%dms)",
+								sk.State, sk.Unhashed(), sk.SendBufLen(), len(sk.WriteQueue()),
+								sk.SndUna, sk.SndNxt, sk.Cwnd, sk.SndWnd, sk.Retransmits, sk.FastRetransmits, sk.RTOms)
+						}
+					}
+					for _, cli := range clients {
+						if cli.LocalPort == port {
+							detail += fmt.Sprintf(" (client state=%v rcvnxt=%d ooo=%d retrans=%d)",
+								cli.State, cli.RcvNxt, len(cli.OOOQueue()), cli.Retransmits)
+						}
+					}
+				}
+			}
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("client :%d stream mismatch: got %d bytes, want %d%s", port, len(got), len(want), detail))
+		}
+		if len(want) == 0 {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("client :%d starved: server never sent", port))
+		}
+	}
+	res.TraceHash = sniff.h
+	return res, nil
+}

@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"testing"
+)
+
+// TestChaosSweep runs the full default scenario battery at one seed and
+// checks the headline claims: the process survives every scenario, the
+// byte-stream invariant holds everywhere, healthy-path scenarios
+// complete the migration, and the crash scenario aborts cleanly rather
+// than hanging.
+func TestChaosSweep(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.Seeds = []uint64{1}
+	rep, err := RunChaosSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(cfg.Scenarios) {
+		t.Fatalf("got %d results, want %d", len(rep.Results), len(cfg.Scenarios))
+	}
+	for _, res := range rep.Results {
+		if !res.Survived {
+			t.Errorf("%s/seed%d: process did not survive", res.Scenario, res.Seed)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("%s/seed%d: invariant violation: %s", res.Scenario, res.Seed, v)
+		}
+		if !res.Completed && !res.Aborted {
+			t.Errorf("%s/seed%d: migration neither completed nor aborted (hang)", res.Scenario, res.Seed)
+		}
+		switch res.Scenario {
+		case "crash-freeze":
+			if !res.Aborted {
+				t.Errorf("%s: expected abort, got completion", res.Scenario)
+			}
+		case "healthy", "dup", "reorder", "jitter":
+			if !res.Completed {
+				t.Errorf("%s: expected completion, got abort: %s", res.Scenario, res.AbortReason)
+			}
+		}
+	}
+	t.Logf("\n%s", rep.Table())
+}
+
+// TestChaosScenarioDeterminism runs one chaotic cell twice with the
+// same seed and demands bit-identical outcomes, including the packet
+// trace hash of the clients' access link.
+func TestChaosScenarioDeterminism(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	var sc ChaosScenario
+	for _, s := range cfg.Scenarios {
+		if s.Name == "loss-burst" {
+			sc = s
+		}
+	}
+	if sc.Name == "" {
+		t.Fatal("loss-burst scenario missing")
+	}
+	a, err := RunChaosScenario(cfg, sc, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-arm: scenarios carry no state, but build a fresh copy of the
+	// scenario list to be explicit about it.
+	for _, s := range DefaultChaosScenarios() {
+		if s.Name == "loss-burst" {
+			sc = s
+		}
+	}
+	b, err := RunChaosScenario(cfg, sc, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TraceHash != b.TraceHash {
+		t.Fatalf("trace hash differs across identical runs: %#x vs %#x", a.TraceHash, b.TraceHash)
+	}
+	if a.Completed != b.Completed || a.Aborted != b.Aborted ||
+		a.ClientRetransmits != b.ClientRetransmits || len(a.Violations) != len(b.Violations) {
+		t.Fatalf("outcome differs across identical runs: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,45 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+
+	"dvemig/internal/sockmig"
+)
+
+// TestFig5bPointDeterminism runs one Fig 5b measurement cell twice and
+// demands bit-identical metrics: the whole evaluation pipeline — traffic
+// generation, migration, socket-state accounting — must be a pure
+// function of its configuration. Together with
+// TestChaosScenarioDeterminism (same property under an armed fault
+// scenario, including the packet-trace hash) this pins down the
+// reproducibility claim for both the healthy and the chaotic paths.
+func TestFig5bPointDeterminism(t *testing.T) {
+	run := func() *FreezePoint {
+		fc := DefaultFreezeConfig(sockmig.IncrementalCollective, 64)
+		fc.Repeats = 2
+		pt, err := RunFreezePoint(fc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt
+	}
+	a, b := run(), run()
+	if a.WorstFreeze != b.WorstFreeze {
+		t.Fatalf("WorstFreeze differs: %v vs %v", a.WorstFreeze, b.WorstFreeze)
+	}
+	if a.WorstSockBytes != b.WorstSockBytes {
+		t.Fatalf("WorstSockBytes differs: %d vs %d", a.WorstSockBytes, b.WorstSockBytes)
+	}
+	if a.ClientRetransmits != b.ClientRetransmits {
+		t.Fatalf("ClientRetransmits differs: %d vs %d", a.ClientRetransmits, b.ClientRetransmits)
+	}
+	if len(a.Runs) != len(b.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(a.Runs), len(b.Runs))
+	}
+	for i := range a.Runs {
+		if !reflect.DeepEqual(a.Runs[i], b.Runs[i]) {
+			t.Fatalf("repeat %d metrics differ:\n%+v\nvs\n%+v", i, a.Runs[i], b.Runs[i])
+		}
+	}
+}

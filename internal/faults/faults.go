@@ -1,0 +1,139 @@
+// Package faults is the deterministic fault-injection plane.
+//
+// It programs failures into the simulated fabric — loss bursts,
+// duplication, reordering, bounded delay jitter, link-down windows and
+// node crashes — all driven off the virtual clock, so a given (scenario,
+// seed) pair reproduces the exact same packet-level behaviour on every
+// run. Programs implement netsim.FaultModel and are installed per NIC;
+// crash triggers hang off migration phase hooks so a failure can be
+// pinned to an exact protocol moment ("destination dies during precopy
+// round 2", "during freeze", "while reinjecting").
+//
+// The package exists to answer the question the paper's §V evaluation
+// leaves open: do the no-loss/no-duplication/no-reordering invariants
+// survive when the cluster itself is misbehaving? The chaos suites in
+// internal/migration and internal/eval are built on it.
+package faults
+
+import (
+	"dvemig/internal/netsim"
+	"dvemig/internal/simtime"
+)
+
+// Window is a half-open interval [From, To) of virtual time.
+type Window struct {
+	From, To simtime.Time
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t simtime.Time) bool { return t >= w.From && t < w.To }
+
+// Burst is a window of elevated random loss, e.g. a flaky transceiver
+// or a congested uplink shedding packets for a few hundred ms.
+type Burst struct {
+	Window Window
+	// Rate is the drop probability while the burst is active.
+	Rate float64
+}
+
+// Program is a scriptable per-link fault program. The zero value does
+// nothing; knobs compose (a packet can be jittered and duplicated).
+// Egress ("tx") consults every knob; ingress ("rx") consults only the
+// Down windows, which is what makes a window a full partition: neither
+// direction of the link passes traffic.
+//
+// All randomness comes from one xorshift64* stream seeded by Seed, and
+// decisions are evaluated in a fixed order, so a Program is bit-for-bit
+// reproducible under the deterministic scheduler.
+type Program struct {
+	Seed uint64
+
+	// BaseLoss is the steady-state random drop probability.
+	BaseLoss float64
+	// Bursts raise the drop probability inside their windows (the
+	// highest active rate wins over BaseLoss).
+	Bursts []Burst
+
+	// DupRate duplicates a packet with this probability; the copy
+	// arrives DupDelay after the original (default 200µs when zero).
+	DupRate  float64
+	DupDelay simtime.Duration
+
+	// ReorderRate holds a packet for ReorderDelay (default 2ms when
+	// zero) with this probability, letting its successors overtake it
+	// on the wire — the classic reordering model.
+	ReorderRate  float64
+	ReorderDelay simtime.Duration
+
+	// JitterMax adds a uniform random delay in [0, JitterMax) to every
+	// packet when non-zero.
+	JitterMax simtime.Duration
+
+	// Down lists windows during which the link is dead in both
+	// directions (cable pull, switch reboot, partition).
+	Down []Window
+
+	rng *simtime.Rand
+}
+
+// NewProgram returns an empty program with its RNG seeded.
+func NewProgram(seed uint64) *Program { return &Program{Seed: seed} }
+
+func (pr *Program) rand() *simtime.Rand {
+	if pr.rng == nil {
+		pr.rng = simtime.NewRand(pr.Seed | 1)
+	}
+	return pr.rng
+}
+
+func (pr *Program) down(now simtime.Time) bool {
+	for _, w := range pr.Down {
+		if w.Contains(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply implements netsim.FaultModel.
+func (pr *Program) Apply(now simtime.Time, dir string, p *netsim.Packet) netsim.FaultAction {
+	var act netsim.FaultAction
+	if pr.down(now) {
+		act.Drop = true
+		return act
+	}
+	if dir != "tx" {
+		// Ingress only honours the down windows; everything else is an
+		// egress phenomenon (and must not double-fire per traversal).
+		return act
+	}
+	// Fixed evaluation order: loss, duplication, reordering, jitter.
+	rate := pr.BaseLoss
+	for _, b := range pr.Bursts {
+		if b.Window.Contains(now) && b.Rate > rate {
+			rate = b.Rate
+		}
+	}
+	if rate > 0 && pr.rand().Float64() < rate {
+		act.Drop = true
+		return act
+	}
+	if pr.DupRate > 0 && pr.rand().Float64() < pr.DupRate {
+		act.Duplicate = true
+		act.DupDelay = pr.DupDelay
+		if act.DupDelay <= 0 {
+			act.DupDelay = 200 * 1e3 // 200µs
+		}
+	}
+	if pr.ReorderRate > 0 && pr.rand().Float64() < pr.ReorderRate {
+		d := pr.ReorderDelay
+		if d <= 0 {
+			d = 2 * 1e6 // 2ms
+		}
+		act.ExtraDelay += d
+	}
+	if pr.JitterMax > 0 {
+		act.ExtraDelay += simtime.Duration(pr.rand().Uint64() % uint64(pr.JitterMax))
+	}
+	return act
+}

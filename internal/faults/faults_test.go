@@ -1,0 +1,168 @@
+package faults
+
+import (
+	"testing"
+
+	"dvemig/internal/netsim"
+	"dvemig/internal/simtime"
+)
+
+// rig is two NICs on a switch with a receive counter on b.
+type rig struct {
+	sched *simtime.Scheduler
+	a, b  *netsim.NIC
+	rx    []simtime.Time // arrival times at b
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	sched := simtime.NewScheduler()
+	sw := netsim.NewSwitch(sched)
+	r := &rig{sched: sched}
+	r.a = sw.Attach("a", netsim.MakeAddr(10, 0, 0, 1), netsim.GigabitEthernet)
+	r.b = sw.Attach("b", netsim.MakeAddr(10, 0, 0, 2), netsim.GigabitEthernet)
+	r.b.SetHandler(netsim.HandlerFunc(func(p *netsim.Packet) {
+		r.rx = append(r.rx, sched.Now())
+	}))
+	return r
+}
+
+func (r *rig) sendAt(t simtime.Time, seq uint32) {
+	r.sched.At(t, "test.send", func() {
+		r.a.Send(&netsim.Packet{
+			SrcIP: netsim.MakeAddr(10, 0, 0, 1), DstIP: netsim.MakeAddr(10, 0, 0, 2),
+			Proto: netsim.ProtoUDP, SrcPort: 1, DstPort: 2, Seq: seq,
+			Payload: []byte("x"),
+		})
+	})
+}
+
+func TestDownWindowBlocksBothDirections(t *testing.T) {
+	r := newRig(t)
+	in := NewInjector(r.sched, 42)
+	in.DownFor(r.a, 10*1e6, 20*1e6)
+
+	r.sendAt(5*1e6, 1)  // before the window: delivered
+	r.sendAt(15*1e6, 2) // inside: dropped on egress
+	r.sendAt(25*1e6, 3) // after: delivered
+	r.sched.Run()
+	if len(r.rx) != 2 {
+		t.Fatalf("got %d deliveries, want 2", len(r.rx))
+	}
+	if r.a.FaultDropped != 1 {
+		t.Fatalf("FaultDropped = %d, want 1", r.a.FaultDropped)
+	}
+
+	// rx side: a down window on the *receiver* must also block.
+	r2 := newRig(t)
+	in2 := NewInjector(r2.sched, 42)
+	in2.DownFor(r2.b, 0, 100*1e6)
+	r2.sendAt(1*1e6, 1)
+	r2.sched.Run()
+	if len(r2.rx) != 0 {
+		t.Fatalf("receiver down window leaked %d packets", len(r2.rx))
+	}
+}
+
+func TestBurstLossElevatesInsideWindowOnly(t *testing.T) {
+	r := newRig(t)
+	in := NewInjector(r.sched, 7)
+	in.Attach(r.a, &Program{
+		Bursts: []Burst{{Window: Window{From: 0, To: 50 * 1e6}, Rate: 1.0}},
+	})
+	for i := 0; i < 10; i++ {
+		r.sendAt(simtime.Time(i)*10*1e6+1, uint32(i)) // 1,10ms+1,...
+	}
+	r.sched.Run()
+	// Sends at t < 50ms all dropped (rate 1.0), the rest delivered.
+	if len(r.rx) != 5 {
+		t.Fatalf("got %d deliveries, want 5", len(r.rx))
+	}
+}
+
+func TestDuplicationDeliversTwoCopies(t *testing.T) {
+	r := newRig(t)
+	in := NewInjector(r.sched, 3)
+	in.Attach(r.a, &Program{DupRate: 1.0})
+	r.sendAt(1*1e6, 1)
+	r.sched.Run()
+	if len(r.rx) != 2 {
+		t.Fatalf("got %d deliveries, want 2 (original + duplicate)", len(r.rx))
+	}
+	if r.rx[1] <= r.rx[0] {
+		t.Fatalf("duplicate must trail the original: %v then %v", r.rx[0], r.rx[1])
+	}
+	if r.a.FaultDuplicated != 1 {
+		t.Fatalf("FaultDuplicated = %d, want 1", r.a.FaultDuplicated)
+	}
+}
+
+func TestReorderHoldLetsSuccessorOvertake(t *testing.T) {
+	r := newRig(t)
+	// Hold every packet sent through a program with ReorderRate 1 for
+	// 2ms; send two packets back to back: with the hold applied to the
+	// first only, the second would overtake. With it applied to both,
+	// order is preserved but both are delayed. Verify the delay exists
+	// and determinism by spot-checking arrival times.
+	in := NewInjector(r.sched, 9)
+	pr := in.Attach(r.a, &Program{ReorderRate: 0.5})
+	_ = pr
+	var seqs []uint32
+	r.b.SetHandler(netsim.HandlerFunc(func(p *netsim.Packet) {
+		r.rx = append(r.rx, r.sched.Now())
+		seqs = append(seqs, p.Seq)
+	}))
+	for i := 0; i < 20; i++ {
+		r.sendAt(simtime.Time(i)*100*1e3+1, uint32(i))
+	}
+	r.sched.Run()
+	if len(seqs) != 20 {
+		t.Fatalf("got %d deliveries, want 20 (reorder must not lose)", len(seqs))
+	}
+	inOrder := true
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] < seqs[i-1] {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Fatalf("expected at least one overtake with ReorderRate 0.5 over 20 packets, got none")
+	}
+}
+
+func TestProgramDeterminism(t *testing.T) {
+	run := func() ([]simtime.Time, uint64) {
+		r := newRig(t)
+		in := NewInjector(r.sched, 1234)
+		in.Attach(r.a, &Program{
+			BaseLoss: 0.2, DupRate: 0.1, ReorderRate: 0.1, JitterMax: 500 * 1e3,
+			Bursts: []Burst{{Window: Window{From: 2 * 1e6, To: 4 * 1e6}, Rate: 0.9}},
+		})
+		for i := 0; i < 200; i++ {
+			r.sendAt(simtime.Time(i)*50*1e3+1, uint32(i))
+		}
+		r.sched.Run()
+		return r.rx, r.a.FaultDropped
+	}
+	rx1, d1 := run()
+	rx2, d2 := run()
+	if d1 != d2 || len(rx1) != len(rx2) {
+		t.Fatalf("non-deterministic: drops %d vs %d, deliveries %d vs %d", d1, d2, len(rx1), len(rx2))
+	}
+	for i := range rx1 {
+		if rx1[i] != rx2[i] {
+			t.Fatalf("delivery %d at %v vs %v", i, rx1[i], rx2[i])
+		}
+	}
+}
+
+func TestDeriveSeedDistinctPerLink(t *testing.T) {
+	sched := simtime.NewScheduler()
+	in := NewInjector(sched, 5)
+	s1 := in.deriveSeed("node1.pub")
+	s2 := in.deriveSeed("node1.pub") // same name, new attachment
+	s3 := in.deriveSeed("node2.pub")
+	if s1 == s2 || s1 == s3 || s2 == s3 {
+		t.Fatalf("seeds must differ: %x %x %x", s1, s2, s3)
+	}
+}

@@ -414,15 +414,20 @@ func (c *Conductor) handleAccept(from netsim.Addr, payload []byte) {
 	}
 	pid := p.PID
 	c.Mig.Migrate(p, from, func(m *migration.Metrics, err error) {
-		kind := "migrate-out"
-		errStr := ""
 		if err != nil {
-			kind = "abort"
-			errStr = err.Error()
-		} else {
-			c.Migrations++
+			// Aborted migration: the process rolled back here, nothing
+			// arrived at the peer. Release the peer's reservation
+			// (opRelease clears it without the post-receive calm-down)
+			// and calm down locally so a flapping destination is not
+			// immediately re-proposed to.
+			c.Events = append(c.Events, Event{At: c.now(), Kind: "abort", Peer: from, PID: pid, Load: c.load, Err: err.Error()})
+			c.send(from, seqMsg(opRelease, c.reserveSeq))
+			c.state = stateIdle
+			c.calmUntil = c.now() + c.Config.CalmDown
+			return
 		}
-		c.Events = append(c.Events, Event{At: c.now(), Kind: kind, Peer: from, PID: pid, Load: c.load, Err: errStr})
+		c.Migrations++
+		c.Events = append(c.Events, Event{At: c.now(), Kind: "migrate-out", Peer: from, PID: pid, Load: c.load})
 		c.send(from, seqMsg(opDone, c.reserveSeq))
 		c.state = stateIdle
 		c.calmUntil = c.now() + c.Config.CalmDown

@@ -59,7 +59,18 @@ type Config struct {
 	// (simulated) time; the process thaws and keeps running at the
 	// source.
 	Deadline simtime.Duration
-	Costs    CostModel
+	// ConnTimeout bounds a single migd connection attempt; zero or
+	// negative falls back to the historical 5 s default.
+	ConnTimeout simtime.Duration
+	// ConnRetries is how many additional connection attempts follow a
+	// timed-out or refused first attempt (0 = give up immediately).
+	ConnRetries int
+	// RetryBackoff is the wait before the first reconnection attempt;
+	// it doubles on each subsequent attempt, capped at RetryBackoffMax.
+	// Zero or negative falls back to 100 ms.
+	RetryBackoff    simtime.Duration
+	RetryBackoffMax simtime.Duration
+	Costs           CostModel
 }
 
 // DefaultConfig returns the paper's configuration with the incremental
@@ -73,6 +84,10 @@ func DefaultConfig() Config {
 		EnableCapture:   true,
 		LocalNetBits:    24,
 		Deadline:        30 * 1e9,
+		ConnTimeout:     5 * 1e9,
+		ConnRetries:     0,
+		RetryBackoff:    100 * 1e6, // 100ms, doubling
+		RetryBackoffMax: 1600 * 1e6,
 		Costs:           DefaultCosts,
 	}
 }
@@ -101,6 +116,14 @@ type Metrics struct {
 	FreezeSockBytes  uint64
 	Captured         uint32
 	Reinjected       uint32
+	// Retries counts migd reconnection attempts beyond the first.
+	Retries int
+	// Aborted is set when the migration was rolled back; AbortReason
+	// carries the triggering error and LocalReinjected the packets the
+	// source-side capture filters fed back to the thawed sockets.
+	Aborted          bool
+	AbortReason      string
+	LocalReinjected  uint32
 }
 
 // Migrator is the per-node migration daemon (migd) plus the kernel
@@ -118,8 +141,16 @@ type Migrator struct {
 	// OnArrived fires when a migrated process resumes on this node.
 	OnArrived func(p *proc.Process, m *Metrics)
 
+	// OnPhase observes phase transitions of migrations this node takes
+	// part in (source or destination side). The fault plane's crash
+	// triggers attach here.
+	OnPhase func(PhaseEvent)
+
 	// Completed collects metrics of finished outbound migrations.
 	Completed []*Metrics
+
+	// Aborted collects metrics of rolled-back outbound migrations.
+	Aborted []*Metrics
 }
 
 // NewMigrator starts the migration service on a node: the migd listener
@@ -173,31 +204,10 @@ func (m *Migrator) Migrate(p *proc.Process, dest netsim.Addr, done func(*Metrics
 		metrics: &Metrics{Strategy: m.Config.Strategy, Start: m.sched().Now(),
 			PID: p.PID, ProcName: p.Name},
 	}
-	sk := netstack.NewTCPSocket(m.Node.Stack)
-	ob.conn = NewConn(sk)
-	ob.conn.OnMsg = ob.onMsg
-	sk.OnReadable = func() {
-		ob.conn.onReadable()
-		if sk.State == netstack.TCPEstablished && !ob.started {
-			ob.started = true
-			ob.start()
-		}
-	}
-	ob.conn.OnClose = func() {
-		if !ob.finished {
-			ob.fail(errors.New("migration: destination closed the connection"))
-		}
-	}
-	if err := sk.Connect(dest, MigdPort); err != nil {
-		done(nil, err)
+	ob.dial()
+	if ob.failed {
 		return
 	}
-	// Guard against an unreachable destination.
-	m.sched().After(5*1e9, "migd.conn-timeout", func() {
-		if !ob.started && !ob.failed {
-			ob.fail(errors.New("migration: destination unreachable"))
-		}
-	})
 	// Overall deadline: a destination that dies mid-migration must not
 	// leave the process frozen forever.
 	if m.Config.Deadline > 0 {
@@ -207,6 +217,86 @@ func (m *Migrator) Migrate(p *proc.Process, dest netsim.Addr, done func(*Metrics
 			}
 		})
 	}
+}
+
+// dial opens one migd connection attempt. All attempt-scoped callbacks
+// capture the generation counter so a late failure of an abandoned
+// attempt cannot interfere with its successor.
+func (ob *outbound) dial() {
+	ob.dialGen++
+	gen := ob.dialGen
+	sk := netstack.NewTCPSocket(ob.m.Node.Stack)
+	ob.conn = NewConn(sk)
+	ob.conn.OnMsg = ob.onMsg
+	sk.OnReadable = func() {
+		if gen != ob.dialGen {
+			return
+		}
+		ob.conn.onReadable()
+		if sk.State == netstack.TCPEstablished && !ob.started {
+			ob.started = true
+			ob.m.firePhase(PhaseConnect, 0, ob.p.PID)
+			ob.start()
+		}
+	}
+	ob.conn.OnClose = func() {
+		if gen != ob.dialGen {
+			return
+		}
+		if !ob.started {
+			ob.connFailed(gen, errors.New("migration: destination refused the connection"))
+			return
+		}
+		if !ob.finished {
+			ob.fail(errors.New("migration: destination closed the connection"))
+		}
+	}
+	if err := sk.Connect(ob.dest, MigdPort); err != nil {
+		ob.fail(err)
+		return
+	}
+	// Guard against an unreachable destination. The timeout and the
+	// retry/backoff schedule come from the config (satellite fix: this
+	// used to be a hard-coded 5 s with no retry).
+	timeout := ob.m.Config.ConnTimeout
+	if timeout <= 0 {
+		timeout = 5 * 1e9
+	}
+	ob.m.sched().After(timeout, "migd.conn-timeout", func() {
+		ob.connFailed(gen, errors.New("migration: destination unreachable"))
+	})
+}
+
+// connFailed handles a failed connection attempt: retry with exponential
+// backoff while the budget lasts, then abort.
+func (ob *outbound) connFailed(gen int, err error) {
+	if gen != ob.dialGen || ob.started || ob.failed || ob.finished {
+		return
+	}
+	if ob.attempts >= ob.m.Config.ConnRetries {
+		ob.fail(err)
+		return
+	}
+	ob.attempts++
+	ob.metrics.Retries++
+	ob.dialGen++ // invalidate the abandoned attempt's callbacks
+	ob.conn.Close()
+	backoff := ob.m.Config.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * 1e6
+	}
+	for i := 1; i < ob.attempts; i++ {
+		backoff *= 2
+	}
+	if max := ob.m.Config.RetryBackoffMax; max > 0 && backoff > max {
+		backoff = max
+	}
+	ob.m.sched().After(backoff, "migd.conn-retry", func() {
+		if ob.failed || ob.finished || ob.started {
+			return
+		}
+		ob.dial()
+	})
 }
 
 // --- source side ---------------------------------------------------------
@@ -229,7 +319,31 @@ type outbound struct {
 	failed   bool
 	finished bool
 
-	onCaptureAck func()
+	// dialGen/attempts drive the reconnect machinery; callbacks of an
+	// abandoned attempt compare their captured generation and bail out.
+	dialGen  int
+	attempts int
+
+	// rollback records the inverse of every translation request sent
+	// during setupTranslation, so an abort can undo partial installs.
+	rollback []xlatOp
+
+	// localFilters capture packets for this process's connections on the
+	// *source* while its sockets are unhashed: on success they are
+	// dropped (the destination's own filters did the real work), on
+	// abort they are reinjected into the thawed sockets so nothing that
+	// arrived mid-transfer is lost.
+	localFilters []*capture.Filter
+
+	transferFired bool
+	onCaptureAck  func()
+}
+
+// xlatOp is one translation request to (un)do during rollback.
+type xlatOp struct {
+	peer netsim.Addr
+	add  bool
+	rule xlat.Rule
 }
 
 func (ob *outbound) start() {
@@ -244,6 +358,14 @@ func (ob *outbound) send(t MsgType, payload []byte) {
 	}
 }
 
+// fail aborts the migration and rolls the source back to a fully
+// functional state: sockets rehash, packets captured while they were
+// disabled reinject locally, translation rules installed on in-cluster
+// peers are undone, the real-time loop restarts, and the destination —
+// if it still lives — is told to discard its partial state via
+// MsgAbort. The rollback order matters: rehash before reinject (so the
+// demux finds the sockets again), reinject before the loop restarts (so
+// the application observes a contiguous stream).
 func (ob *outbound) fail(err error) {
 	if ob.failed || ob.finished {
 		return
@@ -265,14 +387,44 @@ func (ob *outbound) fail(err error) {
 				_ = us.Rehash()
 			}
 		}
+		// Feed back everything the wire delivered while the sockets were
+		// out of the hash tables.
+		for _, f := range ob.localFilters {
+			ob.metrics.LocalReinjected += uint32(f.Captured)
+			if n, rerr := ob.m.Capture.ReinjectAndDisable(f); rerr != nil {
+				_ = n // filter already gone; nothing to reinject
+			}
+		}
+		ob.localFilters = nil
+		// Undo the translation rules: peers must stop rewriting this
+		// process's flows toward the dead destination. Re-installing a
+		// rule whose NewAddr equals the flow's real current home either
+		// removes it (identity) or retargets it back (chained
+		// migrations); replica rules shipped to the destination are
+		// removed outright. Requests to a crashed destination simply
+		// time out in the translation client.
+		for _, op := range ob.rollback {
+			ob.m.Xlat.Request(op.peer, op.add, op.rule, func(error) {})
+		}
+		ob.rollback = nil
 		if ob.p.LoopPeriod > 0 && ob.p.Tick != nil {
 			ob.m.Node.StartLoop(ob.p, ob.p.LoopPeriod)
 		}
+	} else {
+		for _, f := range ob.localFilters {
+			ob.m.Capture.Drop(f)
+		}
+		ob.localFilters = nil
 	}
+	takeBehavior(ob.token)
 	ob.conn.Send(MsgAbort, nil)
 	ob.conn.Close()
+	ob.metrics.Aborted = true
+	ob.metrics.AbortReason = err.Error()
+	ob.m.Aborted = append(ob.m.Aborted, ob.metrics)
+	ob.m.firePhase(PhaseAborted, 0, ob.p.PID)
 	if ob.done != nil {
-		ob.done(nil, err)
+		ob.done(ob.metrics, err)
 	}
 }
 
@@ -314,6 +466,10 @@ func (ob *outbound) onMsg(t MsgType, payload []byte) {
 // keeps running; halve the timeout and either iterate or freeze.
 func (ob *outbound) precopyRound() {
 	ob.metrics.Rounds++
+	ob.m.firePhase(PhasePrecopy, ob.metrics.Rounds, ob.p.PID)
+	if ob.failed || ob.finished {
+		return // a phase hook may have aborted the migration
+	}
 	d := ob.memTracker.Delta(ob.p.AS)
 	enc := d.Encode()
 	ob.metrics.PrecopyMemBytes += uint64(len(enc))
@@ -349,6 +505,10 @@ func (ob *outbound) precopyRound() {
 // translation and socket migration according to the strategy.
 func (ob *outbound) freeze() {
 	ob.frozen = true
+	ob.m.firePhase(PhaseFreeze, 0, ob.p.PID)
+	if ob.failed || ob.finished {
+		return
+	}
 	ob.metrics.FreezeStart = ob.m.sched().Now()
 	ob.metrics.ProcCPUDemand = ob.p.CPUDemand
 	ob.p.Signal(proc.SIGCKPT)
@@ -371,10 +531,7 @@ func (ob *outbound) freeze() {
 // in-cluster connections (§III-C): the peer rewrites packets addressed to
 // the connection's original identity so they reach the destination node.
 func (ob *outbound) setupTranslation(then func()) {
-	var rules []struct {
-		peer netsim.Addr
-		rule xlat.Rule
-	}
+	var rules []xlatOp
 	tcp, _ := ob.p.Sockets()
 	for _, sk := range tcp {
 		if sk.State != netstack.TCPEstablished || !ob.inCluster(sk.RemoteIP) {
@@ -393,12 +550,19 @@ func (ob *outbound) setupTranslation(then func()) {
 			sk.RemoteIP, sk.LocalPort, sk.RemotePort); ok {
 			peer = cur
 		}
-		rules = append(rules, struct {
-			peer netsim.Addr
-			rule xlat.Rule
-		}{
-			peer: peer,
+		rules = append(rules, xlatOp{
+			peer: peer, add: true,
 			rule: xlat.Rule{Proto: netsim.ProtoTCP, OldAddr: oldAddr, NewAddr: ob.dest,
+				LocalPort: sk.RemotePort, RemotePort: sk.LocalPort},
+		})
+		// The inverse, should the migration abort: point the peer's rule
+		// back at the flow's real current home. If the socket never
+		// migrated before, that is an identity mapping the translator
+		// collapses into a removal; for a chained migration it retargets
+		// the rule back to this node.
+		ob.rollback = append(ob.rollback, xlatOp{
+			peer: peer, add: true,
+			rule: xlat.Rule{Proto: netsim.ProtoTCP, OldAddr: oldAddr, NewAddr: sk.LocalIP,
 				LocalPort: sk.RemotePort, RemotePort: sk.LocalPort},
 		})
 		// If this node is translating the socket's own outgoing traffic
@@ -406,10 +570,8 @@ func (ob *outbound) setupTranslation(then func()) {
 		// replicate it onto the destination node.
 		if local, ok := ob.m.Transd.Translator().FlowRule(netsim.ProtoTCP,
 			sk.RemoteIP, sk.LocalPort, sk.RemotePort); ok {
-			rules = append(rules, struct {
-				peer netsim.Addr
-				rule xlat.Rule
-			}{peer: ob.dest, rule: local})
+			rules = append(rules, xlatOp{peer: ob.dest, add: true, rule: local})
+			ob.rollback = append(ob.rollback, xlatOp{peer: ob.dest, add: false, rule: local})
 		}
 	}
 	if len(rules) == 0 {
@@ -419,7 +581,7 @@ func (ob *outbound) setupTranslation(then func()) {
 	pending := len(rules)
 	var firstErr error
 	for _, r := range rules {
-		ob.m.Xlat.Request(r.peer, true, r.rule, func(err error) {
+		ob.m.Xlat.Request(r.peer, r.add, r.rule, func(err error) {
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -427,6 +589,9 @@ func (ob *outbound) setupTranslation(then func()) {
 			if pending == 0 {
 				if firstErr != nil {
 					ob.fail(firstErr)
+					return
+				}
+				if ob.failed || ob.finished {
 					return
 				}
 				then()
@@ -448,6 +613,13 @@ func (ob *outbound) inCluster(addr netsim.Addr) bool {
 // subtract, transfer — repeated per connection (§III-C's "natural way",
 // whose overhead motivated the collective design).
 func (ob *outbound) iterativeStep(tcp []*netstack.TCPSocket, udp []*netstack.UDPSocket) {
+	if !ob.transferFired {
+		ob.transferFired = true
+		ob.m.firePhase(PhaseTransfer, 0, ob.p.PID)
+	}
+	if ob.failed || ob.finished {
+		return
+	}
 	if len(tcp) == 0 && len(udp) == 0 {
 		ob.sendFreeze(nil)
 		return
@@ -472,6 +644,16 @@ func (ob *outbound) iterativeStep(tcp []*netstack.TCPSocket, udp []*netstack.UDP
 		// Subtract this one socket's state and ship it in its own
 		// message (the per-socket computation/transmission interleaving).
 		ob.m.sched().After(ob.m.Config.Costs.SockSubtract, "migd.subtract", func() {
+			if ob.failed || ob.finished {
+				return
+			}
+			// Anything arriving for this connection while it is out of
+			// the hash tables is captured locally: reinjected on abort,
+			// discarded on success (the destination's filter has its own
+			// copy via the broadcast).
+			if ob.m.Config.EnableCapture {
+				ob.localFilters = append(ob.localFilters, ob.m.Capture.Enable(key))
+			}
 			var sd *sockmig.SockDelta
 			if len(tcp) > 0 {
 				sk := tcp[0]
@@ -519,6 +701,11 @@ func (ob *outbound) collectivePhase1() {
 // unified buffer and transfers it in one go; the incremental variant
 // subtracts only the sections changed since the last precopy round.
 func (ob *outbound) collectivePhase2() {
+	ob.transferFired = true
+	ob.m.firePhase(PhaseTransfer, 0, ob.p.PID)
+	if ob.failed || ob.finished {
+		return
+	}
 	tcp, udp := ob.p.Sockets()
 	n := len(tcp) + len(udp)
 	var cost simtime.Duration
@@ -528,6 +715,17 @@ func (ob *outbound) collectivePhase2() {
 		cost = simtime.Duration(n) * ob.m.Config.Costs.SockSubtract
 	}
 	ob.m.sched().After(cost, "migd.subtract", func() {
+		if ob.failed || ob.finished {
+			return
+		}
+		// Mirror the destination's capture filters locally so an abort
+		// can replay what arrived while the sockets were out of the
+		// hash tables (reinjected on rollback, discarded on success).
+		if ob.m.Config.EnableCapture {
+			for _, k := range sockmig.CaptureKeys(ob.p) {
+				ob.localFilters = append(ob.localFilters, ob.m.Capture.Enable(k))
+			}
+		}
 		ntcp, nudp := sockmig.DisableAll(ob.p)
 		ob.metrics.TCPMigrated = ntcp
 		ob.metrics.UDPMigrated = nudp
@@ -587,6 +785,14 @@ func countSockets(p *proc.Process) (int, int) {
 
 func (ob *outbound) finish(rd restoreDone) {
 	ob.finished = true
+	// The process resumed remotely: the local safety-net filters (and
+	// the packets they swallowed — the destination processed its own
+	// broadcast copies) are no longer needed, nor is the rollback plan.
+	for _, f := range ob.localFilters {
+		ob.m.Capture.Drop(f)
+	}
+	ob.localFilters = nil
+	ob.rollback = nil
 	ob.metrics.ResumeAt = rd.ResumeAt
 	ob.metrics.FreezeTime = rd.ResumeAt - ob.metrics.FreezeStart
 	ob.metrics.TotalTime = rd.ResumeAt - ob.metrics.Start
@@ -605,6 +811,7 @@ func (ob *outbound) finish(rd restoreDone) {
 	ob.m.Node.Detach(ob.p)
 	ob.conn.Close()
 	ob.m.Completed = append(ob.m.Completed, ob.metrics)
+	ob.m.firePhase(PhaseDone, 0, ob.p.PID)
 	if ob.done != nil {
 		ob.done(ob.metrics, nil)
 	}
@@ -699,6 +906,11 @@ func (ib *inbound) cleanup() {
 // deltas, rebuild the process, rehash sockets, reinject captured packets
 // and resume execution.
 func (ib *inbound) restore(fm freezeMsg) {
+	ib.m.firePhase(PhaseRestore, 0, ib.req.PID)
+	if !ib.m.Node.Alive {
+		ib.cleanup()
+		return // a phase hook crashed this node
+	}
 	img, err := ckpt.DecodeImage(fm.Image)
 	if err != nil {
 		ib.abort(err)
@@ -732,6 +944,10 @@ func (ib *inbound) restore(fm freezeMsg) {
 }
 
 func (ib *inbound) finishRestore(img *ckpt.Image) {
+	if !ib.m.Node.Alive {
+		ib.cleanup()
+		return // the node crashed during the restore window
+	}
 	n := ib.m.Node
 	p := n.Spawn(img.Name, 0)
 	n.Detach(p)
@@ -764,6 +980,14 @@ func (ib *inbound) finishRestore(img *ckpt.Image) {
 		}
 	}
 	// Reinject captured packets through the okfn, then resume.
+	ib.m.firePhase(PhaseReinject, 0, ib.req.PID)
+	if !ib.m.Node.Alive {
+		// A phase hook crashed this node after the process image was
+		// adopted; dismantle so the dead node holds no running state.
+		n.Detach(p)
+		ib.cleanup()
+		return
+	}
 	var captured, reinjected uint32
 	for _, f := range ib.filters {
 		captured += uint32(f.Captured)

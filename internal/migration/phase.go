@@ -1,0 +1,62 @@
+package migration
+
+import "dvemig/internal/simtime"
+
+// Phase names the checkpoints of a live migration. The fault plane's
+// crash triggers hang off these (internal/faults.CrashAtPhase), and the
+// chaos tests use them to pin a failure to an exact protocol moment.
+// Connect/Precopy/Freeze/Transfer/Done/Aborted fire on the source
+// migrator; Restore/Reinject fire on the destination.
+type Phase int
+
+const (
+	// PhaseConnect: the migd control connection reached Established.
+	PhaseConnect Phase = iota
+	// PhasePrecopy: a precopy round is starting (PhaseEvent.Round = k).
+	PhasePrecopy
+	// PhaseFreeze: the process is being frozen on the source.
+	PhaseFreeze
+	// PhaseTransfer: socket state subtraction/transfer is starting.
+	PhaseTransfer
+	// PhaseRestore: the destination received the freeze image and is
+	// rebuilding the process.
+	PhaseRestore
+	// PhaseReinject: the destination is about to reinject captured
+	// packets and resume the process.
+	PhaseReinject
+	// PhaseDone: the source learned the process resumed remotely.
+	PhaseDone
+	// PhaseAborted: the migration was rolled back at the source.
+	PhaseAborted
+)
+
+var phaseNames = [...]string{
+	"connect", "precopy", "freeze", "transfer",
+	"restore", "reinject", "done", "aborted",
+}
+
+func (p Phase) String() string {
+	if p >= 0 && int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// PhaseEvent describes one phase transition of one migration.
+type PhaseEvent struct {
+	Phase Phase
+	// Round is the 1-based precopy round for PhasePrecopy, 0 otherwise.
+	Round int
+	// PID is the migrating process.
+	PID int
+	// Node is the migrator on which the event fired.
+	Node string
+	Time simtime.Time
+}
+
+func (m *Migrator) firePhase(ph Phase, round, pid int) {
+	if m.OnPhase != nil {
+		m.OnPhase(PhaseEvent{Phase: ph, Round: round, PID: pid,
+			Node: m.Node.Name, Time: m.sched().Now()})
+	}
+}

@@ -85,8 +85,19 @@ func (c *Conn) Send(t MsgType, payload []byte) error {
 
 func (c *Conn) onReadable() {
 	if data := c.sk.Recv(); len(data) > 0 {
-		c.buf = append(c.buf, data...)
+		c.feed(data)
 	}
+	if c.sk.EOF() && c.OnClose != nil {
+		cb := c.OnClose
+		c.OnClose = nil
+		cb()
+	}
+}
+
+// feed appends raw stream bytes and drains every complete frame. It is
+// the transport-independent half of the parser (also the fuzz surface).
+func (c *Conn) feed(data []byte) {
+	c.buf = append(c.buf, data...)
 	for {
 		if len(c.buf) < 5 {
 			break
@@ -101,11 +112,6 @@ func (c *Conn) onReadable() {
 		if c.OnMsg != nil {
 			c.OnMsg(t, payload)
 		}
-	}
-	if c.sk.EOF() && c.OnClose != nil {
-		cb := c.OnClose
-		c.OnClose = nil
-		cb()
 	}
 }
 

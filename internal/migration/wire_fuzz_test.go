@@ -1,0 +1,77 @@
+package migration
+
+import (
+	"testing"
+
+	"dvemig/internal/netsim"
+	"dvemig/internal/sockmig"
+)
+
+// FuzzWireDecoders feeds arbitrary bytes to every migd message decoder.
+// These parse input from a remote node, so they must never panic, and
+// every value they accept must roundtrip through its encoder.
+func FuzzWireDecoders(f *testing.F) {
+	f.Add(migrateReq{PID: 42, Strategy: sockmig.Collective, Token: 7, Name: "zone"}.encode())
+	f.Add(encodeCaptureReq([]netsim.FlowKey{{RemoteIP: 1, RemotePort: 2, LocalPort: 3, Proto: 6}}))
+	f.Add(freezeMsg{FreezeStart: 123, Image: []byte{1}, MemDelta: []byte{2, 3}}.encode())
+	f.Add(restoreDone{ResumeAt: 9, Captured: 2, Reinjected: 1}.encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, err := decodeMigrateReq(data); err == nil {
+			if back, err := decodeMigrateReq(req.encode()); err != nil || back != req {
+				t.Fatalf("migrateReq roundtrip broken: %+v %v", back, err)
+			}
+		}
+		if keys, err := decodeCaptureReq(data); err == nil {
+			back, err := decodeCaptureReq(encodeCaptureReq(keys))
+			if err != nil || len(back) != len(keys) {
+				t.Fatalf("captureReq roundtrip broken: %v", err)
+			}
+		}
+		if fm, err := decodeFreezeMsg(data); err == nil {
+			back, err := decodeFreezeMsg(fm.encode())
+			if err != nil || back.FreezeStart != fm.FreezeStart ||
+				len(back.Image) != len(fm.Image) || len(back.MemDelta) != len(fm.MemDelta) ||
+				len(back.SockDelta) != len(fm.SockDelta) {
+				t.Fatalf("freezeMsg roundtrip broken: %v", err)
+			}
+		}
+		if rd, err := decodeRestoreDone(data); err == nil {
+			if back, err := decodeRestoreDone(rd.encode()); err != nil || back != rd {
+				t.Fatalf("restoreDone roundtrip broken: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzConnFraming drives the stream reassembler with arbitrary chunk
+// boundaries: whatever the split, the parser must not panic, must never
+// deliver a frame whose length disagrees with its header, and must
+// consume complete frames exactly once.
+func FuzzConnFraming(f *testing.F) {
+	f.Add([]byte{byte(MsgFreeze), 0, 0, 0, 2, 9, 9}, 3)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, 1)
+	f.Add([]byte{}, 1)
+	f.Fuzz(func(t *testing.T, stream []byte, chunk int) {
+		if chunk <= 0 {
+			chunk = 1
+		}
+		c := &Conn{}
+		frames := 0
+		var total int
+		c.OnMsg = func(mt MsgType, payload []byte) {
+			frames++
+			total += 5 + len(payload)
+		}
+		for off := 0; off < len(stream); off += chunk {
+			end := off + chunk
+			if end > len(stream) {
+				end = len(stream)
+			}
+			c.feed(stream[off:end])
+		}
+		if total > len(stream) {
+			t.Fatalf("parser consumed %d bytes of a %d-byte stream", total, len(stream))
+		}
+	})
+}

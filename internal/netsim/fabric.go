@@ -30,6 +30,30 @@ type LinkParams struct {
 // GigabitEthernet matches the evaluation testbed (§VI-A).
 var GigabitEthernet = LinkParams{Bandwidth: 1e9, Latency: 50 * 1e3} // 50µs
 
+// FaultAction is the fault plane's decision for one packet traversal.
+// The zero value means "deliver normally".
+type FaultAction struct {
+	// Drop discards the packet (burst loss, dead link, partition).
+	Drop bool
+	// ExtraDelay is added to the propagation latency (jitter, or a large
+	// hold that reorders the packet behind its successors).
+	ExtraDelay simtime.Duration
+	// Duplicate delivers a second copy of the packet, DupDelay after the
+	// original's arrival time.
+	Duplicate bool
+	DupDelay  simtime.Duration
+}
+
+// FaultModel is a per-link fault program. It generalizes the old lone
+// LossRate knob: the NIC consults it once per egress packet (dir "tx",
+// where loss/duplication/reordering/jitter apply) and once per ingress
+// packet (dir "rx", where link-down windows block delivery). netsim only
+// defines the contract; deterministic implementations live in
+// internal/faults so links stay dependency-free.
+type FaultModel interface {
+	Apply(now simtime.Time, dir string, p *Packet) FaultAction
+}
+
 // TransferTime returns serialization delay for n bytes on the link.
 func (lp LinkParams) TransferTime(n int) simtime.Duration {
 	if lp.Bandwidth <= 0 {
@@ -52,12 +76,18 @@ type NIC struct {
 	busyUntil simtime.Time // egress serialization horizon
 	sniffers  []Sniffer
 	lossRand  *simtime.Rand
+	fault     FaultModel
 
 	// Counters for diagnostics and tests.
 	TxPackets, RxPackets uint64
 	TxBytes, RxBytes     uint64
 	// LossDropped counts packets the link's random-loss model discarded.
 	LossDropped uint64
+	// Fault-plane counters: packets the installed FaultModel dropped,
+	// duplicated, or delayed on this NIC.
+	FaultDropped    uint64
+	FaultDuplicated uint64
+	FaultDelayed    uint64
 }
 
 // SetHandler installs the ingress consumer (the node's network stack).
@@ -65,6 +95,12 @@ func (n *NIC) SetHandler(h Handler) { n.handler = h }
 
 // AttachSniffer adds a tcpdump-style tap observing both directions.
 func (n *NIC) AttachSniffer(s Sniffer) { n.sniffers = append(n.sniffers, s) }
+
+// SetFault installs (or, with nil, removes) the link's fault program.
+func (n *NIC) SetFault(fm FaultModel) { n.fault = fm }
+
+// Fault returns the installed fault program, nil if none.
+func (n *NIC) Fault() FaultModel { return n.fault }
 
 // Send transmits the packet on the NIC's segment. Transmission is
 // serialized: back-to-back sends queue behind each other at line rate,
@@ -99,13 +135,38 @@ func (n *NIC) Send(p *Packet) {
 			return // swallowed by the wire
 		}
 	}
-	arrive := done + n.Params.Latency
+	extra := simtime.Duration(0)
+	if n.fault != nil {
+		act := n.fault.Apply(now, "tx", p)
+		if act.Drop {
+			n.FaultDropped++
+			return
+		}
+		if act.ExtraDelay > 0 {
+			n.FaultDelayed++
+			extra = act.ExtraDelay
+		}
+		if act.Duplicate {
+			n.FaultDuplicated++
+			dup := p.Clone()
+			n.sched.At(done+n.Params.Latency+extra+act.DupDelay, "netsim.deliver-dup", func() {
+				n.seg.route(n, dup)
+			})
+		}
+	}
+	arrive := done + n.Params.Latency + extra
 	n.sched.At(arrive, "netsim.deliver", func() {
 		n.seg.route(n, p)
 	})
 }
 
 func (n *NIC) deliver(p *Packet) {
+	if n.fault != nil {
+		if act := n.fault.Apply(n.sched.Now(), "rx", p); act.Drop {
+			n.FaultDropped++
+			return
+		}
+	}
 	n.RxPackets++
 	n.RxBytes += uint64(p.Len())
 	for _, s := range n.sniffers {

@@ -1,0 +1,35 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPacketUnmarshal: arbitrary bytes must never panic the wire
+// decoder, and any buffer it accepts must survive a marshal/unmarshal
+// roundtrip bit-identically — the property the snapshot queues rely on.
+func FuzzPacketUnmarshal(f *testing.F) {
+	p := &Packet{
+		SrcIP: MakeAddr(10, 0, 0, 1), DstIP: MakeAddr(10, 0, 0, 2),
+		Proto: ProtoTCP, TTL: 64, SrcPort: 1234, DstPort: 80,
+		Seq: 42, Ack: 7, Flags: FlagACK, Window: 65535,
+		TSVal: 100, TSEcr: 99, Payload: []byte("hello"),
+	}
+	p.FixChecksum()
+	f.Add(p.Marshal())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 34))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		again, err := Unmarshal(q.Marshal())
+		if err != nil {
+			t.Fatalf("re-unmarshal of marshaled packet failed: %v", err)
+		}
+		if !bytes.Equal(again.Marshal(), q.Marshal()) {
+			t.Fatal("marshal/unmarshal not a fixpoint")
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package netstack
+
+import (
+	"testing"
+
+	"dvemig/internal/netsim"
+)
+
+// FuzzTCPSnapshotDecode throws arbitrary bytes at the section-tagged
+// snapshot decoder: it must reject or accept without panicking, and
+// anything it accepts must re-encode and re-decode stably. The decoder
+// runs on bytes received from a remote migd, so it is a trust boundary.
+func FuzzTCPSnapshotDecode(f *testing.F) {
+	snap := &TCPSnapshot{
+		LocalIP: netsim.MakeAddr(192, 168, 1, 1), RemoteIP: netsim.MakeAddr(172, 16, 0, 9),
+		LocalPort: 7777, RemotePort: 41000,
+		State: TCPEstablished, ISS: 1, SndUna: 5, SndNxt: 9, IRS: 2, RcvNxt: 8,
+		Cwnd: 10, Ssthresh: 64, SndWnd: 65535,
+		SRTTms: 3, RTTVarms: 1, RTOms: 200, MSS: 1448,
+		SndBuf: []byte("pending"),
+	}
+	f.Add(snap.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeTCPSnapshot(data)
+		if err != nil || s == nil {
+			return
+		}
+		s2, err := DecodeTCPSnapshot(s.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of encoded snapshot failed: %v", err)
+		}
+		if s2.LocalPort != s.LocalPort || s2.SndNxt != s.SndNxt || len(s2.SndBuf) != len(s.SndBuf) {
+			t.Fatal("encode/decode not stable")
+		}
+	})
+}
+
+// FuzzUDPSnapshotDecode is the same property for the UDP snapshot.
+func FuzzUDPSnapshotDecode(f *testing.F) {
+	us := &UDPSnapshot{
+		LocalIP: netsim.MakeAddr(192, 168, 1, 2), LocalPort: 27960, SrcJiffies: 77,
+		Queue: []Datagram{{SrcIP: netsim.MakeAddr(1, 2, 3, 4), SrcPort: 9, Payload: []byte("dg")}},
+	}
+	f.Add(us.Encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeUDPSnapshot(data)
+		if err != nil || s == nil {
+			return
+		}
+		s2, err := DecodeUDPSnapshot(s.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if s2.LocalPort != s.LocalPort || len(s2.Queue) != len(s.Queue) {
+			t.Fatal("encode/decode not stable")
+		}
+	})
+}

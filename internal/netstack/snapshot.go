@@ -103,7 +103,10 @@ func SnapshotTCP(sk *TCPSocket) *TCPSnapshot {
 		SndWnd: sk.SndWnd, RcvBufMax: int32(sk.RcvBufMax),
 		SRTTms: int32(sk.SRTTms), RTTVarms: int32(sk.RTTVarms), RTOms: int32(sk.RTOms),
 		TSRecent: sk.TSRecent, LastTxJiffies: sk.LastTxJiffies,
-		SrcJiffies: sk.stack.Jiffies(),
+		// SrcJiffies is the socket's *timestamp clock* at checkpoint,
+		// not the raw node clock: a socket that has already migrated
+		// once carries an offset, and chaining migrations must compose.
+		SrcJiffies: sk.tsNow(),
 		MSS:        int32(sk.MSS),
 		SndBuf:     append([]byte(nil), sk.sndBuf...),
 		BytesIn:    sk.BytesIn, BytesOut: sk.BytesOut,
@@ -417,23 +420,25 @@ func RestoreTCP(st *Stack, snap *TCPSnapshot) (*TCPSocket, error) {
 	sk.BytesOut = snap.BytesOut
 	sk.unhashed = true
 
-	// Jiffies adjustment: delta between this node's clock and the source
-	// node's clock at checkpoint time. TSRecent holds the *peer's*
-	// timestamp and is copied verbatim; LastTxJiffies and the timestamps
-	// on write-queue buffers are local-clock values and must be shifted,
-	// otherwise RTT measurement and retransmission computations on the
-	// destination operate on a foreign clock.
-	delta := st.Jiffies() - snap.SrcJiffies
+	// Timestamp continuity: instead of rewriting every buffered TSVal to
+	// this node's clock, install a per-socket timestamp offset so the
+	// restored socket keeps ticking on the clock its peer already knows
+	// (the strategy Linux exposes as TCP_TIMESTAMP during socket
+	// repair). SrcJiffies is the socket's timestamp clock at checkpoint
+	// time; the offset makes tsNow() resume from exactly that value.
+	// This keeps RTT samples valid for ACKs that echo *pre-migration*
+	// timestamps — with a clock rewrite those echoes would differ from
+	// the destination clock by the inter-node boot delta and inflate the
+	// RTO by hours. TSRecent holds the peer's timestamp and is copied
+	// verbatim; LastTxJiffies and write-queue TSVals are already on the
+	// socket clock and need no adjustment.
+	sk.TSOffset = snap.SrcJiffies - st.Jiffies()
 	sk.TSRecent = snap.TSRecent
-	sk.LastTxJiffies = snap.LastTxJiffies + delta
+	sk.LastTxJiffies = snap.LastTxJiffies
 
 	var err error
 	if sk.writeQueue, err = unmarshalQueue(snap.WriteQueue); err != nil {
 		return nil, err
-	}
-	for _, p := range sk.writeQueue {
-		p.TSVal += delta
-		p.FixChecksum()
 	}
 	if sk.receiveQueue, err = unmarshalQueue(snap.ReceiveQueue); err != nil {
 		return nil, err

@@ -104,19 +104,28 @@ func TestRestoreTCPAdjustsJiffies(t *testing.T) {
 	if snap.SrcJiffies != srcJ {
 		t.Fatalf("SrcJiffies = %d, want %d", snap.SrcJiffies, srcJ)
 	}
-	// Restore on stack b, whose jiffies differ by 49000.
-	// First move the tuple ownership: a's socket stays unhashed.
+	// Restore on stack b, whose jiffies differ by 49000. Timestamp
+	// continuity is per-socket: instead of rewriting the buffered TSVals
+	// to b's clock, the restore installs a TSOffset so the socket keeps
+	// ticking on the clock the peer already knows.
 	restored, err := RestoreTCP(p.b, snap)
 	if err != nil {
 		t.Fatal(err)
 	}
-	delta := p.b.Jiffies() - srcJ
-	if restored.WriteQueue()[0].TSVal != origTS+delta {
-		t.Fatalf("buffer timestamp not adjusted: got %d, want %d",
-			restored.WriteQueue()[0].TSVal, origTS+delta)
+	if restored.WriteQueue()[0].TSVal != origTS {
+		t.Fatalf("buffer timestamp must be preserved verbatim: got %d, want %d",
+			restored.WriteQueue()[0].TSVal, origTS)
 	}
-	if restored.LastTxJiffies != snap.LastTxJiffies+delta {
-		t.Fatal("LastTxJiffies not adjusted")
+	if restored.LastTxJiffies != snap.LastTxJiffies {
+		t.Fatal("LastTxJiffies must be preserved verbatim")
+	}
+	// The socket clock must resume from the checkpoint value: no virtual
+	// time passed between snapshot and restore, so tsNow() == srcJ.
+	if restored.tsNow() != srcJ {
+		t.Fatalf("socket clock did not resume from source clock: tsNow=%d srcJ=%d", restored.tsNow(), srcJ)
+	}
+	if restored.TSOffset != srcJ-p.b.Jiffies() {
+		t.Fatalf("TSOffset = %d, want %d", restored.TSOffset, srcJ-p.b.Jiffies())
 	}
 	if restored.TSRecent != snap.TSRecent {
 		t.Fatal("TSRecent (peer clock) must not be adjusted")
@@ -125,7 +134,7 @@ func TestRestoreTCPAdjustsJiffies(t *testing.T) {
 		t.Fatal("restored socket not rehashed")
 	}
 	if !restored.WriteQueue()[0].ChecksumOK() {
-		t.Fatal("adjusted buffer checksum not fixed")
+		t.Fatal("restored buffer checksum not intact")
 	}
 }
 

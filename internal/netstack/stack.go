@@ -50,6 +50,12 @@ type Stack struct {
 	nextEphemeral uint16
 	isnCounter    uint32
 
+	// down marks a crashed node: a down stack neither accepts ingress nor
+	// emits egress, so a "dead" node cannot keep a migration alive with
+	// packets scheduled before the crash. Set by proc.Node.Fail and by the
+	// fault plane's crash triggers.
+	down bool
+
 	Stats Stats
 }
 
@@ -84,6 +90,13 @@ func NewStack(sched *simtime.Scheduler, name string, bootJiffies uint32) *Stack 
 
 // Scheduler exposes the virtual clock the stack runs on.
 func (s *Stack) Scheduler() *simtime.Scheduler { return s.sched }
+
+// SetDown marks the stack dead (true) or alive (false). While down, all
+// ingress and egress is silently discarded.
+func (s *Stack) SetDown(down bool) { s.down = down }
+
+// IsDown reports whether the stack has been marked dead.
+func (s *Stack) IsDown() bool { return s.down }
 
 // Jiffies returns this node's current jiffies counter, the clock TCP
 // timestamps are taken from.
@@ -164,6 +177,9 @@ func (s *Stack) MakeDst(addr netsim.Addr) (*netsim.DstEntry, error) {
 // input is the ip_rcv path: PRE_ROUTING hooks, local-address check,
 // LOCAL_IN hooks, then transport demux.
 func (s *Stack) input(p *netsim.Packet) {
+	if s.down {
+		return
+	}
 	if s.runHooks(HookPreRouting, p) != VerdictAccept {
 		return
 	}
@@ -223,6 +239,9 @@ func (s *Stack) TransmitRaw(p *netsim.Packet) { s.transmit(p) }
 // transmit runs LOCAL_OUT hooks and sends the packet out the interface
 // selected by its destination cache entry.
 func (s *Stack) transmit(p *netsim.Packet) {
+	if s.down {
+		return
+	}
 	if p.Dst == nil {
 		e, err := s.DstFor(p.DstIP)
 		if err != nil {

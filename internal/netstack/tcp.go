@@ -111,6 +111,16 @@ type TCPSocket struct {
 	TSRecent      uint32
 	LastTxJiffies uint32
 
+	// TSOffset is added to the node's jiffies counter whenever this
+	// socket emits or interprets a TCP timestamp. It is zero for sockets
+	// born on this node; RestoreTCP sets it so a migrated socket keeps
+	// ticking on its *original* node's timestamp clock (the equivalent of
+	// Linux's per-socket tsoffset installed via TCP_TIMESTAMP during
+	// repair). Without it, the peer's echoed timestamps — generated
+	// against the source node's clock — would poison RTT samples on the
+	// destination with the inter-node boot-time delta.
+	TSOffset uint32
+
 	MSS int
 
 	// The five queues of §V-C1. writeQueue holds sent-but-unacked
@@ -487,11 +497,12 @@ func (sk *TCPSocket) processAck(p *netsim.Packet) {
 	}
 	sk.dupAcks = 0
 	sk.updateSndWnd(p)
-	// RTT sample from the echoed timestamp (jiffies difference on *this*
-	// node's clock; a migrated socket whose buffer timestamps were not
-	// adjusted would compute a garbage RTT here).
+	// RTT sample from the echoed timestamp (jiffies difference on this
+	// socket's timestamp clock; a migrated socket keeps the source node's
+	// clock via TSOffset, so echoes of pre-migration segments still yield
+	// valid samples here).
 	if p.TSEcr != 0 {
-		deltaJiffies := sk.stack.Jiffies() - p.TSEcr
+		deltaJiffies := sk.tsNow() - p.TSEcr
 		sk.updateRTT(int(deltaJiffies) * int(simtime.JiffyPeriod/1e6))
 	}
 	sk.SndUna = p.Ack
@@ -715,10 +726,14 @@ func (sk *TCPSocket) advertisedWindow() uint16 {
 	return uint16(free)
 }
 
+// tsNow is the socket's timestamp clock: node jiffies shifted by the
+// per-socket offset a migration installs (zero on sockets born here).
+func (sk *TCPSocket) tsNow() uint32 { return sk.stack.Jiffies() + sk.TSOffset }
+
 // makePacket stamps identity, timestamps, the advertised window and the
 // destination cache entry onto a new segment.
 func (sk *TCPSocket) makePacket(flags byte, seq, ack uint32, payload []byte) *netsim.Packet {
-	sk.LastTxJiffies = sk.stack.Jiffies()
+	sk.LastTxJiffies = sk.tsNow()
 	p := &netsim.Packet{
 		SrcIP: sk.LocalIP, DstIP: sk.RemoteIP, Proto: netsim.ProtoTCP, TTL: 64,
 		SrcPort: sk.LocalPort, DstPort: sk.RemotePort,
@@ -732,7 +747,11 @@ func (sk *TCPSocket) makePacket(flags byte, seq, ack uint32, payload []byte) *ne
 }
 
 func (sk *TCPSocket) updateRTT(sampleMs int) {
-	if sampleMs < 0 {
+	// Reject negative samples and samples beyond the RTO ceiling: the
+	// latter can only come from a timestamp echo on a foreign clock
+	// (e.g. a peer echoing a pre-migration TSVal when the offsets are
+	// misconfigured) and would otherwise poison SRTT for good.
+	if sampleMs < 0 || sampleMs > int(MaxRTO/1e6) {
 		return
 	}
 	if sk.SRTTms == 0 {
@@ -810,7 +829,7 @@ func (sk *TCPSocket) fastRetransmit() {
 	head := sk.writeQueue[0]
 	re := head.Clone()
 	re.Ack = sk.RcvNxt
-	re.TSVal = sk.stack.Jiffies()
+	re.TSVal = sk.tsNow()
 	re.TSEcr = sk.TSRecent
 	re.Dst = sk.dst
 	re.FixChecksum()
@@ -838,7 +857,7 @@ func (sk *TCPSocket) onRetransTimeout() {
 	head := sk.writeQueue[0]
 	re := head.Clone()
 	re.Ack = sk.RcvNxt
-	re.TSVal = sk.stack.Jiffies()
+	re.TSVal = sk.tsNow()
 	re.TSEcr = sk.TSRecent
 	re.Dst = sk.dst
 	re.FixChecksum()

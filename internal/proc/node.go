@@ -147,10 +147,14 @@ func (n *Node) Utilization() float64 {
 	return u
 }
 
-// Fail kills the node: processes exit, NICs detach. Used by the
-// fault-tolerance extension.
+// Fail kills the node: processes exit, NICs detach, and the stack is
+// marked down so packets already in flight (or events already scheduled
+// on the virtual clock) can neither be received nor answered by the dead
+// machine. Used by the fault-tolerance extension and the fault plane's
+// crash triggers.
 func (n *Node) Fail(c *Cluster) {
 	n.Alive = false
+	n.Stack.SetDown(true)
 	for _, p := range n.Processes() {
 		p.Exit()
 	}
