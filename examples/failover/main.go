@@ -1,8 +1,15 @@
 // Failover: the fault-tolerance extension (paper §VIII names it as
-// future work for the mechanism). A counter service on node1 is guarded
-// by periodic checkpoints streamed to node2; node1 then crashes, and the
-// standby restarts the service from the last image — UDP service port
-// and TCP listener intact, at most one checkpoint interval of state lost.
+// future work for the mechanism), driven end to end by the conductor's
+// failure detector. A counter service on node1 is guarded by periodic
+// checkpoints streamed to a standby on node2 and its ownership is
+// announced under an epoch. Node1 then crashes — and nobody calls
+// Activate by hand: node2's conductor notices the missed heartbeats,
+// confirms the peer dead, claims the service with its freshest image,
+// wins the election and restarts the service under a bumped ownership
+// epoch. UDP service port and TCP listener come back intact, at most
+// one checkpoint interval of state is lost, and any node still holding
+// stale serving state would fence itself the moment it heard the new
+// epoch advertised.
 package main
 
 import (
@@ -10,6 +17,7 @@ import (
 	"log"
 
 	"dvemig/internal/faults"
+	"dvemig/internal/lb"
 	"dvemig/internal/migration"
 	"dvemig/internal/netstack"
 	"dvemig/internal/proc"
@@ -18,11 +26,27 @@ import (
 
 func main() {
 	sched := simtime.NewScheduler()
-	cluster := proc.NewCluster(sched, 2)
+	cluster := proc.NewCluster(sched, 3)
+
+	// Conductors on every node: load balancing, heartbeats, and — once a
+	// standby is wired in — the failure detector that drives failover.
+	var conds []*lb.Conductor
+	for _, n := range cluster.Nodes {
+		mig, err := migration.NewMigrator(n, migration.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cd, err := lb.NewConductor(n, mig, lb.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		conds = append(conds, cd)
+	}
 	standby, err := migration.NewStandby(cluster.Nodes[1])
 	if err != nil {
 		log.Fatal(err)
 	}
+	conds[1].EnableFailover(standby)
 
 	// The service: counts requests, persists the counter in its memory.
 	svc := cluster.Nodes[0].Spawn("scoreboard", 1)
@@ -50,10 +74,13 @@ func main() {
 	}
 	cluster.Nodes[0].StartLoop(svc, 50*1e6)
 
+	// Guard the service and announce its ownership: the guardian ships a
+	// checkpoint every 500ms, stamped with the minted epoch.
 	guardian, err := migration.NewGuardian(svc, cluster.Nodes[1].LocalIP, 500*1e6)
 	if err != nil {
 		log.Fatal(err)
 	}
+	epoch := conds[0].AnnounceOwnership("scoreboard", guardian)
 
 	// A client scoring points through the public IP.
 	ext := cluster.NewExternalHost("player")
@@ -76,26 +103,29 @@ func main() {
 	tk.Start()
 
 	sched.RunFor(5e9)
-	fmt.Printf("before crash: score=%d, checkpoints shipped=%d (last image %d bytes)\n",
-		lastScore, guardian.Sent, guardian.LastBytes)
+	fmt.Printf("service owned under epoch %d; score=%d, checkpoints shipped=%d (last image %d bytes)\n",
+		epoch, lastScore, guardian.Sent, guardian.LastBytes)
 
 	// Node1 dies — injected through the fault plane, the same mechanism
-	// the chaos suite uses. CrashAt schedules a hard node failure at a
-	// virtual instant; faults.CrashAtPhase can instead arm the crash on a
-	// named migration phase (see internal/migration's crash-matrix test),
-	// and the injector also scripts loss bursts, duplication, reordering
-	// and link partitions on any simulated link.
-	guardian.Stop()
+	// the chaos suite uses. From here on nothing is scripted: node2's
+	// detector walks the peer through suspect → dead, claims the service
+	// and activates the image on its own.
 	scoreAtCrash := lastScore
 	inj := faults.NewInjector(sched, 1)
 	inj.CrashAt(cluster, cluster.Nodes[0], sched.Now()+1)
-	sched.RunFor(1e9)
+	sched.RunFor(12e9)
 
-	restarted, err := standby.Activate("scoreboard")
-	if err != nil {
-		log.Fatal(err)
+	for _, ev := range conds[1].Events {
+		switch ev.Kind {
+		case "suspect", "peer-dead":
+			fmt.Printf("t=%4.1fs detector: %s %v\n", float64(ev.At)/1e9, ev.Kind, ev.Peer)
+		case "claim", "activate":
+			fmt.Printf("t=%4.1fs failover: %s %q\n", float64(ev.At)/1e9, ev.Kind, ev.Name)
+		}
 	}
-	fmt.Printf("standby activated %q on %s (pid %d)\n", restarted.Name, restarted.Node.Name, restarted.PID)
+	newEpoch, _ := conds[1].OwnershipEpoch("scoreboard")
+	fmt.Printf("standby activated automatically (%d failover) — now owned by node2 under epoch %d\n",
+		conds[1].Failovers, newEpoch)
 
 	sched.RunFor(5e9)
 	tk.Stop()

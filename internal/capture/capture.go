@@ -23,6 +23,12 @@ import (
 type Filter struct {
 	Key netsim.FlowKey
 
+	// Epoch stamps the ownership epoch under which the filter was
+	// installed. A fence raised above it (FencePort) garbage-collects
+	// the filter and forbids reinjection of its queue: a node that lost
+	// ownership of a port must never replay packets it stole for it.
+	Epoch uint64
+
 	queue   []*netsim.Packet
 	seqSeen map[uint32]bool
 
@@ -56,20 +62,40 @@ type Service struct {
 	hooked  bool
 	filters []*Filter
 
-	// TotalCaptured counts across all filters' lifetimes.
+	// fences maps a local port to the minimum acceptable filter epoch.
+	// Raised by FencePort when the node observes that ownership of the
+	// port moved to a higher epoch elsewhere.
+	fences map[uint16]uint64
+
+	// TotalCaptured counts across all filters' lifetimes; Fenced counts
+	// filters dropped (queue discarded) by epoch fences.
 	TotalCaptured uint64
+	Fenced        uint64
 }
 
 // NewService creates the capture service for a node's stack. The hook is
 // installed lazily when the first filter is enabled.
 func NewService(st *netstack.Stack) *Service {
-	return &Service{stack: st}
+	return &Service{stack: st, fences: make(map[uint16]uint64)}
 }
 
-// Enable starts capturing packets matching key. It returns the filter so
-// the migration engine can inspect the queue.
+// Enable starts capturing packets matching key with epoch 0 (unfenced
+// legacy path). It returns the filter so the migration engine can
+// inspect the queue.
 func (s *Service) Enable(key netsim.FlowKey) *Filter {
-	f := &Filter{Key: key, seqSeen: make(map[uint32]bool)}
+	return s.EnableEpoch(key, 0)
+}
+
+// EnableEpoch starts capturing packets matching key under an ownership
+// epoch. If the port is already fenced above the epoch the returned
+// filter is inert: it is not installed and will never capture — the
+// caller's migration is acting on superseded ownership.
+func (s *Service) EnableEpoch(key netsim.FlowKey, ep uint64) *Filter {
+	f := &Filter{Key: key, Epoch: ep, seqSeen: make(map[uint32]bool)}
+	if min, fenced := s.fences[key.LocalPort]; fenced && ep < min {
+		s.Fenced++
+		return f // inert: below the fence, never installed
+	}
 	s.filters = append(s.filters, f)
 	if !s.hooked {
 		// Negative priority: run before translation and anything else on
@@ -79,6 +105,38 @@ func (s *Service) Enable(key netsim.FlowKey) *Filter {
 	}
 	return f
 }
+
+// FencePort raises the minimum acceptable epoch for a local port and
+// garbage-collects every installed filter below it, discarding their
+// queues. Called when the node learns the port's service is owned
+// elsewhere at a higher epoch: whatever was captured here belongs to a
+// superseded owner and must never be reinjected.
+func (s *Service) FencePort(port uint16, ep uint64) int {
+	if cur := s.fences[port]; ep <= cur {
+		return 0
+	}
+	s.fences[port] = ep
+	dropped := 0
+	kept := s.filters[:0]
+	for _, f := range s.filters {
+		if f.Key.LocalPort == port && f.Epoch < ep {
+			f.queue = nil
+			s.Fenced++
+			dropped++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	s.filters = kept
+	if len(s.filters) == 0 && s.hooked {
+		s.stack.UnregisterHook(s.hook)
+		s.hooked = false
+	}
+	return dropped
+}
+
+// PortFence returns the current fence epoch for a port (0 = unfenced).
+func (s *Service) PortFence(port uint16) uint64 { return s.fences[port] }
 
 func (s *Service) hookFn(p *netsim.Packet) netstack.Verdict {
 	for _, f := range s.filters {
@@ -106,7 +164,17 @@ func (s *Service) hookFn(p *netsim.Packet) netstack.Verdict {
 // back to the stack through the okfn, in arrival order. The migrated
 // socket — rehashed just before this call — processes them as if they
 // had just arrived. Returns the number of packets reinjected.
+//
+// A filter whose epoch fell below the port fence is refused: it is
+// removed and its queue discarded, but nothing is reinjected — replaying
+// packets captured under superseded ownership would hand a stale owner
+// back its traffic.
 func (s *Service) ReinjectAndDisable(f *Filter) (int, error) {
+	if min, fenced := s.fences[f.Key.LocalPort]; fenced && f.Epoch < min {
+		s.Drop(f)
+		s.Fenced++
+		return 0, fmt.Errorf("capture: filter %v fenced (epoch %d < %d)", f.Key, f.Epoch, min)
+	}
 	idx := -1
 	for i, g := range s.filters {
 		if g == f {

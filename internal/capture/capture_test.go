@@ -194,6 +194,94 @@ func TestMultipleFiltersIndependent(t *testing.T) {
 	}
 }
 
+func TestFencePortDropsStaleFilters(t *testing.T) {
+	st := netstack.NewStack(simtime.NewScheduler(), "dst", 0)
+	svc := NewService(st)
+	old := svc.EnableEpoch(netsim.FlowKey{LocalPort: 70, RemoteIP: 8, RemotePort: 8, Proto: netsim.ProtoUDP}, 1)
+	cur := svc.EnableEpoch(netsim.FlowKey{LocalPort: 70, RemoteIP: 9, RemotePort: 9, Proto: netsim.ProtoUDP}, 2)
+	other := svc.EnableEpoch(netsim.FlowKey{LocalPort: 71, Proto: netsim.ProtoUDP}, 1)
+	svcHook(svc, &netsim.Packet{Proto: netsim.ProtoUDP, SrcIP: 8, SrcPort: 8, DstPort: 70})
+	svcHook(svc, &netsim.Packet{Proto: netsim.ProtoUDP, SrcIP: 9, SrcPort: 9, DstPort: 70})
+	svcHook(svc, &netsim.Packet{Proto: netsim.ProtoUDP, DstPort: 71})
+
+	if dropped := svc.FencePort(70, 2); dropped != 1 {
+		t.Fatalf("FencePort dropped %d filters, want 1", dropped)
+	}
+	if old.QueueLen() != 0 {
+		t.Fatal("stale filter kept its queue")
+	}
+	if cur.QueueLen() != 1 || other.QueueLen() != 1 {
+		t.Fatal("fence touched filters at or above the epoch, or on another port")
+	}
+	if svc.ActiveFilters() != 2 {
+		t.Fatalf("active filters = %d, want 2", svc.ActiveFilters())
+	}
+	if svc.Fenced != 1 {
+		t.Fatalf("Fenced = %d, want 1", svc.Fenced)
+	}
+	if svc.PortFence(70) != 2 || svc.PortFence(71) != 0 {
+		t.Fatal("PortFence watermark wrong")
+	}
+	// Fences only ratchet forward.
+	if svc.FencePort(70, 1) != 0 || svc.PortFence(70) != 2 {
+		t.Fatal("fence moved backward")
+	}
+	// The surviving current-epoch filter still reinjects normally.
+	if n, err := svc.ReinjectAndDisable(cur); err != nil || n != 1 {
+		t.Fatalf("current-epoch reinject = %d, %v", n, err)
+	}
+}
+
+func TestEnableBelowFenceIsInert(t *testing.T) {
+	st := netstack.NewStack(simtime.NewScheduler(), "dst", 0)
+	svc := NewService(st)
+	svc.FencePort(80, 5)
+	f := svc.EnableEpoch(netsim.FlowKey{LocalPort: 80, Proto: netsim.ProtoUDP}, 4)
+	if svc.ActiveFilters() != 0 {
+		t.Fatal("stale filter was installed")
+	}
+	if svcHook(svc, &netsim.Packet{Proto: netsim.ProtoUDP, DstPort: 80}) != netstack.VerdictAccept {
+		t.Fatal("inert filter captured a packet")
+	}
+	if f.QueueLen() != 0 || f.Captured != 0 {
+		t.Fatal("inert filter has state")
+	}
+	if svc.Fenced != 1 {
+		t.Fatalf("Fenced = %d, want 1", svc.Fenced)
+	}
+	// Legacy Enable (epoch 0) on a fenced port is likewise inert.
+	svc.Enable(netsim.FlowKey{LocalPort: 80, Proto: netsim.ProtoUDP})
+	if svc.ActiveFilters() != 0 {
+		t.Fatal("legacy filter installed below fence")
+	}
+	// At or above the fence installs normally.
+	g := svc.EnableEpoch(netsim.FlowKey{LocalPort: 80, Proto: netsim.ProtoUDP}, 5)
+	if svc.ActiveFilters() != 1 {
+		t.Fatal("fresh filter not installed")
+	}
+	svc.Drop(g)
+}
+
+func TestReinjectRefusedBelowFence(t *testing.T) {
+	st := netstack.NewStack(simtime.NewScheduler(), "dst", 0)
+	svc := NewService(st)
+	f := svc.EnableEpoch(netsim.FlowKey{LocalPort: 90, Proto: netsim.ProtoUDP}, 1)
+	svcHook(svc, &netsim.Packet{Proto: netsim.ProtoUDP, DstPort: 90})
+	// Ownership moves to epoch 2 elsewhere while the caller still holds f.
+	// The fence GCs the installed filter immediately, and a later attempt
+	// to reinject the stale handle must be refused without reinjection.
+	svc.FencePort(90, 2)
+	if svc.ActiveFilters() != 0 {
+		t.Fatal("fence left the stale filter installed")
+	}
+	if n, err := svc.ReinjectAndDisable(f); err == nil || n != 0 {
+		t.Fatalf("fenced reinjection allowed: n=%d err=%v", n, err)
+	}
+	if st.Stats.Reinjected != 0 {
+		t.Fatal("fenced filter reinjected packets")
+	}
+}
+
 func TestCaptureMultisetProperty(t *testing.T) {
 	// For any random packet sequence: every non-duplicate matching packet
 	// is captured exactly once; reinjection releases exactly the captured

@@ -1,0 +1,78 @@
+// Package epoch implements per-service ownership epochs, the fencing
+// primitive of the failover subsystem.
+//
+// Every service (a named migratable process owning network ports behind
+// the cluster's single public IP) has a cluster-wide monotone epoch.
+// Exactly one node is supposed to own a service at any epoch; ownership
+// changes mint a higher epoch. Because the broadcast router delivers
+// every client packet to every node, a healed node that still believes
+// it owns a service would silently serve alongside the real owner —
+// the classic split-brain. Epochs make that impossible: every message
+// that can re-establish serving state (migd migration requests, standby
+// checkpoint images, translation-rule installs, capture reinjections)
+// carries the sender's epoch, and every receiver holds a ratcheting
+// Table. Anything stamped with an epoch below the table's watermark is
+// stale by definition and is rejected or dismantled.
+//
+// The table is node-local and only ever moves forward; it does not need
+// consensus. Correctness comes from the ratchet: once a node has
+// observed epoch e for a service, nothing from e' < e can install or
+// serve state on that node again.
+package epoch
+
+import "sort"
+
+// Table tracks the highest ownership epoch observed per service on one
+// node. The zero epoch means "never fenced": legacy messages carrying
+// epoch 0 are accepted until a real epoch is observed.
+type Table struct {
+	cur map[string]uint64
+
+	// Rejections counts stale observations, for tests and monitoring.
+	Rejections uint64
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table { return &Table{cur: make(map[string]uint64)} }
+
+// Current returns the highest epoch observed for the service (0 when
+// the service has never been seen).
+func (t *Table) Current(name string) uint64 { return t.cur[name] }
+
+// Observe folds an epoch seen on the wire into the table. It returns
+// true when e is fresh (>= the watermark, ratcheting it up) and false
+// when e is stale — the caller must then reject the message.
+func (t *Table) Observe(name string, e uint64) bool {
+	if e < t.cur[name] {
+		t.Rejections++
+		return false
+	}
+	if e > t.cur[name] {
+		t.cur[name] = e
+	}
+	return true
+}
+
+// Stale reports whether e is below the watermark without recording a
+// rejection (pure query).
+func (t *Table) Stale(name string, e uint64) bool { return e < t.cur[name] }
+
+// Bump mints the next epoch for a service: watermark+1, recorded as the
+// new watermark. Used by the failover path when a standby activates.
+func (t *Table) Bump(name string) uint64 {
+	t.cur[name]++
+	return t.cur[name]
+}
+
+// Services lists every service with a non-zero watermark, sorted, for
+// deterministic iteration in broadcasts and logs.
+func (t *Table) Services() []string {
+	out := make([]string, 0, len(t.cur))
+	for name, e := range t.cur {
+		if e > 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,59 @@
+package epoch
+
+import "testing"
+
+func TestRatchet(t *testing.T) {
+	tb := NewTable()
+	if tb.Current("svc") != 0 {
+		t.Fatal("fresh table not at epoch 0")
+	}
+	if !tb.Observe("svc", 0) {
+		t.Fatal("zero epoch rejected on fresh table")
+	}
+	if !tb.Observe("svc", 3) {
+		t.Fatal("forward observation rejected")
+	}
+	if tb.Current("svc") != 3 {
+		t.Fatalf("watermark = %d, want 3", tb.Current("svc"))
+	}
+	// Equal epochs are fresh (same owner re-advertising).
+	if !tb.Observe("svc", 3) {
+		t.Fatal("equal epoch rejected")
+	}
+	// Stale epochs are rejected and counted.
+	if tb.Observe("svc", 2) {
+		t.Fatal("stale epoch accepted")
+	}
+	if tb.Rejections != 1 {
+		t.Fatalf("rejections = %d, want 1", tb.Rejections)
+	}
+	if !tb.Stale("svc", 1) || tb.Stale("svc", 3) {
+		t.Fatal("Stale misclassifies")
+	}
+}
+
+func TestBumpMints(t *testing.T) {
+	tb := NewTable()
+	if e := tb.Bump("svc"); e != 1 {
+		t.Fatalf("first bump = %d, want 1", e)
+	}
+	tb.Observe("svc", 7)
+	if e := tb.Bump("svc"); e != 8 {
+		t.Fatalf("bump after observe(7) = %d, want 8", e)
+	}
+	// Independent services do not interfere.
+	if e := tb.Bump("other"); e != 1 {
+		t.Fatalf("other service bump = %d, want 1", e)
+	}
+}
+
+func TestServicesSorted(t *testing.T) {
+	tb := NewTable()
+	tb.Bump("zeta")
+	tb.Bump("alpha")
+	tb.Observe("never", 0) // zero watermark: not listed
+	got := tb.Services()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Fatalf("services = %v", got)
+	}
+}

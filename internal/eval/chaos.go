@@ -18,14 +18,14 @@ import (
 // first two nodes, external clients streaming against a zone process on
 // the source, and a fault injector seeded for the run.
 type ChaosEnv struct {
-	Sched    *simtime.Scheduler
-	Cluster  *proc.Cluster
-	Inj      *faults.Injector
-	Source   *proc.Node
-	Dest     *proc.Node
-	DB       *proc.Node
-	SrcMig   *migration.Migrator
-	DstMig   *migration.Migrator
+	Sched     *simtime.Scheduler
+	Cluster   *proc.Cluster
+	Inj       *faults.Injector
+	Source    *proc.Node
+	Dest      *proc.Node
+	DB        *proc.Node
+	SrcMig    *migration.Migrator
+	DstMig    *migration.Migrator
 	ClientNIC *netsim.NIC // the external players' access link
 	// MigrateAt is when the harness will initiate the migration.
 	MigrateAt simtime.Time

@@ -43,6 +43,26 @@ type Config struct {
 	CalmDown simtime.Duration
 	// PeerTimeout expires silent peers (missed heartbeats).
 	PeerTimeout simtime.Duration
+	// SuspectAfter marks a peer suspect after this much heartbeat
+	// silence; PeerTimeout then confirms death. Zero defaults to
+	// 2×Period. Suspect peers stop receiving migrations but do not yet
+	// trigger failover — a peer that flaps back within PeerTimeout never
+	// causes an activation.
+	SuspectAfter simtime.Duration
+	// ClaimWait is the failover election window between broadcasting an
+	// ownership claim and activating the standby image (zero defaults to
+	// 2×Period); competing claims arriving within the window are
+	// compared by (epoch, seq, lower address).
+	ClaimWait simtime.Duration
+	// ResumeGrace is how long a healed, formerly isolated owner listens
+	// for a higher-epoch owner before resuming its suspended service
+	// (zero defaults to 3×Period).
+	ResumeGrace simtime.Duration
+	// DeadRetention keeps dead peer entries around — still heartbeated —
+	// so a healed node relearns the cluster quickly and hears the new
+	// owner's advertisements; entries are GC'd after
+	// PeerTimeout+DeadRetention of silence (zero defaults to 60 s).
+	DeadRetention simtime.Duration
 	// ScanMax bounds the discovery scan of the local /24.
 	ScanMax byte
 	// EWMA smoothing factor for the load signal (0..1, weight of the new
@@ -76,19 +96,49 @@ const (
 	stateReceiving
 )
 
+// PeerState is the failure detector's verdict on a peer. The zero value
+// is PeerAlive so freshly noted peers start healthy.
+type PeerState int
+
+// Detector states: Alive → Suspect (age > SuspectAfter) → Dead
+// (age > PeerTimeout), with revival on any heartbeat. PeerUnknown is
+// returned for addresses the conductor has never seen (or GC'd).
+const (
+	PeerAlive PeerState = iota
+	PeerSuspect
+	PeerDead
+	PeerUnknown
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case PeerAlive:
+		return "alive"
+	case PeerSuspect:
+		return "suspect"
+	case PeerDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
 type peerInfo struct {
 	addr     netsim.Addr
 	load     float64
 	lastSeen simtime.Time
+	state    PeerState
 }
 
-// Event records one load-balancing decision, for the experiment logs.
+// Event records one load-balancing or failover decision, for the
+// experiment logs.
 type Event struct {
 	At   simtime.Time
-	Kind string // "migrate-out", "migrate-in", "reject", "abort"
+	Kind string // "migrate-out", "migrate-in", "reject", "abort", "suspect", "peer-dead", "revived", "claim", "activate", "fence", "suspend", "resume"
 	Peer netsim.Addr
 	PID  int
 	Load float64
+	// Name carries the service name for failover events.
+	Name string
 	// Err carries the failure for "abort" events.
 	Err string
 }
@@ -111,9 +161,24 @@ type Conductor struct {
 	reserveAt  simtime.Time
 	nextSeq    uint32
 
-	// Events logs decisions; Migrations counts completed outbound moves.
+	// Failover state (see failover.go). standby is nil until
+	// EnableFailover wires one; owned tracks local service ownerships;
+	// claims tracks pending failover elections; maxPeersSeen is the
+	// high-water mark of simultaneously known peers (the quorum gate's
+	// notion of cluster size); isolatedSince is when the alive-peer count
+	// last dropped to zero.
+	standby       *migration.Standby
+	owned         map[string]*ownership
+	claims        map[string]*claim
+	maxPeersSeen  int
+	isolatedSince simtime.Time
+	isolated      bool
+
+	// Events logs decisions; Migrations counts completed outbound moves;
+	// Failovers counts standby activations this conductor performed.
 	Events     []Event
 	Migrations int
+	Failovers  int
 }
 
 // Wire opcodes.
@@ -126,13 +191,16 @@ const (
 	opReject        = 6
 	opDone          = 7
 	opRelease       = 8
+	opOwner         = 9  // ownership advertisement: [op][8B epoch][8B seq][name]
+	opClaim         = 10 // failover claim: [op][8B epoch][8B seq][name]
 )
 
 // NewConductor starts the daemon on a node that already runs a migration
 // service. It binds the conductor port and scans the local network for
 // peers (§IV: "the conductor daemon process scans the local network").
 func NewConductor(n *proc.Node, mig *migration.Migrator, cfg Config) (*Conductor, error) {
-	c := &Conductor{Node: n, Mig: mig, Config: cfg, peers: make(map[netsim.Addr]*peerInfo)}
+	c := &Conductor{Node: n, Mig: mig, Config: cfg, peers: make(map[netsim.Addr]*peerInfo),
+		owned: make(map[string]*ownership), claims: make(map[string]*claim)}
 	c.sock = netstack.NewUDPSocket(n.Stack)
 	if err := c.sock.Bind(n.LocalIP, CondPort); err != nil {
 		return nil, fmt.Errorf("cond: %w", err)
@@ -153,20 +221,81 @@ func (c *Conductor) Stop() {
 // Load returns the smoothed local load in [0,1].
 func (c *Conductor) Load() float64 { return c.load }
 
-// PeerCount returns the live peer count.
-func (c *Conductor) PeerCount() int { return len(c.peers) }
+// PeerCount returns the live (non-dead) peer count.
+func (c *Conductor) PeerCount() int {
+	n := 0
+	for _, p := range c.peers {
+		if p.state != PeerDead {
+			n++
+		}
+	}
+	return n
+}
+
+// PeerState exposes the failure detector's verdict on a peer, for
+// policies and tests.
+func (c *Conductor) PeerState(addr netsim.Addr) PeerState {
+	p := c.peers[addr]
+	if p == nil {
+		return PeerUnknown
+	}
+	return p.state
+}
+
+// AlivePeers lists peers the detector currently trusts, sorted for
+// deterministic iteration.
+func (c *Conductor) AlivePeers() []netsim.Addr {
+	var out []netsim.Addr
+	for addr, p := range c.peers {
+		if p.state == PeerAlive {
+			out = append(out, addr)
+		}
+	}
+	sortAddrs(out)
+	return out
+}
+
+func (c *Conductor) aliveCount() int {
+	n := 0
+	for _, p := range c.peers {
+		if p.state == PeerAlive {
+			n++
+		}
+	}
+	return n
+}
 
 // ClusterAverage approximates the overall cluster load from the local
 // sample and the latest peer broadcasts (§IV: each node maintains "an
-// approximation on the overall load of the whole cluster").
+// approximation on the overall load of the whole cluster"). Dead peers
+// are excluded — their last broadcast describes a machine that no
+// longer contributes capacity.
 func (c *Conductor) ClusterAverage() float64 {
 	sum := c.load
 	n := 1.0
 	for _, p := range c.peers {
+		if p.state == PeerDead {
+			continue
+		}
 		sum += p.load
 		n++
 	}
 	return sum / n
+}
+
+// Derived detector defaults (zero config values fall back here).
+func (c *Conductor) suspectAfter() simtime.Duration {
+	if c.Config.SuspectAfter > 0 {
+		return c.Config.SuspectAfter
+	}
+	return 2 * c.Config.Period
+}
+
+func (c *Conductor) deadRetention() simtime.Duration {
+	if c.Config.DeadRetention > 0 {
+		return c.Config.DeadRetention
+	}
+	return 60e9
 }
 
 func (c *Conductor) now() simtime.Time { return c.Node.Sched.Now() }
@@ -207,18 +336,40 @@ func (c *Conductor) tick() {
 	u := c.Node.Utilization()
 	c.load = c.Config.EWMA*u + (1-c.Config.EWMA)*c.load
 
-	// Information policy: periodic broadcast doubling as heartbeat.
+	// Information policy: periodic broadcast doubling as heartbeat. Dead
+	// entries are heartbeated too — a healed node must hear from us to
+	// relearn the cluster (and, through the ownership advertisements
+	// below, to learn it was superseded).
 	hb := loadMsg(opHeartbeat, c.load)
-	for addr := range c.peers {
+	for _, addr := range c.peerAddrs() {
 		c.send(addr, hb)
 	}
+	c.advertiseOwnership()
 
-	// Expire silent peers.
-	for addr, p := range c.peers {
-		if c.now()-p.lastSeen > c.Config.PeerTimeout {
+	// Failure detector: Alive → Suspect → Dead on heartbeat age, with
+	// GC after the retention window. notePeer revives on any message.
+	// Sorted iteration keeps the claim broadcasts onPeerDead emits in a
+	// deterministic order.
+	for _, addr := range c.peerAddrs() {
+		p := c.peers[addr]
+		age := c.now() - p.lastSeen
+		switch {
+		case age > c.Config.PeerTimeout+c.deadRetention():
 			delete(c.peers, addr)
+		case age > c.Config.PeerTimeout:
+			if p.state != PeerDead {
+				p.state = PeerDead
+				c.Events = append(c.Events, Event{At: c.now(), Kind: "peer-dead", Peer: addr})
+				c.onPeerDead(addr)
+			}
+		case age > c.suspectAfter():
+			if p.state == PeerAlive {
+				p.state = PeerSuspect
+				c.Events = append(c.Events, Event{At: c.now(), Kind: "suspect", Peer: addr})
+			}
 		}
 	}
+	c.checkIsolation()
 
 	// Release a stuck reservation (sender never delivered).
 	if c.state == stateReceiving && c.now()-c.reserveAt > 5*c.Config.Period {
@@ -249,8 +400,9 @@ func (c *Conductor) considerBalance() {
 	// above it, so both converge to the average after the move.
 	var best *peerInfo
 	bestScore := 1e18
-	for _, p := range c.peers {
-		if p.load >= avg {
+	for _, addr := range c.peerAddrs() {
+		p := c.peers[addr]
+		if p.state != PeerAlive || p.load >= avg {
 			continue
 		}
 		score := abs(excess - (avg - p.load))
@@ -275,8 +427,9 @@ func (c *Conductor) considerConsolidate() {
 		return
 	}
 	var best *peerInfo
-	for _, p := range c.peers {
-		if p.load+c.load > c.Config.HighThreshold {
+	for _, addr := range c.peerAddrs() {
+		p := c.peers[addr]
+		if p.state != PeerAlive || p.load+c.load > c.Config.HighThreshold {
 			continue
 		}
 		if best == nil || p.load > best.load {
@@ -365,6 +518,14 @@ func (c *Conductor) serve() {
 			if c.state == stateReceiving {
 				c.state = stateIdle
 			}
+		case opOwner:
+			if name, ep, seq, err := decodeOwnerMsg(dg.Payload); err == nil {
+				c.handleOwner(from, name, ep, seq)
+			}
+		case opClaim:
+			if name, ep, seq, err := decodeOwnerMsg(dg.Payload); err == nil {
+				c.handleClaim(from, name, ep, seq)
+			}
 		}
 	}
 }
@@ -379,6 +540,18 @@ func (c *Conductor) notePeer(addr netsim.Addr, load float64) {
 		p.load = load
 	}
 	p.lastSeen = c.now()
+	if p.state != PeerAlive {
+		// Revival: the detector trusts the peer again (a flap, or a
+		// partition healing). Failover decisions taken in between stand;
+		// epochs sort out who serves.
+		if p.state == PeerDead {
+			c.Events = append(c.Events, Event{At: c.now(), Kind: "revived", Peer: addr})
+		}
+		p.state = PeerAlive
+	}
+	if n := len(c.peers); n > c.maxPeersSeen {
+		c.maxPeersSeen = n
+	}
 }
 
 // handlePropose runs the receiver side of the transfer policy: accept at
@@ -460,7 +633,11 @@ func (c *Conductor) Drain(done func(moved int, err error)) {
 			return
 		}
 		var best *peerInfo
-		for _, p := range c.peers {
+		for _, addr := range c.peerAddrs() {
+			p := c.peers[addr]
+			if p.state != PeerAlive {
+				continue
+			}
 			if best == nil || p.load < best.load {
 				best = p
 			}

@@ -6,6 +6,7 @@ import (
 
 	"dvemig/internal/capture"
 	"dvemig/internal/ckpt"
+	"dvemig/internal/epoch"
 	"dvemig/internal/netsim"
 	"dvemig/internal/netstack"
 	"dvemig/internal/proc"
@@ -70,7 +71,14 @@ type Config struct {
 	// Zero or negative falls back to 100 ms.
 	RetryBackoff    simtime.Duration
 	RetryBackoffMax simtime.Duration
-	Costs           CostModel
+	// InboundLease bounds how long the destination keeps half-restored
+	// state without hearing from the source. A crashed source sends no
+	// FIN, so the connection's OnClose never fires; the lease is the only
+	// thing standing between a source crash mid-transfer and a leaked
+	// shadow process. Renewed on every migd message; once the full freeze
+	// image has arrived the restore completes regardless. Zero disables.
+	InboundLease simtime.Duration
+	Costs        CostModel
 }
 
 // DefaultConfig returns the paper's configuration with the incremental
@@ -88,6 +96,7 @@ func DefaultConfig() Config {
 		ConnRetries:     0,
 		RetryBackoff:    100 * 1e6, // 100ms, doubling
 		RetryBackoffMax: 1600 * 1e6,
+		InboundLease:    10 * 1e9, // 10s of source silence discards the transfer
 		Costs:           DefaultCosts,
 	}
 }
@@ -121,9 +130,9 @@ type Metrics struct {
 	// Aborted is set when the migration was rolled back; AbortReason
 	// carries the triggering error and LocalReinjected the packets the
 	// source-side capture filters fed back to the thawed sockets.
-	Aborted          bool
-	AbortReason      string
-	LocalReinjected  uint32
+	Aborted         bool
+	AbortReason     string
+	LocalReinjected uint32
 }
 
 // Migrator is the per-node migration daemon (migd) plus the kernel
@@ -135,6 +144,17 @@ type Migrator struct {
 	Capture *capture.Service
 	Xlat    *xlat.Client
 	Transd  *xlat.Transd
+
+	// Epochs is the node's ownership-epoch ratchet. Outbound migrations
+	// stamp the current epoch of the migrated service into the migd
+	// request, the translation rules and the capture filters; inbound
+	// requests below the watermark are rejected (the sender's ownership
+	// was superseded by a failover).
+	Epochs *epoch.Table
+
+	// LeaseExpired counts inbound migrations discarded because the source
+	// went silent for longer than Config.InboundLease mid-transfer.
+	LeaseExpired uint64
 
 	listener *netstack.TCPSocket
 
@@ -157,7 +177,7 @@ type Migrator struct {
 // on the in-cluster interface, the capture service, the translation
 // daemon and the translation request client.
 func NewMigrator(n *proc.Node, cfg Config) (*Migrator, error) {
-	m := &Migrator{Node: n, Config: cfg}
+	m := &Migrator{Node: n, Config: cfg, Epochs: epoch.NewTable()}
 	m.Capture = capture.NewService(n.Stack)
 	m.Xlat = xlat.NewClient(n.Stack, n.LocalIP)
 	var err error
@@ -313,6 +333,7 @@ type outbound struct {
 	timeout     simtime.Duration
 	metrics     *Metrics
 	token       uint64
+	epoch       uint64 // ownership epoch of the migrated service
 
 	started  bool
 	frozen   bool
@@ -348,7 +369,9 @@ type xlatOp struct {
 
 func (ob *outbound) start() {
 	ob.token = registerBehavior(&ckpt.Behavior{Tick: ob.p.Tick, SigHandlers: ob.p.SigHandlers})
-	req := migrateReq{PID: ob.p.PID, Strategy: ob.m.Config.Strategy, Token: ob.token, Name: ob.p.Name}
+	ob.epoch = ob.m.Epochs.Current(ob.p.Name)
+	req := migrateReq{PID: ob.p.PID, Strategy: ob.m.Config.Strategy, Token: ob.token,
+		Epoch: ob.epoch, Name: ob.p.Name}
 	ob.send(MsgMigrateReq, req.encode())
 }
 
@@ -553,7 +576,7 @@ func (ob *outbound) setupTranslation(then func()) {
 		rules = append(rules, xlatOp{
 			peer: peer, add: true,
 			rule: xlat.Rule{Proto: netsim.ProtoTCP, OldAddr: oldAddr, NewAddr: ob.dest,
-				LocalPort: sk.RemotePort, RemotePort: sk.LocalPort},
+				LocalPort: sk.RemotePort, RemotePort: sk.LocalPort, Epoch: ob.epoch},
 		})
 		// The inverse, should the migration abort: point the peer's rule
 		// back at the flow's real current home. If the socket never
@@ -563,7 +586,7 @@ func (ob *outbound) setupTranslation(then func()) {
 		ob.rollback = append(ob.rollback, xlatOp{
 			peer: peer, add: true,
 			rule: xlat.Rule{Proto: netsim.ProtoTCP, OldAddr: oldAddr, NewAddr: sk.LocalIP,
-				LocalPort: sk.RemotePort, RemotePort: sk.LocalPort},
+				LocalPort: sk.RemotePort, RemotePort: sk.LocalPort, Epoch: ob.epoch},
 		})
 		// If this node is translating the socket's own outgoing traffic
 		// (its peer migrated before), the rule must move with the socket:
@@ -652,7 +675,7 @@ func (ob *outbound) iterativeStep(tcp []*netstack.TCPSocket, udp []*netstack.UDP
 			// discarded on success (the destination's filter has its own
 			// copy via the broadcast).
 			if ob.m.Config.EnableCapture {
-				ob.localFilters = append(ob.localFilters, ob.m.Capture.Enable(key))
+				ob.localFilters = append(ob.localFilters, ob.m.Capture.EnableEpoch(key, ob.epoch))
 			}
 			var sd *sockmig.SockDelta
 			if len(tcp) > 0 {
@@ -723,7 +746,7 @@ func (ob *outbound) collectivePhase2() {
 		// hash tables (reinjected on rollback, discarded on success).
 		if ob.m.Config.EnableCapture {
 			for _, k := range sockmig.CaptureKeys(ob.p) {
-				ob.localFilters = append(ob.localFilters, ob.m.Capture.Enable(k))
+				ob.localFilters = append(ob.localFilters, ob.m.Capture.EnableEpoch(k, ob.epoch))
 			}
 		}
 		ntcp, nudp := sockmig.DisableAll(ob.p)
@@ -829,9 +852,39 @@ type inbound struct {
 	filters  []*capture.Filter
 
 	active bool
+
+	// lease discards the half-restored state if the source goes silent
+	// (a crashed source sends no FIN, so OnClose never fires). Renewed on
+	// every message; disarmed once the full freeze image has arrived —
+	// from that point the restore completes whether the source lives or
+	// not, and the source being dead just means one owner, here.
+	lease     *simtime.Event
+	restoring bool
+}
+
+// renewLease (re)arms the source-silence timer.
+func (ib *inbound) renewLease() {
+	d := ib.m.Config.InboundLease
+	if d <= 0 || ib.restoring {
+		return
+	}
+	if ib.lease != nil {
+		ib.m.sched().Cancel(ib.lease)
+	}
+	ib.lease = ib.m.sched().After(d, "migd.lease", func() {
+		if !ib.active || ib.restoring {
+			return
+		}
+		ib.m.LeaseExpired++
+		ib.cleanup()
+		ib.conn.Close()
+	})
 }
 
 func (ib *inbound) onMsg(t MsgType, payload []byte) {
+	if ib.active {
+		ib.renewLease()
+	}
 	switch t {
 	case MsgMigrateReq:
 		req, err := decodeMigrateReq(payload)
@@ -839,10 +892,18 @@ func (ib *inbound) onMsg(t MsgType, payload []byte) {
 			ib.abort(err)
 			return
 		}
+		// Fencing: a request stamped below the service's epoch watermark
+		// comes from a node whose ownership a failover superseded.
+		if req.Name != "" && !ib.m.Epochs.Observe(req.Name, req.Epoch) {
+			ib.abort(fmt.Errorf("migration: stale epoch %d for %q (watermark %d)",
+				req.Epoch, req.Name, ib.m.Epochs.Current(req.Name)))
+			return
+		}
 		ib.req = req
 		ib.shadowAS = proc.NewAddressSpace()
 		ib.store = sockmig.NewStore()
 		ib.active = true
+		ib.renewLease()
 		ib.conn.Send(MsgMigrateAck, nil)
 	case MsgMemDelta:
 		d, err := ckpt.DecodeMemDelta(payload)
@@ -869,7 +930,7 @@ func (ib *inbound) onMsg(t MsgType, payload []byte) {
 			return
 		}
 		for _, k := range keys {
-			ib.filters = append(ib.filters, ib.m.Capture.Enable(k))
+			ib.filters = append(ib.filters, ib.m.Capture.EnableEpoch(k, ib.req.Epoch))
 		}
 		ib.conn.Send(MsgCaptureAck, nil)
 	case MsgFreeze:
@@ -877,6 +938,15 @@ func (ib *inbound) onMsg(t MsgType, payload []byte) {
 		if err != nil {
 			ib.abort(err)
 			return
+		}
+		// The full freeze image is here: past the point of no return, the
+		// restore proceeds even if the source dies now (the source only
+		// dismantles its copy after RestoreDone, and a dead source cannot
+		// serve — either way exactly one owner remains).
+		ib.restoring = true
+		if ib.lease != nil {
+			ib.m.sched().Cancel(ib.lease)
+			ib.lease = nil
 		}
 		ib.restore(fm)
 	case MsgAbort:
@@ -900,6 +970,13 @@ func (ib *inbound) cleanup() {
 	}
 	ib.filters = nil
 	ib.active = false
+	if ib.lease != nil {
+		ib.m.sched().Cancel(ib.lease)
+		ib.lease = nil
+	}
+	// Discard the shadow state outright: nothing half-restored survives.
+	ib.shadowAS = nil
+	ib.store = nil
 }
 
 // restore runs the destination freeze-phase work: fold in the final
@@ -944,6 +1021,9 @@ func (ib *inbound) restore(fm freezeMsg) {
 }
 
 func (ib *inbound) finishRestore(img *ckpt.Image) {
+	if !ib.active {
+		return // aborted during the restore window; state already discarded
+	}
 	if !ib.m.Node.Alive {
 		ib.cleanup()
 		return // the node crashed during the restore window

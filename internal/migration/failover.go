@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"dvemig/internal/ckpt"
 	"dvemig/internal/netsim"
@@ -15,7 +16,12 @@ import (
 // Fault tolerance (paper §VIII names it as future work for the
 // mechanism): a Guardian periodically checkpoints a process and streams
 // the image to a Standby on a buddy node; when the home node dies, the
-// standby restarts the process from the most recent image.
+// standby restarts the process from the most recent image. The lb
+// conductor's failure detector drives the activation (see internal/lb):
+// suspicion after missed heartbeats, confirmation after PeerTimeout,
+// then a claim election among standbys holding images — the freshest
+// (epoch, seq) wins — and the winner activates under a freshly minted
+// ownership epoch.
 //
 // Connection state cannot outlive a crash the way it outlives a planned
 // migration — the post-checkpoint socket state died with the node, so
@@ -38,17 +44,32 @@ const (
 type Standby struct {
 	Node *proc.Node
 
+	// MaxImages bounds how many distinct services the standby retains
+	// images for; storing one more evicts the stalest (oldest receive
+	// time). Zero means the DefaultMaxImages bound.
+	MaxImages int
+
 	listener *netstack.TCPSocket
 	images   map[string]*standbyImage
 
-	// Stored counts images received; useful for tests.
-	Stored uint64
+	// Stored counts images accepted; Evicted counts images dropped by
+	// the retention bound; RejectedStale counts images refused for
+	// carrying a superseded (epoch, seq).
+	Stored        uint64
+	Evicted       uint64
+	RejectedStale uint64
 }
+
+// DefaultMaxImages is the retention bound applied when MaxImages is 0.
+const DefaultMaxImages = 64
 
 type standbyImage struct {
 	data  []byte
 	token uint64
 	seq   uint64
+	epoch uint64
+	from  netsim.Addr  // guardian's node (the image's home)
+	at    simtime.Time // receive time, for eviction order
 }
 
 // NewStandby starts the standby daemon on a node.
@@ -64,23 +85,96 @@ func NewStandby(n *proc.Node) (*Standby, error) {
 			if t != msgCkptImage {
 				return
 			}
-			name, token, seq, img, err := decodeCkptImage(payload)
+			name, token, seq, ep, img, err := decodeCkptImage(payload)
 			if err != nil {
 				return
 			}
-			cur := s.images[name]
-			if cur == nil || seq > cur.seq {
-				s.images[name] = &standbyImage{data: img, token: token, seq: seq}
-				s.Stored++
-			}
+			s.offer(name, token, seq, ep, ch.RemoteIP, img)
 			conn.Send(msgCkptAck, payload[:8])
 		}
 	}
 	return s, nil
 }
 
+// offer folds a received image into the store under the freshness order
+// (epoch, then seq). Superseded and refused images release their
+// behavior tokens immediately — the fix for the unbounded registry
+// growth the old "keep every token forever" behaviour caused.
+func (s *Standby) offer(name string, token, seq, ep uint64, from netsim.Addr, img []byte) {
+	cur := s.images[name]
+	fresher := cur == nil || ep > cur.epoch || (ep == cur.epoch && seq > cur.seq)
+	if !fresher {
+		s.RejectedStale++
+		takeBehavior(token) // refused image's behavior is unreachable
+		return
+	}
+	if cur != nil && cur.token != token {
+		takeBehavior(cur.token) // superseded image's behavior
+	}
+	if cur == nil {
+		s.evictFor(name)
+	}
+	s.images[name] = &standbyImage{data: img, token: token, seq: seq,
+		epoch: ep, from: from, at: s.Node.Sched.Now()}
+	s.Stored++
+}
+
+// evictFor makes room for one more service, dropping the stalest image
+// (ties broken by name for determinism) when the bound is reached.
+func (s *Standby) evictFor(name string) {
+	max := s.MaxImages
+	if max <= 0 {
+		max = DefaultMaxImages
+	}
+	for len(s.images) >= max {
+		victim := ""
+		for n, si := range s.images {
+			if victim == "" || si.at < s.images[victim].at ||
+				(si.at == s.images[victim].at && n < victim) {
+				victim = n
+			}
+		}
+		if victim == "" {
+			return
+		}
+		takeBehavior(s.images[victim].token)
+		delete(s.images, victim)
+		s.Evicted++
+	}
+}
+
 // Have reports whether an image for the process name is stored.
 func (s *Standby) Have(name string) bool { return s.images[name] != nil }
+
+// ImageInfo reports the freshness and origin of the stored image for a
+// service: the ownership epoch and sequence number it was checkpointed
+// under and the in-cluster address of the node it came from. The
+// detector-driven failover election compares (epoch, seq) across
+// claimants so the standby holding the freshest image wins.
+func (s *Standby) ImageInfo(name string) (ep, seq uint64, from netsim.Addr, ok bool) {
+	si := s.images[name]
+	if si == nil {
+		return 0, 0, 0, false
+	}
+	return si.epoch, si.seq, si.from, true
+}
+
+// NumImages reports how many services have a stored image.
+func (s *Standby) NumImages() int { return len(s.images) }
+
+// ImagesFrom lists the services whose stored image came from the given
+// node, sorted for deterministic iteration — the candidate set a
+// failure detector consults when that node dies.
+func (s *Standby) ImagesFrom(from netsim.Addr) []string {
+	var out []string
+	for name, si := range s.images {
+		if si.from == from {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Activate restarts the named process from its latest image on the
 // standby's node. Established TCP connections from the image are dropped
@@ -102,6 +196,12 @@ func (s *Standby) Activate(name string) (*proc.Process, error) {
 		case f.Kind == "file":
 			kept = append(kept, f)
 		case f.Kind == "udp":
+			// The binding survives; queued datagrams do not. The old
+			// owner kept consuming its queue after this checkpoint was
+			// taken, so replaying the snapshot would answer datagrams a
+			// second time — the restart serves only traffic that arrives
+			// under the new ownership.
+			f.UDP.Queue = nil
 			kept = append(kept, f)
 		case f.Kind == "tcp" && f.TCP.Listening:
 			kept = append(kept, f)
@@ -122,6 +222,11 @@ type Guardian struct {
 	Node    *proc.Node
 	Proc    *proc.Process
 	BuddyIP netsim.Addr
+
+	// Epoch stamps shipped images with the owner's current ownership
+	// epoch; the failover election prefers higher epochs regardless of
+	// sequence numbers (a new owner's guardian restarts seq at 1).
+	Epoch uint64
 
 	conn   *Conn
 	ticker *simtime.Ticker
@@ -170,34 +275,42 @@ func (g *Guardian) checkpoint() {
 	token := registerBehavior(img.Behavior)
 	g.token = token
 	g.seq++
-	payload := encodeCkptImage(g.Proc.Name, token, g.seq, img.Encode())
+	payload := encodeCkptImage(g.Proc.Name, token, g.seq, g.Epoch, img.Encode())
 	g.LastBytes = len(payload)
 	if err := g.conn.Send(msgCkptImage, payload); err == nil {
 		g.Sent++
+	} else {
+		// The image never left this node; its behavior entry would leak.
+		takeBehavior(token)
 	}
 }
 
-func encodeCkptImage(name string, token, seq uint64, img []byte) []byte {
-	b := make([]byte, 8+8+4+len(name)+len(img))
+// Checkpoint-image wire layout:
+//
+//	[8B seq][8B token][8B epoch][4B name len][name][image]
+func encodeCkptImage(name string, token, seq, ep uint64, img []byte) []byte {
+	b := make([]byte, 8+8+8+4+len(name)+len(img))
 	binary.BigEndian.PutUint64(b, seq)
 	binary.BigEndian.PutUint64(b[8:], token)
-	binary.BigEndian.PutUint32(b[16:], uint32(len(name)))
-	copy(b[20:], name)
-	copy(b[20+len(name):], img)
+	binary.BigEndian.PutUint64(b[16:], ep)
+	binary.BigEndian.PutUint32(b[24:], uint32(len(name)))
+	copy(b[28:], name)
+	copy(b[28+len(name):], img)
 	return b
 }
 
-func decodeCkptImage(b []byte) (name string, token, seq uint64, img []byte, err error) {
-	if len(b) < 20 {
-		return "", 0, 0, nil, errors.New("failover: short image message")
+func decodeCkptImage(b []byte) (name string, token, seq, ep uint64, img []byte, err error) {
+	if len(b) < 28 {
+		return "", 0, 0, 0, nil, errors.New("failover: short image message")
 	}
 	seq = binary.BigEndian.Uint64(b)
 	token = binary.BigEndian.Uint64(b[8:])
-	nl := int(binary.BigEndian.Uint32(b[16:]))
-	if nl < 0 || 20+nl > len(b) {
-		return "", 0, 0, nil, errors.New("failover: corrupt image message")
+	ep = binary.BigEndian.Uint64(b[16:])
+	nl := int(binary.BigEndian.Uint32(b[24:]))
+	if nl < 0 || 28+nl > len(b) {
+		return "", 0, 0, 0, nil, errors.New("failover: corrupt image message")
 	}
-	name = string(b[20 : 20+nl])
-	img = b[20+nl:]
-	return name, token, seq, img, nil
+	name = string(b[28 : 28+nl])
+	img = b[28+nl:]
+	return name, token, seq, ep, img, nil
 }

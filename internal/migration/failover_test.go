@@ -1,9 +1,11 @@
 package migration
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
+	"dvemig/internal/ckpt"
 	"dvemig/internal/netstack"
 	"dvemig/internal/proc"
 	"dvemig/internal/simtime"
@@ -149,6 +151,95 @@ func TestStandbyKeepsNewestImage(t *testing.T) {
 	if sb.Stored <= first {
 		t.Fatal("standby stopped accepting newer images")
 	}
+}
+
+func TestBehaviorRegistryBounded(t *testing.T) {
+	// Every checkpoint registers a behavior token; before the retention
+	// fix the standby kept only the newest image but never released the
+	// superseded tokens, so the registry grew without bound.
+	c, _, g, sb := failoverSetup(t)
+	c.Sched.RunFor(2 * time.Second)
+	base := len(behaviorRegistry)
+	c.Sched.RunFor(20 * time.Second) // ~40 more checkpoints
+	if g.Sent < 20 {
+		t.Fatalf("guardian only sent %d checkpoints", g.Sent)
+	}
+	if grown := len(behaviorRegistry) - base; grown > 1 {
+		t.Fatalf("behavior registry grew by %d entries across %d checkpoints", grown, g.Sent)
+	}
+	if sb.NumImages() != 1 {
+		t.Fatalf("images = %d, want 1 (newest per name)", sb.NumImages())
+	}
+}
+
+func TestStandbyRetentionBound(t *testing.T) {
+	c := proc.NewCluster(simtime.NewScheduler(), 1)
+	sb, err := NewStandby(c.Nodes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.MaxImages = 3
+	var tokens []uint64
+	for i := 0; i < 5; i++ {
+		tok := registerBehavior(&ckpt.Behavior{})
+		tokens = append(tokens, tok)
+		sb.offer(fmt.Sprintf("svc%d", i), tok, 1, 0, 0, []byte("img"))
+		c.Sched.RunFor(time.Millisecond) // distinct receive times
+	}
+	if sb.NumImages() != 3 {
+		t.Fatalf("images = %d, want 3", sb.NumImages())
+	}
+	if sb.Evicted != 2 {
+		t.Fatalf("Evicted = %d, want 2", sb.Evicted)
+	}
+	// Stalest receive times evicted first, their tokens released.
+	if sb.Have("svc0") || sb.Have("svc1") {
+		t.Fatal("stalest images not evicted")
+	}
+	if !sb.Have("svc2") || !sb.Have("svc3") || !sb.Have("svc4") {
+		t.Fatal("fresh images evicted")
+	}
+	if behaviorRegistry[tokens[0]] != nil || behaviorRegistry[tokens[1]] != nil {
+		t.Fatal("evicted images leaked their behavior tokens")
+	}
+	for _, tok := range tokens[2:] {
+		takeBehavior(tok) // clean up for other tests
+	}
+}
+
+func TestStandbyEpochPrecedence(t *testing.T) {
+	c := proc.NewCluster(simtime.NewScheduler(), 1)
+	sb, err := NewStandby(c.Nodes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := registerBehavior(&ckpt.Behavior{})
+	sb.offer("svc", t1, 9, 1, 7, []byte("old-owner"))
+	// A new owner's guardian restarts seq at 1 but carries a higher
+	// epoch: epoch precedence must let it supersede seq 9.
+	t2 := registerBehavior(&ckpt.Behavior{})
+	sb.offer("svc", t2, 1, 2, 8, []byte("new-owner"))
+	ep, seq, from, ok := sb.ImageInfo("svc")
+	if !ok || ep != 2 || seq != 1 || from != 8 {
+		t.Fatalf("ImageInfo = %d/%d/%v/%v", ep, seq, from, ok)
+	}
+	// A stale-epoch image is refused no matter how high its seq.
+	t3 := registerBehavior(&ckpt.Behavior{})
+	sb.offer("svc", t3, 99, 1, 7, []byte("stale"))
+	if sb.RejectedStale != 1 {
+		t.Fatalf("RejectedStale = %d, want 1", sb.RejectedStale)
+	}
+	if ep, _, _, _ := sb.ImageInfo("svc"); ep != 2 {
+		t.Fatal("stale image replaced the fresh one")
+	}
+	// Superseded and refused tokens released; the live one retained.
+	if behaviorRegistry[t1] != nil || behaviorRegistry[t3] != nil {
+		t.Fatal("superseded/refused tokens leaked")
+	}
+	if behaviorRegistry[t2] == nil {
+		t.Fatal("live image's token released prematurely")
+	}
+	takeBehavior(t2)
 }
 
 func TestActivateUnknownName(t *testing.T) {

@@ -162,6 +162,18 @@ func extractFenvClient(all []byte, i int) []byte {
 	return out
 }
 
+func fenvCountRunning(c *proc.Cluster, name string) int {
+	n := 0
+	for _, node := range c.Nodes {
+		for _, p := range node.Processes() {
+			if p.Name == name && p.State == proc.ProcRunning {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 func fenvFindProcess(n *proc.Node, name string) *proc.Process {
 	for _, p := range n.Processes() {
 		if p.Name == name {
@@ -334,6 +346,83 @@ func TestCrashMatrix(t *testing.T) {
 			r2, n2 := run()
 			if r1 != r2 || n1 != n2 {
 				t.Fatalf("cell not reproducible: (%q,%d) vs (%q,%d)", r1, n1, r2, n2)
+			}
+		})
+	}
+}
+
+// TestSourceCrashMatrix is the mirror of TestCrashMatrix: the SOURCE
+// node dies at each pre-handover phase. The destination holds only a
+// shadow copy at that point, and a crashed source sends no FIN — the
+// inbound lease is the only thing standing between the destination and
+// a leaked half-restored process. In every cell the destination must
+// discard its shadow state once the lease lapses, and the cluster must
+// converge to at most one owner of the service (zero here: the owner
+// died before handover, and half an image must never serve).
+func TestSourceCrashMatrix(t *testing.T) {
+	cases := []struct {
+		name  string
+		phase migration.Phase
+		round int
+		// expectLease: whether the destination's inbound was active (a
+		// migrate request had arrived) and so must expire a lease. A
+		// crash at connect kills the source before the request is sent.
+		expectLease bool
+	}{
+		{"connect", migration.PhaseConnect, 0, false},
+		{"precopy-round2", migration.PhasePrecopy, 2, true},
+		{"freeze", migration.PhaseFreeze, 0, true},
+		{"transfer", migration.PhaseTransfer, 0, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() (leases uint64, recvLen int) {
+				cfg := migration.DefaultConfig()
+				cfg.Deadline = 6 * 1e9
+				cfg.ConnTimeout = 1 * 1e9
+				cfg.InboundLease = 3 * 1e9
+				e := newFaultEnv(t, 3, 4, 1, cfg)
+				e.startStreams(40 * time.Millisecond)
+				e.c.Sched.RunFor(300 * time.Millisecond)
+
+				src := e.c.Nodes[0]
+				dest := e.c.Nodes[1]
+				faults.CrashAtPhase(e.c, e.migs[0], src, tc.phase, tc.round)
+
+				e.migs[0].Migrate(e.p, dest.LocalIP, func(m *migration.Metrics, err error) {
+					// The source dies mid-flight; whether its callback
+					// still manages to fire is not part of the contract.
+				})
+				// Long enough for the lease (3s) plus restore slack.
+				e.c.Sched.RunFor(15 * time.Second)
+				e.stopStreams()
+				e.c.Sched.RunFor(2 * time.Second)
+
+				if src.Alive {
+					t.Fatal("victim still alive; trigger never fired")
+				}
+				if got := e.migs[1].LeaseExpired; tc.expectLease && got == 0 {
+					t.Fatal("destination never expired the source lease")
+				} else if !tc.expectLease && got != 0 {
+					t.Fatalf("lease expired %d times before a request arrived", got)
+				}
+				// Nothing half-restored leaks: the destination holds no
+				// process of the service, running or otherwise.
+				if fenvFindProcess(dest, "zone_serv") != nil {
+					t.Fatal("destination leaked a half-restored process")
+				}
+				// Convergence to ≤1 owner — zero, since the owner died
+				// before the image was handed over.
+				if n := fenvCountRunning(e.c, "zone_serv"); n != 0 {
+					t.Fatalf("%d running owners after source crash", n)
+				}
+				return e.migs[1].LeaseExpired, e.received.Len()
+			}
+			l1, n1 := run()
+			l2, n2 := run()
+			if l1 != l2 || n1 != n2 {
+				t.Fatalf("cell not reproducible: (%d,%d) vs (%d,%d)", l1, n1, l2, n2)
 			}
 		})
 	}

@@ -10,31 +10,37 @@ import (
 	"dvemig/internal/sockmig"
 )
 
-// migrateReq opens a migration.
+// migrateReq opens a migration. Epoch is the sender's ownership epoch
+// for the service (Name); a destination whose epoch table has seen a
+// higher epoch rejects the request — the sender is acting on superseded
+// ownership.
 type migrateReq struct {
 	PID      int
 	Strategy sockmig.Strategy
 	Token    uint64
+	Epoch    uint64
 	Name     string
 }
 
 func (m migrateReq) encode() []byte {
-	b := make([]byte, 13, 13+len(m.Name))
+	b := make([]byte, 21, 21+len(m.Name))
 	binary.BigEndian.PutUint32(b[0:], uint32(m.PID))
 	b[4] = byte(m.Strategy)
 	binary.BigEndian.PutUint64(b[5:], m.Token)
+	binary.BigEndian.PutUint64(b[13:], m.Epoch)
 	return append(b, m.Name...)
 }
 
 func decodeMigrateReq(b []byte) (migrateReq, error) {
-	if len(b) < 13 {
+	if len(b) < 21 {
 		return migrateReq{}, errors.New("migration: short MIGRATE_REQ")
 	}
 	return migrateReq{
 		PID:      int(binary.BigEndian.Uint32(b[0:])),
 		Strategy: sockmig.Strategy(b[4]),
 		Token:    binary.BigEndian.Uint64(b[5:]),
-		Name:     string(b[13:]),
+		Epoch:    binary.BigEndian.Uint64(b[13:]),
+		Name:     string(b[21:]),
 	}, nil
 }
 

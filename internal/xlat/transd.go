@@ -80,7 +80,7 @@ func (d *Transd) serve() {
 }
 
 func encodeRequest(op byte, reqID uint32, r Rule) []byte {
-	b := make([]byte, 18)
+	b := make([]byte, 26)
 	b[0] = op
 	binary.BigEndian.PutUint32(b[1:], reqID)
 	b[5] = r.Proto
@@ -88,6 +88,7 @@ func encodeRequest(op byte, reqID uint32, r Rule) []byte {
 	binary.BigEndian.PutUint32(b[10:], uint32(r.NewAddr))
 	binary.BigEndian.PutUint16(b[14:], r.LocalPort)
 	binary.BigEndian.PutUint16(b[16:], r.RemotePort)
+	binary.BigEndian.PutUint64(b[18:], r.Epoch)
 	return b
 }
 
@@ -103,6 +104,11 @@ func decodeRequest(b []byte) (op byte, reqID uint32, r Rule, err error) {
 		NewAddr:    netsim.Addr(binary.BigEndian.Uint32(b[10:])),
 		LocalPort:  binary.BigEndian.Uint16(b[14:]),
 		RemotePort: binary.BigEndian.Uint16(b[16:]),
+	}
+	// Pre-epoch senders used 18-byte frames; their rules carry the legacy
+	// unfenced epoch 0.
+	if len(b) >= 26 {
+		r.Epoch = binary.BigEndian.Uint64(b[18:])
 	}
 	return op, reqID, r, nil
 }

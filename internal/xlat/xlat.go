@@ -26,6 +26,13 @@ type Rule struct {
 	NewAddr    netsim.Addr // node the socket migrated to
 	LocalPort  uint16      // the peer socket's local port
 	RemotePort uint16      // the migrated socket's port
+
+	// Epoch is the ownership epoch of the service the rule redirects to.
+	// Installs stamped with an epoch below an already-installed rule for
+	// the same flow (or below a port fence) are stale and rejected; a
+	// higher epoch supersedes — the retarget is the GC of the old rule.
+	// Zero is the legacy unfenced epoch.
+	Epoch uint64
 }
 
 // String renders the rule for logs and examples.
@@ -49,11 +56,19 @@ type Translator struct {
 	inHook  netstack.HookID
 	outHook netstack.HookID
 	hooked  bool
+
+	// fences maps a migrated service's port (Rule.RemotePort) to the
+	// minimum acceptable rule epoch, raised by FenceRemotePort when the
+	// node learns ownership of the service moved to a higher epoch.
+	fences map[uint16]uint64
+
+	// Stale counts installs rejected for carrying a superseded epoch.
+	Stale uint64
 }
 
 // NewTranslator creates the translator for a node's stack.
 func NewTranslator(st *netstack.Stack) *Translator {
-	return &Translator{stack: st}
+	return &Translator{stack: st, fences: make(map[uint16]uint64)}
 }
 
 // Install activates a rule. It builds an accurate destination cache entry
@@ -61,18 +76,30 @@ func NewTranslator(st *netstack.Stack) *Translator {
 // deliver to the old node, because the output path forwards by the dst
 // entry inherited from the socket (§V-D).
 func (t *Translator) Install(r Rule) error {
+	if min, fenced := t.fences[r.RemotePort]; fenced && r.Epoch < min {
+		t.Stale++
+		return fmt.Errorf("xlat: install for port %d fenced (epoch %d < %d)",
+			r.RemotePort, r.Epoch, min)
+	}
 	// A migration back to the connection's original home makes the rule
 	// an identity mapping: drop any existing rule instead.
 	if r.OldAddr == r.NewAddr {
-		t.removeMatch(r)
-		return nil
+		return t.removeMatch(r)
 	}
 	for i, ar := range t.rules {
 		if ar.Rule == r {
 			return nil // idempotent
 		}
 		if sameMatch(ar.Rule, r) {
+			if r.Epoch < ar.Epoch {
+				// A superseded owner is trying to redirect the flow to
+				// itself; the installed rule belongs to a higher epoch.
+				t.Stale++
+				return fmt.Errorf("xlat: stale install for %v (epoch %d < %d)",
+					r, r.Epoch, ar.Epoch)
+			}
 			// The connection migrated again: retarget the existing rule.
+			// Replacing it is the GC of the superseded-epoch rule.
 			dst, err := t.stack.MakeDst(r.NewAddr)
 			if err != nil {
 				return fmt.Errorf("xlat: no route to new address: %w", err)
@@ -95,13 +122,14 @@ func (t *Translator) Install(r Rule) error {
 }
 
 // sameMatch reports whether two rules select the same packets (they may
-// differ in NewAddr).
+// differ in NewAddr and Epoch).
 func sameMatch(a, b Rule) bool {
 	return a.Proto == b.Proto && a.OldAddr == b.OldAddr &&
 		a.LocalPort == b.LocalPort && a.RemotePort == b.RemotePort
 }
 
-// Remove deactivates a rule.
+// Remove deactivates a rule. Exact match, epoch included: a rollback from
+// a superseded owner cannot remove the rule a higher epoch installed.
 func (t *Translator) Remove(r Rule) {
 	for i, ar := range t.rules {
 		if ar.Rule == r {
@@ -112,15 +140,51 @@ func (t *Translator) Remove(r Rule) {
 	t.maybeUnhook()
 }
 
-func (t *Translator) removeMatch(r Rule) {
+// removeMatch drops a sameMatch rule at or below r's epoch (identity
+// installs); dropping a higher-epoch rule on a stale requester's word
+// would un-fence the flow, so that is refused.
+func (t *Translator) removeMatch(r Rule) error {
 	for i, ar := range t.rules {
 		if sameMatch(ar.Rule, r) {
+			if r.Epoch < ar.Epoch {
+				t.Stale++
+				return fmt.Errorf("xlat: stale identity install for %v (epoch %d < %d)",
+					r, r.Epoch, ar.Epoch)
+			}
 			t.rules = append(t.rules[:i], t.rules[i+1:]...)
 			break
 		}
 	}
 	t.maybeUnhook()
+	return nil
 }
+
+// FenceRemotePort raises the minimum acceptable rule epoch for a
+// migrated service's port and garbage-collects installed rules below it.
+// Returns the number of rules dropped.
+func (t *Translator) FenceRemotePort(port uint16, ep uint64) int {
+	if cur := t.fences[port]; ep <= cur {
+		return 0
+	}
+	t.fences[port] = ep
+	dropped := 0
+	kept := t.rules[:0]
+	for _, ar := range t.rules {
+		if ar.RemotePort == port && ar.Epoch < ep {
+			t.Stale++
+			dropped++
+			continue
+		}
+		kept = append(kept, ar)
+	}
+	t.rules = kept
+	t.maybeUnhook()
+	return dropped
+}
+
+// PortFence returns the current fence epoch for a service port (0 =
+// unfenced).
+func (t *Translator) PortFence(port uint16) uint64 { return t.fences[port] }
 
 func (t *Translator) maybeUnhook() {
 	if len(t.rules) == 0 && t.hooked {

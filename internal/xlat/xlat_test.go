@@ -289,6 +289,112 @@ func TestRequestEncodingRoundTrip(t *testing.T) {
 	}
 }
 
+func TestStaleEpochInstallRejected(t *testing.T) {
+	c := proc.NewCluster(simtime.NewScheduler(), 3)
+	n1, n2, n3 := c.Nodes[0], c.Nodes[1], c.Nodes[2]
+	xl := NewTranslator(n3.Stack)
+	base := Rule{Proto: netsim.ProtoTCP, OldAddr: n1.LocalIP, NewAddr: n2.LocalIP,
+		LocalPort: 3306, RemotePort: 40000}
+
+	fresh := base
+	fresh.Epoch = 3
+	if err := xl.Install(fresh); err != nil {
+		t.Fatal(err)
+	}
+	// A superseded owner re-pointing the flow at itself must be refused.
+	stale := base
+	stale.Epoch = 2
+	stale.NewAddr = n1.LocalIP + 1 // some other target
+	if err := xl.Install(stale); err == nil {
+		t.Fatal("stale-epoch install accepted")
+	}
+	if xl.Stale != 1 {
+		t.Fatalf("Stale = %d, want 1", xl.Stale)
+	}
+	if got := xl.Rules()[0]; got != fresh {
+		t.Fatalf("installed rule changed: %v", got)
+	}
+	// A higher epoch retargets (supersede = GC of the old rule).
+	newer := base
+	newer.Epoch = 4
+	newer.NewAddr = n3.LocalIP
+	if err := xl.Install(newer); err != nil {
+		t.Fatal(err)
+	}
+	if len(xl.Rules()) != 1 || xl.Rules()[0] != newer {
+		t.Fatalf("retarget failed: %v", xl.Rules())
+	}
+	// A stale remover (exact-match removal carries its own old epoch)
+	// cannot dismantle the fresh rule.
+	xl.Remove(fresh)
+	if len(xl.Rules()) != 1 {
+		t.Fatal("stale remove dismantled a fresh rule")
+	}
+	// Stale identity install (migration "back home" claimed by an old
+	// epoch) must not drop the fresh rule either.
+	staleHome := base
+	staleHome.Epoch = 1
+	staleHome.NewAddr = staleHome.OldAddr
+	if err := xl.Install(staleHome); err == nil {
+		t.Fatal("stale identity install accepted")
+	}
+	if len(xl.Rules()) != 1 {
+		t.Fatal("stale identity install dropped the fresh rule")
+	}
+}
+
+func TestFenceRemotePortGCsRules(t *testing.T) {
+	c := proc.NewCluster(simtime.NewScheduler(), 3)
+	n1, n2, n3 := c.Nodes[0], c.Nodes[1], c.Nodes[2]
+	xl := NewTranslator(n3.Stack)
+	mk := func(remotePort uint16, ep uint64) Rule {
+		return Rule{Proto: netsim.ProtoTCP, OldAddr: n1.LocalIP, NewAddr: n2.LocalIP,
+			LocalPort: 3306, RemotePort: remotePort, Epoch: ep}
+	}
+	if err := xl.Install(mk(40000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := xl.Install(mk(40001, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if dropped := xl.FenceRemotePort(40000, 2); dropped != 1 {
+		t.Fatalf("fence dropped %d, want 1", dropped)
+	}
+	if len(xl.Rules()) != 1 || xl.Rules()[0].RemotePort != 40001 {
+		t.Fatalf("wrong rule GC'd: %v", xl.Rules())
+	}
+	if xl.PortFence(40000) != 2 {
+		t.Fatal("fence watermark not recorded")
+	}
+	// Installs below the fence are now refused even with no rule present.
+	if err := xl.Install(mk(40000, 1)); err == nil {
+		t.Fatal("post-fence stale install accepted")
+	}
+	// At the fence: accepted.
+	if err := xl.Install(mk(40000, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Fence ratchets forward only.
+	if xl.FenceRemotePort(40000, 1) != 0 || xl.PortFence(40000) != 2 {
+		t.Fatal("fence moved backward")
+	}
+}
+
+func TestRequestEncodingEpochAndLegacy(t *testing.T) {
+	r := Rule{Proto: netsim.ProtoTCP, OldAddr: 1, NewAddr: 2,
+		LocalPort: 10, RemotePort: 20, Epoch: 0x1122334455667788}
+	op, id, got, err := decodeRequest(encodeRequest(opAdd, 9, r))
+	if err != nil || op != opAdd || id != 9 || got != r {
+		t.Fatalf("epoch roundtrip: %v %v %v %v", op, id, got, err)
+	}
+	// An 18-byte pre-epoch frame decodes with the legacy epoch 0.
+	legacy := encodeRequest(opAdd, 9, r)[:18]
+	_, _, got, err = decodeRequest(legacy)
+	if err != nil || got.Epoch != 0 || got.RemotePort != 20 {
+		t.Fatalf("legacy decode: %v %v", got, err)
+	}
+}
+
 func TestRuleString(t *testing.T) {
 	r := Rule{Proto: 6, OldAddr: netsim.MakeAddr(192, 168, 1, 1),
 		NewAddr: netsim.MakeAddr(192, 168, 1, 2), LocalPort: 3306, RemotePort: 400}
