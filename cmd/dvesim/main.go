@@ -22,6 +22,7 @@ import (
 
 func main() {
 	lbOn := flag.Bool("lb", false, "enable the load balancing middleware (Fig 5f) instead of plain (Fig 5e)")
+	both := flag.Bool("both", false, "run the LB-off and LB-on simulations concurrently and print both (Fig 5e and 5f)")
 	duration := flag.Int("duration", 900, "simulated seconds")
 	fast := flag.Bool("fast", false, "accelerated movement for quick demos")
 	series := flag.Bool("series", true, "print the full time series tables")
@@ -45,6 +46,34 @@ func main() {
 		cfg.LBConfig.ImbalanceThreshold = 0.08
 		cfg.LBConfig.CalmDown = 8e9
 	}
+	if *both {
+		// The two runs are independent simulations with private
+		// schedulers; the parallel runner overlaps them and returns the
+		// results in canonical (off, on) order.
+		fmt.Fprintf(os.Stderr, "running %ds of simulated time twice (lb off and on, concurrently)...\n", *duration)
+		runs, err := eval.RunParallel([]bool{false, true}, 0, func(lb bool) (*dve.Results, error) {
+			c := cfg
+			c.LB = lb
+			sim, err := dve.New(c)
+			if err != nil {
+				return nil, err
+			}
+			return sim.Run(), nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvesim: %v\n", err)
+			os.Exit(1)
+		}
+		if *series {
+			fmt.Printf("=== Fig 5e (CPU per node, no LB) ===\n%s\n", runs[0].CPU.Table())
+			fmt.Printf("=== Fig 5f (CPU per node, LB enabled) ===\n%s\n", runs[1].CPU.Table())
+			fmt.Printf("=== Fig 5d (zone servers per node) ===\n%s\n", runs[1].Procs.Table())
+		}
+		fmt.Println(eval.DVESummary(runs[0], false))
+		fmt.Println(eval.DVESummary(runs[1], true))
+		return
+	}
+
 	sim, err := dve.New(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dvesim: %v\n", err)

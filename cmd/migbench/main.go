@@ -23,6 +23,7 @@ func main() {
 	connsFlag := flag.String("conns", "16,32,64,128,256,512,1024", "comma-separated connection counts")
 	repeats := flag.Int("repeats", 3, "repetitions per point (worst case is reported)")
 	what := flag.String("what", "all", "freeze|bytes|all")
+	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	flag.Parse()
 
 	var conns []int
@@ -35,20 +36,14 @@ func main() {
 		conns = append(conns, n)
 	}
 
-	var points []*eval.FreezePoint
-	for _, n := range conns {
-		for _, s := range eval.SweepStrategies {
-			fc := eval.DefaultFreezeConfig(s, n)
-			fc.Repeats = *repeats
-			pt, err := eval.RunFreezePoint(fc)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "migbench: %v\n", err)
-				os.Exit(1)
-			}
-			points = append(points, pt)
-			fmt.Fprintf(os.Stderr, "  measured %4d conns / %-24s freeze=%6.1fms bytes=%d\n",
-				n, s, float64(pt.WorstFreeze)/1e6, pt.WorstSockBytes)
-		}
+	points, err := eval.RunFreezeSweep(conns, eval.SweepStrategies, *repeats, *parallel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "migbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, pt := range points {
+		fmt.Fprintf(os.Stderr, "  measured %4d conns / %-24s freeze=%6.1fms bytes=%d\n",
+			pt.Conns, pt.Strategy, float64(pt.WorstFreeze)/1e6, pt.WorstSockBytes)
 	}
 	fmt.Println()
 	if *what == "freeze" || *what == "all" {

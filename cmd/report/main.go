@@ -20,6 +20,7 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "paper-scale sweep (1024 connections, 900s simulations)")
+	parallel := flag.Int("parallel", 0, "worker goroutines for the sweeps (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -47,36 +48,27 @@ func main() {
 		conns = eval.SweepConns
 		repeats = 3
 	}
-	var points []*eval.FreezePoint
-	for _, n := range conns {
-		for _, s := range eval.SweepStrategies {
-			fc := eval.DefaultFreezeConfig(s, n)
-			fc.Repeats = repeats
-			pt, err := eval.RunFreezePoint(fc)
-			if err != nil {
-				fail(err)
-			}
-			points = append(points, pt)
-		}
+	points, err := eval.RunFreezeSweep(conns, eval.SweepStrategies, repeats, *parallel)
+	if err != nil {
+		fail(err)
 	}
 	fmt.Println("Fig 5b — " + eval.Fig5bTable(points))
 	fmt.Println("Fig 5c — " + eval.Fig5cTable(points))
 
-	// Fig 5d/e/f.
+	// Fig 5d/e/f: the LB-off and LB-on runs are independent simulations,
+	// so they too fan out over the parallel runner.
 	dcfg := dve.DefaultConfig()
 	if !*full {
 		dcfg.Duration = 300e9
 		dcfg.MoveStart = 30e9
 		dcfg.MoveProb = 0.08
 	}
-	off, err := runDVE(dcfg, false)
+	dveRuns, err := eval.RunParallel([]bool{false, true}, *parallel,
+		func(lb bool) (*dve.Results, error) { return runDVE(dcfg, lb) })
 	if err != nil {
 		fail(err)
 	}
-	on, err := runDVE(dcfg, true)
-	if err != nil {
-		fail(err)
-	}
+	off, on := dveRuns[0], dveRuns[1]
 	fmt.Println("Fig 5e/5f — DVE load balancing")
 	fmt.Print(eval.DVESummary(off, false))
 	fmt.Print(eval.DVESummary(on, true))

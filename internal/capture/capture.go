@@ -120,6 +120,9 @@ func (s *Service) FencePort(port uint16, ep uint64) int {
 	kept := s.filters[:0]
 	for _, f := range s.filters {
 		if f.Key.LocalPort == port && f.Epoch < ep {
+			for _, p := range f.queue {
+				p.Release()
+			}
 			f.queue = nil
 			s.Fenced++
 			dropped++
@@ -148,7 +151,8 @@ func (s *Service) hookFn(p *netsim.Packet) netstack.Verdict {
 		if p.Proto == netsim.ProtoTCP {
 			if f.seqSeen[p.Seq] {
 				f.Deduped++
-				return netstack.VerdictStolen // duplicate consumed, not requeued
+				p.Release() // duplicate consumed, not requeued
+				return netstack.VerdictStolen
 			}
 			f.seqSeen[p.Seq] = true
 		}
@@ -210,6 +214,9 @@ func (s *Service) Drop(f *Filter) {
 	if len(s.filters) == 0 && s.hooked {
 		s.stack.UnregisterHook(s.hook)
 		s.hooked = false
+	}
+	for _, p := range f.queue {
+		p.Release()
 	}
 	f.queue = nil
 }

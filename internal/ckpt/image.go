@@ -220,8 +220,14 @@ func decodeFD(r *rbuf) (FDImage, error) {
 }
 
 // Encode serializes the image's transferable state.
-func (img *Image) Encode() []byte {
-	var w wbuf
+func (img *Image) Encode() []byte { return img.EncodeInto(nil) }
+
+// EncodeInto serializes the image into buf (reusing its capacity,
+// overwriting its content); the guardian checkpoint stream calls this
+// with a per-guardian scratch buffer so the periodic full-image encodes
+// stop allocating.
+func (img *Image) EncodeInto(buf []byte) []byte {
+	w := wbuf{b: buf[:0]}
 	w.u32(uint32(img.PID))
 	w.str(img.Name)
 	w.u64(uint64(img.CPUDemand * 1e6))

@@ -24,8 +24,15 @@ func (d *MemDelta) Empty() bool {
 
 // Encode serializes the delta (this is what crosses the network each
 // precopy round).
-func (d *MemDelta) Encode() []byte {
-	var w wbuf
+func (d *MemDelta) Encode() []byte { return d.EncodeInto(nil) }
+
+// EncodeInto serializes the delta into buf (reusing its capacity,
+// overwriting its content) and returns the encoded bytes. The migration
+// hot path calls this with a per-connection scratch buffer so precopy
+// rounds stop allocating; the transport copies the bytes into the socket
+// send buffer, so the scratch may be reused immediately after the send.
+func (d *MemDelta) EncodeInto(buf []byte) []byte {
+	w := wbuf{b: buf[:0]}
 	w.u32(uint32(d.Round))
 	w.u32(uint32(len(d.NewVMAs)))
 	for _, v := range d.NewVMAs {

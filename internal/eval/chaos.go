@@ -46,6 +46,11 @@ type ChaosConfig struct {
 	// Clients is the number of external TCP connections (default 8).
 	Clients int
 	MigCfg  migration.Config
+	// Workers bounds the sweep's parallelism: (scenario, seed) cells fan
+	// out over up to Workers goroutines (<= 0 selects GOMAXPROCS, 1 is
+	// the serial path). The report is bit-identical at every worker
+	// count; see RunParallel.
+	Workers int
 }
 
 // DefaultChaosConfig covers the ISSUE's scenario list: loss burst,
@@ -137,6 +142,11 @@ type ChaosResult struct {
 	// TraceHash is an FNV-1a hash over every packet event on the
 	// clients' access link; equal hashes mean bit-identical runs.
 	TraceHash uint64
+	// PendingAfterDrain is the scheduler's pending-event count after the
+	// harness stops every periodic activity and runs the simulation to
+	// quiescence. Nonzero means a leaked timer — an orphaned retransmit
+	// loop or an unstopped ticker still holding the queue open.
+	PendingAfterDrain int
 	// Metrics is the migration's metric record, if it got far enough.
 	Metrics *migration.Metrics
 }
@@ -190,19 +200,32 @@ func (r *ChaosReport) Table() string {
 }
 
 // RunChaosSweep runs every scenario at every seed and reports
-// survival/abort/invariant-violation counts per cell.
+// survival/abort/invariant-violation counts per cell. Cells run on up
+// to cfg.Workers goroutines; the report is identical at any worker
+// count (each cell owns a private scheduler and cluster, and results
+// merge in scenario-major, seed-minor order).
 func RunChaosSweep(cfg ChaosConfig) (*ChaosReport, error) {
-	rep := &ChaosReport{}
+	type cell struct {
+		sc   ChaosScenario
+		seed uint64
+	}
+	cells := make([]cell, 0, len(cfg.Scenarios)*len(cfg.Seeds))
 	for _, sc := range cfg.Scenarios {
 		for _, seed := range cfg.Seeds {
-			res, err := RunChaosScenario(cfg, sc, seed)
-			if err != nil {
-				return nil, fmt.Errorf("chaos %s seed %d: %w", sc.Name, seed, err)
-			}
-			rep.Results = append(rep.Results, res)
+			cells = append(cells, cell{sc: sc, seed: seed})
 		}
 	}
-	return rep, nil
+	results, err := RunParallel(cells, cfg.Workers, func(c cell) (*ChaosResult, error) {
+		res, err := RunChaosScenario(cfg, c.sc, c.seed)
+		if err != nil {
+			return nil, fmt.Errorf("chaos %s seed %d: %w", c.sc.Name, c.seed, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ChaosReport{Results: results}, nil
 }
 
 // fnvSniffer folds every packet event on a link into an FNV-1a hash.
@@ -444,5 +467,34 @@ func RunChaosScenario(cfg ChaosConfig, sc ChaosScenario, seed uint64) (*ChaosRes
 		}
 	}
 	res.TraceHash = sniff.h
+
+	// Drain to quiescence: with the stream stopped, disarm the surviving
+	// process's loop and close the client sockets, then hop from event to
+	// event until the queue empties. Every timer in the system is now
+	// either canceled eagerly (tickers, migration leases, translation
+	// retries) or self-limiting (TCP retransmission gives up after
+	// MaxConsecRetrans — with full exponential backoff to MaxRTO that
+	// takes tens of simulated minutes, hence the generous horizon), so a
+	// healthy run always reaches Pending()==0 — the exact-count invariant
+	// the scheduler overhaul makes checkable.
+	if home != nil {
+		for _, pr := range home.Processes() {
+			if pr.Name == "zone_serv" {
+				home.StopLoop(pr)
+			}
+		}
+	}
+	for _, cli := range clients {
+		cli.Close()
+	}
+	limit := sched.Now() + 3600*1e9
+	for sched.Pending() > 0 {
+		next, _ := sched.NextEventTime()
+		if next > limit {
+			break
+		}
+		sched.RunUntil(next)
+	}
+	res.PendingAfterDrain = sched.Pending()
 	return res, nil
 }

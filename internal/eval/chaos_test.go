@@ -29,6 +29,10 @@ func TestChaosSweep(t *testing.T) {
 		if !res.Completed && !res.Aborted {
 			t.Errorf("%s/seed%d: migration neither completed nor aborted (hang)", res.Scenario, res.Seed)
 		}
+		if res.PendingAfterDrain != 0 {
+			t.Errorf("%s/seed%d: %d events still pending after drain (leaked timer)",
+				res.Scenario, res.Seed, res.PendingAfterDrain)
+		}
 		switch res.Scenario {
 		case "crash-freeze":
 			if !res.Aborted {

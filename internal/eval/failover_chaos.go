@@ -122,19 +122,32 @@ func (r *FailoverReport) Table() string {
 	return b.String()
 }
 
-// RunFailoverSweep runs every scenario at every seed.
-func RunFailoverSweep(scenarios []FailoverScenario, seeds []uint64) (*FailoverReport, error) {
-	rep := &FailoverReport{}
+// RunFailoverSweep runs every scenario at every seed, fanning the
+// (scenario, seed) cells over up to workers goroutines (<= 0 selects
+// GOMAXPROCS, 1 is the serial path). The report is bit-identical at
+// every worker count; see RunParallel.
+func RunFailoverSweep(scenarios []FailoverScenario, seeds []uint64, workers int) (*FailoverReport, error) {
+	type cell struct {
+		sc   FailoverScenario
+		seed uint64
+	}
+	cells := make([]cell, 0, len(scenarios)*len(seeds))
 	for _, sc := range scenarios {
 		for _, seed := range seeds {
-			res, err := RunFailoverScenario(sc, seed)
-			if err != nil {
-				return nil, fmt.Errorf("failover %s seed %d: %w", sc.Name, seed, err)
-			}
-			rep.Results = append(rep.Results, res)
+			cells = append(cells, cell{sc: sc, seed: seed})
 		}
 	}
-	return rep, nil
+	results, err := RunParallel(cells, workers, func(c cell) (*FailoverResult, error) {
+		res, err := RunFailoverScenario(c.sc, c.seed)
+		if err != nil {
+			return nil, fmt.Errorf("failover %s seed %d: %w", c.sc.Name, c.seed, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FailoverReport{Results: results}, nil
 }
 
 // serveSniffer hashes every packet event and records when scoreboard

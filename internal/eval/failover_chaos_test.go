@@ -43,7 +43,7 @@ func TestFailoverChaosBattery(t *testing.T) {
 
 // TestFailoverSweepTable smoke-tests the report rendering.
 func TestFailoverSweepTable(t *testing.T) {
-	rep, err := RunFailoverSweep(DefaultFailoverScenarios()[:1], []uint64{1})
+	rep, err := RunFailoverSweep(DefaultFailoverScenarios()[:1], []uint64{1}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,6 +41,11 @@ type FreezeConfig struct {
 	// with different traffic phases.
 	Repeats int
 	MigCfg  migration.Config
+	// Workers bounds how many repeats run concurrently (<= 0 selects
+	// GOMAXPROCS, 1 is the serial path). Every repeat owns a private
+	// scheduler and cluster, so the point is bit-identical at any worker
+	// count; see RunParallel.
+	Workers int
 }
 
 // DefaultFreezeConfig mirrors the paper's zone-server setup.
@@ -74,28 +79,59 @@ type FreezePoint struct {
 	Runs              []*migration.Metrics
 }
 
-// RunFreezePoint measures one (strategy, conns) cell.
+// RunFreezePoint measures one (strategy, conns) cell. The repeats run
+// on up to fc.Workers goroutines and merge in repeat order, so the
+// point is identical at any worker count.
 func RunFreezePoint(fc FreezeConfig) (*FreezePoint, error) {
 	pt := &FreezePoint{Conns: fc.Conns, Strategy: fc.Strategy}
 	repeats := fc.Repeats
 	if repeats < 1 {
 		repeats = 1
 	}
-	for rep := 0; rep < repeats; rep++ {
+	type once struct {
+		m       *migration.Metrics
+		retrans uint64
+	}
+	reps := make([]int, repeats)
+	for i := range reps {
+		reps[i] = i
+	}
+	runs, err := RunParallel(reps, fc.Workers, func(rep int) (once, error) {
 		m, retrans, err := runFreezeOnce(fc, rep)
-		if err != nil {
-			return nil, err
+		return once{m: m, retrans: retrans}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range runs {
+		pt.Runs = append(pt.Runs, r.m)
+		pt.ClientRetransmits += r.retrans
+		if r.m.FreezeTime > pt.WorstFreeze {
+			pt.WorstFreeze = r.m.FreezeTime
 		}
-		pt.Runs = append(pt.Runs, m)
-		pt.ClientRetransmits += retrans
-		if m.FreezeTime > pt.WorstFreeze {
-			pt.WorstFreeze = m.FreezeTime
-		}
-		if m.FreezeSockBytes > pt.WorstSockBytes {
-			pt.WorstSockBytes = m.FreezeSockBytes
+		if r.m.FreezeSockBytes > pt.WorstSockBytes {
+			pt.WorstSockBytes = r.m.FreezeSockBytes
 		}
 	}
 	return pt, nil
+}
+
+// RunFreezeSweep measures the full Fig 5b/5c grid — every (conns,
+// strategy) point at the given repeat count — fanning the points over
+// up to workers goroutines. Points come back in conns-major,
+// strategy-minor order (the order the tables expect); each point's
+// repeats run serially inside its cell so parallelism never nests.
+func RunFreezeSweep(conns []int, strategies []sockmig.Strategy, repeats, workers int) ([]*FreezePoint, error) {
+	cells := make([]FreezeConfig, 0, len(conns)*len(strategies))
+	for _, n := range conns {
+		for _, s := range strategies {
+			fc := DefaultFreezeConfig(s, n)
+			fc.Repeats = repeats
+			fc.Workers = 1
+			cells = append(cells, fc)
+		}
+	}
+	return RunParallel(cells, workers, RunFreezePoint)
 }
 
 func runFreezeOnce(fc FreezeConfig, rep int) (*migration.Metrics, uint64, error) {

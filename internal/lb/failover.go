@@ -126,6 +126,7 @@ func (c *Conductor) startClaim(name string) {
 	c.Events = append(c.Events, Event{At: c.now(), Kind: "claim", Name: name})
 	c.broadcast(encodeOwnerMsg(opClaim, name, ep, seq))
 	cl.timer = c.Node.Sched.After(c.claimWait(), "cond.claim", func() {
+		cl.timer = nil // fired; the event pointer is dead
 		if c.claims[name] != cl {
 			return
 		}
@@ -195,6 +196,7 @@ func (c *Conductor) fenceOwned(name string, ep uint64, by netsim.Addr) {
 	}
 	if own.resume != nil {
 		c.Node.Sched.Cancel(own.resume)
+		own.resume = nil
 	}
 	delete(c.owned, name)
 	c.Mig.FenceService(name, ep)
@@ -244,6 +246,7 @@ func (c *Conductor) cancelClaim(name string) {
 	}
 	if cl.timer != nil {
 		c.Node.Sched.Cancel(cl.timer)
+		cl.timer = nil
 	}
 	delete(c.claims, name)
 }

@@ -335,6 +335,13 @@ type outbound struct {
 	token       uint64
 	epoch       uint64 // ownership epoch of the migrated service
 
+	// encBuf / sockEncBuf are per-migration scratch buffers for delta
+	// serialization: the transport copies payloads into the socket send
+	// buffer, so each precopy round may reuse the previous round's
+	// allocation instead of growing the heap.
+	encBuf     []byte
+	sockEncBuf []byte
+
 	started  bool
 	frozen   bool
 	failed   bool
@@ -494,18 +501,18 @@ func (ob *outbound) precopyRound() {
 		return // a phase hook may have aborted the migration
 	}
 	d := ob.memTracker.Delta(ob.p.AS)
-	enc := d.Encode()
-	ob.metrics.PrecopyMemBytes += uint64(len(enc))
-	ob.send(MsgMemDelta, enc)
+	ob.encBuf = d.EncodeInto(ob.encBuf)
+	ob.metrics.PrecopyMemBytes += uint64(len(ob.encBuf))
+	ob.send(MsgMemDelta, ob.encBuf)
 	var trackCost simtime.Duration
 	if ob.m.Config.Strategy == sockmig.IncrementalCollective {
 		sd := ob.sockTracker.Delta(ob.p, false)
 		ntcp, nudp := ob.p.Sockets()
 		trackCost = simtime.Duration(len(ntcp)+len(nudp)) * ob.m.Config.Costs.SockTrack
 		if !sd.Empty() {
-			senc := sd.Encode()
-			ob.metrics.PrecopySockBytes += uint64(len(senc))
-			ob.send(MsgSockDelta, senc)
+			ob.sockEncBuf = sd.EncodeInto(ob.sockEncBuf)
+			ob.metrics.PrecopySockBytes += uint64(len(ob.sockEncBuf))
+			ob.send(MsgSockDelta, ob.sockEncBuf)
 		}
 	}
 	wait := ob.timeout + trackCost
@@ -689,9 +696,9 @@ func (ob *outbound) iterativeStep(tcp []*netstack.TCPSocket, udp []*netstack.UDP
 				sd = sockmig.SingleUDP(fd, us)
 				ob.metrics.UDPMigrated++
 			}
-			enc := sd.Encode()
-			ob.metrics.FreezeSockBytes += uint64(len(enc))
-			ob.send(MsgSockDelta, enc)
+			ob.sockEncBuf = sd.EncodeInto(ob.sockEncBuf)
+			ob.metrics.FreezeSockBytes += uint64(len(ob.sockEncBuf))
+			ob.send(MsgSockDelta, ob.sockEncBuf)
 			if len(tcp) > 0 {
 				ob.iterativeStep(tcp[1:], udp)
 			} else {
@@ -872,6 +879,7 @@ func (ib *inbound) renewLease() {
 		ib.m.sched().Cancel(ib.lease)
 	}
 	ib.lease = ib.m.sched().After(d, "migd.lease", func() {
+		ib.lease = nil // fired; the event pointer is dead
 		if !ib.active || ib.restoring {
 			return
 		}

@@ -236,6 +236,12 @@ type Guardian struct {
 	// Sent counts shipped checkpoints; LastBytes the latest image size.
 	Sent      uint64
 	LastBytes int
+
+	// encBuf / msgBuf are scratch buffers reused across periodic
+	// checkpoints (the transport copies payloads into the socket send
+	// buffer, so reuse is safe).
+	encBuf []byte
+	msgBuf []byte
 }
 
 // NewGuardian starts periodic checkpointing of p to the standby at
@@ -275,7 +281,9 @@ func (g *Guardian) checkpoint() {
 	token := registerBehavior(img.Behavior)
 	g.token = token
 	g.seq++
-	payload := encodeCkptImage(g.Proc.Name, token, g.seq, g.Epoch, img.Encode())
+	g.encBuf = img.EncodeInto(g.encBuf)
+	g.msgBuf = encodeCkptImageInto(g.msgBuf, g.Proc.Name, token, g.seq, g.Epoch, g.encBuf)
+	payload := g.msgBuf
 	g.LastBytes = len(payload)
 	if err := g.conn.Send(msgCkptImage, payload); err == nil {
 		g.Sent++
@@ -289,7 +297,18 @@ func (g *Guardian) checkpoint() {
 //
 //	[8B seq][8B token][8B epoch][4B name len][name][image]
 func encodeCkptImage(name string, token, seq, ep uint64, img []byte) []byte {
-	b := make([]byte, 8+8+8+4+len(name)+len(img))
+	return encodeCkptImageInto(nil, name, token, seq, ep, img)
+}
+
+// encodeCkptImageInto encodes into buf, reusing its capacity when it
+// fits; content is overwritten.
+func encodeCkptImageInto(buf []byte, name string, token, seq, ep uint64, img []byte) []byte {
+	need := 8 + 8 + 8 + 4 + len(name) + len(img)
+	b := buf[:0]
+	if cap(b) < need {
+		b = make([]byte, 0, need)
+	}
+	b = b[:need]
 	binary.BigEndian.PutUint64(b, seq)
 	binary.BigEndian.PutUint64(b[8:], token)
 	binary.BigEndian.PutUint64(b[16:], ep)

@@ -3,6 +3,7 @@ package migration
 import (
 	"encoding/binary"
 	"errors"
+	"sync"
 
 	"dvemig/internal/ckpt"
 	"dvemig/internal/netsim"
@@ -157,17 +158,29 @@ func decodeRestoreDone(b []byte) (restoreDone, error) {
 // program text) between engine instances within one simulation. In a real
 // deployment the executable is present on all nodes (§II-A); here the
 // token in MIGRATE_REQ names the entry.
-var behaviorRegistry = map[uint64]*ckpt.Behavior{}
-
-var nextBehaviorToken uint64
+//
+// The registry is shared by concurrently running simulations (the eval
+// parallel sweep runner), so access is mutex-guarded. Token *values* are
+// opaque map keys of fixed wire width: they never influence packet
+// lengths, audits or trace hashes, so cross-simulation interleaving of
+// token assignment cannot perturb per-cell determinism.
+var (
+	behaviorMu        sync.Mutex
+	behaviorRegistry  = map[uint64]*ckpt.Behavior{}
+	nextBehaviorToken uint64
+)
 
 func registerBehavior(b *ckpt.Behavior) uint64 {
+	behaviorMu.Lock()
+	defer behaviorMu.Unlock()
 	nextBehaviorToken++
 	behaviorRegistry[nextBehaviorToken] = b
 	return nextBehaviorToken
 }
 
 func takeBehavior(token uint64) *ckpt.Behavior {
+	behaviorMu.Lock()
+	defer behaviorMu.Unlock()
 	b := behaviorRegistry[token]
 	delete(behaviorRegistry, token)
 	return b

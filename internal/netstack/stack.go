@@ -178,18 +178,26 @@ func (s *Stack) MakeDst(addr netsim.Addr) (*netsim.DstEntry, error) {
 // LOCAL_IN hooks, then transport demux.
 func (s *Stack) input(p *netsim.Packet) {
 	if s.down {
+		p.Release()
 		return
 	}
-	if s.runHooks(HookPreRouting, p) != VerdictAccept {
+	if v := s.runHooks(HookPreRouting, p); v != VerdictAccept {
+		if v == VerdictDrop {
+			p.Release() // stolen packets stay alive in the hook's queue
+		}
 		return
 	}
 	if !s.localAddrs[p.DstIP] {
 		// Not ours and we do not forward; broadcast copies for other
 		// nodes' flows die here too when the address differs.
 		s.Stats.NoSocketDrops++
+		p.Release()
 		return
 	}
-	if s.runHooks(HookLocalIn, p) != VerdictAccept {
+	if v := s.runHooks(HookLocalIn, p); v != VerdictAccept {
+		if v == VerdictDrop {
+			p.Release()
+		}
 		return
 	}
 	s.demux(p)
@@ -219,6 +227,7 @@ func (s *Stack) demux(p *netsim.Packet) {
 		// Silent drop: on the broadcast cluster every node sees every
 		// client packet; only the connection owner may answer (no RST).
 		s.Stats.NoSocketDrops++
+		p.Release()
 	case netsim.ProtoUDP:
 		if us := s.udph[p.DstPort]; us != nil {
 			s.Stats.Delivered++
@@ -226,8 +235,10 @@ func (s *Stack) demux(p *netsim.Packet) {
 			return
 		}
 		s.Stats.NoSocketDrops++
+		p.Release()
 	default:
 		s.Stats.NoSocketDrops++
+		p.Release()
 	}
 }
 
@@ -240,23 +251,32 @@ func (s *Stack) TransmitRaw(p *netsim.Packet) { s.transmit(p) }
 // selected by its destination cache entry.
 func (s *Stack) transmit(p *netsim.Packet) {
 	if s.down {
+		p.Release()
 		return
 	}
 	if p.Dst == nil {
 		e, err := s.DstFor(p.DstIP)
 		if err != nil {
-			return // unroutable; counted implicitly by peers timing out
+			p.Release() // unroutable; counted implicitly by peers timing out
+			return
 		}
 		p.Dst = e
 	}
-	if s.runHooks(HookLocalOut, p) != VerdictAccept {
+	if v := s.runHooks(HookLocalOut, p); v != VerdictAccept {
+		if v == VerdictDrop {
+			p.Release()
+		}
 		return
 	}
-	if s.runHooks(HookPostRouting, p) != VerdictAccept {
+	if v := s.runHooks(HookPostRouting, p); v != VerdictAccept {
+		if v == VerdictDrop {
+			p.Release()
+		}
 		return
 	}
 	nic := s.nicByName(p.Dst.Iface)
 	if nic == nil {
+		p.Release()
 		return
 	}
 	nic.Send(p)

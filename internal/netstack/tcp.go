@@ -59,6 +59,14 @@ const (
 	// PersistInterval paces zero-window probes when the peer's buffer is
 	// full and the window-update ACK might have been lost.
 	PersistInterval = 500 * simtime.Duration(1e6)
+	// MaxConsecRetrans bounds consecutive RTO expirations without forward
+	// progress before the connection is aborted, mirroring Linux's
+	// tcp_retries2 default of 15. With exponential backoff from MinRTO
+	// the budget spans many simulated minutes, so ordinary experiments
+	// never hit it — only connections whose peer is gone for good, which
+	// would otherwise re-arm their timer forever and keep the event queue
+	// from draining.
+	MaxConsecRetrans = 15
 )
 
 // ErrNotConnected is returned by Send on a socket that cannot carry data.
@@ -139,11 +147,19 @@ type TCPSocket struct {
 	retransTimer *simtime.Event
 	rtoPending   bool
 	dupAcks      int
+	// consecRetrans counts RTO expirations without forward progress;
+	// MaxConsecRetrans of them abort the connection (tcp_retries2).
+	consecRetrans int
 	// Retransmits counts timer-driven resends; the capture ablation
 	// experiment shows these appearing when capture is disabled.
 	// FastRetransmits counts triple-dup-ack recoveries.
 	Retransmits     uint64
 	FastRetransmits uint64
+	// TimedOut reports that the connection was aborted after exhausting
+	// its retransmission budget (the kernel's ETIMEDOUT path). Without
+	// this cap a connection whose peer crashed would re-arm its RTO
+	// forever and the event queue would never drain.
+	TimedOut bool
 
 	locked        bool
 	readerWaiting bool
@@ -286,8 +302,10 @@ func (sk *TCPSocket) Send(data []byte) error {
 // It never blocks; it returns nil when nothing is buffered.
 func (sk *TCPSocket) Recv() []byte {
 	var out []byte
-	for _, p := range sk.receiveQueue {
+	for i, p := range sk.receiveQueue {
 		out = append(out, p.Payload...)
+		p.Release() // bytes copied out; the buffer goes back to the pool
+		sk.receiveQueue[i] = nil
 	}
 	sk.receiveQueue = sk.receiveQueue[:0]
 	if len(out) > 0 {
@@ -408,7 +426,8 @@ func (sk *TCPSocket) SendBufLen() int { return len(sk.sndBuf) }
 // input is the softirq receive path for a hashed socket.
 func (sk *TCPSocket) input(p *netsim.Packet) {
 	if sk.unhashed {
-		return // cannot happen via demux; defensive
+		p.Release() // cannot happen via demux; defensive
+		return
 	}
 	if sk.locked {
 		sk.backlog = append(sk.backlog, p)
@@ -429,7 +448,10 @@ func (sk *TCPSocket) input(p *netsim.Packet) {
 	sk.segArrived(p)
 }
 
-// segArrived runs the TCP state machine on one segment.
+// segArrived runs the TCP state machine on one segment. It is the
+// ownership sink of the receive path: unless processData queued the
+// packet on the receive or out-of-order queue, the segment's payload
+// buffer goes back to the pool here.
 func (sk *TCPSocket) segArrived(p *netsim.Packet) {
 	if p.TSVal != 0 {
 		sk.TSRecent = p.TSVal
@@ -448,6 +470,7 @@ func (sk *TCPSocket) segArrived(p *netsim.Packet) {
 				sk.OnReadable() // connection completion notification
 			}
 		}
+		p.Release()
 		return
 	case TCPSynRcvd:
 		if p.Flags&netsim.FlagACK != 0 && p.Ack == sk.SndNxt {
@@ -461,6 +484,7 @@ func (sk *TCPSocket) segArrived(p *netsim.Packet) {
 			}
 			// Fall through in case the ACK carries data.
 		} else {
+			p.Release()
 			return
 		}
 	}
@@ -468,11 +492,15 @@ func (sk *TCPSocket) segArrived(p *netsim.Packet) {
 	if p.Flags&netsim.FlagACK != 0 {
 		sk.processAck(p)
 	}
+	retained := false
 	if len(p.Payload) > 0 {
-		sk.processData(p)
+		retained = sk.processData(p)
 	}
 	if p.Flags&netsim.FlagFIN != 0 {
 		sk.processFIN(p)
+	}
+	if !retained {
+		p.Release()
 	}
 }
 
@@ -506,7 +534,10 @@ func (sk *TCPSocket) processAck(p *netsim.Packet) {
 		sk.updateRTT(int(deltaJiffies) * int(simtime.JiffyPeriod/1e6))
 	}
 	sk.SndUna = p.Ack
-	// Drop fully acknowledged segments from the write queue.
+	sk.consecRetrans = 0 // forward progress resets the retry budget
+	// Drop fully acknowledged segments from the write queue; their
+	// payload buffers return to the pool (the wire only ever carried
+	// clones, so the originals have no other referents).
 	keep := sk.writeQueue[:0]
 	for _, seg := range sk.writeQueue {
 		segEnd := seg.Seq + uint32(len(seg.Payload))
@@ -515,6 +546,8 @@ func (sk *TCPSocket) processAck(p *netsim.Packet) {
 		}
 		if seqLT(p.Ack, segEnd) {
 			keep = append(keep, seg)
+		} else {
+			seg.Release()
 		}
 	}
 	sk.writeQueue = keep
@@ -546,7 +579,10 @@ func (sk *TCPSocket) processAck(p *netsim.Packet) {
 	sk.pushNew()
 }
 
-func (sk *TCPSocket) processData(p *netsim.Packet) {
+// processData reports whether the socket retained the packet (on the
+// receive or out-of-order queue); unretained packets are released by the
+// caller after the FIN check, which still reads the payload length.
+func (sk *TCPSocket) processData(p *netsim.Packet) bool {
 	switch {
 	case p.Seq == sk.RcvNxt:
 		sk.enqueueInOrder(p)
@@ -555,13 +591,16 @@ func (sk *TCPSocket) processData(p *netsim.Packet) {
 		if sk.OnReadable != nil {
 			sk.OnReadable()
 		}
+		return true
 	case seqLT(sk.RcvNxt, p.Seq):
-		sk.insertOOO(p)
+		retained := sk.insertOOO(p)
 		sk.sendAck() // duplicate ack signals the gap
+		return retained
 	default:
 		// Entirely old data (e.g. a retransmission that raced the ack, or
 		// a captured duplicate): re-ack.
 		sk.sendAck()
+		return false
 	}
 }
 
@@ -572,14 +611,17 @@ func (sk *TCPSocket) enqueueInOrder(p *netsim.Packet) {
 	sk.BytesIn += uint64(len(p.Payload))
 }
 
-func (sk *TCPSocket) insertOOO(p *netsim.Packet) {
+// insertOOO queues an out-of-order segment, reporting whether it was
+// retained (duplicates are not).
+func (sk *TCPSocket) insertOOO(p *netsim.Packet) bool {
 	for _, q := range sk.oooQueue {
 		if q.Seq == p.Seq {
-			return // duplicate
+			return false // duplicate
 		}
 	}
 	sk.oooQueue = append(sk.oooQueue, p)
 	sort.Slice(sk.oooQueue, func(i, j int) bool { return seqLT(sk.oooQueue[i].Seq, sk.oooQueue[j].Seq) })
+	return true
 }
 
 func (sk *TCPSocket) drainOOO() {
@@ -593,6 +635,8 @@ func (sk *TCPSocket) drainOOO() {
 	for _, q := range sk.oooQueue {
 		if seqLT(sk.RcvNxt, q.Seq+uint32(len(q.Payload))) {
 			keep = append(keep, q)
+		} else {
+			q.Release()
 		}
 	}
 	sk.oooQueue = keep
@@ -664,7 +708,8 @@ func (sk *TCPSocket) pushNew() {
 			sk.ensurePersistTimer()
 			break
 		}
-		payload := append([]byte(nil), sk.sndBuf[:n]...)
+		payload := netsim.GetPayload(n)
+		copy(payload, sk.sndBuf[:n])
 		sk.sndBuf = sk.sndBuf[n:]
 		seg := sk.makePacket(netsim.FlagACK|netsim.FlagPSH, sk.SndNxt, sk.RcvNxt, payload)
 		sk.SndNxt += uint32(n)
@@ -678,7 +723,7 @@ func (sk *TCPSocket) pushNew() {
 
 // ensurePersistTimer arms the zero-window probe.
 func (sk *TCPSocket) ensurePersistTimer() {
-	if sk.persistTimer != nil && !sk.persistTimer.Canceled() {
+	if sk.persistTimer != nil {
 		return
 	}
 	sk.persistTimer = sk.stack.sched.After(PersistInterval, "tcp.persist", func() {
@@ -694,7 +739,8 @@ func (sk *TCPSocket) ensurePersistTimer() {
 			// Window probe: push a single byte past the window. The
 			// receiver acknowledges it with its current window, which
 			// either reopens transmission or re-arms the probe.
-			payload := append([]byte(nil), sk.sndBuf[0])
+			payload := netsim.GetPayload(1)
+			payload[0] = sk.sndBuf[0]
 			sk.sndBuf = sk.sndBuf[1:]
 			seg := sk.makePacket(netsim.FlagACK|netsim.FlagPSH, sk.SndNxt, sk.RcvNxt, payload)
 			sk.SndNxt++
@@ -839,7 +885,13 @@ func (sk *TCPSocket) fastRetransmit() {
 
 func (sk *TCPSocket) onRetransTimeout() {
 	sk.rtoPending = false
+	sk.retransTimer = nil // the firing event is dead; drop the reference
 	if sk.unhashed || len(sk.writeQueue) == 0 {
+		return
+	}
+	sk.consecRetrans++
+	if sk.consecRetrans > MaxConsecRetrans {
+		sk.abortConn()
 		return
 	}
 	sk.Retransmits++
@@ -863,6 +915,31 @@ func (sk *TCPSocket) onRetransTimeout() {
 	re.FixChecksum()
 	sk.stack.transmit(re)
 	sk.armRetransTimer()
+}
+
+// abortConn tears the connection down after the retransmission budget is
+// exhausted (the kernel would surface ETIMEDOUT). Pending queues release
+// their buffers, pending timers die, and the application observes EOF.
+func (sk *TCPSocket) abortConn() {
+	sk.TimedOut = true
+	for _, seg := range sk.writeQueue {
+		seg.Release()
+	}
+	sk.writeQueue = nil
+	for _, q := range sk.oooQueue {
+		q.Release()
+	}
+	sk.oooQueue = nil
+	sk.sndBuf = nil
+	if sk.persistTimer != nil {
+		sk.stack.sched.Cancel(sk.persistTimer)
+		sk.persistTimer = nil
+	}
+	sk.eof = true
+	sk.becomeClosed()
+	if sk.OnReadable != nil {
+		sk.OnReadable() // deliver the EOF notification
+	}
 }
 
 // --- Migration support -------------------------------------------------

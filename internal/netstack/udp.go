@@ -90,6 +90,7 @@ func (us *UDPSocket) SendTo(dst netsim.Addr, port uint16, payload []byte) error 
 
 func (us *UDPSocket) input(p *netsim.Packet) {
 	if us.unhashed {
+		p.Release()
 		return
 	}
 	us.receiveQueue = append(us.receiveQueue, Datagram{

@@ -28,13 +28,31 @@ type Time = time.Duration
 // paper assumes for TCP timestamps.
 const JiffyPeriod = 10 * time.Millisecond
 
+// Event lifecycle states. An event is pending while it sits in the heap,
+// firing while its callback runs, and dead once it has fired or been
+// canceled. Dead events may be recycled by the scheduler's free list, so a
+// retained *Event pointer must be dropped (niled) as soon as the holder
+// learns the event fired or after the holder cancels it.
+const (
+	statePending uint8 = iota
+	stateFiring
+	stateDead
+)
+
 // Event is a scheduled callback.
+//
+// Ownership contract: once an event has fired or been canceled the pointer
+// is dead and the struct may be reused for a future event. Holders that
+// keep an *Event across callbacks (timers in sockets, leases, claims) must
+// nil their reference when the callback runs and immediately after calling
+// Cancel.
 type Event struct {
 	when     Time
 	seq      uint64 // tie-breaker for deterministic ordering
 	fn       func()
 	canceled bool
-	index    int // heap index, -1 when popped
+	state    uint8
+	index    int // heap index, -1 when not in the heap
 	name     string
 }
 
@@ -74,14 +92,22 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+// maxFreeEvents bounds the scheduler's event free list so that a burst of
+// timers does not pin memory forever.
+const maxFreeEvents = 4096
+
 // Scheduler is a discrete-event simulator: a priority queue of events
 // ordered by virtual time, with FIFO ordering among events scheduled for
-// the same instant.
+// the same instant. Canceling an event removes it from the heap eagerly
+// (O(log n)) and recycles the struct through a free list, so heavy
+// timer churn (arm/cancel per TCP ACK) neither grows the heap nor
+// allocates per timer.
 type Scheduler struct {
 	now    Time
 	seq    uint64
 	queue  eventQueue
 	nsteps uint64
+	free   []*Event
 }
 
 // NewScheduler returns a scheduler whose clock starts at zero.
@@ -96,9 +122,22 @@ func (s *Scheduler) Now() Time { return s.now }
 // that simulations terminate.
 func (s *Scheduler) Steps() uint64 { return s.nsteps }
 
-// Pending returns the number of events currently queued (including
-// canceled events that have not yet been discarded).
+// Pending returns the exact number of live events currently queued.
+// Canceled events are removed from the heap eagerly, so after a
+// simulation drains Pending()==0 iff no timer leaked.
 func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// PendingNames returns the names of every queued event in an
+// unspecified order. It exists for leak diagnostics: when a drained
+// simulation reports Pending() > 0, the names identify the timers that
+// were never fired or canceled.
+func (s *Scheduler) PendingNames() []string {
+	out := make([]string, len(s.queue))
+	for i, e := range s.queue {
+		out[i] = e.name
+	}
+	return out
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // is a programming error and panics: the event loop cannot rewind.
@@ -107,7 +146,17 @@ func (s *Scheduler) At(t Time, name string, fn func()) *Event {
 		panic(fmt.Sprintf("simtime: scheduling %q at %v before now %v", name, t, s.now))
 	}
 	s.seq++
-	e := &Event{when: t, seq: s.seq, fn: fn, name: name}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{}
+	}
+	e.when, e.seq, e.fn, e.name = t, s.seq, fn, name
+	e.canceled = false
+	e.state = statePending
 	heap.Push(&s.queue, e)
 	return e
 }
@@ -120,30 +169,50 @@ func (s *Scheduler) After(d Duration, name string, fn func()) *Event {
 	return s.At(s.now+d, name, fn)
 }
 
-// Cancel marks the event canceled; it will be skipped when its time comes.
-// Canceling an already-fired or nil event is a no-op.
+// Cancel removes the event from the queue immediately (O(log n)) and
+// recycles it. Canceling an already-fired, already-canceled or nil event
+// is a no-op; canceling the currently firing event only marks it canceled
+// (the callback is already running and cannot be recalled).
 func (s *Scheduler) Cancel(e *Event) {
-	if e != nil {
-		e.canceled = true
+	if e == nil || e.state != statePending {
+		if e != nil && e.state == stateFiring {
+			e.canceled = true
+		}
+		return
+	}
+	e.canceled = true
+	heap.Remove(&s.queue, e.index)
+	s.release(e)
+}
+
+// release marks an event dead and parks it on the free list. The canceled
+// flag and name are preserved so that a holder which kept the pointer can
+// still observe Canceled() until the struct is reused by At.
+func (s *Scheduler) release(e *Event) {
+	e.state = stateDead
+	e.fn = nil
+	e.index = -1
+	if len(s.free) < maxFreeEvents {
+		s.free = append(s.free, e)
 	}
 }
 
 // step executes the earliest event. It returns false when the queue is empty.
 func (s *Scheduler) step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.canceled {
-			continue
-		}
-		if e.when < s.now {
-			panic("simtime: event queue went backwards")
-		}
-		s.now = e.when
-		s.nsteps++
-		e.fn()
-		return true
+	if len(s.queue) == 0 {
+		return false
 	}
-	return false
+	e := heap.Pop(&s.queue).(*Event)
+	if e.when < s.now {
+		panic("simtime: event queue went backwards")
+	}
+	s.now = e.when
+	s.nsteps++
+	e.state = stateFiring
+	fn := e.fn
+	fn()
+	s.release(e)
+	return true
 }
 
 // Run executes events until the queue drains.
@@ -171,15 +240,10 @@ func (s *Scheduler) RunUntil(deadline Time) {
 func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now + d) }
 
 func (s *Scheduler) peek() *Event {
-	for len(s.queue) > 0 {
-		e := s.queue[0]
-		if e.canceled {
-			heap.Pop(&s.queue)
-			continue
-		}
-		return e
+	if len(s.queue) == 0 {
+		return nil
 	}
-	return nil
+	return s.queue[0]
 }
 
 // NextEventTime returns the virtual time of the next pending event and
@@ -202,12 +266,13 @@ func Jiffies(now Time, bootOffset uint32) uint32 {
 // Ticker invokes fn every period until Stop is called. The first tick
 // fires one period after Start.
 type Ticker struct {
-	s      *Scheduler
-	period Duration
-	fn     func()
-	ev     *Event
-	stop   bool
-	name   string
+	s       *Scheduler
+	period  Duration
+	fn      func()
+	ev      *Event
+	stop    bool
+	running bool
+	name    string
 }
 
 // NewTicker creates a stopped ticker; call Start to begin.
@@ -220,21 +285,26 @@ func NewTicker(s *Scheduler, period Duration, name string, fn func()) *Ticker {
 
 // Start arms the ticker. Starting a running ticker is a no-op.
 func (t *Ticker) Start() {
-	if t.ev != nil && !t.ev.canceled {
+	if t.running {
 		return
 	}
 	t.stop = false
+	t.running = true
 	t.arm()
 }
 
 func (t *Ticker) arm() {
 	t.ev = t.s.After(t.period, t.name, func() {
+		t.ev = nil // event is dead the moment it fires
 		if t.stop {
+			t.running = false
 			return
 		}
 		t.fn()
 		if !t.stop {
 			t.arm()
+		} else {
+			t.running = false
 		}
 	})
 }
@@ -242,7 +312,11 @@ func (t *Ticker) arm() {
 // Stop disarms the ticker.
 func (t *Ticker) Stop() {
 	t.stop = true
-	t.s.Cancel(t.ev)
+	t.running = false
+	if t.ev != nil {
+		t.s.Cancel(t.ev)
+		t.ev = nil
+	}
 }
 
 // Rand is a small, fast, deterministic PRNG (xorshift64*), independent of

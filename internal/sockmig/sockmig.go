@@ -89,8 +89,16 @@ func (d *SockDelta) EncodedSize() int {
 }
 
 // Encode serializes the delta.
-func (d *SockDelta) Encode() []byte {
-	w := make([]byte, 0, d.EncodedSize())
+func (d *SockDelta) Encode() []byte { return d.EncodeInto(nil) }
+
+// EncodeInto serializes the delta into buf, reusing its capacity when it
+// fits (content is overwritten). See ckpt.MemDelta.EncodeInto for the
+// ownership contract.
+func (d *SockDelta) EncodeInto(buf []byte) []byte {
+	w := buf[:0]
+	if need := d.EncodedSize(); cap(w) < need {
+		w = make([]byte, 0, need)
+	}
 	put32 := func(v uint32) { w = append(w, byte(v>>24), byte(v>>16), byte(v>>8), byte(v)) }
 	put32(uint32(d.Round))
 	put32(uint32(len(d.Socks)))

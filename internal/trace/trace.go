@@ -6,6 +6,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -187,6 +188,25 @@ func (ss *SeriesSet) Get(name string) *Series {
 // Names returns series names in insertion order.
 func (ss *SeriesSet) Names() []string { return append([]string(nil), ss.order...) }
 
+// longest returns the series with the most samples (ties broken by
+// insertion order). Table and CSV take their row times from it: sampling
+// is aligned across series, but a series created mid-run (a node that
+// joined late) or one that stopped early must not truncate the others.
+// Earlier versions iterated the first series' times and silently dropped
+// every later row.
+func (ss *SeriesSet) longest() *Series {
+	if len(ss.order) == 0 {
+		return nil
+	}
+	best := ss.byKey[ss.order[0]]
+	for _, n := range ss.order[1:] {
+		if s := ss.byKey[n]; s.Len() > best.Len() {
+			best = s
+		}
+	}
+	return best
+}
+
 // Table renders the set as aligned rows (time in seconds, one column per
 // series), the textual equivalent of the paper's figures.
 func (ss *SeriesSet) Table() string {
@@ -196,12 +216,11 @@ func (ss *SeriesSet) Table() string {
 		fmt.Fprintf(&b, "%12s", n)
 	}
 	b.WriteByte('\n')
-	// Assume aligned sampling: use the first series' times.
-	if len(ss.order) == 0 {
+	longest := ss.longest()
+	if longest == nil {
 		return b.String()
 	}
-	first := ss.byKey[ss.order[0]]
-	for i, t := range first.Times {
+	for i, t := range longest.Times {
 		fmt.Fprintf(&b, "%10.1f", t.Seconds())
 		for _, n := range ss.order {
 			s := ss.byKey[n]
@@ -226,11 +245,11 @@ func (ss *SeriesSet) CSV() string {
 		b.WriteString(n)
 	}
 	b.WriteByte('\n')
-	if len(ss.order) == 0 {
+	longest := ss.longest()
+	if longest == nil {
 		return b.String()
 	}
-	first := ss.byKey[ss.order[0]]
-	for i, t := range first.Times {
+	for i, t := range longest.Times {
 		fmt.Fprintf(&b, "%.3f", t.Seconds())
 		for _, n := range ss.order {
 			s := ss.byKey[n]
@@ -245,13 +264,29 @@ func (ss *SeriesSet) CSV() string {
 	return b.String()
 }
 
-// Percentile returns the p-th percentile (0-100) of the values.
+// Percentile returns the p-th percentile (0-100) of the values using
+// linear interpolation between closest ranks (the same estimator as
+// numpy's default). p outside [0,100] clamps to the extremes; the input
+// slice is not mutated. Earlier versions truncated the fractional rank,
+// which biased every non-exact percentile (p99 included) toward the
+// next-lower sample.
 func Percentile(values []float64, p float64) float64 {
 	if len(values) == 0 {
 		return 0
 	}
 	v := append([]float64(nil), values...)
 	sort.Float64s(v)
-	idx := int(p / 100 * float64(len(v)-1))
-	return v[idx]
+	if p <= 0 {
+		return v[0]
+	}
+	if p >= 100 {
+		return v[len(v)-1]
+	}
+	rank := p / 100 * float64(len(v)-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if frac == 0 || lo+1 >= len(v) {
+		return v[lo]
+	}
+	return v[lo] + frac*(v[lo+1]-v[lo])
 }

@@ -107,6 +107,78 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileInterpolation pins the linear-interpolation estimator
+// on 1–5 samples at the percentiles the reports actually quote. The old
+// rank-truncating implementation returned the next-lower sample for
+// every non-exact rank (e.g. p99 of [1..5] was 4, not 4.96).
+func TestPercentileInterpolation(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []float64
+		p    float64
+		want float64
+	}{
+		{"one/p0", []float64{7}, 0, 7},
+		{"one/p50", []float64{7}, 50, 7},
+		{"one/p99", []float64{7}, 99, 7},
+		{"one/p100", []float64{7}, 100, 7},
+		{"two/p0", []float64{10, 20}, 0, 10},
+		{"two/p50", []float64{10, 20}, 50, 15},
+		{"two/p99", []float64{10, 20}, 99, 19.9},
+		{"two/p100", []float64{10, 20}, 100, 20},
+		{"three/p0", []float64{3, 1, 2}, 0, 1},
+		{"three/p50", []float64{3, 1, 2}, 50, 2},
+		{"three/p99", []float64{3, 1, 2}, 99, 2.98},
+		{"three/p100", []float64{3, 1, 2}, 100, 3},
+		{"four/p0", []float64{4, 2, 1, 3}, 0, 1},
+		{"four/p50", []float64{4, 2, 1, 3}, 50, 2.5},
+		{"four/p99", []float64{4, 2, 1, 3}, 99, 3.97},
+		{"four/p100", []float64{4, 2, 1, 3}, 100, 4},
+		{"five/p0", []float64{5, 1, 3, 2, 4}, 0, 1},
+		{"five/p50", []float64{5, 1, 3, 2, 4}, 50, 3},
+		{"five/p99", []float64{5, 1, 3, 2, 4}, 99, 4.96},
+		{"five/p100", []float64{5, 1, 3, 2, 4}, 100, 5},
+		{"clamp-low", []float64{1, 2}, -5, 1},
+		{"clamp-high", []float64{1, 2}, 120, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Percentile(tc.vals, tc.p)
+			if diff := got - tc.want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("Percentile(%v, %v) = %v, want %v", tc.vals, tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSeriesSetRagged is the regression test for the truncation bug:
+// when the first series is shorter than a later one, Table and CSV must
+// still render every row of the longest series, padding the missing
+// cells rather than dropping the tail.
+func TestSeriesSetRagged(t *testing.T) {
+	ss := NewSeriesSet()
+	ss.Get("node1").Add(0, 10) // joined, then stopped sampling
+	for i := 0; i < 3; i++ {
+		ss.Get("node2").Add(time.Duration(i)*time.Second, float64(20+i))
+	}
+	tab := ss.Table()
+	lines := strings.Split(strings.TrimSpace(tab), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table rows = %d, want header + 3 (longest series), got:\n%s", len(lines), tab)
+	}
+	if !strings.Contains(tab, "22.00") {
+		t.Fatalf("table lost the longest series' tail:\n%s", tab)
+	}
+	if !strings.Contains(lines[2], "-") || !strings.Contains(lines[3], "-") {
+		t.Fatalf("short series not padded with '-':\n%s", tab)
+	}
+	csv := ss.CSV()
+	want := "t_s,node1,node2\n0.000,10.0000,20.0000\n1.000,,21.0000\n2.000,,22.0000\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}
+
 func TestSeriesSetCSV(t *testing.T) {
 	ss := NewSeriesSet()
 	ss.Get("node1").Add(5*time.Second, 80.5)

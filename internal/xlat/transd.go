@@ -165,6 +165,7 @@ func (c *Client) sendAttempt(id uint32, pr *pendingReq) {
 	pr.tries++
 	_ = c.sock.SendTo(pr.peer, TransdPort, pr.payload)
 	pr.timer = c.sched.After(clientTimeout, "transd.retry", func() {
+		pr.timer = nil // fired; the event pointer is dead
 		if _, live := c.pending[id]; !live {
 			return
 		}
@@ -195,6 +196,7 @@ func (c *Client) handleAcks() {
 		}
 		delete(c.pending, id)
 		c.sched.Cancel(pr.timer)
+		pr.timer = nil
 		var err error
 		if dg.Payload[0] == opNak {
 			err = fmt.Errorf("transd: peer %s rejected request", dg.SrcIP)
