@@ -278,10 +278,28 @@ func BenchmarkBaselineNATDispatch(b *testing.B) {
 }
 
 // BenchmarkMigrationEngine is a plain throughput benchmark of one full
-// live migration (8 connections), for profiling the engine itself.
+// live migration (8 connections), for profiling the engine itself. It
+// runs with the observability plane detached — the nil-check fast path
+// whose cost BENCH_simperf.json pins (≤2% ns/op, +0 allocs/op vs the
+// pre-obs baseline).
 func BenchmarkMigrationEngine(b *testing.B) {
 	fc := eval.DefaultFreezeConfig(sockmig.IncrementalCollective, 8)
 	fc.Repeats = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunFreezePoint(fc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMigrationEngineObserved is the same migration with the
+// observability plane attached (spans, phase histograms, harvest and
+// capture) — compare against BenchmarkMigrationEngine for the
+// enabled-mode overhead.
+func BenchmarkMigrationEngineObserved(b *testing.B) {
+	fc := eval.DefaultFreezeConfig(sockmig.IncrementalCollective, 8)
+	fc.Repeats = 1
+	fc.Observe = true
 	for i := 0; i < b.N; i++ {
 		if _, err := eval.RunFreezePoint(fc); err != nil {
 			b.Fatal(err)

@@ -17,6 +17,7 @@ import (
 
 	"dvemig/internal/dve"
 	"dvemig/internal/eval"
+	"dvemig/internal/obs"
 	"dvemig/internal/simtime"
 )
 
@@ -29,6 +30,8 @@ func main() {
 	neighbors := flag.Bool("neighbors", false, "connect zone servers to their grid neighbors (both-ends migration)")
 	showMap := flag.Bool("fig5a", false, "print the Fig 5a zone map and exit")
 	csvDir := flag.String("csv", "", "write cpu.csv / procs.csv / rate.csv time series into this directory")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON (Perfetto-loadable) of the run to this file")
+	metricsOut := flag.String("metrics-out", "", "write the run's metric snapshot (counters/gauges/histograms) to this file")
 	flag.Parse()
 
 	if *showMap {
@@ -36,8 +39,10 @@ func main() {
 		return
 	}
 
+	observe := *traceOut != "" || *metricsOut != ""
 	cfg := dve.DefaultConfig()
 	cfg.LB = *lbOn
+	cfg.Observe = observe
 	cfg.NeighborLinks = *neighbors
 	cfg.Duration = simtime.Duration(*duration) * 1e9
 	if *fast {
@@ -51,6 +56,7 @@ func main() {
 		// schedulers; the parallel runner overlaps them and returns the
 		// results in canonical (off, on) order.
 		fmt.Fprintf(os.Stderr, "running %ds of simulated time twice (lb off and on, concurrently)...\n", *duration)
+		caps := make([]*obs.Capture, 2)
 		runs, err := eval.RunParallel([]bool{false, true}, 0, func(lb bool) (*dve.Results, error) {
 			c := cfg
 			c.LB = lb
@@ -58,12 +64,23 @@ func main() {
 			if err != nil {
 				return nil, err
 			}
-			return sim.Run(), nil
+			r := sim.Run()
+			if observe {
+				// Index writes are per-worker-disjoint and canonical
+				// (off=0, on=1), so the exported file is deterministic.
+				idx := 0
+				if lb {
+					idx = 1
+				}
+				caps[idx] = sim.CaptureObs(fmt.Sprintf("dve/lb=%v", lb))
+			}
+			return r, nil
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dvesim: %v\n", err)
 			os.Exit(1)
 		}
+		writeObs(*traceOut, *metricsOut, caps...)
 		if *series {
 			fmt.Printf("=== Fig 5e (CPU per node, no LB) ===\n%s\n", runs[0].CPU.Table())
 			fmt.Printf("=== Fig 5f (CPU per node, LB enabled) ===\n%s\n", runs[1].CPU.Table())
@@ -82,6 +99,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "running %ds of simulated time (%d zones, %d clients, lb=%v)...\n",
 		*duration, dve.GridW*dve.GridH, cfg.Clients, cfg.LB)
 	r := sim.Run()
+	if observe {
+		writeObs(*traceOut, *metricsOut, sim.CaptureObs(fmt.Sprintf("dve/lb=%v", cfg.LB)))
+	}
 
 	if *series {
 		fig := "Fig 5e (CPU per node, no LB)"
@@ -106,4 +126,21 @@ func main() {
 		}
 	}
 	fmt.Println(eval.DVESummary(r, cfg.LB))
+}
+
+// writeObs writes the trace and/or metrics artifacts when their flags
+// were given; either path may be empty.
+func writeObs(tracePath, metricsPath string, caps ...*obs.Capture) {
+	write := func(path, what string, fn func(string, ...*obs.Capture) error) {
+		if path == "" {
+			return
+		}
+		if err := fn(path, caps...); err != nil {
+			fmt.Fprintf(os.Stderr, "dvesim: writing %s: %v\n", what, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	write(tracePath, "trace", obs.WriteChromeTraceFile)
+	write(metricsPath, "metrics", obs.WriteMetricsFile)
 }

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	migbench [-conns 16,32,...] [-repeats 3] [-what freeze|bytes|all]
+//	         [-phase-table] [-trace-out mig.json] [-metrics-out mig.metrics]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"dvemig/internal/eval"
+	"dvemig/internal/obs"
 )
 
 func main() {
@@ -24,6 +26,9 @@ func main() {
 	repeats := flag.Int("repeats", 3, "repetitions per point (worst case is reported)")
 	what := flag.String("what", "all", "freeze|bytes|all")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+	traceOut := flag.String("trace-out", "", "run the sweep observed and write a Chrome trace_event JSON of every migration to this file")
+	metricsOut := flag.String("metrics-out", "", "run the sweep observed and write the merged metric snapshots to this file")
+	phaseTable := flag.Bool("phase-table", false, "run the sweep observed and print the per-phase latency breakdown")
 	flag.Parse()
 
 	var conns []int
@@ -36,7 +41,12 @@ func main() {
 		conns = append(conns, n)
 	}
 
-	points, err := eval.RunFreezeSweep(conns, eval.SweepStrategies, *repeats, *parallel)
+	observe := *traceOut != "" || *metricsOut != "" || *phaseTable
+	sweep := eval.RunFreezeSweep
+	if observe {
+		sweep = eval.RunFreezeSweepObserved
+	}
+	points, err := sweep(conns, eval.SweepStrategies, *repeats, *parallel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "migbench: %v\n", err)
 		os.Exit(1)
@@ -53,5 +63,32 @@ func main() {
 	if *what == "bytes" || *what == "all" {
 		fmt.Println("=== Fig 5c ===")
 		fmt.Println(eval.Fig5cTable(points))
+	}
+	if *phaseTable {
+		fmt.Println("=== per-phase breakdown ===")
+		fmt.Println(eval.PhaseTable(points))
+	}
+	if *traceOut != "" || *metricsOut != "" {
+		// Point order is conns-major, strategy-minor (the canonical sweep
+		// order), and repeats within a point merged in repeat order, so
+		// the artifacts are byte-identical at any -parallel setting.
+		var caps []*obs.Capture
+		for _, pt := range points {
+			caps = append(caps, pt.Caps...)
+		}
+		if *traceOut != "" {
+			if err := obs.WriteChromeTraceFile(*traceOut, caps...); err != nil {
+				fmt.Fprintf(os.Stderr, "migbench: writing trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *traceOut)
+		}
+		if *metricsOut != "" {
+			if err := obs.WriteMetricsFile(*metricsOut, caps...); err != nil {
+				fmt.Fprintf(os.Stderr, "migbench: writing metrics: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
+		}
 	}
 }

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	report [-full]    # -full uses the paper-scale parameters (slower)
+//	report [-full]           # -full uses the paper-scale parameters (slower)
+//	report [-phase-table]    # adds the observed per-phase latency breakdown
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 
 	"dvemig/internal/dve"
 	"dvemig/internal/eval"
+	"dvemig/internal/obs"
 	"dvemig/internal/openarena"
 	"dvemig/internal/stream"
 )
@@ -21,6 +23,9 @@ import (
 func main() {
 	full := flag.Bool("full", false, "paper-scale sweep (1024 connections, 900s simulations)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the sweeps (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+	phaseTable := flag.Bool("phase-table", false, "run the Fig 5b/5c sweep observed and print the per-phase latency breakdown")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace of the observed Fig 5b/5c sweep to this file (implies observing the sweep)")
+	metricsOut := flag.String("metrics-out", "", "write the observed sweep's merged metric snapshots to this file")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -48,12 +53,38 @@ func main() {
 		conns = eval.SweepConns
 		repeats = 3
 	}
-	points, err := eval.RunFreezeSweep(conns, eval.SweepStrategies, repeats, *parallel)
+	observe := *phaseTable || *traceOut != "" || *metricsOut != ""
+	sweep := eval.RunFreezeSweep
+	if observe {
+		sweep = eval.RunFreezeSweepObserved
+	}
+	points, err := sweep(conns, eval.SweepStrategies, repeats, *parallel)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Println("Fig 5b — " + eval.Fig5bTable(points))
 	fmt.Println("Fig 5c — " + eval.Fig5cTable(points))
+	if *phaseTable {
+		fmt.Println("Per-phase breakdown — " + eval.PhaseTable(points))
+	}
+	if *traceOut != "" || *metricsOut != "" {
+		var caps []*obs.Capture
+		for _, pt := range points {
+			caps = append(caps, pt.Caps...)
+		}
+		if *traceOut != "" {
+			if err := obs.WriteChromeTraceFile(*traceOut, caps...); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *traceOut)
+		}
+		if *metricsOut != "" {
+			if err := obs.WriteMetricsFile(*metricsOut, caps...); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
+		}
+	}
 
 	// Fig 5d/e/f: the LB-off and LB-on runs are independent simulations,
 	// so they too fan out over the parallel runner.

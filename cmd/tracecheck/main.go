@@ -1,0 +1,41 @@
+// Command tracecheck validates a Chrome trace_event JSON document
+// produced by the observability plane (-trace-out on dvesim, migbench
+// or report): it must parse, carry the mandatory fields on every event
+// and contain at least one span. CI's obs smoke job runs it against a
+// freshly exported trace so a schema regression fails the build instead
+// of silently producing files Perfetto refuses to load.
+//
+// Usage:
+//
+//	tracecheck trace.json [trace2.json ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dvemig/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json [trace2.json ...]")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			err = obs.ValidateChromeTrace(data)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("%s: ok (%d bytes)\n", path, len(data))
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -31,6 +31,7 @@ func main() {
 	// Conductors on every node: load balancing, heartbeats, and — once a
 	// standby is wired in — the failure detector that drives failover.
 	var conds []*lb.Conductor
+	var migs []*migration.Migrator
 	for _, n := range cluster.Nodes {
 		mig, err := migration.NewMigrator(n, migration.DefaultConfig())
 		if err != nil {
@@ -41,6 +42,7 @@ func main() {
 			log.Fatal(err)
 		}
 		conds = append(conds, cd)
+		migs = append(migs, mig)
 	}
 	standby, err := migration.NewStandby(cluster.Nodes[1])
 	if err != nil {
@@ -128,7 +130,34 @@ func main() {
 		conds[1].Failovers, newEpoch)
 
 	sched.RunFor(5e9)
-	tk.Stop()
 	fmt.Printf("after failover: score=%d (was %d at crash; at most one 500ms interval lost, then climbing again)\n",
 		lastScore, scoreAtCrash)
+
+	// Epilogue: a planned live migration moves the restarted service off
+	// the standby onto node3 — e.g. to free the buddy for its next ward.
+	// PhaseEvent.Since hands each consumer the previous phase's
+	// timestamp, so the per-phase latency is Time-Since — no bookkeeping
+	// of "when did the last phase fire" on our side.
+	var restarted *proc.Process
+	for _, p := range cluster.Nodes[1].Processes() {
+		if p.Name == "scoreboard" {
+			restarted = p
+		}
+	}
+	if restarted == nil {
+		log.Fatal("restarted scoreboard not found on node2")
+	}
+	migs[1].OnPhase = func(ev migration.PhaseEvent) {
+		fmt.Printf("t=%4.1fs phase %-8s +%6.2fms on %s\n",
+			float64(ev.Time)/1e9, ev.Phase, float64(ev.Time-ev.Since)/1e6, ev.Node)
+	}
+	migs[1].Migrate(restarted, cluster.Nodes[2].LocalIP, func(m *migration.Metrics, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("planned migration done: froze %.2fms\n", float64(m.FreezeTime)/1e6)
+	})
+	sched.RunFor(5e9)
+	tk.Stop()
+	fmt.Printf("final score=%d, scoreboard now on node3\n", lastScore)
 }

@@ -6,6 +6,7 @@ import (
 	"dvemig/internal/lb"
 	"dvemig/internal/migration"
 	"dvemig/internal/netstack"
+	"dvemig/internal/obs"
 	"dvemig/internal/proc"
 	"dvemig/internal/simtime"
 	"dvemig/internal/trace"
@@ -44,6 +45,11 @@ type Config struct {
 
 	SampleEvery simtime.Duration
 	Seed        uint64
+
+	// Observe attaches an observability plane (span tracing + metrics)
+	// to the run: migrators and conductors get instrumented, and
+	// Simulation.Obs carries the plane for capture/export afterwards.
+	Observe bool
 }
 
 // DefaultConfig reproduces the paper's setup: 5 nodes, 10,000 clients,
@@ -114,6 +120,9 @@ type Simulation struct {
 	AppLB      *AppLayerBalancer
 	Movement   *MovementModel
 
+	// Obs is the run's observability plane (nil unless Config.Observe).
+	Obs *obs.Obs
+
 	zoneProcs map[ZoneID]*proc.Process
 	pop       Population
 
@@ -146,10 +155,16 @@ func New(cfg Config) (*Simulation, error) {
 		return nil, err
 	}
 
+	if cfg.Observe {
+		s.Obs = obs.New(sched)
+	}
 	for _, n := range s.Cluster.Nodes[:cfg.Nodes] {
 		m, err := migration.NewMigrator(n, cfg.MigConfig)
 		if err != nil {
 			return nil, err
+		}
+		if s.Obs != nil {
+			m.SetObs(s.Obs)
 		}
 		s.Migrators = append(s.Migrators, m)
 	}
@@ -187,6 +202,9 @@ func New(cfg Config) (*Simulation, error) {
 			if err != nil {
 				return nil, err
 			}
+			if s.Obs != nil {
+				cd.SetObs(s.Obs)
+			}
 			s.Conductors = append(s.Conductors, cd)
 		}
 	}
@@ -212,6 +230,17 @@ func New(cfg Config) (*Simulation, error) {
 // connectNeighbors links every zone server with its right and down grid
 // neighbors over the in-cluster network: each zone accepts on
 // NeighborBase+zone of its home node's local address.
+// CaptureObs harvests the cluster's layer counters into the plane's
+// registry and freezes the run's observability artifacts under label.
+// Nil when the run is unobserved.
+func (s *Simulation) CaptureObs(label string) *obs.Capture {
+	if s.Obs == nil {
+		return nil
+	}
+	obs.HarvestCluster(s.Obs.Metrics, s.Cluster)
+	return s.Obs.Capture(label)
+}
+
 func (s *Simulation) connectNeighbors() error {
 	cfg := s.Config.Zone
 	for z := ZoneID(0); z < GridW*GridH; z++ {

@@ -9,6 +9,7 @@ import (
 	"dvemig/internal/migration"
 	"dvemig/internal/netsim"
 	"dvemig/internal/netstack"
+	"dvemig/internal/obs"
 	"dvemig/internal/proc"
 	"dvemig/internal/simtime"
 )
@@ -51,6 +52,12 @@ type ChaosConfig struct {
 	// the serial path). The report is bit-identical at every worker
 	// count; see RunParallel.
 	Workers int
+	// Observe attaches a per-cell observability plane (spans + metrics)
+	// to every run; each ChaosResult then carries its Obs capture. The
+	// plane records only virtual time and never schedules events, so
+	// trace hashes are unchanged and the captures are bit-identical at
+	// any worker count.
+	Observe bool
 }
 
 // DefaultChaosConfig covers the ISSUE's scenario list: loss burst,
@@ -149,11 +156,42 @@ type ChaosResult struct {
 	PendingAfterDrain int
 	// Metrics is the migration's metric record, if it got far enough.
 	Metrics *migration.Metrics
+	// Obs is the cell's observability capture (nil unless
+	// ChaosConfig.Observe).
+	Obs *obs.Capture
 }
 
 // ChaosReport aggregates a sweep.
 type ChaosReport struct {
 	Results []*ChaosResult
+}
+
+// Captures lists the cells' observability captures in result (scenario-
+// major, seed-minor) order, skipping unobserved cells. Feeding them to
+// obs.WriteChromeTrace in this canonical order keeps exported artifacts
+// bit-identical at any sweep worker count.
+func (r *ChaosReport) Captures() []*obs.Capture {
+	var out []*obs.Capture
+	for _, res := range r.Results {
+		if res.Obs != nil {
+			out = append(out, res.Obs)
+		}
+	}
+	return out
+}
+
+// MergedSnapshot sums every observed cell's metric snapshot in
+// canonical order (nil when the sweep ran unobserved).
+func (r *ChaosReport) MergedSnapshot() *obs.Snapshot {
+	caps := r.Captures()
+	if len(caps) == 0 {
+		return nil
+	}
+	snaps := make([]*obs.Snapshot, len(caps))
+	for i, c := range caps {
+		snaps[i] = c.Snap
+	}
+	return obs.MergeSnapshots(snaps...)
 }
 
 // Counts returns (survived, completed, aborted, violated) cell counts.
@@ -272,6 +310,12 @@ func RunChaosScenario(cfg ChaosConfig, sc ChaosScenario, seed uint64) (*ChaosRes
 	if err != nil {
 		return nil, err
 	}
+	var o *obs.Obs
+	if cfg.Observe {
+		o = obs.New(sched)
+		srcMig.SetObs(o)
+		dstMig.SetObs(o)
+	}
 	if _, err := startTransdOn(dbNode); err != nil {
 		return nil, err
 	}
@@ -373,8 +417,10 @@ func RunChaosScenario(cfg ChaosConfig, sc ChaosScenario, seed uint64) (*ChaosRes
 	})
 	cliTicker.Start()
 
+	inj := faults.NewInjector(sched, seed)
+	inj.Obs = o
 	env := &ChaosEnv{
-		Sched: sched, Cluster: cluster, Inj: faults.NewInjector(sched, seed),
+		Sched: sched, Cluster: cluster, Inj: inj,
 		Source: src, Dest: dst, DB: dbNode,
 		SrcMig: srcMig, DstMig: dstMig,
 		ClientNIC: clientNIC, MigrateAt: sched.Now() + 800*1e6,
@@ -496,5 +542,9 @@ func RunChaosScenario(cfg ChaosConfig, sc ChaosScenario, seed uint64) (*ChaosRes
 		sched.RunUntil(next)
 	}
 	res.PendingAfterDrain = sched.Pending()
+	if o != nil {
+		obs.HarvestCluster(o.Metrics, cluster)
+		res.Obs = o.Capture(fmt.Sprintf("%s/seed%d", sc.Name, seed))
+	}
 	return res, nil
 }

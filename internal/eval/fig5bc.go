@@ -11,6 +11,7 @@ import (
 	"dvemig/internal/dve"
 	"dvemig/internal/migration"
 	"dvemig/internal/netstack"
+	"dvemig/internal/obs"
 	"dvemig/internal/proc"
 	"dvemig/internal/simtime"
 	"dvemig/internal/sockmig"
@@ -46,6 +47,9 @@ type FreezeConfig struct {
 	// scheduler and cluster, so the point is bit-identical at any worker
 	// count; see RunParallel.
 	Workers int
+	// Observe attaches a per-repeat observability plane; the point then
+	// carries one capture per repeat plus a merged metric snapshot.
+	Observe bool
 }
 
 // DefaultFreezeConfig mirrors the paper's zone-server setup.
@@ -77,6 +81,15 @@ type FreezePoint struct {
 	WorstSockBytes    uint64
 	ClientRetransmits uint64
 	Runs              []*migration.Metrics
+	// WorstPhaseGap is the longest interval between consecutive phase
+	// events over all runs (PhaseEvent.Time-Since): the single stall
+	// that dominates the migration, whichever phase it hides in.
+	WorstPhaseGap simtime.Duration
+	// Caps holds one observability capture per repeat (in repeat order)
+	// and Snap their merged metric snapshot; both nil unless
+	// FreezeConfig.Observe.
+	Caps []*obs.Capture
+	Snap *obs.Snapshot
 }
 
 // RunFreezePoint measures one (strategy, conns) cell. The repeats run
@@ -91,18 +104,21 @@ func RunFreezePoint(fc FreezeConfig) (*FreezePoint, error) {
 	type once struct {
 		m       *migration.Metrics
 		retrans uint64
+		gap     simtime.Duration
+		cap     *obs.Capture
 	}
 	reps := make([]int, repeats)
 	for i := range reps {
 		reps[i] = i
 	}
 	runs, err := RunParallel(reps, fc.Workers, func(rep int) (once, error) {
-		m, retrans, err := runFreezeOnce(fc, rep)
-		return once{m: m, retrans: retrans}, err
+		m, retrans, gap, cap, err := runFreezeOnce(fc, rep)
+		return once{m: m, retrans: retrans, gap: gap, cap: cap}, err
 	})
 	if err != nil {
 		return nil, err
 	}
+	var snaps []*obs.Snapshot
 	for _, r := range runs {
 		pt.Runs = append(pt.Runs, r.m)
 		pt.ClientRetransmits += r.retrans
@@ -112,6 +128,16 @@ func RunFreezePoint(fc FreezeConfig) (*FreezePoint, error) {
 		if r.m.FreezeSockBytes > pt.WorstSockBytes {
 			pt.WorstSockBytes = r.m.FreezeSockBytes
 		}
+		if r.gap > pt.WorstPhaseGap {
+			pt.WorstPhaseGap = r.gap
+		}
+		if r.cap != nil {
+			pt.Caps = append(pt.Caps, r.cap)
+			snaps = append(snaps, r.cap.Snap)
+		}
+	}
+	if len(snaps) > 0 {
+		pt.Snap = obs.MergeSnapshots(snaps...)
 	}
 	return pt, nil
 }
@@ -122,37 +148,72 @@ func RunFreezePoint(fc FreezeConfig) (*FreezePoint, error) {
 // strategy-minor order (the order the tables expect); each point's
 // repeats run serially inside its cell so parallelism never nests.
 func RunFreezeSweep(conns []int, strategies []sockmig.Strategy, repeats, workers int) ([]*FreezePoint, error) {
+	return runFreezeSweep(conns, strategies, repeats, workers, false)
+}
+
+// RunFreezeSweepObserved is RunFreezeSweep with the observability plane
+// enabled on every cell: each point comes back with per-run Captures
+// and a merged Snap, which the phase table and the trace exporters
+// consume. The sweep's measured numbers are identical to the unobserved
+// sweep — the plane never schedules events.
+func RunFreezeSweepObserved(conns []int, strategies []sockmig.Strategy, repeats, workers int) ([]*FreezePoint, error) {
+	return runFreezeSweep(conns, strategies, repeats, workers, true)
+}
+
+func runFreezeSweep(conns []int, strategies []sockmig.Strategy, repeats, workers int, observe bool) ([]*FreezePoint, error) {
 	cells := make([]FreezeConfig, 0, len(conns)*len(strategies))
 	for _, n := range conns {
 		for _, s := range strategies {
 			fc := DefaultFreezeConfig(s, n)
 			fc.Repeats = repeats
 			fc.Workers = 1
+			fc.Observe = observe
 			cells = append(cells, fc)
 		}
 	}
 	return RunParallel(cells, workers, RunFreezePoint)
 }
 
-func runFreezeOnce(fc FreezeConfig, rep int) (*migration.Metrics, uint64, error) {
+func runFreezeOnce(fc FreezeConfig, rep int) (*migration.Metrics, uint64, simtime.Duration, *obs.Capture, error) {
 	sched := simtime.NewScheduler()
 	cluster := proc.NewCluster(sched, 3) // source, destination, DB
+	var o *obs.Obs
+	if fc.Observe {
+		o = obs.New(sched)
+	}
+	// Consumers get the per-phase delta handed to them on the event
+	// (PhaseEvent.Since); the worst single stall is one comparison.
+	// Only armed when observing, so the disabled benchmark path stays
+	// allocation-free.
+	var worstGap simtime.Duration
+	var onPhase func(migration.PhaseEvent)
+	if fc.Observe {
+		onPhase = func(ev migration.PhaseEvent) {
+			if d := ev.Time - ev.Since; d > worstGap {
+				worstGap = d
+			}
+		}
+	}
 	var migs []*migration.Migrator
 	for _, n := range cluster.Nodes[:2] {
 		m, err := migration.NewMigrator(n, fc.MigCfg)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, nil, err
+		}
+		if fc.Observe {
+			m.SetObs(o)
+			m.OnPhase = onPhase
 		}
 		migs = append(migs, m)
 	}
 	dbNode := cluster.Nodes[2]
 	db, err := dve.StartDBServer(dbNode)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, nil, err
 	}
 	_ = db
 	if _, err := startTransdOn(dbNode); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, nil, err
 	}
 
 	src := cluster.Nodes[0]
@@ -160,14 +221,14 @@ func runFreezeOnce(fc FreezeConfig, rep int) (*migration.Metrics, uint64, error)
 	heap := p.AS.Mmap(fc.MemPages*proc.PageSize, "rw-")
 	for i := uint64(0); i < fc.MemPages; i += 4 {
 		if err := p.AS.Write(heap.Start+i*proc.PageSize, []byte{byte(i)}); err != nil {
-			return nil, 0, err
+			return nil, 0, 0, nil, err
 		}
 	}
 
 	// Game clients.
 	lst := netstack.NewTCPSocket(src.Stack)
 	if err := lst.Listen(cluster.ClusterIP, 7000); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, nil, err
 	}
 	var serverSide []*netstack.TCPSocket
 	lst.OnAccept = func(ch *netstack.TCPSocket) { serverSide = append(serverSide, ch) }
@@ -176,14 +237,14 @@ func runFreezeOnce(fc FreezeConfig, rep int) (*migration.Metrics, uint64, error)
 	for i := 0; i < fc.Conns; i++ {
 		cli := netstack.NewTCPSocket(host)
 		if err := cli.Connect(cluster.ClusterIP, 7000); err != nil {
-			return nil, 0, err
+			return nil, 0, 0, nil, err
 		}
 		cli.OnReadable = func() { cli.Recv() } // consume updates
 		clients = append(clients, cli)
 	}
 	sched.RunFor(2e9)
 	if len(serverSide) != fc.Conns {
-		return nil, 0, fmt.Errorf("eval: only %d/%d connections established", len(serverSide), fc.Conns)
+		return nil, 0, 0, nil, fmt.Errorf("eval: only %d/%d connections established", len(serverSide), fc.Conns)
 	}
 	for _, sk := range serverSide {
 		p.FDs.Install(&proc.TCPFile{Sock: sk})
@@ -192,7 +253,7 @@ func runFreezeOnce(fc FreezeConfig, rep int) (*migration.Metrics, uint64, error)
 	// MySQL session").
 	dbSock := netstack.NewTCPSocket(src.Stack)
 	if err := dbSock.Connect(dbNode.LocalIP, dve.DBPort); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, nil, err
 	}
 	p.FDs.Install(&proc.TCPFile{Sock: dbSock})
 	sched.RunFor(1e9)
@@ -253,14 +314,19 @@ func runFreezeOnce(fc FreezeConfig, rep int) (*migration.Metrics, uint64, error)
 	})
 	sched.RunFor(30e9)
 	if gotErr != nil {
-		return nil, 0, gotErr
+		return nil, 0, 0, nil, gotErr
 	}
 	if got == nil {
-		return nil, 0, fmt.Errorf("eval: migration did not complete")
+		return nil, 0, 0, nil, fmt.Errorf("eval: migration did not complete")
 	}
 	var retrans uint64
 	for _, cli := range clients {
 		retrans += cli.Retransmits
 	}
-	return got, retrans, nil
+	var cap *obs.Capture
+	if o != nil {
+		obs.HarvestCluster(o.Metrics, cluster)
+		cap = o.Capture(fmt.Sprintf("freeze-c%d-%s-rep%d", fc.Conns, fc.Strategy, rep))
+	}
+	return got, retrans, worstGap, cap, nil
 }

@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"dvemig/internal/obs"
+)
+
+// PhaseTablePhases is the source-side migration path shown in the
+// per-phase breakdown, in protocol order.
+var PhaseTablePhases = []string{"connect", "precopy", "freeze", "transfer", "done"}
+
+// PhaseTable renders the Fig 5c-style per-phase latency breakdown from
+// the points' merged metric snapshots: one block per strategy, one row
+// per connection count, one column per phase, each cell the mean
+// phase-to-phase latency in ms (PhaseEvent.Time-Since as recorded by
+// the migration engine's mig/phase_<name>_us histograms). Points
+// without a snapshot (unobserved runs) render as "-" rows; this
+// replaces the hand-rolled per-phase aggregation experiments used to do
+// from raw OnPhase callbacks.
+func PhaseTable(points []*FreezePoint) string {
+	byKey := map[[2]int]*FreezePoint{}
+	conns := map[int]bool{}
+	strategies := map[int]bool{}
+	for _, p := range points {
+		byKey[[2]int{p.Conns, int(p.Strategy)}] = p
+		conns[p.Conns] = true
+		strategies[int(p.Strategy)] = true
+	}
+	var b strings.Builder
+	b.WriteString("per-phase migration latency, mean ms (phase event minus previous phase event)\n")
+	for _, s := range SweepStrategies {
+		if !strategies[int(s)] {
+			continue
+		}
+		fmt.Fprintf(&b, "[%s]\n%8s", s, "conns")
+		for _, ph := range PhaseTablePhases {
+			fmt.Fprintf(&b, "%12s", ph)
+		}
+		fmt.Fprintf(&b, "%12s\n", "total")
+		for _, n := range SweepConns {
+			if !conns[n] {
+				continue
+			}
+			p := byKey[[2]int{n, int(s)}]
+			if p == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "%8d", n)
+			total := 0.0
+			for _, ph := range PhaseTablePhases {
+				mean, ok := phaseMeanUs(p.Snap, ph)
+				if !ok {
+					fmt.Fprintf(&b, "%12s", "-")
+					continue
+				}
+				total += mean
+				fmt.Fprintf(&b, "%12.3f", mean/1e3)
+			}
+			if total > 0 {
+				fmt.Fprintf(&b, "%12.3f", total/1e3)
+			} else {
+				fmt.Fprintf(&b, "%12s", "-")
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// phaseMeanUs reads one phase histogram's mean out of a snapshot.
+func phaseMeanUs(s *obs.Snapshot, phase string) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	h, ok := s.Hist("mig/phase_" + phase + "_us")
+	if !ok || h.N == 0 {
+		return 0, false
+	}
+	return h.Mean(), true
+}

@@ -3,6 +3,7 @@ package faults
 import (
 	"dvemig/internal/migration"
 	"dvemig/internal/netsim"
+	"dvemig/internal/obs"
 	"dvemig/internal/proc"
 	"dvemig/internal/simtime"
 )
@@ -14,6 +15,13 @@ import (
 type Injector struct {
 	Sched *simtime.Scheduler
 	Seed  uint64
+
+	// Obs, when set, gets every injected fault annotated as an instant
+	// on the affected link's or node's track. Window annotations use
+	// InstantAt with the window's own timestamps — the injector must
+	// never schedule observability events, or it would renumber the
+	// event sequence and break bit-identical trace hashes.
+	Obs *obs.Obs
 
 	nAttached uint64
 }
@@ -60,6 +68,11 @@ func (in *Injector) ProgramOn(nic *netsim.NIC) *Program {
 func (in *Injector) DownFor(nic *netsim.NIC, from, to simtime.Time) {
 	pr := in.ProgramOn(nic)
 	pr.Down = append(pr.Down, Window{From: from, To: to})
+	if in.Obs != nil {
+		in.Obs.Trace.InstantAt(from, nic.Name, "fault:link-down")
+		in.Obs.Trace.InstantAt(to, nic.Name, "fault:link-up")
+		in.Obs.Metrics.Counter("faults/link_down_windows_total").Inc()
+	}
 }
 
 // Isolate partitions a whole node during [from, to): both its public
@@ -79,6 +92,10 @@ func (in *Injector) CrashAt(c *proc.Cluster, n *proc.Node, t simtime.Time) {
 	in.Sched.At(t, "faults.crash."+n.Name, func() {
 		if n.Alive {
 			n.Fail(c)
+			if in.Obs != nil {
+				in.Obs.Trace.Instant(n.Name, "fault:crash")
+				in.Obs.Metrics.Counter("faults/crashes_total").Inc()
+			}
 		}
 	})
 }

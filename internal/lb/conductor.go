@@ -13,6 +13,7 @@ import (
 	"dvemig/internal/migration"
 	"dvemig/internal/netsim"
 	"dvemig/internal/netstack"
+	"dvemig/internal/obs"
 	"dvemig/internal/proc"
 	"dvemig/internal/simtime"
 )
@@ -179,6 +180,11 @@ type Conductor struct {
 	Events     []Event
 	Migrations int
 	Failovers  int
+
+	// Obs is the node's observability plane (nil = disabled). Attach via
+	// SetObs so the metric handles in obsm are pre-resolved.
+	Obs  *obs.Obs
+	obsm condObsHandles
 }
 
 // Wire opcodes.
@@ -360,12 +366,14 @@ func (c *Conductor) tick() {
 			if p.state != PeerDead {
 				p.state = PeerDead
 				c.Events = append(c.Events, Event{At: c.now(), Kind: "peer-dead", Peer: addr})
+				c.detectorFlip("dead", addr.String())
 				c.onPeerDead(addr)
 			}
 		case age > c.suspectAfter():
 			if p.state == PeerAlive {
 				p.state = PeerSuspect
 				c.Events = append(c.Events, Event{At: c.now(), Kind: "suspect", Peer: addr})
+				c.detectorFlip("suspect", addr.String())
 			}
 		}
 	}
@@ -546,6 +554,7 @@ func (c *Conductor) notePeer(addr netsim.Addr, load float64) {
 		// epochs sort out who serves.
 		if p.state == PeerDead {
 			c.Events = append(c.Events, Event{At: c.now(), Kind: "revived", Peer: addr})
+			c.detectorFlip("revived", addr.String())
 		}
 		p.state = PeerAlive
 	}

@@ -7,6 +7,7 @@ import (
 
 	"dvemig/internal/migration"
 	"dvemig/internal/netsim"
+	"dvemig/internal/obs"
 	"dvemig/internal/simtime"
 )
 
@@ -48,6 +49,12 @@ type claim struct {
 	ep    uint64 // freshness of our stored image
 	seq   uint64
 	timer *simtime.Event
+
+	// at/span are the election's observability anchors: the claim
+	// broadcast time and the claim-to-outcome span (nil when the plane
+	// is disabled).
+	at   simtime.Time
+	span *obs.Span
 }
 
 // EnableFailover wires a standby daemon into the conductor so the
@@ -121,9 +128,10 @@ func (c *Conductor) startClaim(name string) {
 	if !ok || c.Mig.Epochs.Stale(name, ep) {
 		return // no image, or a fresher owner was already observed
 	}
-	cl := &claim{name: name, ep: ep, seq: seq}
+	cl := &claim{name: name, ep: ep, seq: seq, at: c.now()}
 	c.claims[name] = cl
 	c.Events = append(c.Events, Event{At: c.now(), Kind: "claim", Name: name})
+	c.electionStart(cl)
 	c.broadcast(encodeOwnerMsg(opClaim, name, ep, seq))
 	cl.timer = c.Node.Sched.After(c.claimWait(), "cond.claim", func() {
 		cl.timer = nil // fired; the event pointer is dead
@@ -131,34 +139,45 @@ func (c *Conductor) startClaim(name string) {
 			return
 		}
 		delete(c.claims, name)
-		c.activate(name)
+		c.activate(name, cl)
 	})
 }
 
 // activate restarts the claimed service from the local standby image
-// under a freshly minted epoch and advertises the new ownership.
-func (c *Conductor) activate(name string) {
+// under a freshly minted epoch and advertises the new ownership. cl is
+// the won election (nil when activation is driven outside an election).
+func (c *Conductor) activate(name string, cl *claim) {
 	// Quorum gate: seeing no peers of a cluster that has held ≥3 nodes
 	// means we are the ones cut off — the majority side will elect its
 	// own claimant. (In a two-node world the survivor has no witnesses
 	// by construction; the old owner self-suspends on isolation, so the
 	// lone activation is safe.)
 	if c.aliveCount() == 0 && c.maxPeersSeen >= 2 {
+		c.electionEnd(cl, "refused-quorum")
 		return
 	}
 	imgEp, _, _, ok := c.standby.ImageInfo(name)
 	if !ok || c.Mig.Epochs.Stale(name, imgEp) {
+		c.electionEnd(cl, "refused-stale")
 		return
 	}
 	c.Mig.Epochs.Observe(name, imgEp)
 	ep := c.Mig.Epochs.Bump(name)
+	droppedBefore := c.standby.DroppedDatagrams
 	p, err := c.standby.Activate(name)
 	if err != nil {
+		c.electionEnd(cl, "refused-restore")
 		return
 	}
 	c.owned[name] = &ownership{epoch: ep, since: c.now()}
 	c.Failovers++
 	c.Events = append(c.Events, Event{At: c.now(), Kind: "activate", Name: name, PID: p.PID})
+	c.electionEnd(cl, "won")
+	var claimedAt simtime.Time
+	if cl != nil {
+		claimedAt = cl.at
+	}
+	c.noteActivation(name, ep, p.PID, droppedBefore, claimedAt)
 	c.broadcast(encodeOwnerMsg(opOwner, name, ep, 0))
 }
 
@@ -201,6 +220,7 @@ func (c *Conductor) fenceOwned(name string, ep uint64, by netsim.Addr) {
 	delete(c.owned, name)
 	c.Mig.FenceService(name, ep)
 	c.Events = append(c.Events, Event{At: c.now(), Kind: "fence", Peer: by, Name: name})
+	c.noteEvent("fence", name)
 }
 
 // handleClaim processes a failover claim broadcast by a peer that
@@ -249,6 +269,7 @@ func (c *Conductor) cancelClaim(name string) {
 		cl.timer = nil
 	}
 	delete(c.claims, name)
+	c.electionEnd(cl, "canceled")
 }
 
 // checkIsolation self-fences an owner whose every peer is confirmed
@@ -276,6 +297,7 @@ func (c *Conductor) checkIsolation() {
 				own.suspended = true
 				c.Mig.SuspendService(name)
 				c.Events = append(c.Events, Event{At: c.now(), Kind: "suspend", Name: name})
+				c.noteEvent("suspend", name)
 			}
 		}
 		return
@@ -296,6 +318,7 @@ func (c *Conductor) checkIsolation() {
 				o.suspended = false
 				c.Mig.ResumeService(n)
 				c.Events = append(c.Events, Event{At: c.now(), Kind: "resume", Name: n})
+				c.noteEvent("resume", n)
 				c.broadcast(encodeOwnerMsg(opOwner, n, o.epoch, 0))
 			})
 		}

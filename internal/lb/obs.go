@@ -1,0 +1,120 @@
+package lb
+
+import (
+	"dvemig/internal/obs"
+	"dvemig/internal/simtime"
+)
+
+// Observability wiring for the conductor: failure-detector transitions
+// become instants plus a flip counter, failover elections become spans
+// (claim → activation, with the outcome as an attribute), and epoch
+// bumps / fences / suspend-resume decisions are annotated on the node's
+// track. Everything is gated on the single c.Obs pointer so an
+// unobserved conductor pays one comparison per decision point.
+
+// condObsHandles caches the conductor's metric handles (nil when the
+// plane is disabled; methods on nil handles are no-ops).
+type condObsHandles struct {
+	detectorFlips *obs.Counter
+	elections     *obs.Counter
+	activations   *obs.Counter
+	epochBumps    *obs.Counter
+	fences        *obs.Counter
+	droppedDgrams *obs.Counter
+	claimWaitUs   *obs.Histogram
+}
+
+// SetObs attaches an observability plane to the conductor and
+// pre-resolves the metric handles. Call before the first tick fires; a
+// nil o detaches the plane.
+func (c *Conductor) SetObs(o *obs.Obs) {
+	c.Obs = o
+	r := o.M()
+	c.obsm.detectorFlips = r.Counter("lb/detector_flips_total")
+	c.obsm.elections = r.Counter("lb/elections_total")
+	c.obsm.activations = r.Counter("lb/activations_total")
+	c.obsm.epochBumps = r.Counter("lb/epoch_bumps_total")
+	c.obsm.fences = r.Counter("lb/fences_total")
+	c.obsm.droppedDgrams = r.Counter("lb/failover_dropped_datagrams_total")
+	c.obsm.claimWaitUs = r.Histogram("lb/claim_to_activate_us", obs.DurationBucketsUs)
+}
+
+// detectorFlip records one failure-detector state change as an instant
+// on the node's track plus the flip counter.
+func (c *Conductor) detectorFlip(kind string, peer string) {
+	if c.Obs == nil {
+		return
+	}
+	c.obsm.detectorFlips.Inc()
+	c.Obs.Trace.Instant(c.Node.Name, "detector:"+kind, obs.Attr{Key: "peer", Val: peer})
+}
+
+// electionStart opens the claim→activate span of one failover election.
+func (c *Conductor) electionStart(cl *claim) {
+	if c.Obs == nil {
+		return
+	}
+	c.obsm.elections.Inc()
+	cl.span = c.Obs.Trace.Start(c.Node.Name, "election")
+	cl.span.SetAttr("service", cl.name)
+}
+
+// electionEnd closes an election span with its outcome.
+func (c *Conductor) electionEnd(cl *claim, outcome string) {
+	if c.Obs == nil || cl == nil || cl.span == nil {
+		return
+	}
+	cl.span.SetAttr("outcome", outcome)
+	cl.span.Close()
+}
+
+// noteActivation records one standby activation: the epoch bump as an
+// instant, the activation span (zero-width: the restart is synchronous
+// within one event), and the datagrams the restart-consistency rule
+// discarded.
+func (c *Conductor) noteActivation(name string, ep uint64, pid int, droppedBefore uint64, claimedAt simtime.Time) {
+	if c.Obs == nil {
+		return
+	}
+	c.obsm.activations.Inc()
+	c.obsm.epochBumps.Inc()
+	if c.standby != nil {
+		c.obsm.droppedDgrams.Add(c.standby.DroppedDatagrams - droppedBefore)
+	}
+	if claimedAt > 0 {
+		c.obsm.claimWaitUs.Observe(float64(c.now()-claimedAt) / 1e3)
+	}
+	s := c.Obs.Trace.Start(c.Node.Name, "activation")
+	s.SetAttr("service", name)
+	s.SetInt("epoch", int64(ep))
+	s.SetInt("pid", int64(pid))
+	s.Close()
+	c.Obs.Trace.Instant(c.Node.Name, "epoch-bump",
+		obs.Attr{Key: "service", Val: name}, obs.Attr{Key: "epoch", Val: itoa(ep)})
+}
+
+// noteEvent annotates a non-election conductor decision (fence,
+// suspend, resume) as an instant.
+func (c *Conductor) noteEvent(kind, service string) {
+	if c.Obs == nil {
+		return
+	}
+	if kind == "fence" {
+		c.obsm.fences.Inc()
+	}
+	c.Obs.Trace.Instant(c.Node.Name, kind, obs.Attr{Key: "service", Val: service})
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -9,6 +9,7 @@ import (
 	"dvemig/internal/epoch"
 	"dvemig/internal/netsim"
 	"dvemig/internal/netstack"
+	"dvemig/internal/obs"
 	"dvemig/internal/proc"
 	"dvemig/internal/simtime"
 	"dvemig/internal/sockmig"
@@ -171,6 +172,12 @@ type Migrator struct {
 
 	// Aborted collects metrics of rolled-back outbound migrations.
 	Aborted []*Metrics
+
+	// Obs is the node's observability plane (nil = disabled; every
+	// recording site checks this one pointer and falls through). Attach
+	// via SetObs so the metric handles in obsm are pre-resolved.
+	Obs  *obs.Obs
+	obsm migObsHandles
 }
 
 // NewMigrator starts the migration service on a node: the migd listener
@@ -224,6 +231,8 @@ func (m *Migrator) Migrate(p *proc.Process, dest netsim.Addr, done func(*Metrics
 		metrics: &Metrics{Strategy: m.Config.Strategy, Start: m.sched().Now(),
 			PID: p.PID, ProcName: p.Name},
 	}
+	ob.pt.begin(m, "migration", p.PID)
+	ob.pt.root.SetAttr("strategy", m.Config.Strategy.String())
 	ob.dial()
 	if ob.failed {
 		return
@@ -255,7 +264,7 @@ func (ob *outbound) dial() {
 		ob.conn.onReadable()
 		if sk.State == netstack.TCPEstablished && !ob.started {
 			ob.started = true
-			ob.m.firePhase(PhaseConnect, 0, ob.p.PID)
+			ob.m.firePhase(&ob.pt, PhaseConnect, 0, ob.p.PID)
 			ob.start()
 		}
 	}
@@ -346,6 +355,9 @@ type outbound struct {
 	frozen   bool
 	failed   bool
 	finished bool
+
+	// pt is the migration's phase clock and span cursor.
+	pt phaseTrack
 
 	// dialGen/attempts drive the reconnect machinery; callbacks of an
 	// abandoned attempt compare their captured generation and bail out.
@@ -452,7 +464,7 @@ func (ob *outbound) fail(err error) {
 	ob.metrics.Aborted = true
 	ob.metrics.AbortReason = err.Error()
 	ob.m.Aborted = append(ob.m.Aborted, ob.metrics)
-	ob.m.firePhase(PhaseAborted, 0, ob.p.PID)
+	ob.m.firePhase(&ob.pt, PhaseAborted, 0, ob.p.PID)
 	if ob.done != nil {
 		ob.done(ob.metrics, err)
 	}
@@ -496,13 +508,17 @@ func (ob *outbound) onMsg(t MsgType, payload []byte) {
 // keeps running; halve the timeout and either iterate or freeze.
 func (ob *outbound) precopyRound() {
 	ob.metrics.Rounds++
-	ob.m.firePhase(PhasePrecopy, ob.metrics.Rounds, ob.p.PID)
+	ob.m.firePhase(&ob.pt, PhasePrecopy, ob.metrics.Rounds, ob.p.PID)
 	if ob.failed || ob.finished {
 		return // a phase hook may have aborted the migration
 	}
 	d := ob.memTracker.Delta(ob.p.AS)
 	ob.encBuf = d.EncodeInto(ob.encBuf)
 	ob.metrics.PrecopyMemBytes += uint64(len(ob.encBuf))
+	if ob.m.Obs != nil {
+		ob.m.obsm.roundBytes.Observe(float64(len(ob.encBuf)))
+		ob.pt.cur.SetInt("mem_bytes", int64(len(ob.encBuf)))
+	}
 	ob.send(MsgMemDelta, ob.encBuf)
 	var trackCost simtime.Duration
 	if ob.m.Config.Strategy == sockmig.IncrementalCollective {
@@ -535,7 +551,7 @@ func (ob *outbound) precopyRound() {
 // translation and socket migration according to the strategy.
 func (ob *outbound) freeze() {
 	ob.frozen = true
-	ob.m.firePhase(PhaseFreeze, 0, ob.p.PID)
+	ob.m.firePhase(&ob.pt, PhaseFreeze, 0, ob.p.PID)
 	if ob.failed || ob.finished {
 		return
 	}
@@ -645,7 +661,7 @@ func (ob *outbound) inCluster(addr netsim.Addr) bool {
 func (ob *outbound) iterativeStep(tcp []*netstack.TCPSocket, udp []*netstack.UDPSocket) {
 	if !ob.transferFired {
 		ob.transferFired = true
-		ob.m.firePhase(PhaseTransfer, 0, ob.p.PID)
+		ob.m.firePhase(&ob.pt, PhaseTransfer, 0, ob.p.PID)
 	}
 	if ob.failed || ob.finished {
 		return
@@ -732,7 +748,7 @@ func (ob *outbound) collectivePhase1() {
 // subtracts only the sections changed since the last precopy round.
 func (ob *outbound) collectivePhase2() {
 	ob.transferFired = true
-	ob.m.firePhase(PhaseTransfer, 0, ob.p.PID)
+	ob.m.firePhase(&ob.pt, PhaseTransfer, 0, ob.p.PID)
 	if ob.failed || ob.finished {
 		return
 	}
@@ -841,7 +857,11 @@ func (ob *outbound) finish(rd restoreDone) {
 	ob.m.Node.Detach(ob.p)
 	ob.conn.Close()
 	ob.m.Completed = append(ob.m.Completed, ob.metrics)
-	ob.m.firePhase(PhaseDone, 0, ob.p.PID)
+	if ob.m.Obs != nil {
+		ob.m.obsm.freezeUs.Observe(float64(ob.metrics.FreezeTime) / 1e3)
+		ob.pt.root.SetInt("freeze_us", int64(ob.metrics.FreezeTime)/1e3)
+	}
+	ob.m.firePhase(&ob.pt, PhaseDone, 0, ob.p.PID)
 	if ob.done != nil {
 		ob.done(ob.metrics, nil)
 	}
@@ -867,6 +887,9 @@ type inbound struct {
 	// not, and the source being dead just means one owner, here.
 	lease     *simtime.Event
 	restoring bool
+
+	// pt is the migration's phase clock and span cursor.
+	pt phaseTrack
 }
 
 // renewLease (re)arms the source-silence timer.
@@ -911,6 +934,7 @@ func (ib *inbound) onMsg(t MsgType, payload []byte) {
 		ib.shadowAS = proc.NewAddressSpace()
 		ib.store = sockmig.NewStore()
 		ib.active = true
+		ib.pt.begin(ib.m, "inbound", req.PID)
 		ib.renewLease()
 		ib.conn.Send(MsgMigrateAck, nil)
 	case MsgMemDelta:
@@ -985,13 +1009,14 @@ func (ib *inbound) cleanup() {
 	// Discard the shadow state outright: nothing half-restored survives.
 	ib.shadowAS = nil
 	ib.store = nil
+	ib.pt.abandon()
 }
 
 // restore runs the destination freeze-phase work: fold in the final
 // deltas, rebuild the process, rehash sockets, reinject captured packets
 // and resume execution.
 func (ib *inbound) restore(fm freezeMsg) {
-	ib.m.firePhase(PhaseRestore, 0, ib.req.PID)
+	ib.m.firePhase(&ib.pt, PhaseRestore, 0, ib.req.PID)
 	if !ib.m.Node.Alive {
 		ib.cleanup()
 		return // a phase hook crashed this node
@@ -1068,7 +1093,7 @@ func (ib *inbound) finishRestore(img *ckpt.Image) {
 		}
 	}
 	// Reinject captured packets through the okfn, then resume.
-	ib.m.firePhase(PhaseReinject, 0, ib.req.PID)
+	ib.m.firePhase(&ib.pt, PhaseReinject, 0, ib.req.PID)
 	if !ib.m.Node.Alive {
 		// A phase hook crashed this node after the process image was
 		// adopted; dismantle so the dead node holds no running state.

@@ -58,6 +58,11 @@ type Standby struct {
 	Stored        uint64
 	Evicted       uint64
 	RejectedStale uint64
+
+	// DroppedDatagrams counts queued UDP datagrams discarded during
+	// Activate (the paper's restart-consistency rule: a snapshot queue
+	// must not be answered twice). The observability plane harvests it.
+	DroppedDatagrams uint64
 }
 
 // DefaultMaxImages is the retention bound applied when MaxImages is 0.
@@ -201,6 +206,7 @@ func (s *Standby) Activate(name string) (*proc.Process, error) {
 			// taken, so replaying the snapshot would answer datagrams a
 			// second time — the restart serves only traffic that arrives
 			// under the new ownership.
+			s.DroppedDatagrams += uint64(len(f.UDP.Queue))
 			f.UDP.Queue = nil
 			kept = append(kept, f)
 		case f.Kind == "tcp" && f.TCP.Listening:

@@ -1,6 +1,9 @@
 package migration
 
-import "dvemig/internal/simtime"
+import (
+	"dvemig/internal/obs"
+	"dvemig/internal/simtime"
+)
 
 // Phase names the checkpoints of a live migration. The fault plane's
 // crash triggers hang off these (internal/faults.CrashAtPhase), and the
@@ -52,11 +55,115 @@ type PhaseEvent struct {
 	// Node is the migrator on which the event fired.
 	Node string
 	Time simtime.Time
+	// Since is the sim-time of the previous phase event of the same
+	// migration — the migration's start (source side) or the arrival of
+	// the migd request (destination side) for the first event. Consumers
+	// read the per-phase latency as Time-Since instead of recomputing
+	// deltas from their own bookkeeping.
+	Since simtime.Time
 }
 
-func (m *Migrator) firePhase(ph Phase, round, pid int) {
+// migObsHandles caches the metric handles one migrator records into, so
+// the hot path never does a map lookup. All handles are nil when the
+// plane is disabled; their methods are nil-receiver no-ops, and every
+// recording site is additionally gated on the single m.Obs pointer
+// check so the disabled path costs one comparison.
+type migObsHandles struct {
+	phaseUs    [len(phaseNames)]*obs.Histogram
+	freezeUs   *obs.Histogram
+	roundBytes *obs.Histogram
+	completed  *obs.Counter
+	aborted    *obs.Counter
+}
+
+// SetObs attaches an observability plane to the migrator and
+// pre-resolves the metric handles. Call before any migration starts; a
+// nil o detaches the plane.
+func (m *Migrator) SetObs(o *obs.Obs) {
+	m.Obs = o
+	r := o.M()
+	for ph := PhaseConnect; ph <= PhaseAborted; ph++ {
+		m.obsm.phaseUs[ph] = r.Histogram("mig/phase_"+ph.String()+"_us", obs.DurationBucketsUs)
+	}
+	m.obsm.freezeUs = r.Histogram("mig/freeze_us", obs.DurationBucketsUs)
+	m.obsm.roundBytes = r.Histogram("mig/precopy_round_bytes", obs.ByteBuckets)
+	m.obsm.completed = r.Counter("mig/completed_total")
+	m.obsm.aborted = r.Counter("mig/aborted_total")
+}
+
+// phaseTrack is the per-migration phase clock and span cursor: the
+// sim-time of the previous phase event (feeding PhaseEvent.Since) and,
+// when the plane is enabled, the migration's root span plus the child
+// span of the phase currently underway. One lives in each outbound and
+// each inbound.
+type phaseTrack struct {
+	last simtime.Time
+	root *obs.Span
+	cur  *obs.Span
+}
+
+// begin stamps the migration's start time and, when observing, opens
+// the root span on this node's track.
+func (pt *phaseTrack) begin(m *Migrator, name string, pid int) {
+	pt.last = m.sched().Now()
+	if m.Obs != nil {
+		pt.root = m.Obs.Trace.Start(m.Node.Name, name)
+		pt.root.SetInt("pid", int64(pid))
+	}
+}
+
+// firePhase advances one migration's phase machine: it records the
+// per-phase latency (Time-Since) into the phase histogram, rolls the
+// span cursor (close the previous phase's child span, open the next
+// one; terminal phases close the root), then drives OnPhase with a
+// fully-populated PhaseEvent. The span bookkeeping happens before the
+// callback so a phase hook that crashes the node (faults.CrashAtPhase)
+// still leaves a well-formed trace.
+func (m *Migrator) firePhase(pt *phaseTrack, ph Phase, round, pid int) {
+	now := m.sched().Now()
+	since := pt.last
+	pt.last = now
+	if m.Obs != nil {
+		m.obsm.phaseUs[ph].Observe(float64(now-since) / 1e3)
+		pt.cur.CloseAt(now)
+		switch ph {
+		case PhaseDone:
+			m.obsm.completed.Inc()
+			pt.root.SetAttr("outcome", "done")
+			pt.root.CloseAt(now)
+			pt.cur = nil
+		case PhaseAborted:
+			m.obsm.aborted.Inc()
+			pt.root.SetAttr("outcome", "aborted")
+			pt.root.CloseAt(now)
+			pt.cur = nil
+		case PhaseReinject:
+			// Terminal on the destination: the remaining reinject work
+			// runs synchronously inside this event, at the same virtual
+			// instant.
+			pt.cur = pt.root.Child(ph.String())
+			pt.cur.CloseAt(now)
+			pt.root.CloseAt(now)
+		default:
+			pt.cur = pt.root.Child(ph.String())
+			if ph == PhasePrecopy {
+				pt.cur.SetInt("round", int64(round))
+			}
+		}
+	}
 	if m.OnPhase != nil {
 		m.OnPhase(PhaseEvent{Phase: ph, Round: round, PID: pid,
-			Node: m.Node.Name, Time: m.sched().Now()})
+			Node: m.Node.Name, Time: now, Since: since})
+	}
+}
+
+// abandon closes a migration's spans without a terminal phase event —
+// the inbound cleanup path (lease expiry, source abort), where no
+// OnPhase consumer expects a source-side Aborted.
+func (pt *phaseTrack) abandon() {
+	pt.cur.Close()
+	if pt.root.Open() {
+		pt.root.SetAttr("outcome", "abandoned")
+		pt.root.Close()
 	}
 }

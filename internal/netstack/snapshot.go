@@ -433,6 +433,7 @@ func RestoreTCP(st *Stack, snap *TCPSnapshot) (*TCPSocket, error) {
 	// verbatim; LastTxJiffies and write-queue TSVals are already on the
 	// socket clock and need no adjustment.
 	sk.TSOffset = snap.SrcJiffies - st.Jiffies()
+	st.Stats.TSFixups++
 	sk.TSRecent = snap.TSRecent
 	sk.LastTxJiffies = snap.LastTxJiffies
 

@@ -22,6 +22,15 @@ type Stats struct {
 	HookDrops      uint64
 	Reinjected     uint64 // packets resubmitted through the okfn
 	ChecksumErrors uint64
+
+	// Aggregated TCP socket events; the per-socket counters remain on
+	// TCPSocket, these accumulate across all sockets (including ones
+	// that have since closed or migrated away) so the observability
+	// plane can harvest them after the fact.
+	Retransmits     uint64 // timer-driven resends
+	FastRetransmits uint64 // triple-dup-ack recoveries
+	RTOResets       uint64 // retransmission timers restarted after restore
+	TSFixups        uint64 // timestamp-offset rewrites applied at restore
 }
 
 // Stack is one node's network stack.

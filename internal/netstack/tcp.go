@@ -846,6 +846,7 @@ func (sk *TCPSocket) ensureRetransTimer() {
 // destination node.
 func (sk *TCPSocket) RestartRetransTimer() {
 	if len(sk.writeQueue) > 0 {
+		sk.stack.Stats.RTOResets++
 		sk.armRetransTimer()
 	}
 }
@@ -866,6 +867,7 @@ func (sk *TCPSocket) fastRetransmit() {
 		return
 	}
 	sk.FastRetransmits++
+	sk.stack.Stats.FastRetransmits++
 	inflight := uint32(len(sk.writeQueue))
 	sk.Ssthresh = inflight / 2
 	if sk.Ssthresh < 2 {
@@ -895,6 +897,7 @@ func (sk *TCPSocket) onRetransTimeout() {
 		return
 	}
 	sk.Retransmits++
+	sk.stack.Stats.Retransmits++
 	// Multiplicative backoff and window collapse.
 	sk.RTOms *= 2
 	if max := int(MaxRTO / 1e6); sk.RTOms > max {

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"dvemig/internal/simtime"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// the subset Perfetto and chrome://tracing load: complete events ("X"),
+// instant events ("i") and metadata ("M"). Timestamps are microseconds
+// of *virtual* time.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Ph    string            `json:"ph"`
+	Ts    float64           `json:"ts"`
+	Dur   *float64          `json:"dur,omitempty"`
+	Pid   int               `json:"pid"`
+	Tid   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func usOf(t simtime.Time) float64 { return float64(t) / 1e3 }
+
+func attrMap(attrs []Attr) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Val
+	}
+	return m
+}
+
+// WriteChromeTrace writes the captures as one Chrome trace_event JSON
+// document. Each capture becomes one "process" (pid = 1-based capture
+// index, named by the capture label); each track within a capture
+// becomes one "thread" (tid in first-use order). Spans emit complete
+// ("X") events — Perfetto nests them by containment — and instants emit
+// thread-scoped "i" events.
+//
+// The output is deterministic: encoding/json sorts map keys, events are
+// emitted in recorded order, and all values derive from virtual time.
+func WriteChromeTrace(w io.Writer, caps ...*Capture) error {
+	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for i, c := range caps {
+		if c == nil || c.Trace == nil {
+			continue
+		}
+		pid := i + 1
+		c.Trace.closeOpen()
+		label := c.Label
+		if label == "" {
+			label = fmt.Sprintf("run-%d", pid)
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]string{"name": label},
+		})
+		tids := map[string]int{}
+		tidOf := func(track string) int {
+			id, ok := tids[track]
+			if !ok {
+				id = len(tids) + 1
+				tids[track] = id
+				doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: pid, Tid: id,
+					Args: map[string]string{"name": track},
+				})
+			}
+			return id
+		}
+		for _, s := range c.Trace.Spans {
+			dur := usOf(s.End) - usOf(s.Start)
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: s.Name, Cat: "span", Ph: "X",
+				Ts: usOf(s.Start), Dur: &dur,
+				Pid: pid, Tid: tidOf(s.Track),
+				Args: attrMap(s.Attrs),
+			})
+		}
+		for _, in := range c.Trace.Instants {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: in.Name, Cat: "instant", Ph: "i",
+				Ts: usOf(in.At), Pid: pid, Tid: tidOf(in.Track), Scope: "t",
+				Args: attrMap(in.Attrs),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ValidateChromeTrace is the minimal schema check the CI smoke job
+// runs: the document parses, has a traceEvents array, every event
+// carries name/ph/pid and a numeric ts, and at least one complete ("X")
+// span with a duration is present.
+func ValidateChromeTrace(data []byte) error {
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	spans := 0
+	for i, ev := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts", "pid"} {
+			if _, ok := ev[key]; !ok {
+				return fmt.Errorf("obs: traceEvents[%d] missing %q", i, key)
+			}
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			return fmt.Errorf("obs: traceEvents[%d] ts is not numeric", i)
+		}
+		if ev["ph"] == "X" {
+			if _, ok := ev["dur"].(float64); !ok {
+				return fmt.Errorf("obs: traceEvents[%d] complete event without dur", i)
+			}
+			spans++
+		}
+	}
+	if spans == 0 {
+		return fmt.Errorf("obs: trace contains no complete (X) spans")
+	}
+	return nil
+}
+
+// WriteTimeline renders the captures as a plain-text timeline: one line
+// per span begin/end and per instant, in virtual-time order (stable on
+// ties: spans before instants, then record order), indented by span
+// depth. The human-readable sibling of the Chrome export.
+func WriteTimeline(w io.Writer, caps ...*Capture) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range caps {
+		if c == nil || c.Trace == nil {
+			continue
+		}
+		c.Trace.closeOpen()
+		if c.Label != "" {
+			fmt.Fprintf(bw, "=== %s ===\n", c.Label)
+		}
+		type line struct {
+			at    simtime.Time
+			order int
+			text  string
+		}
+		var lines []line
+		order := 0
+		depthOf := func(s *Span) int {
+			d := 0
+			for p := s.Parent; p != nil; p = p.Parent {
+				d++
+			}
+			return d
+		}
+		for _, s := range c.Trace.Spans {
+			ind := strings.Repeat("  ", depthOf(s))
+			attrs := ""
+			for _, a := range s.Attrs {
+				attrs += fmt.Sprintf(" %s=%s", a.Key, a.Val)
+			}
+			lines = append(lines, line{at: s.Start, order: order, text: fmt.Sprintf(
+				"%12.3fms %-8s %s%s [%.3fms]%s", usOf(s.Start)/1e3, s.Track, ind, s.Name,
+				usOf(s.End-s.Start)/1e3, attrs)})
+			order++
+		}
+		for _, in := range c.Trace.Instants {
+			attrs := ""
+			for _, a := range in.Attrs {
+				attrs += fmt.Sprintf(" %s=%s", a.Key, a.Val)
+			}
+			lines = append(lines, line{at: in.At, order: order, text: fmt.Sprintf(
+				"%12.3fms %-8s * %s%s", usOf(in.At)/1e3, in.Track, in.Name, attrs)})
+			order++
+		}
+		sort.SliceStable(lines, func(i, j int) bool {
+			if lines[i].at != lines[j].at {
+				return lines[i].at < lines[j].at
+			}
+			return lines[i].order < lines[j].order
+		})
+		for _, l := range lines {
+			bw.WriteString(l.text)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteMetricsText writes each capture's snapshot (labelled) as plain
+// text — the -metrics-out format.
+func WriteMetricsText(w io.Writer, caps ...*Capture) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range caps {
+		if c == nil || c.Snap == nil {
+			continue
+		}
+		if c.Label != "" {
+			fmt.Fprintf(bw, "=== %s ===\n", c.Label)
+		}
+		bw.WriteString(c.Snap.Text())
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTraceFile writes the captures as one Chrome trace JSON
+// file at path — the -trace-out plumbing shared by the commands.
+func WriteChromeTraceFile(path string, caps ...*Capture) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f, caps...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteMetricsFile writes the captures' metric snapshots as plain text
+// at path — the -metrics-out plumbing shared by the commands.
+func WriteMetricsFile(path string, caps ...*Capture) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteMetricsText(f, caps...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

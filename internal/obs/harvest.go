@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"dvemig/internal/netsim"
+	"dvemig/internal/netstack"
+	"dvemig/internal/proc"
+	"dvemig/internal/simtime"
+)
+
+// Harvesting scrapes the plain uint64 counters the lower layers already
+// keep (NIC tx/rx/drop/dup, stack demux and retransmit stats, scheduler
+// steps/cancels) into a Registry at capture time. The lower layers stay
+// obs-free — no import cycle, no hot-path cost — and the registry gets a
+// complete cross-layer snapshot with stable metric names.
+
+// HarvestScheduler records the event-loop totals.
+func HarvestScheduler(r *Registry, sched *simtime.Scheduler) {
+	if r == nil || sched == nil {
+		return
+	}
+	r.Counter("simtime/events_fired_total").Add(sched.Steps())
+	r.Counter("simtime/events_canceled_total").Add(sched.Cancels())
+	r.Gauge("simtime/events_pending").Set(float64(sched.Pending()))
+}
+
+// HarvestNIC records one link's counters under link/<name>/…
+func HarvestNIC(r *Registry, nic *netsim.NIC) {
+	if r == nil || nic == nil {
+		return
+	}
+	p := "link/" + nic.Name + "/"
+	r.Counter(p + "tx_packets").Add(nic.TxPackets)
+	r.Counter(p + "rx_packets").Add(nic.RxPackets)
+	r.Counter(p + "tx_bytes").Add(nic.TxBytes)
+	r.Counter(p + "rx_bytes").Add(nic.RxBytes)
+	r.Counter(p + "loss_dropped").Add(nic.LossDropped)
+	r.Counter(p + "fault_dropped").Add(nic.FaultDropped)
+	r.Counter(p + "fault_duplicated").Add(nic.FaultDuplicated)
+	r.Counter(p + "fault_delayed").Add(nic.FaultDelayed)
+}
+
+// HarvestStack records one node's stack counters under stack/<name>/…
+func HarvestStack(r *Registry, st *netstack.Stack) {
+	if r == nil || st == nil {
+		return
+	}
+	p := "stack/" + st.Name + "/"
+	s := &st.Stats
+	r.Counter(p + "delivered").Add(s.Delivered)
+	r.Counter(p + "no_socket_drops").Add(s.NoSocketDrops)
+	r.Counter(p + "hook_drops").Add(s.HookDrops)
+	r.Counter(p + "reinjected").Add(s.Reinjected)
+	r.Counter(p + "checksum_errors").Add(s.ChecksumErrors)
+	r.Counter(p + "tcp_retransmits").Add(s.Retransmits)
+	r.Counter(p + "tcp_fast_retransmits").Add(s.FastRetransmits)
+	r.Counter(p + "tcp_rto_resets").Add(s.RTOResets)
+	r.Counter(p + "tcp_ts_fixups").Add(s.TSFixups)
+}
+
+// HarvestCluster walks the whole testbed: every node's NICs and stack,
+// plus the shared scheduler. Call it once, just before Capture.
+func HarvestCluster(r *Registry, c *proc.Cluster) {
+	if r == nil || c == nil {
+		return
+	}
+	HarvestScheduler(r, c.Sched)
+	for _, n := range c.Nodes {
+		HarvestNIC(r, n.PublicNIC)
+		HarvestNIC(r, n.LocalNIC)
+		HarvestStack(r, n.Stack)
+	}
+}

@@ -1,0 +1,410 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing integer. The zero-cost contract:
+// methods on a nil *Counter are no-ops, so a handle resolved from a nil
+// registry can be used unconditionally on hot paths.
+type Counter struct {
+	v uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+// Add adds d.
+func (c *Counter) Add(d uint64) {
+	if c == nil {
+		return
+	}
+	c.v += d
+}
+
+// Value reads the counter (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time float.
+type Gauge struct {
+	v float64
+}
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Add shifts the gauge.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	g.v += d
+}
+
+// Value reads the gauge (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket histogram: Bounds are inclusive upper
+// bounds, with an implicit +Inf bucket at the end. Observe is O(number
+// of buckets) with zero allocations.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1
+	sum    float64
+	n      uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the running sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns sum/count (0 when empty or nil).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// DurationBucketsUs are the default bounds (in microseconds) for
+// latency-class histograms: 10µs … 10s in decade-and-a-half steps.
+var DurationBucketsUs = []float64{
+	10, 30, 100, 300, 1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7,
+}
+
+// ByteBuckets are the default bounds for size-class histograms.
+var ByteBuckets = []float64{
+	64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20,
+}
+
+// Registry owns a run's metrics. Get-or-create lookups happen at wiring
+// time; the returned handles record in O(1). A nil *Registry hands out
+// nil handles, whose methods are no-ops — the disabled fast path.
+//
+// The registry is not goroutine-safe by design: one registry belongs to
+// one single-threaded simulation cell. Parallel sweeps give each cell
+// its own registry and merge snapshots in canonical order.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter; nil on a nil
+// registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge; nil on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram with the
+// given bucket bounds (ascending); nil on a nil registry. Bounds are
+// fixed at creation; later calls with different bounds reuse the
+// original.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// --- snapshots --------------------------------------------------------------
+
+// CounterPoint is one counter in a snapshot.
+type CounterPoint struct {
+	Name  string
+	Value uint64
+}
+
+// GaugePoint is one gauge in a snapshot.
+type GaugePoint struct {
+	Name  string
+	Value float64
+}
+
+// HistPoint is one histogram in a snapshot.
+type HistPoint struct {
+	Name   string
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	N      uint64
+}
+
+// Mean returns the histogram's mean (0 when empty).
+func (h HistPoint) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.N)
+}
+
+// Snapshot is a deterministic (name-sorted) copy of a registry's state
+// at one moment.
+type Snapshot struct {
+	Counters []CounterPoint
+	Gauges   []GaugePoint
+	Hists    []HistPoint
+}
+
+// Snapshot copies the registry. Nil-safe: a nil registry snapshots to
+// an empty (non-nil) Snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterPoint{Name: name, Value: c.v})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugePoint{Name: name, Value: g.v})
+	}
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	for name, h := range r.hists {
+		s.Hists = append(s.Hists, HistPoint{
+			Name:   name,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]uint64(nil), h.counts...),
+			Sum:    h.sum,
+			N:      h.n,
+		})
+	}
+	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
+	return s
+}
+
+// Counter returns the named counter's value and whether it exists.
+func (s *Snapshot) Counter(name string) (uint64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Hist returns the named histogram point and whether it exists.
+func (s *Snapshot) Hist(name string) (HistPoint, bool) {
+	for _, h := range s.Hists {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistPoint{}, false
+}
+
+// Diff returns s minus prev: counter and histogram deltas (entries
+// absent from prev count from zero), gauges at their current value.
+// Neither input is mutated. A nil prev returns a copy of s.
+func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
+	out := &Snapshot{}
+	prevCtr := map[string]uint64{}
+	prevHist := map[string]HistPoint{}
+	if prev != nil {
+		for _, c := range prev.Counters {
+			prevCtr[c.Name] = c.Value
+		}
+		for _, h := range prev.Hists {
+			prevHist[h.Name] = h
+		}
+	}
+	for _, c := range s.Counters {
+		out.Counters = append(out.Counters, CounterPoint{Name: c.Name, Value: c.Value - prevCtr[c.Name]})
+	}
+	out.Gauges = append(out.Gauges, s.Gauges...)
+	for _, h := range s.Hists {
+		d := HistPoint{
+			Name:   h.Name,
+			Bounds: append([]float64(nil), h.Bounds...),
+			Counts: append([]uint64(nil), h.Counts...),
+			Sum:    h.Sum,
+			N:      h.N,
+		}
+		if p, ok := prevHist[h.Name]; ok && len(p.Counts) == len(d.Counts) {
+			for i := range d.Counts {
+				d.Counts[i] -= p.Counts[i]
+			}
+			d.Sum -= p.Sum
+			d.N -= p.N
+		}
+		out.Hists = append(out.Hists, d)
+	}
+	return out
+}
+
+// MergeSnapshots sums snapshots element-wise (counters and histograms
+// add; gauges keep the last writer, in argument order). Inputs are not
+// mutated; nils are skipped. Merging in canonical cell order keeps the
+// result bit-identical at any sweep worker count.
+func MergeSnapshots(snaps ...*Snapshot) *Snapshot {
+	ctr := map[string]uint64{}
+	gauge := map[string]float64{}
+	hist := map[string]*HistPoint{}
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		for _, c := range s.Counters {
+			ctr[c.Name] += c.Value
+		}
+		for _, g := range s.Gauges {
+			gauge[g.Name] = g.Value
+		}
+		for _, h := range s.Hists {
+			m := hist[h.Name]
+			if m == nil {
+				m = &HistPoint{
+					Name:   h.Name,
+					Bounds: append([]float64(nil), h.Bounds...),
+					Counts: make([]uint64, len(h.Counts)),
+				}
+				hist[h.Name] = m
+			}
+			if len(m.Counts) == len(h.Counts) {
+				for i := range h.Counts {
+					m.Counts[i] += h.Counts[i]
+				}
+			}
+			m.Sum += h.Sum
+			m.N += h.N
+		}
+	}
+	out := &Snapshot{}
+	for name, v := range ctr {
+		out.Counters = append(out.Counters, CounterPoint{Name: name, Value: v})
+	}
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	for name, v := range gauge {
+		out.Gauges = append(out.Gauges, GaugePoint{Name: name, Value: v})
+	}
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	for _, h := range hist {
+		out.Hists = append(out.Hists, *h)
+	}
+	sort.Slice(out.Hists, func(i, j int) bool { return out.Hists[i].Name < out.Hists[j].Name })
+	return out
+}
+
+// Text renders the snapshot as aligned plain text, the -metrics-out
+// format. Deterministic: sorted names, fixed float formatting.
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		b.WriteString("# counters\n")
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "%-56s %d\n", c.Name, c.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("# gauges\n")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(&b, "%-56s %.6g\n", g.Name, g.Value)
+		}
+	}
+	if len(s.Hists) > 0 {
+		b.WriteString("# histograms (name count sum mean buckets…)\n")
+		for _, h := range s.Hists {
+			fmt.Fprintf(&b, "%-56s n=%d sum=%.6g mean=%.6g", h.Name, h.N, h.Sum, h.Mean())
+			for i, c := range h.Counts {
+				if c == 0 {
+					continue
+				}
+				if i < len(h.Bounds) {
+					fmt.Fprintf(&b, " le%.6g=%d", h.Bounds[i], c)
+				} else {
+					fmt.Fprintf(&b, " inf=%d", c)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

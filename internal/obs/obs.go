@@ -1,0 +1,71 @@
+// Package obs is the deterministic observability plane of the simulated
+// cluster: a sim-time-native span tracer (hierarchical spans exportable
+// as Chrome trace_event JSON for chrome://tracing / Perfetto, or as a
+// plain-text timeline) and a metrics registry (counters, gauges and
+// fixed-bucket histograms with O(1) hot-path recording and a
+// snapshot/diff API).
+//
+// Everything in this package records *virtual* time. Because the
+// simulations are bit-for-bit deterministic and obs never schedules
+// events, consumes randomness or feeds back into the simulation, the
+// exported artifacts are byte-identical across runs — and, when sweeps
+// fan out over eval.RunParallel, identical at every worker count
+// (per-cell tracers merge in canonical cell order).
+//
+// The plane is near-free when disabled: every method is nil-receiver
+// safe, so instrumented code paths pay one pointer comparison and
+// nothing else when no Obs is attached.
+package obs
+
+import "dvemig/internal/simtime"
+
+// Clock yields the current virtual time; *simtime.Scheduler satisfies it.
+type Clock interface {
+	Now() simtime.Time
+}
+
+// Obs bundles one simulation run's tracer and metrics registry. A nil
+// *Obs disables the whole plane (the hot paths check the single pointer
+// and fall through).
+type Obs struct {
+	Trace   *Tracer
+	Metrics *Registry
+}
+
+// New creates an enabled observability plane on the given virtual clock.
+func New(clock Clock) *Obs {
+	return &Obs{Trace: NewTracer(clock), Metrics: NewRegistry()}
+}
+
+// T returns the tracer, nil when the plane is disabled.
+func (o *Obs) T() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
+// M returns the registry, nil when the plane is disabled.
+func (o *Obs) M() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// Capture freezes the run's artifacts under a label: the tracer (which
+// from here on should no longer be appended to) and a deterministic
+// snapshot of the registry. Nil-safe; returns nil when disabled.
+func (o *Obs) Capture(label string) *Capture {
+	if o == nil {
+		return nil
+	}
+	return &Capture{Label: label, Trace: o.Trace, Snap: o.Metrics.Snapshot()}
+}
+
+// Capture is one run's exported observability artifact set.
+type Capture struct {
+	Label string
+	Trace *Tracer
+	Snap  *Snapshot
+}

@@ -1,0 +1,198 @@
+package obs
+
+import "dvemig/internal/simtime"
+
+// Attr is one key/value annotation on a span or instant event.
+type Attr struct {
+	Key, Val string
+}
+
+// Span is one timed operation. Spans form a hierarchy (migration →
+// precopy round N → …; failover → election → activation) through their
+// Parent pointer; on export, spans that share a Track nest visually by
+// containment. All times are virtual.
+type Span struct {
+	Name  string
+	Track string // rendering lane, typically the node name
+	Start simtime.Time
+	End   simtime.Time
+	Attrs []Attr
+
+	Parent *Span
+
+	tr   *Tracer
+	open bool
+}
+
+// Instant is a point annotation (a fault firing, a detector flip, an
+// epoch bump) on a track.
+type Instant struct {
+	At    simtime.Time
+	Track string
+	Name  string
+	Attrs []Attr
+}
+
+// Tracer records spans and instants of one simulation run in creation
+// order (which, on a single-threaded event loop, is deterministic).
+type Tracer struct {
+	clock Clock
+
+	// Spans in creation order; Instants in record order. Exported for
+	// programmatic inspection (the timeline/Chrome exporters consume
+	// them too).
+	Spans    []*Span
+	Instants []Instant
+
+	// last is the high-water mark of recorded time; spans still open at
+	// export time implicitly close here.
+	last simtime.Time
+}
+
+// NewTracer creates a tracer on the given virtual clock.
+func NewTracer(clock Clock) *Tracer {
+	return &Tracer{clock: clock}
+}
+
+func (t *Tracer) note(at simtime.Time) {
+	if at > t.last {
+		t.last = at
+	}
+}
+
+// Start opens a root span on a track. Nil-safe: returns nil on a nil
+// tracer, and all Span methods are nil-safe in turn.
+func (t *Tracer) Start(track, name string) *Span {
+	return t.startAt(track, name, nil)
+}
+
+func (t *Tracer) startAt(track, name string, parent *Span) *Span {
+	if t == nil {
+		return nil
+	}
+	now := t.clock.Now()
+	s := &Span{Name: name, Track: track, Start: now, Parent: parent, tr: t, open: true}
+	t.Spans = append(t.Spans, s)
+	t.note(now)
+	return s
+}
+
+// Instant records a point event at the current virtual time.
+func (t *Tracer) Instant(track, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.InstantAt(t.clock.Now(), track, name, attrs...)
+}
+
+// InstantAt records a point event with an explicit timestamp. Fault
+// scripts use it to annotate windows that are armed before the
+// simulation starts without scheduling anything (obs must never perturb
+// the event queue).
+func (t *Tracer) InstantAt(at simtime.Time, track, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.Instants = append(t.Instants, Instant{At: at, Track: track, Name: name, Attrs: attrs})
+	t.note(at)
+}
+
+// Child opens a sub-span on the same track.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.startAt(s.Track, name, s)
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: val})
+}
+
+// SetInt annotates the span with an integer rendered in decimal.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: itoa(v)})
+}
+
+// CloseAt closes the span at an explicit virtual time.
+func (s *Span) CloseAt(at simtime.Time) {
+	if s == nil || !s.open {
+		return
+	}
+	s.open = false
+	s.End = at
+	s.tr.note(at)
+}
+
+// Close ends the span at the current virtual time. Closing an already
+// closed (or nil) span is a no-op.
+func (s *Span) Close() {
+	if s == nil || !s.open {
+		return
+	}
+	s.CloseAt(s.tr.clock.Now())
+}
+
+// Open reports whether the span is still running.
+func (s *Span) Open() bool { return s != nil && s.open }
+
+// Duration returns End-Start for a closed span, time-to-high-water for
+// an open one.
+func (s *Span) Duration() simtime.Duration {
+	if s == nil {
+		return 0
+	}
+	if s.open {
+		return s.tr.last - s.Start
+	}
+	return s.End - s.Start
+}
+
+// closeOpen implicitly ends every still-open span at the tracer's
+// high-water mark; exporters call it so artifacts never contain
+// dangling begins.
+func (t *Tracer) closeOpen() {
+	if t == nil {
+		return
+	}
+	for _, s := range t.Spans {
+		if s.open {
+			s.open = false
+			s.End = t.last
+			if s.End < s.Start {
+				s.End = s.Start
+			}
+		}
+	}
+}
+
+// itoa is a minimal allocation-conscious int formatter (avoids pulling
+// strconv into the hot path signature; values are small).
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -103,11 +103,12 @@ const maxFreeEvents = 4096
 // timer churn (arm/cancel per TCP ACK) neither grows the heap nor
 // allocates per timer.
 type Scheduler struct {
-	now    Time
-	seq    uint64
-	queue  eventQueue
-	nsteps uint64
-	free   []*Event
+	now      Time
+	seq      uint64
+	queue    eventQueue
+	nsteps   uint64
+	ncancels uint64
+	free     []*Event
 }
 
 // NewScheduler returns a scheduler whose clock starts at zero.
@@ -121,6 +122,11 @@ func (s *Scheduler) Now() Time { return s.now }
 // Steps returns the number of events executed so far. Useful for asserting
 // that simulations terminate.
 func (s *Scheduler) Steps() uint64 { return s.nsteps }
+
+// Cancels returns the number of pending events removed via Cancel so
+// far (events already fired or already canceled do not count). The
+// observability plane harvests it alongside Steps.
+func (s *Scheduler) Cancels() uint64 { return s.ncancels }
 
 // Pending returns the exact number of live events currently queued.
 // Canceled events are removed from the heap eagerly, so after a
@@ -181,6 +187,7 @@ func (s *Scheduler) Cancel(e *Event) {
 		return
 	}
 	e.canceled = true
+	s.ncancels++
 	heap.Remove(&s.queue, e.index)
 	s.release(e)
 }

@@ -40,6 +40,18 @@ type PacketTrace struct {
 	FilterDir string
 
 	Records []Record
+
+	// DirFiltered / LastDirFiltered are the freeze-gap marker for
+	// direction-filtered captures: how many port-matching packets the
+	// direction filter dropped and when the most recent one passed. Fig
+	// 4's analysis reads them to tell a true freeze (both directions
+	// silent) from a one-sided silence (e.g. a tx-only capture of a
+	// frozen server that is still receiving client traffic). They are a
+	// side channel only — Gaps() is defined over the kept Records, so a
+	// filtered packet landing mid-handshake between two kept packets
+	// never splits their gap.
+	DirFiltered     uint64
+	LastDirFiltered simtime.Time
 }
 
 // Capture implements netsim.Sniffer.
@@ -48,6 +60,8 @@ func (t *PacketTrace) Capture(at simtime.Time, dir string, p *netsim.Packet) {
 		return
 	}
 	if t.FilterDir != "" && dir != t.FilterDir {
+		t.DirFiltered++
+		t.LastDirFiltered = at
 		return
 	}
 	t.Records = append(t.Records, Record{

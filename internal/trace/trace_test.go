@@ -23,6 +23,78 @@ func TestPacketTraceFilter(t *testing.T) {
 	}
 }
 
+// TestGapsWithDirectionFilters locks the freeze-gap semantics of
+// one-sided captures: a simulated handshake interleaves tx and rx on
+// port 7000, the server goes silent (frozen) from 100ms to 250ms while
+// rx traffic keeps arriving, and the direction filters must (1) leave
+// the gap computation over the kept records untouched — a filtered
+// packet landing mid-handshake never splits a gap — and (2) record the
+// dropped direction in the freeze-gap marker instead of discarding it.
+func TestGapsWithDirectionFilters(t *testing.T) {
+	type pkt struct {
+		at  time.Duration
+		dir string
+	}
+	flow := []pkt{
+		{0, "tx"}, {5 * time.Millisecond, "rx"}, // handshake
+		{50 * time.Millisecond, "tx"}, {60 * time.Millisecond, "rx"},
+		{100 * time.Millisecond, "tx"}, // last server packet before freeze
+		{150 * time.Millisecond, "rx"}, // client keeps sending into the freeze
+		{200 * time.Millisecond, "rx"},
+		{250 * time.Millisecond, "tx"}, // server resumes
+		{255 * time.Millisecond, "rx"},
+	}
+	run := func(dir string) *PacketTrace {
+		tr := &PacketTrace{FilterPort: 7000, FilterDir: dir}
+		for _, p := range flow {
+			rec(tr, p.at, p.dir, 7000, 5000)
+		}
+		return tr
+	}
+
+	tx := run("tx")
+	wantTx := []time.Duration{50 * time.Millisecond, 50 * time.Millisecond, 150 * time.Millisecond}
+	if gaps := tx.Gaps(); len(gaps) != len(wantTx) {
+		t.Fatalf("tx gaps = %v, want %v", gaps, wantTx)
+	} else {
+		for i, w := range wantTx {
+			if gaps[i] != w {
+				t.Fatalf("tx gaps = %v, want %v", gaps, wantTx)
+			}
+		}
+	}
+	// The freeze shows up as the tx max gap even though rx packets
+	// crossed the wire inside it (they must not split the gap)...
+	if max, at := tx.MaxGap(); max != 150*time.Millisecond || at != 250*time.Millisecond {
+		t.Fatalf("tx max gap = %v at %v", max, at)
+	}
+	// ...and the marker proves the silence was one-sided.
+	if tx.DirFiltered != 5 || tx.LastDirFiltered != 255*time.Millisecond {
+		t.Fatalf("tx marker = %d @ %v", tx.DirFiltered, tx.LastDirFiltered)
+	}
+
+	rx := run("rx")
+	wantRx := []time.Duration{55 * time.Millisecond, 90 * time.Millisecond, 50 * time.Millisecond, 55 * time.Millisecond}
+	if gaps := rx.Gaps(); len(gaps) != len(wantRx) {
+		t.Fatalf("rx gaps = %v, want %v", gaps, wantRx)
+	} else {
+		for i, w := range wantRx {
+			if gaps[i] != w {
+				t.Fatalf("rx gaps = %v, want %v", gaps, wantRx)
+			}
+		}
+	}
+	if rx.DirFiltered != 4 || rx.LastDirFiltered != 250*time.Millisecond {
+		t.Fatalf("rx marker = %d @ %v", rx.DirFiltered, rx.LastDirFiltered)
+	}
+
+	// An unfiltered capture sees every packet and no marker.
+	all := run("")
+	if len(all.Records) != len(flow) || all.DirFiltered != 0 {
+		t.Fatalf("unfiltered records = %d marker = %d", len(all.Records), all.DirFiltered)
+	}
+}
+
 func TestGapsAndMaxGap(t *testing.T) {
 	tr := &PacketTrace{}
 	for _, at := range []time.Duration{0, 50 * time.Millisecond, 100 * time.Millisecond, 175 * time.Millisecond} {
