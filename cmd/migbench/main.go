@@ -7,7 +7,8 @@
 // Usage:
 //
 //	migbench [-conns 16,32,...] [-repeats 3] [-what freeze|bytes|all]
-//	         [-phase-table] [-trace-out mig.json] [-metrics-out mig.metrics]
+//	         [-seed N] [-phase-table] [-attr-table]
+//	         [-trace-out mig.json] [-metrics-out mig.metrics]
 package main
 
 import (
@@ -26,9 +27,11 @@ func main() {
 	repeats := flag.Int("repeats", 3, "repetitions per point (worst case is reported)")
 	what := flag.String("what", "all", "freeze|bytes|all")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+	seed := flag.Uint64("seed", 0, "deterministic traffic-alignment seed; same seed = byte-identical artifacts, different seeds diverge (diagnose with obsdiff)")
 	traceOut := flag.String("trace-out", "", "run the sweep observed and write a Chrome trace_event JSON of every migration to this file")
 	metricsOut := flag.String("metrics-out", "", "run the sweep observed and write the merged metric snapshots to this file")
 	phaseTable := flag.Bool("phase-table", false, "run the sweep observed and print the per-phase latency breakdown")
+	attrTable := flag.Bool("attr-table", false, "run the sweep observed and print the per-connection freeze-time attribution (Fig 5b breakdown axis)")
 	flag.Parse()
 
 	var conns []int
@@ -41,12 +44,8 @@ func main() {
 		conns = append(conns, n)
 	}
 
-	observe := *traceOut != "" || *metricsOut != "" || *phaseTable
-	sweep := eval.RunFreezeSweep
-	if observe {
-		sweep = eval.RunFreezeSweepObserved
-	}
-	points, err := sweep(conns, eval.SweepStrategies, *repeats, *parallel)
+	observe := *traceOut != "" || *metricsOut != "" || *phaseTable || *attrTable
+	points, err := eval.RunFreezeSweepSeeded(conns, eval.SweepStrategies, *repeats, *parallel, *seed, observe)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "migbench: %v\n", err)
 		os.Exit(1)
@@ -67,6 +66,10 @@ func main() {
 	if *phaseTable {
 		fmt.Println("=== per-phase breakdown ===")
 		fmt.Println(eval.PhaseTable(points))
+	}
+	if *attrTable {
+		fmt.Println("=== freeze-time attribution ===")
+		fmt.Println(eval.FreezeAttrTable(points))
 	}
 	if *traceOut != "" || *metricsOut != "" {
 		// Point order is conns-major, strategy-minor (the canonical sweep

@@ -1,0 +1,83 @@
+// Command obsdiff compares two observability artifacts exported by the
+// same experiment (dvesim/migbench/report -trace-out or -metrics-out
+// files) and reports the FIRST point where they diverge, with the
+// divergent span's causal ancestry. Exports are deterministic functions
+// of a run, so everything after the first divergence is cascade — the
+// first event is where a determinism break (or an intentional seed
+// change) actually bit.
+//
+// Usage:
+//
+//	obsdiff a.json b.json     # Chrome traces (detected by leading '{')
+//	obsdiff a.txt b.txt       # metrics text otherwise
+//	obsdiff -trace a b        # force trace mode
+//	obsdiff -metrics a b      # force metrics mode
+//
+// Exit codes: 0 identical, 1 divergent, 2 usage/IO/parse error.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"dvemig/internal/obs"
+)
+
+func main() {
+	forceTrace := flag.Bool("trace", false, "treat inputs as Chrome trace JSON")
+	forceMetrics := flag.Bool("metrics", false, "treat inputs as metrics text")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: obsdiff [-trace|-metrics] fileA fileB")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 || (*forceTrace && *forceMetrics) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	pathA, pathB := flag.Arg(0), flag.Arg(1)
+	a, err := os.ReadFile(pathA)
+	if err != nil {
+		fail(err)
+	}
+	b, err := os.ReadFile(pathB)
+	if err != nil {
+		fail(err)
+	}
+
+	isTrace := *forceTrace
+	if !*forceTrace && !*forceMetrics {
+		isTrace = looksLikeJSON(a)
+		if isTrace != looksLikeJSON(b) {
+			fail(fmt.Errorf("%s and %s appear to be different artifact kinds; force with -trace or -metrics", pathA, pathB))
+		}
+	}
+
+	var d *obs.Divergence
+	if isTrace {
+		d, err = obs.DiffTraceJSON(a, b)
+	} else {
+		d, err = obs.DiffMetricsText(a, b)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if d == nil {
+		fmt.Printf("%s == %s: identical\n", pathA, pathB)
+		return
+	}
+	fmt.Printf("%s != %s\n%s\n", pathA, pathB, d)
+	os.Exit(1)
+}
+
+func looksLikeJSON(data []byte) bool {
+	t := bytes.TrimLeft(data, " \t\r\n")
+	return len(t) > 0 && (t[0] == '{' || t[0] == '[')
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "obsdiff: %v\n", err)
+	os.Exit(2)
+}

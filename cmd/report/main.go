@@ -66,6 +66,7 @@ func main() {
 	fmt.Println("Fig 5c — " + eval.Fig5cTable(points))
 	if *phaseTable {
 		fmt.Println("Per-phase breakdown — " + eval.PhaseTable(points))
+		fmt.Println("Freeze attribution — " + eval.FreezeAttrTable(points))
 	}
 	if *traceOut != "" || *metricsOut != "" {
 		var caps []*obs.Capture

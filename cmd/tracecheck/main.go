@@ -1,41 +1,104 @@
-// Command tracecheck validates a Chrome trace_event JSON document
-// produced by the observability plane (-trace-out on dvesim, migbench
-// or report): it must parse, carry the mandatory fields on every event
-// and contain at least one span. CI's obs smoke job runs it against a
-// freshly exported trace so a schema regression fails the build instead
+// Command tracecheck validates observability artifacts exported by
+// dvesim, migbench or report. Chrome trace JSON (-trace-out files) must
+// parse, carry the mandatory fields on every event and contain at least
+// one span; metrics text (-metrics-out files) must have well-formed
+// sections, non-negative integer counters and self-consistent
+// histograms. With -connected, traces must additionally form connected
+// causal trees: every span's ancestry resolves to its trace root, no
+// destination/conductor span roots an orphan trace, and at least one
+// trace links a source migration span to a destination inbound span
+// across tracks. CI's obs job runs it against freshly exported
+// artifacts so a schema or causality regression fails the build instead
 // of silently producing files Perfetto refuses to load.
+//
+// Artifact kinds are auto-detected (leading '{' or '[' = trace JSON,
+// otherwise metrics text); force with -trace or -metrics.
 //
 // Usage:
 //
-//	tracecheck trace.json [trace2.json ...]
+//	tracecheck [-connected] [-trace|-metrics] file [file ...]
+//
+// Exit codes: 0 all files valid, 1 trace schema failure, 2 usage/IO
+// error, 3 metrics validation failure, 4 trace connectivity failure.
+// When several classes fail across the file list, the schema class
+// wins, then metrics, then connectivity.
 package main
 
 import (
+	"bytes"
+	"flag"
 	"fmt"
 	"os"
 
 	"dvemig/internal/obs"
 )
 
+const (
+	exitOK        = 0
+	exitSchema    = 1
+	exitUsage     = 2
+	exitMetrics   = 3
+	exitConnected = 4
+)
+
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json [trace2.json ...]")
-		os.Exit(2)
+	connected := flag.Bool("connected", false, "require traces to form connected causal trees with a cross-track migration→inbound link")
+	forceTrace := flag.Bool("trace", false, "treat all inputs as Chrome trace JSON")
+	forceMetrics := flag.Bool("metrics", false, "treat all inputs as metrics text")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-connected] [-trace|-metrics] file [file ...]")
+		flag.PrintDefaults()
 	}
-	bad := false
-	for _, path := range os.Args[1:] {
+	flag.Parse()
+	if flag.NArg() < 1 || (*forceTrace && *forceMetrics) || (*connected && *forceMetrics) {
+		flag.Usage()
+		os.Exit(exitUsage)
+	}
+
+	var schemaBad, metricsBad, connBad bool
+	for _, path := range flag.Args() {
 		data, err := os.ReadFile(path)
-		if err == nil {
-			err = obs.ValidateChromeTrace(data)
-		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
-			bad = true
+			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+			os.Exit(exitUsage)
+		}
+		isTrace := *forceTrace || (!*forceMetrics && looksLikeJSON(data))
+		if !isTrace {
+			if err := obs.ValidateMetricsText(data); err != nil {
+				fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+				metricsBad = true
+				continue
+			}
+			fmt.Printf("%s: metrics ok (%d bytes)\n", path, len(data))
 			continue
 		}
-		fmt.Printf("%s: ok (%d bytes)\n", path, len(data))
+		if err := obs.ValidateChromeTrace(data); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			schemaBad = true
+			continue
+		}
+		if *connected {
+			if err := obs.CheckConnected(data); err != nil {
+				fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+				connBad = true
+				continue
+			}
+			fmt.Printf("%s: trace ok, connected (%d bytes)\n", path, len(data))
+			continue
+		}
+		fmt.Printf("%s: trace ok (%d bytes)\n", path, len(data))
 	}
-	if bad {
-		os.Exit(1)
+	switch {
+	case schemaBad:
+		os.Exit(exitSchema)
+	case metricsBad:
+		os.Exit(exitMetrics)
+	case connBad:
+		os.Exit(exitConnected)
 	}
+}
+
+func looksLikeJSON(data []byte) bool {
+	t := bytes.TrimLeft(data, " \t\r\n")
+	return len(t) > 0 && (t[0] == '{' || t[0] == '[')
 }

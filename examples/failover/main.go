@@ -20,6 +20,7 @@ import (
 	"dvemig/internal/lb"
 	"dvemig/internal/migration"
 	"dvemig/internal/netstack"
+	"dvemig/internal/obs"
 	"dvemig/internal/proc"
 	"dvemig/internal/simtime"
 )
@@ -27,6 +28,11 @@ import (
 func main() {
 	sched := simtime.NewScheduler()
 	cluster := proc.NewCluster(sched, 3)
+
+	// One shared observability plane: every migrator and conductor traces
+	// into the same tracer, so the epilogue migration's spans — source,
+	// destination and any conductor decisions — share one trace ID.
+	o := obs.New(sched)
 
 	// Conductors on every node: load balancing, heartbeats, and — once a
 	// standby is wired in — the failure detector that drives failover.
@@ -37,10 +43,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		mig.SetObs(o)
 		cd, err := lb.NewConductor(n, mig, lb.DefaultConfig())
 		if err != nil {
 			log.Fatal(err)
 		}
+		cd.SetObs(o)
 		conds = append(conds, cd)
 		migs = append(migs, mig)
 	}
@@ -156,8 +164,19 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("planned migration done: froze %.2fms\n", float64(m.FreezeTime)/1e6)
+		// The trace ID names the whole causal tree: the source migration
+		// span, every phase child, and node3's inbound restore spans all
+		// parent into span #TraceID. Filter on it in Perfetto (or grep a
+		// -trace-out export for "trace_id":"N") to see this one migration
+		// end to end across both nodes.
+		fmt.Printf("end-to-end trace id of the planned migration: %d\n", m.TraceID)
 	})
 	sched.RunFor(5e9)
 	tk.Stop()
 	fmt.Printf("final score=%d, scoreboard now on node3\n", lastScore)
+	fmt.Println()
+	fmt.Println("To see where two seeds of the same experiment first part ways, export both and diff them:")
+	fmt.Println("  go run ./cmd/migbench -conns 64 -repeats 1 -seed 1 -trace-out a.json")
+	fmt.Println("  go run ./cmd/migbench -conns 64 -repeats 1 -seed 2 -trace-out b.json")
+	fmt.Println("  go run ./cmd/obsdiff a.json b.json   # first divergent event + its causal ancestry")
 }

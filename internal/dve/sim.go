@@ -3,6 +3,7 @@ package dve
 import (
 	"fmt"
 
+	"dvemig/internal/flight"
 	"dvemig/internal/lb"
 	"dvemig/internal/migration"
 	"dvemig/internal/netstack"
@@ -50,6 +51,12 @@ type Config struct {
 	// to the run: migrators and conductors get instrumented, and
 	// Simulation.Obs carries the plane for capture/export afterwards.
 	Observe bool
+
+	// FlightDepth, when positive, attaches a flight recorder retaining
+	// the last FlightDepth events per track: one scheduler track plus
+	// node/stack/NIC tracks per machine. Simulation.Flight carries the
+	// set; dump it on failures for a post-mortem window.
+	FlightDepth int
 }
 
 // DefaultConfig reproduces the paper's setup: 5 nodes, 10,000 clients,
@@ -123,6 +130,10 @@ type Simulation struct {
 	// Obs is the run's observability plane (nil unless Config.Observe).
 	Obs *obs.Obs
 
+	// Flight is the run's flight-recorder set (nil unless
+	// Config.FlightDepth > 0).
+	Flight *flight.Set
+
 	zoneProcs map[ZoneID]*proc.Process
 	pop       Population
 
@@ -157,6 +168,13 @@ func New(cfg Config) (*Simulation, error) {
 
 	if cfg.Observe {
 		s.Obs = obs.New(sched)
+	}
+	if cfg.FlightDepth > 0 {
+		s.Flight = flight.NewSet(cfg.FlightDepth)
+		sched.FR = s.Flight.Track("sched")
+		for _, n := range s.Cluster.Nodes { // includes the db node
+			n.AttachFlight(s.Flight)
+		}
 	}
 	for _, n := range s.Cluster.Nodes[:cfg.Nodes] {
 		m, err := migration.NewMigrator(n, cfg.MigConfig)

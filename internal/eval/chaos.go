@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"dvemig/internal/faults"
+	"dvemig/internal/flight"
 	"dvemig/internal/migration"
 	"dvemig/internal/netsim"
 	"dvemig/internal/netstack"
@@ -58,6 +59,11 @@ type ChaosConfig struct {
 	// trace hashes are unchanged and the captures are bit-identical at
 	// any worker count.
 	Observe bool
+	// FlightDepth, when positive, attaches a per-cell flight recorder
+	// (last FlightDepth events per scheduler/node/stack/NIC track) and,
+	// when a cell's invariant audit fails, captures the retained window
+	// into ChaosResult.FlightDump for post-mortem.
+	FlightDepth int
 }
 
 // DefaultChaosConfig covers the ISSUE's scenario list: loss burst,
@@ -159,6 +165,9 @@ type ChaosResult struct {
 	// Obs is the cell's observability capture (nil unless
 	// ChaosConfig.Observe).
 	Obs *obs.Capture
+	// FlightDump is the flight recorder's retained window, captured only
+	// when the cell violated an invariant (and FlightDepth was set).
+	FlightDump string
 }
 
 // ChaosReport aggregates a sweep.
@@ -181,11 +190,13 @@ func (r *ChaosReport) Captures() []*obs.Capture {
 }
 
 // MergedSnapshot sums every observed cell's metric snapshot in
-// canonical order (nil when the sweep ran unobserved).
-func (r *ChaosReport) MergedSnapshot() *obs.Snapshot {
+// canonical order (nil when the sweep ran unobserved). All cells share
+// one histogram configuration, so the bounds-mismatch error cannot
+// fire; it is surfaced anyway rather than swallowed.
+func (r *ChaosReport) MergedSnapshot() (*obs.Snapshot, error) {
 	caps := r.Captures()
 	if len(caps) == 0 {
-		return nil
+		return nil, nil
 	}
 	snaps := make([]*obs.Snapshot, len(caps))
 	for i, c := range caps {
@@ -315,6 +326,14 @@ func RunChaosScenario(cfg ChaosConfig, sc ChaosScenario, seed uint64) (*ChaosRes
 		o = obs.New(sched)
 		srcMig.SetObs(o)
 		dstMig.SetObs(o)
+	}
+	var fset *flight.Set
+	if cfg.FlightDepth > 0 {
+		fset = flight.NewSet(cfg.FlightDepth)
+		sched.FR = fset.Track("sched")
+		for _, n := range cluster.Nodes {
+			n.AttachFlight(fset)
+		}
 	}
 	if _, err := startTransdOn(dbNode); err != nil {
 		return nil, err
@@ -545,6 +564,11 @@ func RunChaosScenario(cfg ChaosConfig, sc ChaosScenario, seed uint64) (*ChaosRes
 	if o != nil {
 		obs.HarvestCluster(o.Metrics, cluster)
 		res.Obs = o.Capture(fmt.Sprintf("%s/seed%d", sc.Name, seed))
+	}
+	if fset != nil && len(res.Violations) > 0 {
+		var b strings.Builder
+		fset.Dump(&b)
+		res.FlightDump = b.String()
 	}
 	return res, nil
 }

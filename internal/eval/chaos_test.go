@@ -12,6 +12,9 @@ import (
 func TestChaosSweep(t *testing.T) {
 	cfg := DefaultChaosConfig()
 	cfg.Seeds = []uint64{1}
+	// Arm the flight recorder so an invariant violation comes with the
+	// last-events window of every track for post-mortem.
+	cfg.FlightDepth = 128
 	rep, err := RunChaosSweep(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -25,6 +28,9 @@ func TestChaosSweep(t *testing.T) {
 		}
 		for _, v := range res.Violations {
 			t.Errorf("%s/seed%d: invariant violation: %s", res.Scenario, res.Seed, v)
+		}
+		if len(res.Violations) > 0 && res.FlightDump != "" {
+			t.Logf("%s/seed%d flight recorder:\n%s", res.Scenario, res.Seed, res.FlightDump)
 		}
 		if !res.Completed && !res.Aborted {
 			t.Errorf("%s/seed%d: migration neither completed nor aborted (hang)", res.Scenario, res.Seed)

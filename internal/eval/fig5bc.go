@@ -50,6 +50,12 @@ type FreezeConfig struct {
 	// Observe attaches a per-repeat observability plane; the point then
 	// carries one capture per repeat plus a merged metric snapshot.
 	Observe bool
+	// Seed deterministically shifts every repeat's warm-up phase (and so
+	// the traffic alignment the migration lands on). Two runs with the
+	// same seed produce byte-identical artifacts at any worker count;
+	// two seeds produce different ones — the contract obsdiff and the CI
+	// determinism job lean on. Zero is the historical default alignment.
+	Seed uint64
 }
 
 // DefaultFreezeConfig mirrors the paper's zone-server setup.
@@ -137,7 +143,9 @@ func RunFreezePoint(fc FreezeConfig) (*FreezePoint, error) {
 		}
 	}
 	if len(snaps) > 0 {
-		pt.Snap = obs.MergeSnapshots(snaps...)
+		if pt.Snap, err = obs.MergeSnapshots(snaps...); err != nil {
+			return nil, err
+		}
 	}
 	return pt, nil
 }
@@ -148,7 +156,7 @@ func RunFreezePoint(fc FreezeConfig) (*FreezePoint, error) {
 // strategy-minor order (the order the tables expect); each point's
 // repeats run serially inside its cell so parallelism never nests.
 func RunFreezeSweep(conns []int, strategies []sockmig.Strategy, repeats, workers int) ([]*FreezePoint, error) {
-	return runFreezeSweep(conns, strategies, repeats, workers, false)
+	return RunFreezeSweepSeeded(conns, strategies, repeats, workers, 0, false)
 }
 
 // RunFreezeSweepObserved is RunFreezeSweep with the observability plane
@@ -157,10 +165,15 @@ func RunFreezeSweep(conns []int, strategies []sockmig.Strategy, repeats, workers
 // consume. The sweep's measured numbers are identical to the unobserved
 // sweep — the plane never schedules events.
 func RunFreezeSweepObserved(conns []int, strategies []sockmig.Strategy, repeats, workers int) ([]*FreezePoint, error) {
-	return runFreezeSweep(conns, strategies, repeats, workers, true)
+	return RunFreezeSweepSeeded(conns, strategies, repeats, workers, 0, true)
 }
 
-func runFreezeSweep(conns []int, strategies []sockmig.Strategy, repeats, workers int, observe bool) ([]*FreezePoint, error) {
+// RunFreezeSweepSeeded is the fully parameterized sweep: seed shifts
+// every cell's traffic alignment (FreezeConfig.Seed) and observe
+// attaches the observability plane. Exports of two equal-seed runs are
+// byte-identical at any worker count; unequal seeds diverge — the CI
+// obs job asserts both directions with obsdiff.
+func RunFreezeSweepSeeded(conns []int, strategies []sockmig.Strategy, repeats, workers int, seed uint64, observe bool) ([]*FreezePoint, error) {
 	cells := make([]FreezeConfig, 0, len(conns)*len(strategies))
 	for _, n := range conns {
 		for _, s := range strategies {
@@ -168,6 +181,7 @@ func runFreezeSweep(conns []int, strategies []sockmig.Strategy, repeats, workers
 			fc.Repeats = repeats
 			fc.Workers = 1
 			fc.Observe = observe
+			fc.Seed = seed
 			cells = append(cells, fc)
 		}
 	}
@@ -303,8 +317,9 @@ func runFreezeOnce(fc FreezeConfig, rep int) (*migration.Metrics, uint64, simtim
 	src.StartLoop(p, period)
 
 	// Warm up with a phase shift per repetition so the worst case over
-	// repeats covers different traffic alignments.
-	warm := 500*1e6 + simtime.Duration(rep)*7e6
+	// repeats covers different traffic alignments; the seed shifts the
+	// whole family so distinct seeds land on distinct alignments.
+	warm := 500*1e6 + simtime.Duration(rep)*7e6 + simtime.Duration(fc.Seed%64)*3e6
 	sched.RunFor(warm)
 
 	var got *migration.Metrics

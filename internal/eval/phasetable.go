@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"dvemig/internal/migration"
 	"dvemig/internal/obs"
 )
 
@@ -67,6 +68,80 @@ func PhaseTable(points []*FreezePoint) string {
 		}
 	}
 	return b.String()
+}
+
+// FreezeAttrTable renders the per-connection freeze-time attribution
+// (the Fig 5b breakdown axis): one block per strategy, one row per
+// connection count, one column per freeze component — coordination
+// (freeze round-trips and capture-ack waits), page_copy (dirty-page
+// transfer), socket_serialize (per-socket subtraction/serialization
+// cost) and xlat (translation-rule install window) — each cell the mean
+// attributed time in ms from the engine's
+// mig/freeze_attr/conns=NNNN/<component>_us histograms. The components
+// sum to the freeze time, so the table says where each extra connection's
+// freeze milliseconds actually go.
+func FreezeAttrTable(points []*FreezePoint) string {
+	byKey := map[[2]int]*FreezePoint{}
+	conns := map[int]bool{}
+	strategies := map[int]bool{}
+	for _, p := range points {
+		byKey[[2]int{p.Conns, int(p.Strategy)}] = p
+		conns[p.Conns] = true
+		strategies[int(p.Strategy)] = true
+	}
+	var b strings.Builder
+	b.WriteString("freeze-time attribution by connection count, mean ms per component\n")
+	for _, s := range SweepStrategies {
+		if !strategies[int(s)] {
+			continue
+		}
+		fmt.Fprintf(&b, "[%s]\n%8s", s, "conns")
+		for _, comp := range migration.FreezeAttrComponents {
+			fmt.Fprintf(&b, "%17s", comp)
+		}
+		fmt.Fprintf(&b, "%17s\n", "freeze-total")
+		for _, n := range SweepConns {
+			if !conns[n] {
+				continue
+			}
+			p := byKey[[2]int{n, int(s)}]
+			if p == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "%8d", n)
+			total := 0.0
+			seen := false
+			for _, comp := range migration.FreezeAttrComponents {
+				mean, ok := histMeanUs(p.Snap, migration.FreezeAttrMetric(n, comp))
+				if !ok {
+					fmt.Fprintf(&b, "%17s", "-")
+					continue
+				}
+				seen = true
+				total += mean
+				fmt.Fprintf(&b, "%17.3f", mean/1e3)
+			}
+			if seen {
+				fmt.Fprintf(&b, "%17.3f", total/1e3)
+			} else {
+				fmt.Fprintf(&b, "%17s", "-")
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// histMeanUs reads one histogram's mean out of a snapshot.
+func histMeanUs(s *obs.Snapshot, name string) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	h, ok := s.Hist(name)
+	if !ok || h.N == 0 {
+		return 0, false
+	}
+	return h.Mean(), true
 }
 
 // phaseMeanUs reads one phase histogram's mean out of a snapshot.

@@ -1,0 +1,149 @@
+// Package flight implements a bounded, allocation-free flight recorder:
+// a ring buffer of the last N structured events per track (node, NIC,
+// scheduler). Hot paths record fixed-size events with static strings and
+// integer payloads — no formatting, no allocation, no branches beyond a
+// nil check when the recorder is detached — and failure paths dump the
+// retained window for post-mortem diagnosis.
+//
+// flight is a dependency-free leaf package: simtime, netsim, netstack,
+// proc, migration and lb all record into it, so it must import none of
+// them (the same constraint that keeps the obs harvester acyclic).
+// Timestamps are therefore plain int64 nanoseconds, not simtime.Time.
+package flight
+
+import (
+	"fmt"
+	"io"
+)
+
+// Event is one fixed-size flight-recorder record. Kind and Name must be
+// static (or at least pre-existing) strings on hot paths: the recorder
+// stores the string headers, never copies the bytes, so recording
+// allocates nothing.
+type Event struct {
+	At   int64  // virtual time, nanoseconds
+	Kind string // event class: "sched", "pkt", "phase", "detector", ...
+	Name string // event name within the class
+	A    int64  // class-specific payloads (pid, seq, addr, ...)
+	B    int64
+	C    int64
+}
+
+// Recorder is a bounded ring of the last N events on one track. The
+// zero-capacity and nil recorder both discard everything, so callers
+// gate recording on a single pointer comparison.
+type Recorder struct {
+	Track string
+	buf   []Event
+	n     uint64 // total events ever recorded
+}
+
+// New returns a recorder retaining the last capacity events.
+func New(track string, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Recorder{Track: track, buf: make([]Event, 0, capacity)}
+}
+
+// Record appends one event, overwriting the oldest once the ring is
+// full. Safe on a nil receiver; steady-state cost is one bounds-checked
+// slot store.
+func (r *Recorder) Record(at int64, kind, name string, a, b, c int64) {
+	if r == nil {
+		return
+	}
+	e := Event{At: at, Kind: kind, Name: name, A: a, B: b, C: c}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.n%uint64(cap(r.buf))] = e
+	}
+	r.n++
+}
+
+// Len reports how many events are currently retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Total reports how many events were ever recorded (retained + evicted).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Events returns the retained window oldest-first. It allocates; call it
+// from failure paths only.
+func (r *Recorder) Events() []Event {
+	if r == nil || len(r.buf) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	head := int(r.n % uint64(cap(r.buf))) // oldest slot
+	out = append(out, r.buf[head:]...)
+	return append(out, r.buf[:head]...)
+}
+
+// Dump writes the retained window as text (the format documented in
+// DESIGN.md §7): a header line with retention counts, then one line per
+// event, oldest first.
+func (r *Recorder) Dump(w io.Writer) {
+	if r == nil {
+		return
+	}
+	fmt.Fprintf(w, "flight %s: %d/%d events retained (oldest first)\n",
+		r.Track, r.Len(), r.Total())
+	for _, e := range r.Events() {
+		fmt.Fprintf(w, "  %14.6fs %-9s %-28s a=%-12d b=%-12d c=%d\n",
+			float64(e.At)/1e9, e.Kind, e.Name, e.A, e.B, e.C)
+	}
+}
+
+// Set groups the recorders of one simulation so failure paths can dump
+// every track at once.
+type Set struct {
+	Depth int
+	recs  []*Recorder
+}
+
+// NewSet returns a set whose tracks each retain depth events.
+func NewSet(depth int) *Set {
+	if depth <= 0 {
+		depth = 256
+	}
+	return &Set{Depth: depth}
+}
+
+// Track creates (and registers) a recorder for the named track.
+func (s *Set) Track(name string) *Recorder {
+	r := New(name, s.Depth)
+	s.recs = append(s.recs, r)
+	return r
+}
+
+// Recorders returns the registered recorders in creation order.
+func (s *Set) Recorders() []*Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.recs
+}
+
+// Dump writes every track's retained window, in creation order.
+func (s *Set) Dump(w io.Writer) {
+	if s == nil {
+		return
+	}
+	for _, r := range s.recs {
+		r.Dump(w)
+	}
+}

@@ -185,6 +185,14 @@ type Conductor struct {
 	// SetObs so the metric handles in obsm are pre-resolved.
 	Obs  *obs.Obs
 	obsm condObsHandles
+
+	// balSpan is the open span of the pending rebalance decision this
+	// conductor proposed (sender side; at most one, mirroring the
+	// one-proposal-at-a-time state machine). rsvSpan is the receiver-side
+	// reservation span, parented via the TraceContext the proposal
+	// carried. Both nil when the plane is disabled.
+	balSpan *obs.Span
+	rsvSpan *obs.Span
 }
 
 // Wire opcodes.
@@ -366,14 +374,14 @@ func (c *Conductor) tick() {
 			if p.state != PeerDead {
 				p.state = PeerDead
 				c.Events = append(c.Events, Event{At: c.now(), Kind: "peer-dead", Peer: addr})
-				c.detectorFlip("dead", addr.String())
+				c.detectorFlip("dead", addr)
 				c.onPeerDead(addr)
 			}
 		case age > c.suspectAfter():
 			if p.state == PeerAlive {
 				p.state = PeerSuspect
 				c.Events = append(c.Events, Event{At: c.now(), Kind: "suspect", Peer: addr})
-				c.detectorFlip("suspect", addr.String())
+				c.detectorFlip("suspect", addr)
 			}
 		}
 	}
@@ -382,6 +390,7 @@ func (c *Conductor) tick() {
 	// Release a stuck reservation (sender never delivered).
 	if c.state == stateReceiving && c.now()-c.reserveAt > 5*c.Config.Period {
 		c.state = stateIdle
+		c.reserveEnd("expired")
 	}
 
 	if c.state != stateIdle || c.now() < c.calmUntil || len(c.peers) == 0 {
@@ -450,21 +459,29 @@ func (c *Conductor) considerConsolidate() {
 	c.propose(best.addr)
 }
 
+// propose sends a transfer proposal. The wire message carries the
+// rebalance-decision span's TraceContext (zeros when unobserved), so
+// the receiver's reservation span — and, transitively, the whole
+// migration that may follow — parents into this decision.
 func (c *Conductor) propose(to netsim.Addr) {
 	c.nextSeq++
 	c.state = stateSending
 	c.reserveSeq = c.nextSeq
 	c.reserveAt = c.now()
-	msg := make([]byte, 13)
+	ctx := c.rebalanceStart(to)
+	msg := make([]byte, 29)
 	msg[0] = opPropose
 	binary.BigEndian.PutUint32(msg[1:], c.nextSeq)
 	binary.BigEndian.PutUint64(msg[5:], uint64(c.load*1e6))
+	binary.BigEndian.PutUint64(msg[13:], ctx.Trace)
+	binary.BigEndian.PutUint64(msg[21:], ctx.Span)
 	c.send(to, msg)
 	// Proposal timeout.
 	seq := c.nextSeq
 	c.Node.Sched.After(3*c.Config.Period, "cond.propose-timeout", func() {
 		if c.state == stateSending && c.reserveSeq == seq {
 			c.state = stateIdle
+			c.rebalanceEnd("timeout")
 		}
 	})
 }
@@ -515,16 +532,19 @@ func (c *Conductor) serve() {
 			if c.state == stateSending {
 				c.state = stateIdle
 				c.Events = append(c.Events, Event{At: c.now(), Kind: "reject", Peer: from})
+				c.rebalanceEnd("rejected")
 			}
 		case opDone:
 			// Sender finished delivering into us; calm down.
 			if c.state == stateReceiving {
 				c.state = stateIdle
 				c.calmUntil = c.now() + c.Config.CalmDown
+				c.reserveEnd("done")
 			}
 		case opRelease:
 			if c.state == stateReceiving {
 				c.state = stateIdle
+				c.reserveEnd("released")
 			}
 		case opOwner:
 			if name, ep, seq, err := decodeOwnerMsg(dg.Payload); err == nil {
@@ -554,7 +574,7 @@ func (c *Conductor) notePeer(addr netsim.Addr, load float64) {
 		// epochs sort out who serves.
 		if p.state == PeerDead {
 			c.Events = append(c.Events, Event{At: c.now(), Kind: "revived", Peer: addr})
-			c.detectorFlip("revived", addr.String())
+			c.detectorFlip("revived", addr)
 		}
 		p.state = PeerAlive
 	}
@@ -575,8 +595,16 @@ func (c *Conductor) handlePropose(from netsim.Addr, payload []byte) {
 		c.send(from, seqMsg(opReject, seq))
 		return
 	}
+	var ctx obs.TraceContext
+	if len(payload) >= 29 {
+		ctx = obs.TraceContext{
+			Trace: binary.BigEndian.Uint64(payload[13:]),
+			Span:  binary.BigEndian.Uint64(payload[21:]),
+		}
+	}
 	c.state = stateReceiving
 	c.reserveAt = c.now()
+	c.reserveStart(from, ctx)
 	c.send(from, seqMsg(opAccept, seq))
 }
 
@@ -592,10 +620,15 @@ func (c *Conductor) handleAccept(from netsim.Addr, payload []byte) {
 	if p == nil {
 		c.send(from, seqMsg(opRelease, c.reserveSeq))
 		c.state = stateIdle
+		c.rebalanceEnd("released")
 		return
 	}
 	pid := p.PID
-	c.Mig.Migrate(p, from, func(m *migration.Metrics, err error) {
+	// The migration parents into the rebalance-decision span: the whole
+	// end-to-end trace — source phases, destination restore — hangs off
+	// the conductor decision that caused it.
+	c.balSpan.SetInt("pid", int64(pid))
+	c.Mig.MigrateTraced(p, from, c.balSpan.Context(), func(m *migration.Metrics, err error) {
 		if err != nil {
 			// Aborted migration: the process rolled back here, nothing
 			// arrived at the peer. Release the peer's reservation
@@ -606,6 +639,7 @@ func (c *Conductor) handleAccept(from netsim.Addr, payload []byte) {
 			c.send(from, seqMsg(opRelease, c.reserveSeq))
 			c.state = stateIdle
 			c.calmUntil = c.now() + c.Config.CalmDown
+			c.rebalanceEnd("aborted")
 			return
 		}
 		c.Migrations++
@@ -613,6 +647,7 @@ func (c *Conductor) handleAccept(from netsim.Addr, payload []byte) {
 		c.send(from, seqMsg(opDone, c.reserveSeq))
 		c.state = stateIdle
 		c.calmUntil = c.now() + c.Config.CalmDown
+		c.rebalanceEnd("done")
 	})
 }
 

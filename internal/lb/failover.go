@@ -72,6 +72,12 @@ func (c *Conductor) AnnounceOwnership(name string, g *migration.Guardian) uint64
 	}
 	if g != nil {
 		g.Epoch = ep
+		if c.Obs != nil && g.Span == nil {
+			gs := c.Obs.Trace.Start(c.Node.Name, "guard")
+			gs.SetAttr("service", name)
+			gs.SetInt("epoch", int64(ep))
+			g.Span = gs
+		}
 	}
 	c.owned[name] = &ownership{epoch: ep, guardian: g, since: c.now()}
 	c.broadcast(encodeOwnerMsg(opOwner, name, ep, 0))
@@ -173,11 +179,7 @@ func (c *Conductor) activate(name string, cl *claim) {
 	c.Failovers++
 	c.Events = append(c.Events, Event{At: c.now(), Kind: "activate", Name: name, PID: p.PID})
 	c.electionEnd(cl, "won")
-	var claimedAt simtime.Time
-	if cl != nil {
-		claimedAt = cl.at
-	}
-	c.noteActivation(name, ep, p.PID, droppedBefore, claimedAt)
+	c.noteActivation(name, ep, p.PID, droppedBefore, cl)
 	c.broadcast(encodeOwnerMsg(opOwner, name, ep, 0))
 }
 

@@ -1,8 +1,8 @@
 package lb
 
 import (
+	"dvemig/internal/netsim"
 	"dvemig/internal/obs"
-	"dvemig/internal/simtime"
 )
 
 // Observability wiring for the conductor: failure-detector transitions
@@ -39,23 +39,35 @@ func (c *Conductor) SetObs(o *obs.Obs) {
 	c.obsm.claimWaitUs = r.Histogram("lb/claim_to_activate_us", obs.DurationBucketsUs)
 }
 
-// detectorFlip records one failure-detector state change as an instant
-// on the node's track plus the flip counter.
-func (c *Conductor) detectorFlip(kind string, peer string) {
+// detectorFlip records one failure-detector state change: into the
+// node's flight recorder (always, when attached), and as an instant on
+// the node's track plus the flip counter (when the plane is enabled).
+func (c *Conductor) detectorFlip(kind string, peer netsim.Addr) {
+	if c.Node.FR != nil {
+		c.Node.FR.Record(int64(c.now()), "detector", kind, int64(peer), 0, 0)
+	}
 	if c.Obs == nil {
 		return
 	}
 	c.obsm.detectorFlips.Inc()
-	c.Obs.Trace.Instant(c.Node.Name, "detector:"+kind, obs.Attr{Key: "peer", Val: peer})
+	c.Obs.Trace.Instant(c.Node.Name, "detector:"+kind, obs.Attr{Key: "peer", Val: peer.String()})
 }
 
-// electionStart opens the claim→activate span of one failover election.
+// electionStart opens the claim→activate span of one failover
+// election. The span links into the trace the dead owner's guardian
+// stamped onto its checkpoint stream (when known): the detector flip,
+// claim, election and activation all hang off the guarded service's
+// trace, across nodes.
 func (c *Conductor) electionStart(cl *claim) {
 	if c.Obs == nil {
 		return
 	}
 	c.obsm.elections.Inc()
-	cl.span = c.Obs.Trace.Start(c.Node.Name, "election")
+	var ctx obs.TraceContext
+	if c.standby != nil {
+		ctx = c.standby.ImageTraceCtx(cl.name)
+	}
+	cl.span = c.Obs.Trace.StartLinked(c.Node.Name, "election", ctx)
 	cl.span.SetAttr("service", cl.name)
 }
 
@@ -70,9 +82,10 @@ func (c *Conductor) electionEnd(cl *claim, outcome string) {
 
 // noteActivation records one standby activation: the epoch bump as an
 // instant, the activation span (zero-width: the restart is synchronous
-// within one event), and the datagrams the restart-consistency rule
-// discarded.
-func (c *Conductor) noteActivation(name string, ep uint64, pid int, droppedBefore uint64, claimedAt simtime.Time) {
+// within one event; parented into the won election's span so the
+// detector→claim→activate chain is one connected trace), and the
+// datagrams the restart-consistency rule discarded.
+func (c *Conductor) noteActivation(name string, ep uint64, pid int, droppedBefore uint64, cl *claim) {
 	if c.Obs == nil {
 		return
 	}
@@ -81,10 +94,15 @@ func (c *Conductor) noteActivation(name string, ep uint64, pid int, droppedBefor
 	if c.standby != nil {
 		c.obsm.droppedDgrams.Add(c.standby.DroppedDatagrams - droppedBefore)
 	}
-	if claimedAt > 0 {
-		c.obsm.claimWaitUs.Observe(float64(c.now()-claimedAt) / 1e3)
+	if cl != nil && cl.at > 0 {
+		c.obsm.claimWaitUs.Observe(float64(c.now()-cl.at) / 1e3)
 	}
-	s := c.Obs.Trace.Start(c.Node.Name, "activation")
+	var s *obs.Span
+	if cl != nil && cl.span != nil {
+		s = cl.span.Child("activation")
+	} else {
+		s = c.Obs.Trace.Start(c.Node.Name, "activation")
+	}
 	s.SetAttr("service", name)
 	s.SetInt("epoch", int64(ep))
 	s.SetInt("pid", int64(pid))
@@ -93,9 +111,59 @@ func (c *Conductor) noteActivation(name string, ep uint64, pid int, droppedBefor
 		obs.Attr{Key: "service", Val: name}, obs.Attr{Key: "epoch", Val: itoa(ep)})
 }
 
+// rebalanceStart opens the root "rebalance" span of one outbound
+// proposal. The returned context rides on the opPropose wire message so
+// the peer's reserve span, the migration phase spans on both nodes and
+// the xlat install all parent into this one trace. Returns the zero
+// context when the plane is disabled.
+func (c *Conductor) rebalanceStart(to netsim.Addr) obs.TraceContext {
+	if c.Obs == nil {
+		return obs.TraceContext{}
+	}
+	c.balSpan = c.Obs.Trace.Start(c.Node.Name, "rebalance")
+	c.balSpan.SetAttr("dest", to.String())
+	return c.balSpan.Context()
+}
+
+// rebalanceEnd closes the outbound rebalance span with its outcome
+// (done, rejected, timeout, released, aborted).
+func (c *Conductor) rebalanceEnd(outcome string) {
+	if c.balSpan == nil {
+		return
+	}
+	c.balSpan.SetAttr("outcome", outcome)
+	c.balSpan.Close()
+	c.balSpan = nil
+}
+
+// reserveStart opens the receiving side's "reserve" span, linked into
+// the proposer's rebalance trace via the context carried on the wire.
+func (c *Conductor) reserveStart(from netsim.Addr, ctx obs.TraceContext) {
+	if c.Obs == nil {
+		return
+	}
+	c.rsvSpan = c.Obs.Trace.StartLinked(c.Node.Name, "reserve", ctx)
+	c.rsvSpan.SetAttr("from", from.String())
+}
+
+// reserveEnd closes the reserve span with its outcome (done, released,
+// expired).
+func (c *Conductor) reserveEnd(outcome string) {
+	if c.rsvSpan == nil {
+		return
+	}
+	c.rsvSpan.SetAttr("outcome", outcome)
+	c.rsvSpan.Close()
+	c.rsvSpan = nil
+}
+
 // noteEvent annotates a non-election conductor decision (fence,
-// suspend, resume) as an instant.
+// suspend, resume): into the flight recorder when attached, and as an
+// instant when the plane is enabled.
 func (c *Conductor) noteEvent(kind, service string) {
+	if c.Node.FR != nil {
+		c.Node.FR.Record(int64(c.now()), "conductor", kind, 0, 0, 0)
+	}
 	if c.Obs == nil {
 		return
 	}

@@ -128,6 +128,11 @@ type Metrics struct {
 	Reinjected       uint32
 	// Retries counts migd reconnection attempts beyond the first.
 	Retries int
+	// TraceID identifies the migration's end-to-end trace when the
+	// observability plane is enabled (zero otherwise): every span of
+	// this migration — source phases, destination restore, conductor
+	// decisions — carries it, and obsdiff/tracecheck key on it.
+	TraceID uint64
 	// Aborted is set when the migration was rolled back; AbortReason
 	// carries the triggering error and LocalReinjected the packets the
 	// source-side capture filters fed back to the thawed sockets.
@@ -215,6 +220,14 @@ func (m *Migrator) sched() *simtime.Scheduler { return m.Node.Sched }
 // Migrate live-migrates process p to the node at dest (in-cluster IP).
 // done fires with the metrics on completion or an error on failure.
 func (m *Migrator) Migrate(p *proc.Process, dest netsim.Addr, done func(*Metrics, error)) {
+	m.MigrateTraced(p, dest, obs.TraceContext{}, done)
+}
+
+// MigrateTraced is Migrate with an explicit causal parent: the lb
+// conductor passes its rebalance-decision span's context so the whole
+// migration — including the destination's restore tree — parents into
+// the decision that caused it. The zero context roots a fresh trace.
+func (m *Migrator) MigrateTraced(p *proc.Process, dest netsim.Addr, ctx obs.TraceContext, done func(*Metrics, error)) {
 	if p.Node != m.Node {
 		done(nil, fmt.Errorf("migration: process %d not on node %s", p.PID, m.Node.Name))
 		return
@@ -231,8 +244,9 @@ func (m *Migrator) Migrate(p *proc.Process, dest netsim.Addr, done func(*Metrics
 		metrics: &Metrics{Strategy: m.Config.Strategy, Start: m.sched().Now(),
 			PID: p.PID, ProcName: p.Name},
 	}
-	ob.pt.begin(m, "migration", p.PID)
+	ob.pt.begin(m, "migration", p.PID, ctx)
 	ob.pt.root.SetAttr("strategy", m.Config.Strategy.String())
+	ob.metrics.TraceID = ob.pt.root.Context().Trace
 	ob.dial()
 	if ob.failed {
 		return
@@ -255,6 +269,13 @@ func (ob *outbound) dial() {
 	ob.dialGen++
 	gen := ob.dialGen
 	sk := netstack.NewTCPSocket(ob.m.Node.Stack)
+	// Stamp the migd control connection with the migration's causal
+	// coordinate: every packet it emits carries the (trace, span) pair as
+	// out-of-band metadata, so packet-level tooling can attribute
+	// migration-critical traffic to the end-to-end trace.
+	if c := ob.pt.root.Context(); c.Valid() {
+		sk.Trace = &netsim.TraceRef{Trace: c.Trace, Span: c.Span}
+	}
 	ob.conn = NewConn(sk)
 	ob.conn.OnMsg = ob.onMsg
 	sk.OnReadable = func() {
@@ -377,6 +398,19 @@ type outbound struct {
 
 	transferFired bool
 	onCaptureAck  func()
+
+	// Freeze-time attribution (paper Fig 5b's breakdown axis): the three
+	// directly measurable components of the freeze window accumulate
+	// here — coordination (signal/freeze overhead plus capture-filter
+	// handshakes), xlat (translation-rule installs on peers), and socket
+	// serialization (per-socket subtract cost). Page copy — shipping the
+	// freeze image and the destination's restore — is the remainder of
+	// FreezeTime, computed at finish. Plain duration adds on the hot
+	// path; the histograms are only resolved (per connection count) once
+	// per completed migration when the plane is enabled.
+	attrCoord simtime.Duration
+	attrXlat  simtime.Duration
+	attrSer   simtime.Duration
 }
 
 // xlatOp is one translation request to (un)do during rollback.
@@ -389,8 +423,9 @@ type xlatOp struct {
 func (ob *outbound) start() {
 	ob.token = registerBehavior(&ckpt.Behavior{Tick: ob.p.Tick, SigHandlers: ob.p.SigHandlers})
 	ob.epoch = ob.m.Epochs.Current(ob.p.Name)
+	rctx := ob.pt.root.Context()
 	req := migrateReq{PID: ob.p.PID, Strategy: ob.m.Config.Strategy, Token: ob.token,
-		Epoch: ob.epoch, Name: ob.p.Name}
+		Epoch: ob.epoch, TraceID: rctx.Trace, SpanID: rctx.Span, Name: ob.p.Name}
 	ob.send(MsgMigrateReq, req.encode())
 }
 
@@ -561,6 +596,7 @@ func (ob *outbound) freeze() {
 	ob.p.State = proc.ProcFrozen
 	ob.m.Node.StopLoop(ob.p)
 	ob.m.sched().After(ob.m.Config.Costs.FreezeOverhead, "migd.freeze", func() {
+		ob.attrCoord += ob.m.Config.Costs.FreezeOverhead
 		ob.setupTranslation(func() {
 			switch ob.m.Config.Strategy {
 			case sockmig.Iterative:
@@ -577,6 +613,7 @@ func (ob *outbound) freeze() {
 // in-cluster connections (§III-C): the peer rewrites packets addressed to
 // the connection's original identity so they reach the destination node.
 func (ob *outbound) setupTranslation(then func()) {
+	xlatStart := ob.m.sched().Now()
 	var rules []xlatOp
 	tcp, _ := ob.p.Sockets()
 	for _, sk := range tcp {
@@ -633,6 +670,7 @@ func (ob *outbound) setupTranslation(then func()) {
 			}
 			pending--
 			if pending == 0 {
+				ob.attrXlat += ob.m.sched().Now() - xlatStart
 				if firstErr != nil {
 					ob.fail(firstErr)
 					return
@@ -693,6 +731,7 @@ func (ob *outbound) iterativeStep(tcp []*netstack.TCPSocket, udp []*netstack.UDP
 			if ob.failed || ob.finished {
 				return
 			}
+			ob.attrSer += ob.m.Config.Costs.SockSubtract
 			// Anything arriving for this connection while it is out of
 			// the hash tables is captured locally: reinjected on abort,
 			// discarded on success (the destination's filter has its own
@@ -723,7 +762,11 @@ func (ob *outbound) iterativeStep(tcp []*netstack.TCPSocket, udp []*netstack.UDP
 		})
 	}
 	if ob.m.Config.EnableCapture {
-		ob.onCaptureAck = transfer
+		capStart := ob.m.sched().Now()
+		ob.onCaptureAck = func() {
+			ob.attrCoord += ob.m.sched().Now() - capStart
+			transfer()
+		}
 		ob.send(MsgCaptureReq, encodeCaptureReq([]netsim.FlowKey{key}))
 	} else {
 		transfer()
@@ -733,13 +776,16 @@ func (ob *outbound) iterativeStep(tcp []*netstack.TCPSocket, udp []*netstack.UDP
 // collectivePhase1 ships the capture details of all connections in one
 // message and waits for a single acknowledgement.
 func (ob *outbound) collectivePhase1() {
-	proceed := func() { ob.collectivePhase2() }
 	if ob.m.Config.EnableCapture {
 		keys := sockmig.CaptureKeys(ob.p)
-		ob.onCaptureAck = proceed
+		capStart := ob.m.sched().Now()
+		ob.onCaptureAck = func() {
+			ob.attrCoord += ob.m.sched().Now() - capStart
+			ob.collectivePhase2()
+		}
 		ob.send(MsgCaptureReq, encodeCaptureReq(keys))
 	} else {
-		proceed()
+		ob.collectivePhase2()
 	}
 }
 
@@ -764,6 +810,7 @@ func (ob *outbound) collectivePhase2() {
 		if ob.failed || ob.finished {
 			return
 		}
+		ob.attrSer += cost
 		// Mirror the destination's capture filters locally so an abort
 		// can replay what arrived while the sockets were out of the
 		// hash tables (reinjected on rollback, discarded on success).
@@ -829,6 +876,43 @@ func countSockets(p *proc.Process) (int, int) {
 	return len(tcp), len(udp)
 }
 
+// FreezeAttrComponents are the freeze-time attribution components, in
+// rendering order: signal/capture coordination, the precopy'd pages'
+// final copy plus destination restore, per-socket state serialization,
+// and translation-rule installs (Fig 5b's breakdown axis).
+var FreezeAttrComponents = [...]string{
+	"coordination", "page_copy", "socket_serialize", "xlat",
+}
+
+// FreezeAttrMetric names the attribution histogram of one component at
+// one connection count, e.g. mig/freeze_attr/conns=0064/xlat_us —
+// shared by the recorder below and eval's attribution table.
+func FreezeAttrMetric(conns int, component string) string {
+	return fmt.Sprintf("mig/freeze_attr/conns=%04d/%s_us", conns, component)
+}
+
+// observeFreezeAttr records the completed migration's freeze-time
+// breakdown into histograms keyed by the migrated connection count.
+// Only called on the enabled path, once per migration: the Sprintf'd
+// metric names and registry lookups never touch the disabled hot path.
+func (ob *outbound) observeFreezeAttr() {
+	conns := ob.metrics.TCPMigrated + ob.metrics.UDPMigrated
+	page := ob.metrics.FreezeTime - ob.attrCoord - ob.attrXlat - ob.attrSer
+	if page < 0 {
+		page = 0
+	}
+	comps := [...]simtime.Duration{ob.attrCoord, page, ob.attrSer, ob.attrXlat}
+	r := ob.m.Obs.M()
+	for i, name := range FreezeAttrComponents {
+		r.Histogram(FreezeAttrMetric(conns, name), obs.DurationBucketsUs).
+			Observe(float64(comps[i]) / 1e3)
+	}
+	ob.pt.root.SetInt("attr_coordination_us", int64(ob.attrCoord/1e3))
+	ob.pt.root.SetInt("attr_page_copy_us", int64(page/1e3))
+	ob.pt.root.SetInt("attr_socket_serialize_us", int64(ob.attrSer/1e3))
+	ob.pt.root.SetInt("attr_xlat_us", int64(ob.attrXlat/1e3))
+}
+
 func (ob *outbound) finish(rd restoreDone) {
 	ob.finished = true
 	// The process resumed remotely: the local safety-net filters (and
@@ -860,6 +944,7 @@ func (ob *outbound) finish(rd restoreDone) {
 	if ob.m.Obs != nil {
 		ob.m.obsm.freezeUs.Observe(float64(ob.metrics.FreezeTime) / 1e3)
 		ob.pt.root.SetInt("freeze_us", int64(ob.metrics.FreezeTime)/1e3)
+		ob.observeFreezeAttr()
 	}
 	ob.m.firePhase(&ob.pt, PhaseDone, 0, ob.p.PID)
 	if ob.done != nil {
@@ -934,7 +1019,16 @@ func (ib *inbound) onMsg(t MsgType, payload []byte) {
 		ib.shadowAS = proc.NewAddressSpace()
 		ib.store = sockmig.NewStore()
 		ib.active = true
-		ib.pt.begin(ib.m, "inbound", req.PID)
+		// The request carries the source migration span's coordinate; the
+		// destination's restore tree parents into it — one connected trace
+		// spanning both nodes. The return-path packets (acks, RESTORE_DONE)
+		// are stamped with the same coordinate.
+		sctx := obs.TraceContext{Trace: req.TraceID, Span: req.SpanID}
+		ib.pt.begin(ib.m, "inbound", req.PID, sctx)
+		if sctx.Valid() {
+			sk := ib.conn.Socket()
+			sk.Trace = &netsim.TraceRef{Trace: sctx.Trace, Span: sctx.Span}
+		}
 		ib.renewLease()
 		ib.conn.Send(MsgMigrateAck, nil)
 	case MsgMemDelta:

@@ -9,6 +9,7 @@ import (
 	"dvemig/internal/ckpt"
 	"dvemig/internal/netsim"
 	"dvemig/internal/netstack"
+	"dvemig/internal/obs"
 	"dvemig/internal/proc"
 	"dvemig/internal/simtime"
 )
@@ -75,6 +76,7 @@ type standbyImage struct {
 	epoch uint64
 	from  netsim.Addr  // guardian's node (the image's home)
 	at    simtime.Time // receive time, for eviction order
+	tctx  obs.TraceContext
 }
 
 // NewStandby starts the standby daemon on a node.
@@ -90,11 +92,11 @@ func NewStandby(n *proc.Node) (*Standby, error) {
 			if t != msgCkptImage {
 				return
 			}
-			name, token, seq, ep, img, err := decodeCkptImage(payload)
+			name, token, seq, ep, tctx, img, err := decodeCkptImage(payload)
 			if err != nil {
 				return
 			}
-			s.offer(name, token, seq, ep, ch.RemoteIP, img)
+			s.offer(name, token, seq, ep, tctx, ch.RemoteIP, img)
 			conn.Send(msgCkptAck, payload[:8])
 		}
 	}
@@ -105,7 +107,7 @@ func NewStandby(n *proc.Node) (*Standby, error) {
 // (epoch, then seq). Superseded and refused images release their
 // behavior tokens immediately — the fix for the unbounded registry
 // growth the old "keep every token forever" behaviour caused.
-func (s *Standby) offer(name string, token, seq, ep uint64, from netsim.Addr, img []byte) {
+func (s *Standby) offer(name string, token, seq, ep uint64, tctx obs.TraceContext, from netsim.Addr, img []byte) {
 	cur := s.images[name]
 	fresher := cur == nil || ep > cur.epoch || (ep == cur.epoch && seq > cur.seq)
 	if !fresher {
@@ -120,7 +122,7 @@ func (s *Standby) offer(name string, token, seq, ep uint64, from netsim.Addr, im
 		s.evictFor(name)
 	}
 	s.images[name] = &standbyImage{data: img, token: token, seq: seq,
-		epoch: ep, from: from, at: s.Node.Sched.Now()}
+		epoch: ep, from: from, at: s.Node.Sched.Now(), tctx: tctx}
 	s.Stored++
 }
 
@@ -162,6 +164,19 @@ func (s *Standby) ImageInfo(name string) (ep, seq uint64, from netsim.Addr, ok b
 		return 0, 0, 0, false
 	}
 	return si.epoch, si.seq, si.from, true
+}
+
+// ImageTraceCtx returns the causal coordinate the stored image's
+// guardian stamped onto the checkpoint stream (the guard span on the
+// dead owner's node), or the zero context when unknown. A failover
+// election links its span here, so the whole detector→claim→activate
+// chain hangs off the guarded service's trace.
+func (s *Standby) ImageTraceCtx(name string) obs.TraceContext {
+	si := s.images[name]
+	if si == nil {
+		return obs.TraceContext{}
+	}
+	return si.tctx
 }
 
 // NumImages reports how many services have a stored image.
@@ -234,6 +249,12 @@ type Guardian struct {
 	// sequence numbers (a new owner's guardian restarts seq at 1).
 	Epoch uint64
 
+	// Span is the guardianship's open span on the owner's track (nil
+	// when the observability plane is disabled; lb.AnnounceOwnership
+	// opens it). Its context rides on every shipped checkpoint image so
+	// a failover election on the standby links into the same trace.
+	Span *obs.Span
+
 	conn   *Conn
 	ticker *simtime.Ticker
 	seq    uint64
@@ -267,10 +288,11 @@ func NewGuardian(p *proc.Process, buddy netsim.Addr, interval simtime.Duration) 
 	return g, nil
 }
 
-// Stop halts periodic checkpointing.
+// Stop halts periodic checkpointing and closes the guardianship span.
 func (g *Guardian) Stop() {
 	g.ticker.Stop()
 	g.conn.Close()
+	g.Span.Close()
 }
 
 // checkpoint takes a consistent image of the (briefly signalled) process
@@ -288,7 +310,7 @@ func (g *Guardian) checkpoint() {
 	g.token = token
 	g.seq++
 	g.encBuf = img.EncodeInto(g.encBuf)
-	g.msgBuf = encodeCkptImageInto(g.msgBuf, g.Proc.Name, token, g.seq, g.Epoch, g.encBuf)
+	g.msgBuf = encodeCkptImageInto(g.msgBuf, g.Proc.Name, token, g.seq, g.Epoch, g.Span.Context(), g.encBuf)
 	payload := g.msgBuf
 	g.LastBytes = len(payload)
 	if err := g.conn.Send(msgCkptImage, payload); err == nil {
@@ -301,15 +323,18 @@ func (g *Guardian) checkpoint() {
 
 // Checkpoint-image wire layout:
 //
-//	[8B seq][8B token][8B epoch][4B name len][name][image]
-func encodeCkptImage(name string, token, seq, ep uint64, img []byte) []byte {
-	return encodeCkptImageInto(nil, name, token, seq, ep, img)
+//	[8B seq][8B token][8B epoch][8B trace][8B span][4B name len][name][image]
+//
+// trace/span are the guardian's obs.TraceContext (zero when the plane
+// is disabled).
+func encodeCkptImage(name string, token, seq, ep uint64, tctx obs.TraceContext, img []byte) []byte {
+	return encodeCkptImageInto(nil, name, token, seq, ep, tctx, img)
 }
 
 // encodeCkptImageInto encodes into buf, reusing its capacity when it
 // fits; content is overwritten.
-func encodeCkptImageInto(buf []byte, name string, token, seq, ep uint64, img []byte) []byte {
-	need := 8 + 8 + 8 + 4 + len(name) + len(img)
+func encodeCkptImageInto(buf []byte, name string, token, seq, ep uint64, tctx obs.TraceContext, img []byte) []byte {
+	need := 8 + 8 + 8 + 16 + 4 + len(name) + len(img)
 	b := buf[:0]
 	if cap(b) < need {
 		b = make([]byte, 0, need)
@@ -318,24 +343,27 @@ func encodeCkptImageInto(buf []byte, name string, token, seq, ep uint64, img []b
 	binary.BigEndian.PutUint64(b, seq)
 	binary.BigEndian.PutUint64(b[8:], token)
 	binary.BigEndian.PutUint64(b[16:], ep)
-	binary.BigEndian.PutUint32(b[24:], uint32(len(name)))
-	copy(b[28:], name)
-	copy(b[28+len(name):], img)
+	binary.BigEndian.PutUint64(b[24:], tctx.Trace)
+	binary.BigEndian.PutUint64(b[32:], tctx.Span)
+	binary.BigEndian.PutUint32(b[40:], uint32(len(name)))
+	copy(b[44:], name)
+	copy(b[44+len(name):], img)
 	return b
 }
 
-func decodeCkptImage(b []byte) (name string, token, seq, ep uint64, img []byte, err error) {
-	if len(b) < 28 {
-		return "", 0, 0, 0, nil, errors.New("failover: short image message")
+func decodeCkptImage(b []byte) (name string, token, seq, ep uint64, tctx obs.TraceContext, img []byte, err error) {
+	if len(b) < 44 {
+		return "", 0, 0, 0, obs.TraceContext{}, nil, errors.New("failover: short image message")
 	}
 	seq = binary.BigEndian.Uint64(b)
 	token = binary.BigEndian.Uint64(b[8:])
 	ep = binary.BigEndian.Uint64(b[16:])
-	nl := int(binary.BigEndian.Uint32(b[24:]))
-	if nl < 0 || 28+nl > len(b) {
-		return "", 0, 0, 0, nil, errors.New("failover: corrupt image message")
+	tctx = obs.TraceContext{Trace: binary.BigEndian.Uint64(b[24:]), Span: binary.BigEndian.Uint64(b[32:])}
+	nl := int(binary.BigEndian.Uint32(b[40:]))
+	if nl < 0 || 44+nl > len(b) {
+		return "", 0, 0, 0, obs.TraceContext{}, nil, errors.New("failover: corrupt image message")
 	}
-	name = string(b[28 : 28+nl])
-	img = b[28+nl:]
-	return name, token, seq, ep, img, nil
+	name = string(b[44 : 44+nl])
+	img = b[44+nl:]
+	return name, token, seq, ep, tctx, img, nil
 }

@@ -3,39 +3,41 @@ package migration
 import (
 	"bytes"
 	"testing"
+
+	"dvemig/internal/obs"
 )
 
 // FuzzCkptImage feeds arbitrary bytes to the checkpoint-stream image
 // decoder. Standby daemons parse these frames straight off a TCP
 // connection from another node, so the decoder must never panic, must
-// reject frames shorter than the 28-byte fixed header or with a name
+// reject frames shorter than the 44-byte fixed header or with a name
 // length pointing past the buffer, and every frame it accepts must
 // roundtrip through the encoder bit-for-bit.
 func FuzzCkptImage(f *testing.F) {
-	f.Add(encodeCkptImage("scoreboard", 7, 3, 2, []byte{1, 2, 3}))
-	f.Add(encodeCkptImage("", 0, 0, 0, nil))
+	f.Add(encodeCkptImage("scoreboard", 7, 3, 2, obs.TraceContext{Trace: 5, Span: 9}, []byte{1, 2, 3}))
+	f.Add(encodeCkptImage("", 0, 0, 0, obs.TraceContext{}, nil))
 	f.Add([]byte{})
-	f.Add(make([]byte, 27))
+	f.Add(make([]byte, 43))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		name, token, seq, ep, img, err := decodeCkptImage(data)
-		if len(data) < 28 {
+		name, token, seq, ep, tctx, img, err := decodeCkptImage(data)
+		if len(data) < 44 {
 			if err == nil {
-				t.Fatalf("decoded a %d-byte frame (min header is 28)", len(data))
+				t.Fatalf("decoded a %d-byte frame (min header is 44)", len(data))
 			}
 			return
 		}
 		if err != nil {
 			return
 		}
-		back := encodeCkptImage(name, token, seq, ep, img)
+		back := encodeCkptImage(name, token, seq, ep, tctx, img)
 		if !bytes.Equal(back, data) {
 			t.Fatalf("re-encode is not bit-identical: %x != %x", back, data)
 		}
-		n2, tok2, seq2, ep2, img2, err := decodeCkptImage(back)
+		n2, tok2, seq2, ep2, tctx2, img2, err := decodeCkptImage(back)
 		if err != nil || n2 != name || tok2 != token || seq2 != seq || ep2 != ep ||
-			!bytes.Equal(img2, img) {
-			t.Fatalf("roundtrip broken: (%q,%d,%d,%d,%d bytes,%v)",
-				n2, tok2, seq2, ep2, len(img2), err)
+			tctx2 != tctx || !bytes.Equal(img2, img) {
+			t.Fatalf("roundtrip broken: (%q,%d,%d,%d,%v,%d bytes,%v)",
+				n2, tok2, seq2, ep2, tctx2, len(img2), err)
 		}
 	})
 }

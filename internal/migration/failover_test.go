@@ -7,6 +7,7 @@ import (
 
 	"dvemig/internal/ckpt"
 	"dvemig/internal/netstack"
+	"dvemig/internal/obs"
 	"dvemig/internal/proc"
 	"dvemig/internal/simtime"
 )
@@ -183,7 +184,7 @@ func TestStandbyRetentionBound(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		tok := registerBehavior(&ckpt.Behavior{})
 		tokens = append(tokens, tok)
-		sb.offer(fmt.Sprintf("svc%d", i), tok, 1, 0, 0, []byte("img"))
+		sb.offer(fmt.Sprintf("svc%d", i), tok, 1, 0, obs.TraceContext{}, 0, []byte("img"))
 		c.Sched.RunFor(time.Millisecond) // distinct receive times
 	}
 	if sb.NumImages() != 3 {
@@ -214,18 +215,18 @@ func TestStandbyEpochPrecedence(t *testing.T) {
 		t.Fatal(err)
 	}
 	t1 := registerBehavior(&ckpt.Behavior{})
-	sb.offer("svc", t1, 9, 1, 7, []byte("old-owner"))
+	sb.offer("svc", t1, 9, 1, obs.TraceContext{}, 7, []byte("old-owner"))
 	// A new owner's guardian restarts seq at 1 but carries a higher
 	// epoch: epoch precedence must let it supersede seq 9.
 	t2 := registerBehavior(&ckpt.Behavior{})
-	sb.offer("svc", t2, 1, 2, 8, []byte("new-owner"))
+	sb.offer("svc", t2, 1, 2, obs.TraceContext{}, 8, []byte("new-owner"))
 	ep, seq, from, ok := sb.ImageInfo("svc")
 	if !ok || ep != 2 || seq != 1 || from != 8 {
 		t.Fatalf("ImageInfo = %d/%d/%v/%v", ep, seq, from, ok)
 	}
 	// A stale-epoch image is refused no matter how high its seq.
 	t3 := registerBehavior(&ckpt.Behavior{})
-	sb.offer("svc", t3, 99, 1, 7, []byte("stale"))
+	sb.offer("svc", t3, 99, 1, obs.TraceContext{}, 7, []byte("stale"))
 	if sb.RejectedStale != 1 {
 		t.Fatalf("RejectedStale = %d, want 1", sb.RejectedStale)
 	}

@@ -103,11 +103,14 @@ type phaseTrack struct {
 }
 
 // begin stamps the migration's start time and, when observing, opens
-// the root span on this node's track.
-func (pt *phaseTrack) begin(m *Migrator, name string, pid int) {
+// the root span on this node's track. A valid ctx — the source span's
+// coordinate carried over from another node (or a conductor's rebalance
+// decision on this one) — parents the new span into that trace instead
+// of rooting a fresh one; the zero context behaves exactly like Start.
+func (pt *phaseTrack) begin(m *Migrator, name string, pid int, ctx obs.TraceContext) {
 	pt.last = m.sched().Now()
 	if m.Obs != nil {
-		pt.root = m.Obs.Trace.Start(m.Node.Name, name)
+		pt.root = m.Obs.Trace.StartLinked(m.Node.Name, name, ctx)
 		pt.root.SetInt("pid", int64(pid))
 	}
 }
@@ -123,6 +126,10 @@ func (m *Migrator) firePhase(pt *phaseTrack, ph Phase, round, pid int) {
 	now := m.sched().Now()
 	since := pt.last
 	pt.last = now
+	if m.Node.FR != nil {
+		m.Node.FR.Record(int64(now), "phase", ph.String(),
+			int64(pid), int64(round), int64(now-since))
+	}
 	if m.Obs != nil {
 		m.obsm.phaseUs[ph].Observe(float64(now-since) / 1e3)
 		pt.cur.CloseAt(now)

@@ -14,26 +14,33 @@ import (
 // migrateReq opens a migration. Epoch is the sender's ownership epoch
 // for the service (Name); a destination whose epoch table has seen a
 // higher epoch rejects the request — the sender is acting on superseded
-// ownership.
+// ownership. TraceID/SpanID carry the source migration span's causal
+// coordinate (obs.TraceContext) so the destination's restore spans
+// parent into the same end-to-end trace; both are zero when the plane
+// is disabled.
 type migrateReq struct {
 	PID      int
 	Strategy sockmig.Strategy
 	Token    uint64
 	Epoch    uint64
+	TraceID  uint64
+	SpanID   uint64
 	Name     string
 }
 
 func (m migrateReq) encode() []byte {
-	b := make([]byte, 21, 21+len(m.Name))
+	b := make([]byte, 37, 37+len(m.Name))
 	binary.BigEndian.PutUint32(b[0:], uint32(m.PID))
 	b[4] = byte(m.Strategy)
 	binary.BigEndian.PutUint64(b[5:], m.Token)
 	binary.BigEndian.PutUint64(b[13:], m.Epoch)
+	binary.BigEndian.PutUint64(b[21:], m.TraceID)
+	binary.BigEndian.PutUint64(b[29:], m.SpanID)
 	return append(b, m.Name...)
 }
 
 func decodeMigrateReq(b []byte) (migrateReq, error) {
-	if len(b) < 21 {
+	if len(b) < 37 {
 		return migrateReq{}, errors.New("migration: short MIGRATE_REQ")
 	}
 	return migrateReq{
@@ -41,7 +48,9 @@ func decodeMigrateReq(b []byte) (migrateReq, error) {
 		Strategy: sockmig.Strategy(b[4]),
 		Token:    binary.BigEndian.Uint64(b[5:]),
 		Epoch:    binary.BigEndian.Uint64(b[13:]),
-		Name:     string(b[21:]),
+		TraceID:  binary.BigEndian.Uint64(b[21:]),
+		SpanID:   binary.BigEndian.Uint64(b[29:]),
+		Name:     string(b[37:]),
 	}, nil
 }
 

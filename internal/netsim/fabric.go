@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 
+	"dvemig/internal/flight"
 	"dvemig/internal/simtime"
 )
 
@@ -88,6 +89,21 @@ type NIC struct {
 	FaultDropped    uint64
 	FaultDuplicated uint64
 	FaultDelayed    uint64
+
+	// FR, when attached, records every packet verdict on this NIC into
+	// the flight recorder (tx, rx, drops, duplicates). Nil by default.
+	FR *flight.Recorder
+}
+
+// frPkt packs one endpoint of a packet into a flight-recorder payload:
+// the address in the upper 32 bits, the port in the lower 16.
+func frPkt(ip Addr, port uint16) int64 {
+	return int64(uint64(ip)<<32 | uint64(port))
+}
+
+// frRecord records one packet verdict (no-op when fr is nil).
+func frRecord(fr *flight.Recorder, at simtime.Time, verdict string, p *Packet) {
+	fr.Record(int64(at), "pkt", verdict, frPkt(p.SrcIP, p.SrcPort), frPkt(p.DstIP, p.DstPort), int64(p.Seq))
 }
 
 // SetHandler installs the ingress consumer (the node's network stack).
@@ -119,6 +135,9 @@ func (n *NIC) Send(p *Packet) {
 	n.busyUntil = done
 	n.TxPackets++
 	n.TxBytes += uint64(p.Len())
+	if n.FR != nil {
+		frRecord(n.FR, now, "tx", p)
+	}
 	for _, s := range n.sniffers {
 		s.Capture(now, "tx", p)
 	}
@@ -132,6 +151,9 @@ func (n *NIC) Send(p *Packet) {
 		}
 		if n.lossRand.Float64() < n.Params.LossRate {
 			n.LossDropped++
+			if n.FR != nil {
+				frRecord(n.FR, now, "drop-loss", p)
+			}
 			p.Release() // swallowed by the wire
 			return
 		}
@@ -141,6 +163,9 @@ func (n *NIC) Send(p *Packet) {
 		act := n.fault.Apply(now, "tx", p)
 		if act.Drop {
 			n.FaultDropped++
+			if n.FR != nil {
+				frRecord(n.FR, now, "drop-fault", p)
+			}
 			p.Release()
 			return
 		}
@@ -150,6 +175,9 @@ func (n *NIC) Send(p *Packet) {
 		}
 		if act.Duplicate {
 			n.FaultDuplicated++
+			if n.FR != nil {
+				frRecord(n.FR, now, "dup", p)
+			}
 			dup := p.Clone()
 			n.sched.At(done+n.Params.Latency+extra+act.DupDelay, "netsim.deliver-dup", func() {
 				n.seg.route(n, dup)
@@ -166,12 +194,18 @@ func (n *NIC) deliver(p *Packet) {
 	if n.fault != nil {
 		if act := n.fault.Apply(n.sched.Now(), "rx", p); act.Drop {
 			n.FaultDropped++
+			if n.FR != nil {
+				frRecord(n.FR, n.sched.Now(), "drop-fault", p)
+			}
 			p.Release()
 			return
 		}
 	}
 	n.RxPackets++
 	n.RxBytes += uint64(p.Len())
+	if n.FR != nil {
+		frRecord(n.FR, n.sched.Now(), "rx", p)
+	}
 	for _, s := range n.sniffers {
 		s.Capture(n.sched.Now(), "rx", p)
 	}

@@ -122,6 +122,24 @@ type Packet struct {
 	// Dst is the destination cache entry the packet inherited from its
 	// originating socket (see paper §V-D); nil for forwarded packets.
 	Dst *DstEntry
+
+	// Trace carries the causal trace context of the migration (or
+	// failover checkpoint stream) this packet belongs to. It is
+	// out-of-band simulator metadata: not part of the canonical wire
+	// encoding, never checksummed, and nil for ordinary application
+	// traffic. One immutable TraceRef is shared by every packet of a
+	// stamped socket (a pointer, not two inline words, so the common
+	// unstamped path pays one nil word per packet); Clone's struct copy
+	// preserves it across hops.
+	Trace *TraceRef
+}
+
+// TraceRef is a causal trace coordinate — the trace ID and the deciding
+// span's ID, mirroring obs.TraceContext without importing it (netsim
+// must stay obs-free). Treat as immutable once attached to a socket.
+type TraceRef struct {
+	Trace uint64
+	Span  uint64
 }
 
 // DstEntry models a Linux IP destination cache entry: the resolved next

@@ -3,6 +3,7 @@ package netstack
 import (
 	"fmt"
 
+	"dvemig/internal/flight"
 	"dvemig/internal/netsim"
 	"dvemig/internal/simtime"
 )
@@ -66,6 +67,11 @@ type Stack struct {
 	down bool
 
 	Stats Stats
+
+	// FR, when attached, records stack-level packet verdicts (netfilter
+	// drops/steals, no-socket drops) into the flight recorder. Nil by
+	// default.
+	FR *flight.Recorder
 }
 
 type route struct {
@@ -191,6 +197,7 @@ func (s *Stack) input(p *netsim.Packet) {
 		return
 	}
 	if v := s.runHooks(HookPreRouting, p); v != VerdictAccept {
+		s.frVerdict(v, "prerouting", p)
 		if v == VerdictDrop {
 			p.Release() // stolen packets stay alive in the hook's queue
 		}
@@ -204,12 +211,29 @@ func (s *Stack) input(p *netsim.Packet) {
 		return
 	}
 	if v := s.runHooks(HookLocalIn, p); v != VerdictAccept {
+		s.frVerdict(v, "local-in", p)
 		if v == VerdictDrop {
 			p.Release()
 		}
 		return
 	}
 	s.demux(p)
+}
+
+// frVerdict records a non-accept netfilter verdict into the flight
+// recorder: hook-drop for discarded packets, hook-steal for packets a
+// capture filter took over. One pointer check when detached.
+func (s *Stack) frVerdict(v Verdict, hook string, p *netsim.Packet) {
+	if s.FR == nil {
+		return
+	}
+	kind := "hook-drop"
+	if v == VerdictStolen {
+		kind = "hook-steal"
+	}
+	s.FR.Record(int64(s.sched.Now()), kind, hook,
+		int64(uint64(p.SrcIP)<<32|uint64(p.SrcPort)),
+		int64(uint64(p.DstIP)<<32|uint64(p.DstPort)), int64(p.Seq))
 }
 
 // Reinject is the okfn (ip_rcv_finish): it resubmits a stolen packet to
@@ -272,12 +296,14 @@ func (s *Stack) transmit(p *netsim.Packet) {
 		p.Dst = e
 	}
 	if v := s.runHooks(HookLocalOut, p); v != VerdictAccept {
+		s.frVerdict(v, "local-out", p)
 		if v == VerdictDrop {
 			p.Release()
 		}
 		return
 	}
 	if v := s.runHooks(HookPostRouting, p); v != VerdictAccept {
+		s.frVerdict(v, "postrouting", p)
 		if v == VerdictDrop {
 			p.Release()
 		}

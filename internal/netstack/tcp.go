@@ -131,6 +131,14 @@ type TCPSocket struct {
 
 	MSS int
 
+	// Trace identifies the causal trace of the migration (or checkpoint
+	// stream) this socket serves. Nil for application sockets; the
+	// migration engine stamps its control connections with one shared
+	// immutable TraceRef so every segment the socket emits carries the
+	// trace context as out-of-band packet metadata. Not serialized by
+	// migration: a migrated application socket starts clean.
+	Trace *netsim.TraceRef
+
 	// The five queues of §V-C1. writeQueue holds sent-but-unacked
 	// segments (retransmission source); sndBuf is app data not yet
 	// segmented because cwnd is full. receiveQueue holds in-order data
@@ -787,6 +795,7 @@ func (sk *TCPSocket) makePacket(flags byte, seq, ack uint32, payload []byte) *ne
 		TSVal: sk.LastTxJiffies, TSEcr: sk.TSRecent,
 		Payload: payload,
 		Dst:     sk.dst,
+		Trace:   sk.Trace,
 	}
 	p.FixChecksum()
 	return p

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dvemig/internal/simtime"
+)
+
+// connectedCapture builds a capture shaped like a real migration trace:
+// a conductor rebalance root on node1, the source migration span linked
+// under it, phase children, and the destination inbound span linked
+// across tracks.
+func connectedCapture(t *testing.T) *Capture {
+	t.Helper()
+	sched := simtime.NewScheduler()
+	o := New(sched)
+	bal := o.T().Start("node1", "rebalance")
+	mig := o.T().StartLinked("node1", "migration", bal.Context())
+	fr := mig.Child("freeze")
+	inb := o.T().StartLinked("node2", "inbound", mig.Context())
+	rst := inb.Child("restore")
+	rst.Close()
+	inb.Close()
+	fr.Close()
+	mig.Close()
+	bal.Close()
+	return o.Capture("run")
+}
+
+func traceBytes(t *testing.T, c *Capture) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func TestCheckConnectedAcceptsLinkedTrace(t *testing.T) {
+	data := traceBytes(t, connectedCapture(t))
+	if err := ValidateChromeTrace(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckConnected(data); err != nil {
+		t.Fatalf("connected trace rejected: %v", err)
+	}
+}
+
+func TestCheckConnectedRejectsOrphanInbound(t *testing.T) {
+	sched := simtime.NewScheduler()
+	o := New(sched)
+	mig := o.T().Start("node1", "migration")
+	// The destination roots its own trace: the context was dropped.
+	inb := o.T().Start("node2", "inbound")
+	inb.Close()
+	mig.Close()
+	err := CheckConnected(traceBytes(t, o.Capture("run")))
+	if err == nil {
+		t.Fatal("orphan inbound accepted")
+	}
+	if !strings.Contains(err.Error(), "inbound") {
+		t.Fatalf("error does not name the orphan span: %v", err)
+	}
+}
+
+func TestCheckConnectedRequiresCrossTrackLink(t *testing.T) {
+	// A migration trace that never reaches a second track.
+	sched := simtime.NewScheduler()
+	o := New(sched)
+	mig := o.T().Start("node1", "migration")
+	mig.Child("freeze").Close()
+	mig.Close()
+	err := CheckConnected(traceBytes(t, o.Capture("run")))
+	if err == nil || !strings.Contains(err.Error(), "no trace links") {
+		t.Fatalf("single-track trace accepted: %v", err)
+	}
+}
+
+func TestCheckConnectedRejectsGarbage(t *testing.T) {
+	if err := CheckConnected([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := CheckConnected([]byte(`{"traceEvents":[]}`)); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestValidateMetricsText(t *testing.T) {
+	sched := simtime.NewScheduler()
+	o := New(sched)
+	o.M().Counter("mig/completed_total").Inc()
+	o.M().Gauge("nodes/cpu").Set(0.4)
+	h := o.M().Histogram("mig/freeze_us", DurationBucketsUs)
+	h.Observe(500)
+	h.Observe(90000)
+	c := o.Capture("run")
+	var b bytes.Buffer
+	if err := WriteMetricsText(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateMetricsText(b.Bytes()); err != nil {
+		t.Fatalf("real metrics export rejected: %v", err)
+	}
+}
+
+func TestValidateMetricsTextFailures(t *testing.T) {
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{"empty", "", "no metric lines"},
+		{"outside-section", "mig/x 4\n", "outside any section"},
+		{"negative-counter", "# counters\nmig/x -3\n", "monotonic"},
+		{"fractional-counter", "# counters\nmig/x 3.5\n", "monotonic"},
+		{"bad-gauge", "# gauges\nnodes/cpu abc\n", "not numeric"},
+		{"bad-section", "# bogus\n", "unknown section header"},
+		{"hist-count-mismatch", "# histograms (name count sum mean buckets…)\nmig/f_us n=3 sum=30 mean=10 le100=2\n", "bucket counts sum to 2 but n=3"},
+		{"hist-bounds-order", "# histograms (name count sum mean buckets…)\nmig/f_us n=2 sum=30 mean=15 le100=1 le50=1\n", "not strictly increasing"},
+		{"hist-mean-lie", "# histograms (name count sum mean buckets…)\nmig/f_us n=2 sum=30 mean=99 le100=2\n", "inconsistent"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateMetricsText([]byte(tc.text))
+			if err == nil {
+				t.Fatalf("accepted %q", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}

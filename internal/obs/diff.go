@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// First-divergence diagnosis between two exported observability
+// artifacts. Exports are deterministic functions of a run, so the first
+// event (trace) or line (metrics) where two artifacts disagree is the
+// first observable symptom of a determinism break; everything after it
+// is cascade. DiffTraceJSON and DiffMetricsText localize that point and,
+// for traces, reconstruct the divergent span's causal ancestry from the
+// parent_id chain the exporter embeds in span args.
+
+// Divergence describes the first point where two artifacts disagree.
+type Divergence struct {
+	// Kind is "trace" or "metrics".
+	Kind string
+	// Index is the 0-based event index (trace) or 1-based line number
+	// (metrics) of the first disagreement.
+	Index int
+	// Path locates the divergent object: "pid 1 span migration
+	// (span_id 3, track node1)" for traces, the metric name for metrics.
+	Path string
+	// Detail says what differs (field-by-field for trace events, the two
+	// lines for metrics).
+	Detail string
+	// Ancestry is the divergent span's causal chain, root first, each
+	// entry "name (span_id N, track T)". Empty for metrics and for
+	// non-span events.
+	Ancestry []string
+}
+
+func (d *Divergence) String() string {
+	if d == nil {
+		return "identical"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "first divergence: %s[%d] %s\n  %s\n", d.Kind, d.Index, d.Path, d.Detail)
+	if len(d.Ancestry) > 0 {
+		b.WriteString("  causal ancestry (root first):\n")
+		for i, a := range d.Ancestry {
+			fmt.Fprintf(&b, "    %s%s\n", strings.Repeat("  ", i), a)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// diffEvent is the subset of the Chrome trace_event schema the differ
+// aligns on; Raw retains every field for the detail report.
+type diffEvent struct {
+	Raw map[string]any
+}
+
+func (e diffEvent) str(key string) string {
+	v, _ := e.Raw[key].(string)
+	return v
+}
+
+func (e diffEvent) num(key string) (float64, bool) {
+	v, ok := e.Raw[key].(float64)
+	return v, ok
+}
+
+func (e diffEvent) arg(key string) string {
+	args, _ := e.Raw["args"].(map[string]any)
+	v, _ := args[key].(string)
+	return v
+}
+
+// pathOf renders a human-readable locator for one event.
+func (e diffEvent) pathOf() string {
+	pid, _ := e.num("pid")
+	name := e.str("name")
+	switch e.str("ph") {
+	case "X":
+		p := fmt.Sprintf("pid %d span %q", int(pid), name)
+		if id := e.arg("span_id"); id != "" {
+			p += fmt.Sprintf(" (span_id %s)", id)
+		}
+		return p
+	case "i":
+		return fmt.Sprintf("pid %d instant %q", int(pid), name)
+	case "M":
+		return fmt.Sprintf("pid %d metadata %q", int(pid), name)
+	default:
+		return fmt.Sprintf("pid %d %s event %q", int(pid), e.str("ph"), name)
+	}
+}
+
+func parseTrace(data []byte) ([]diffEvent, error) {
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return nil, fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	evs := make([]diffEvent, len(doc.TraceEvents))
+	for i, raw := range doc.TraceEvents {
+		evs[i] = diffEvent{Raw: raw}
+	}
+	return evs, nil
+}
+
+// canonJSON renders any JSON value deterministically (encoding/json
+// sorts map keys), for field-level comparison.
+func canonJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("%v", v)
+	}
+	return string(b)
+}
+
+// eventDetail lists the fields on which two aligned events differ.
+func eventDetail(a, b diffEvent) string {
+	keys := map[string]bool{}
+	for k := range a.Raw {
+		keys[k] = true
+	}
+	for k := range b.Raw {
+		keys[k] = true
+	}
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var diffs []string
+	for _, k := range names {
+		av, aok := a.Raw[k]
+		bv, bok := b.Raw[k]
+		switch {
+		case !aok:
+			diffs = append(diffs, fmt.Sprintf("%s: <absent> != %s", k, canonJSON(bv)))
+		case !bok:
+			diffs = append(diffs, fmt.Sprintf("%s: %s != <absent>", k, canonJSON(av)))
+		case canonJSON(av) != canonJSON(bv):
+			diffs = append(diffs, fmt.Sprintf("%s: %s != %s", k, canonJSON(av), canonJSON(bv)))
+		}
+	}
+	if len(diffs) == 0 {
+		return "events identical" // unreachable when called on a mismatch
+	}
+	return strings.Join(diffs, "; ")
+}
+
+// ancestryOf walks the parent_id chain of a span event through the
+// artifact's (pid, span_id) index and returns the chain root-first.
+func ancestryOf(e diffEvent, evs []diffEvent) []string {
+	if e.str("ph") != "X" {
+		return nil
+	}
+	pid, _ := e.num("pid")
+	index := map[string]diffEvent{}
+	for _, ev := range evs {
+		if p, _ := ev.num("pid"); p != pid || ev.str("ph") != "X" {
+			continue
+		}
+		if id := ev.arg("span_id"); id != "" {
+			index[id] = ev
+		}
+	}
+	var chain []string
+	cur := e
+	for steps := 0; steps < 1000; steps++ { // cycle guard
+		track := ""
+		for _, ev := range evs {
+			if p, _ := ev.num("pid"); int(p) == int(pid) && ev.str("ph") == "M" &&
+				ev.str("name") == "thread_name" {
+				tidA, _ := ev.num("tid")
+				tidB, _ := cur.num("tid")
+				if tidA == tidB {
+					track = ev.arg("name")
+				}
+			}
+		}
+		entry := fmt.Sprintf("%s (span_id %s", cur.str("name"), cur.arg("span_id"))
+		if track != "" {
+			entry += fmt.Sprintf(", track %s", track)
+		}
+		entry += ")"
+		chain = append(chain, entry)
+		pidStr := cur.arg("parent_id")
+		if pidStr == "" {
+			break
+		}
+		next, ok := index[pidStr]
+		if !ok {
+			chain = append(chain, fmt.Sprintf("<unresolved parent span_id %s>", pidStr))
+			break
+		}
+		cur = next
+	}
+	// Reverse: root first.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+// DiffTraceJSON compares two exported Chrome traces event-by-event and
+// returns the first divergence (nil when identical). The divergent
+// event's causal ancestry is reconstructed from the span_id/parent_id
+// coordinates in span args, using the first artifact's tree (falling
+// back to the second when the event only exists there).
+func DiffTraceJSON(a, b []byte) (*Divergence, error) {
+	ea, err := parseTrace(a)
+	if err != nil {
+		return nil, fmt.Errorf("artifact A: %w", err)
+	}
+	eb, err := parseTrace(b)
+	if err != nil {
+		return nil, fmt.Errorf("artifact B: %w", err)
+	}
+	n := len(ea)
+	if len(eb) < n {
+		n = len(eb)
+	}
+	for i := 0; i < n; i++ {
+		if canonJSON(ea[i].Raw) == canonJSON(eb[i].Raw) {
+			continue
+		}
+		return &Divergence{
+			Kind: "trace", Index: i,
+			Path:     ea[i].pathOf(),
+			Detail:   eventDetail(ea[i], eb[i]),
+			Ancestry: ancestryOf(ea[i], ea),
+		}, nil
+	}
+	if len(ea) != len(eb) {
+		longer, which := ea, "A"
+		if len(eb) > len(ea) {
+			longer, which = eb, "B"
+		}
+		e := longer[n]
+		return &Divergence{
+			Kind: "trace", Index: n,
+			Path:     e.pathOf(),
+			Detail:   fmt.Sprintf("event count differs: A has %d, B has %d; first extra event only in %s", len(ea), len(eb), which),
+			Ancestry: ancestryOf(e, longer),
+		}, nil
+	}
+	return nil, nil
+}
+
+// DiffMetricsText compares two -metrics-out artifacts line-by-line and
+// returns the first divergence (nil when identical). Path carries the
+// metric name (the line's first field).
+func DiffMetricsText(a, b []byte) (*Divergence, error) {
+	la := strings.Split(strings.TrimRight(string(a), "\n"), "\n")
+	lb := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if la[i] == lb[i] {
+			continue
+		}
+		return &Divergence{
+			Kind: "metrics", Index: i + 1,
+			Path:   metricNameOf(la[i], lb[i]),
+			Detail: fmt.Sprintf("A: %s\n  B: %s", strings.TrimSpace(la[i]), strings.TrimSpace(lb[i])),
+		}, nil
+	}
+	if len(la) != len(lb) {
+		longer := la
+		if len(lb) > len(la) {
+			longer = lb
+		}
+		return &Divergence{
+			Kind: "metrics", Index: n + 1,
+			Path:   metricNameOf(longer[n], ""),
+			Detail: fmt.Sprintf("line count differs: A has %d, B has %d", len(la), len(lb)),
+		}, nil
+	}
+	return nil, nil
+}
+
+// metricNameOf extracts the metric name from the first non-empty of the
+// two lines (section headers report as themselves).
+func metricNameOf(a, b string) string {
+	line := a
+	if strings.TrimSpace(line) == "" {
+		line = b
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return "<blank line>"
+	}
+	if strings.HasPrefix(line, "#") || strings.HasPrefix(line, "===") {
+		return line
+	}
+	if f := strings.Fields(line); len(f) > 0 {
+		return f[0]
+	}
+	return line
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dvemig/internal/simtime"
+)
+
+// buildCapture makes a small two-node trace: a root "migration" span on
+// node1 with a "freeze" child, and a cross-node "inbound" span on node2
+// parented into the root — plus a couple of metrics.
+func buildCapture(t *testing.T, freezeCost float64) *Capture {
+	t.Helper()
+	sched := simtime.NewScheduler()
+	o := New(sched)
+	root := o.T().Start("node1", "migration")
+	sched.After(1e6, "x", func() {})
+	sched.Run()
+	fr := root.Child("freeze")
+	inb := o.T().StartLinked("node2", "inbound", root.Context())
+	fr.Close()
+	inb.Close()
+	root.Close()
+	o.M().Counter("mig/completed_total").Inc()
+	o.M().Histogram("mig/freeze_us", DurationBucketsUs).Observe(freezeCost)
+	return o.Capture("run")
+}
+
+func exportBoth(t *testing.T, c *Capture) (traceJSON, metricsTxt []byte) {
+	t.Helper()
+	var tb, mb bytes.Buffer
+	if err := WriteChromeTrace(&tb, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetricsText(&mb, c); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), mb.Bytes()
+}
+
+func TestDiffIdenticalArtifacts(t *testing.T) {
+	ta, ma := exportBoth(t, buildCapture(t, 500))
+	tb, mb := exportBoth(t, buildCapture(t, 500))
+	if d, err := DiffTraceJSON(ta, tb); err != nil || d != nil {
+		t.Fatalf("trace diff of identical runs: %v, %v", d, err)
+	}
+	if d, err := DiffMetricsText(ma, mb); err != nil || d != nil {
+		t.Fatalf("metrics diff of identical runs: %v, %v", d, err)
+	}
+}
+
+// TestDiffLocalizesInjectedTraceDivergence is the acceptance check: an
+// artificially injected divergence (one span attribute changed between
+// two otherwise identical exports) must be localized to that exact span,
+// with its causal ancestry running back to the migration root.
+func TestDiffLocalizesInjectedTraceDivergence(t *testing.T) {
+	ta, _ := exportBoth(t, buildCapture(t, 500))
+	// Inject: rebuild the second capture identically, then poison the
+	// cross-node inbound span's attrs before export.
+	c := buildCapture(t, 500)
+	for _, s := range c.Trace.Spans {
+		if s.Name == "inbound" {
+			s.SetAttr("poison", "1")
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	d, err := DiffTraceJSON(ta, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("injected divergence not detected")
+	}
+	if !strings.Contains(d.Path, `span "inbound"`) {
+		t.Fatalf("divergence not localized to the poisoned span: %s", d.Path)
+	}
+	if !strings.Contains(d.Detail, "poison") {
+		t.Fatalf("detail does not name the differing field: %s", d.Detail)
+	}
+	if len(d.Ancestry) < 2 || !strings.Contains(d.Ancestry[0], "migration") ||
+		!strings.Contains(d.Ancestry[len(d.Ancestry)-1], "inbound") {
+		t.Fatalf("ancestry does not run root→divergent span: %v", d.Ancestry)
+	}
+	// The ancestry names the tracks, making the cross-node hop visible.
+	if !strings.Contains(d.Ancestry[0], "node1") || !strings.Contains(d.Ancestry[1], "node2") {
+		t.Fatalf("ancestry lacks track attribution: %v", d.Ancestry)
+	}
+}
+
+func TestDiffLocalizesInjectedMetricDivergence(t *testing.T) {
+	_, ma := exportBoth(t, buildCapture(t, 500))
+	_, mb := exportBoth(t, buildCapture(t, 900)) // different freeze cost
+	d, err := DiffMetricsText(ma, mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("metric divergence not detected")
+	}
+	if d.Path != "mig/freeze_us" {
+		t.Fatalf("divergence not localized to the changed metric: %s", d.Path)
+	}
+	if !strings.Contains(d.Detail, "A:") || !strings.Contains(d.Detail, "B:") {
+		t.Fatalf("detail lacks both lines: %s", d.Detail)
+	}
+}
+
+func TestDiffTraceLengthMismatch(t *testing.T) {
+	ta, _ := exportBoth(t, buildCapture(t, 500))
+	// Second run has an extra instant.
+	c := buildCapture(t, 500)
+	c.Trace.Instant("node1", "extra")
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	d, err := DiffTraceJSON(ta, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || !strings.Contains(d.Detail, "event count differs") {
+		t.Fatalf("length mismatch not reported: %+v", d)
+	}
+}
+
+func TestDiffRejectsGarbage(t *testing.T) {
+	if _, err := DiffTraceJSON([]byte("not json"), []byte("{}")); err == nil {
+		t.Fatal("garbage trace accepted")
+	}
+	if _, err := DiffTraceJSON([]byte(`{"traceEvents":[]}`), []byte(`{"other":1}`)); err == nil {
+		t.Fatal("trace without traceEvents accepted")
+	}
+}

@@ -25,6 +25,8 @@ type chromeEvent struct {
 	Dur   *float64          `json:"dur,omitempty"`
 	Pid   int               `json:"pid"`
 	Tid   int               `json:"tid"`
+	ID    string            `json:"id,omitempty"` // flow-event binding id
+	BP    string            `json:"bp,omitempty"` // flow binding point ("e" = enclosing slice)
 	Scope string            `json:"s,omitempty"`
 	Args  map[string]string `json:"args,omitempty"`
 }
@@ -43,6 +45,22 @@ func attrMap(attrs []Attr) map[string]string {
 	m := make(map[string]string, len(attrs))
 	for _, a := range attrs {
 		m[a.Key] = a.Val
+	}
+	return m
+}
+
+// spanArgs builds the export args for a span: user attributes plus the
+// causal coordinates (span_id/trace_id/parent_id) that tracecheck
+// -connected and obsdiff consume to reconstruct the span tree.
+func spanArgs(s *Span) map[string]string {
+	m := make(map[string]string, len(s.Attrs)+3)
+	for _, a := range s.Attrs {
+		m[a.Key] = a.Val
+	}
+	m["span_id"] = itoa(int64(s.ID))
+	m["trace_id"] = itoa(int64(s.TraceID))
+	if s.Parent != nil {
+		m["parent_id"] = itoa(int64(s.Parent.ID))
 	}
 	return m
 }
@@ -91,8 +109,30 @@ func WriteChromeTrace(w io.Writer, caps ...*Capture) error {
 				Name: s.Name, Cat: "span", Ph: "X",
 				Ts: usOf(s.Start), Dur: &dur,
 				Pid: pid, Tid: tidOf(s.Track),
-				Args: attrMap(s.Attrs),
+				Args: spanArgs(s),
 			})
+			// Cross-track parent links render as Perfetto flow arrows:
+			// a flow start ("s") inside the parent slice pointing at a
+			// flow finish ("f") bound to the child slice. Same-track
+			// links nest by containment and need no arrow.
+			if p := s.Parent; p != nil && p.Track != s.Track {
+				fid := fmt.Sprintf("p%d.s%d", pid, s.ID)
+				at := s.Start
+				if at > p.End {
+					at = p.End
+				}
+				if at < p.Start {
+					at = p.Start
+				}
+				doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+					Name: "causal", Cat: "flow", Ph: "s",
+					Ts: usOf(at), Pid: pid, Tid: tidOf(p.Track), ID: fid,
+				})
+				doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+					Name: "causal", Cat: "flow", Ph: "f", BP: "e",
+					Ts: usOf(s.Start), Pid: pid, Tid: tidOf(s.Track), ID: fid,
+				})
+			}
 		}
 		for _, in := range c.Trace.Instants {
 			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
@@ -159,11 +199,12 @@ func WriteTimeline(w io.Writer, caps ...*Capture) error {
 		}
 		type line struct {
 			at    simtime.Time
-			order int
+			track string
+			kind  int // 0 = span begin, 1 = instant (spans sort first on full ties)
+			id    uint64
 			text  string
 		}
 		var lines []line
-		order := 0
 		depthOf := func(s *Span) int {
 			d := 0
 			for p := s.Parent; p != nil; p = p.Parent {
@@ -177,25 +218,33 @@ func WriteTimeline(w io.Writer, caps ...*Capture) error {
 			for _, a := range s.Attrs {
 				attrs += fmt.Sprintf(" %s=%s", a.Key, a.Val)
 			}
-			lines = append(lines, line{at: s.Start, order: order, text: fmt.Sprintf(
+			lines = append(lines, line{at: s.Start, track: s.Track, kind: 0, id: s.ID, text: fmt.Sprintf(
 				"%12.3fms %-8s %s%s [%.3fms]%s", usOf(s.Start)/1e3, s.Track, ind, s.Name,
 				usOf(s.End-s.Start)/1e3, attrs)})
-			order++
 		}
-		for _, in := range c.Trace.Instants {
+		for i, in := range c.Trace.Instants {
 			attrs := ""
 			for _, a := range in.Attrs {
 				attrs += fmt.Sprintf(" %s=%s", a.Key, a.Val)
 			}
-			lines = append(lines, line{at: in.At, order: order, text: fmt.Sprintf(
+			lines = append(lines, line{at: in.At, track: in.Track, kind: 1, id: uint64(i + 1), text: fmt.Sprintf(
 				"%12.3fms %-8s * %s%s", usOf(in.At)/1e3, in.Track, in.Name, attrs)})
-			order++
 		}
+		// Same-timestamp events order by (node, span ID): ties are broken
+		// first by track name, then spans before instants, then by span
+		// ID (creation order) — never by incidental record interleaving.
 		sort.SliceStable(lines, func(i, j int) bool {
-			if lines[i].at != lines[j].at {
-				return lines[i].at < lines[j].at
+			a, b := lines[i], lines[j]
+			if a.at != b.at {
+				return a.at < b.at
 			}
-			return lines[i].order < lines[j].order
+			if a.track != b.track {
+				return a.track < b.track
+			}
+			if a.kind != b.kind {
+				return a.kind < b.kind
+			}
+			return a.id < b.id
 		})
 		for _, l := range lines {
 			bw.WriteString(l.text)

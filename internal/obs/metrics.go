@@ -324,7 +324,13 @@ func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 // add; gauges keep the last writer, in argument order). Inputs are not
 // mutated; nils are skipped. Merging in canonical cell order keeps the
 // result bit-identical at any sweep worker count.
-func MergeSnapshots(snaps ...*Snapshot) *Snapshot {
+//
+// Two histograms under the same name must agree on their bucket bounds:
+// a mismatch means the cells were configured differently and their
+// bucket counts are not summable — MergeSnapshots returns an error
+// rather than silently merging incomparable data. Disjoint metric sets
+// merge fine (absent entries count from zero).
+func MergeSnapshots(snaps ...*Snapshot) (*Snapshot, error) {
 	ctr := map[string]uint64{}
 	gauge := map[string]float64{}
 	hist := map[string]*HistPoint{}
@@ -348,10 +354,12 @@ func MergeSnapshots(snaps ...*Snapshot) *Snapshot {
 				}
 				hist[h.Name] = m
 			}
-			if len(m.Counts) == len(h.Counts) {
-				for i := range h.Counts {
-					m.Counts[i] += h.Counts[i]
-				}
+			if !sameBounds(m.Bounds, h.Bounds) || len(m.Counts) != len(h.Counts) {
+				return nil, fmt.Errorf("obs: histogram %q bucket bounds mismatch across snapshots (%d vs %d buckets)",
+					h.Name, len(m.Counts), len(h.Counts))
+			}
+			for i := range h.Counts {
+				m.Counts[i] += h.Counts[i]
 			}
 			m.Sum += h.Sum
 			m.N += h.N
@@ -370,7 +378,20 @@ func MergeSnapshots(snaps ...*Snapshot) *Snapshot {
 		out.Hists = append(out.Hists, *h)
 	}
 	sort.Slice(out.Hists, func(i, j int) bool { return out.Hists[i].Name < out.Hists[j].Name })
-	return out
+	return out, nil
+}
+
+// sameBounds reports whether two bucket-bound slices are identical.
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Text renders the snapshot as aligned plain text, the -metrics-out

@@ -139,7 +139,10 @@ func TestMergeSnapshots(t *testing.T) {
 	b.Counter("c").Add(2)
 	b.Counter("only_b").Inc()
 	b.Histogram("h", []float64{10}).Observe(50)
-	m := MergeSnapshots(a.Snapshot(), nil, b.Snapshot())
+	m, err := MergeSnapshots(a.Snapshot(), nil, b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if v, _ := m.Counter("c"); v != 3 {
 		t.Fatalf("merged c = %d", v)
 	}
@@ -151,9 +154,65 @@ func TestMergeSnapshots(t *testing.T) {
 		t.Fatalf("merged hist = %+v", hp)
 	}
 	// merge is independent of argument grouping when order is preserved
-	m2 := MergeSnapshots(MergeSnapshots(a.Snapshot()), b.Snapshot())
+	ma, err := MergeSnapshots(a.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := MergeSnapshots(ma, b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.Text() != m2.Text() {
 		t.Fatalf("merge not associative:\n%s\nvs\n%s", m.Text(), m2.Text())
+	}
+}
+
+func TestMergeSnapshotsEdgeCases(t *testing.T) {
+	// Empty input: a valid, empty snapshot — not nil, not an error.
+	m, err := MergeSnapshots()
+	if err != nil || m == nil || len(m.Counters) != 0 || len(m.Hists) != 0 {
+		t.Fatalf("empty merge = %+v, %v", m, err)
+	}
+	// All-nil input behaves like empty input.
+	if m, err = MergeSnapshots(nil, nil); err != nil || m == nil {
+		t.Fatalf("all-nil merge = %+v, %v", m, err)
+	}
+
+	// Disjoint metric sets: union, nothing dropped.
+	a := NewRegistry()
+	a.Counter("alpha").Add(3)
+	a.Histogram("ha", []float64{1, 2}).Observe(1.5)
+	b := NewRegistry()
+	b.Counter("beta").Add(4)
+	b.Gauge("gb").Set(7)
+	m, err = MergeSnapshots(a.Snapshot(), b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Counter("alpha"); !ok || v != 3 {
+		t.Fatalf("alpha = %d/%v", v, ok)
+	}
+	if v, ok := m.Counter("beta"); !ok || v != 4 {
+		t.Fatalf("beta = %d/%v", v, ok)
+	}
+	if hp, ok := m.Hist("ha"); !ok || hp.N != 1 {
+		t.Fatalf("ha = %+v/%v", hp, ok)
+	}
+	if len(m.Gauges) != 1 || m.Gauges[0].Value != 7 {
+		t.Fatalf("gauges = %+v", m.Gauges)
+	}
+
+	// Histogram bucket-boundary mismatch must be an error, not a silent
+	// merge of incompatible counts.
+	c := NewRegistry()
+	c.Histogram("ha", []float64{1, 5}).Observe(1.5)
+	if _, err = MergeSnapshots(a.Snapshot(), c.Snapshot()); err == nil {
+		t.Fatal("bucket-boundary mismatch silently merged")
+	}
+	d := NewRegistry()
+	d.Histogram("ha", []float64{1, 2, 3}).Observe(1.5)
+	if _, err = MergeSnapshots(a.Snapshot(), d.Snapshot()); err == nil {
+		t.Fatal("bucket-count mismatch silently merged")
 	}
 }
 

@@ -20,8 +20,39 @@ type Span struct {
 
 	Parent *Span
 
+	// ID is the 1-based creation index of the span within its tracer —
+	// deterministic on the single-threaded event loop and stable across
+	// runs. TraceID is the ID of the root span of the causal tree this
+	// span belongs to: a plain Start roots a new trace (TraceID == ID),
+	// Child and StartLinked inherit the parent's TraceID, so every span
+	// of one end-to-end migration shares the root migration span's ID.
+	ID      uint64
+	TraceID uint64
+
 	tr   *Tracer
 	open bool
+}
+
+// TraceContext is the compact causal coordinate of a span — just the
+// trace ID and the span's own ID — small enough to ride on control
+// messages (16 bytes on the wire) and to stamp onto packets as
+// out-of-band metadata. The zero value means "no context".
+type TraceContext struct {
+	Trace uint64 // TraceID of the causal tree
+	Span  uint64 // ID of the span acting as parent
+}
+
+// Valid reports whether the context names a real span.
+func (tc TraceContext) Valid() bool { return tc.Span != 0 }
+
+// Context returns the span's causal coordinate for propagation across
+// node boundaries. Nil-safe: a nil span yields the zero context, which
+// StartLinked treats as "root a fresh trace".
+func (s *Span) Context() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{Trace: s.TraceID, Span: s.ID}
 }
 
 // Instant is a point annotation (a fault firing, a detector flip, an
@@ -72,8 +103,41 @@ func (t *Tracer) startAt(track, name string, parent *Span) *Span {
 	}
 	now := t.clock.Now()
 	s := &Span{Name: name, Track: track, Start: now, Parent: parent, tr: t, open: true}
+	s.ID = uint64(len(t.Spans) + 1)
+	if parent != nil {
+		s.TraceID = parent.TraceID
+	} else {
+		s.TraceID = s.ID
+	}
 	t.Spans = append(t.Spans, s)
 	t.note(now)
+	return s
+}
+
+// StartLinked opens a span whose causal parent arrived from another
+// node as a TraceContext (e.g. carried on a migd control message). If
+// the context resolves to a recorded span, the new span parents into it
+// and inherits its trace ID — even across tracks — so the destination's
+// restore tree hangs off the source's migration root in one connected
+// trace. An invalid or foreign context roots a fresh trace, exactly
+// like Start.
+func (t *Tracer) StartLinked(track, name string, ctx TraceContext) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.startAt(track, name, t.Lookup(ctx))
+}
+
+// Lookup resolves a TraceContext back to the span it names, or nil if
+// the context is zero or does not belong to this tracer.
+func (t *Tracer) Lookup(ctx TraceContext) *Span {
+	if t == nil || ctx.Span == 0 || ctx.Span > uint64(len(t.Spans)) {
+		return nil
+	}
+	s := t.Spans[ctx.Span-1]
+	if s.TraceID != ctx.Trace {
+		return nil
+	}
 	return s
 }
 

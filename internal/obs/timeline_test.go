@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dvemig/internal/simtime"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// TestWriteTimelineGolden pins the timeline's same-timestamp ordering
+// against a golden file. The capture is deliberately adversarial: all
+// events land on the same virtual instant and are *recorded* in
+// reverse-sorted order (instant first, track "zulu" before "alpha",
+// high span IDs before low). The timeline must order by (time, track,
+// spans-before-instants, span ID) — never by incidental record
+// interleaving — so the golden bytes are the contract.
+func TestWriteTimelineGolden(t *testing.T) {
+	sched := simtime.NewScheduler()
+	o := New(sched)
+	tr := o.T()
+	sched.After(2e6, "warp", func() {})
+	sched.Run() // all events below stamp t=2ms
+
+	tr.Instant("zulu", "late-instant", Attr{Key: "k", Val: "v"})
+	zr := tr.Start("zulu", "zulu-root")
+	zc := zr.Child("zulu-child")
+	tr.Instant("alpha", "alpha-instant")
+	ar := tr.Start("alpha", "alpha-root")
+	ar.SetInt("n", 7)
+	ar.CloseAt(2e6)
+	zc.CloseAt(2e6)
+	zr.CloseAt(2e6)
+	c := o.Capture("tie-break")
+
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "timeline_tiebreak.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("timeline drifted from golden file:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}

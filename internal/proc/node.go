@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dvemig/internal/flight"
 	"dvemig/internal/netsim"
 	"dvemig/internal/netstack"
 	"dvemig/internal/simtime"
@@ -26,6 +27,11 @@ type Node struct {
 
 	Alive bool
 
+	// FR, when attached, is this node's flight recorder: migration phase
+	// transitions, failure-detector flips and conductor decisions record
+	// into it. AttachFlight wires it (plus the stack and NIC recorders).
+	FR *flight.Recorder
+
 	processes map[int]*Process
 	nextPID   int
 	tickers   map[int]*simtime.Ticker
@@ -41,6 +47,31 @@ func newNode(name string, sched *simtime.Scheduler, bootJiffies uint32) *Node {
 		processes: make(map[int]*Process),
 		tickers:   make(map[int]*simtime.Ticker),
 		nextPID:   100,
+	}
+}
+
+// AttachFlight wires a flight-recorder set into the node: one recorder
+// for node-level events (n.FR), one for the stack's packet verdicts, and
+// one per NIC for wire-level verdicts. Passing nil detaches them all.
+func (n *Node) AttachFlight(set *flight.Set) {
+	if set == nil {
+		n.FR = nil
+		n.Stack.FR = nil
+		if n.PublicNIC != nil {
+			n.PublicNIC.FR = nil
+		}
+		if n.LocalNIC != nil {
+			n.LocalNIC.FR = nil
+		}
+		return
+	}
+	n.FR = set.Track(n.Name)
+	n.Stack.FR = set.Track(n.Name + "/stack")
+	if n.PublicNIC != nil {
+		n.PublicNIC.FR = set.Track(n.Name + "/nic-pub")
+	}
+	if n.LocalNIC != nil {
+		n.LocalNIC.FR = set.Track(n.Name + "/nic-local")
 	}
 }
 

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"dvemig/internal/flight"
 )
 
 // Duration is a span of virtual time. It reuses time.Duration so that the
@@ -109,6 +111,11 @@ type Scheduler struct {
 	nsteps   uint64
 	ncancels uint64
 	free     []*Event
+
+	// FR, when attached, records every event fire into the flight
+	// recorder: virtual time, event name, and sequence number. Nil (the
+	// default) costs one pointer comparison per step.
+	FR *flight.Recorder
 }
 
 // NewScheduler returns a scheduler whose clock starts at zero.
@@ -215,6 +222,9 @@ func (s *Scheduler) step() bool {
 	}
 	s.now = e.when
 	s.nsteps++
+	if s.FR != nil {
+		s.FR.Record(int64(s.now), "sched", e.name, int64(e.seq), 0, 0)
+	}
 	e.state = stateFiring
 	fn := e.fn
 	fn()
