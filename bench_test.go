@@ -292,6 +292,31 @@ func BenchmarkMigrationEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkMigrationEngineStrategy runs the same full migration under
+// each memory-movement strategy — the per-strategy engine cost
+// BENCH_simperf.json records (post-copy trades pre-copy's round loop
+// for the demand-pull/prefetch machinery; hybrid pays one round plus a
+// smaller pull phase).
+func BenchmarkMigrationEngineStrategy(b *testing.B) {
+	for _, name := range migration.StrategyNames() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			mig, err := migration.StrategyByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fc := eval.DefaultFreezeConfig(sockmig.IncrementalCollective, 8)
+			fc.Repeats = 1
+			fc.MigCfg.Mig = mig
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.RunFreezePoint(fc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMigrationEngineObserved is the same migration with the
 // observability plane attached (spans, phase histograms, harvest and
 // capture) — compare against BenchmarkMigrationEngine for the

@@ -17,6 +17,7 @@ import (
 
 	"dvemig/internal/dve"
 	"dvemig/internal/eval"
+	"dvemig/internal/migration"
 	"dvemig/internal/obs"
 	"dvemig/internal/simtime"
 )
@@ -32,6 +33,7 @@ func main() {
 	csvDir := flag.String("csv", "", "write cpu.csv / procs.csv / rate.csv time series into this directory")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON (Perfetto-loadable) of the run to this file")
 	metricsOut := flag.String("metrics-out", "", "write the run's metric snapshot (counters/gauges/histograms) to this file")
+	strategy := flag.String("strategy", "precopy", "memory-movement strategy for every LB migration: precopy|postcopy|hybrid")
 	flag.Parse()
 
 	if *showMap {
@@ -41,6 +43,12 @@ func main() {
 
 	observe := *traceOut != "" || *metricsOut != ""
 	cfg := dve.DefaultConfig()
+	mig, err := migration.StrategyByName(*strategy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvesim: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.MigConfig.Mig = mig
 	cfg.LB = *lbOn
 	cfg.Observe = observe
 	cfg.NeighborLinks = *neighbors

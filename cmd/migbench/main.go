@@ -8,6 +8,7 @@
 //
 //	migbench [-conns 16,32,...] [-repeats 3] [-what freeze|bytes|all]
 //	         [-seed N] [-phase-table] [-attr-table]
+//	         [-strategy precopy|postcopy|hybrid] [-strategy-race]
 //	         [-trace-out mig.json] [-metrics-out mig.metrics]
 package main
 
@@ -19,6 +20,7 @@ import (
 	"strings"
 
 	"dvemig/internal/eval"
+	"dvemig/internal/migration"
 	"dvemig/internal/obs"
 )
 
@@ -32,7 +34,27 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "run the sweep observed and write the merged metric snapshots to this file")
 	phaseTable := flag.Bool("phase-table", false, "run the sweep observed and print the per-phase latency breakdown")
 	attrTable := flag.Bool("attr-table", false, "run the sweep observed and print the per-connection freeze-time attribution (Fig 5b breakdown axis)")
+	strategy := flag.String("strategy", "precopy", "memory-movement strategy: precopy|postcopy|hybrid (orthogonal to the socket-strategy axis the tables sweep)")
+	race := flag.Bool("strategy-race", false, "run the chaos strategy race (all three strategies head to head) and print its tables instead of the Fig 5b/5c sweep")
 	flag.Parse()
+
+	if *race {
+		cfg := eval.DefaultStrategySweepConfig()
+		cfg.Chaos.Workers = *parallel
+		r, err := eval.RunStrategySweep(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "migbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.Table())
+		fmt.Println(r.Summary())
+		return
+	}
+	mig, err := migration.StrategyByName(*strategy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "migbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	var conns []int
 	for _, tok := range strings.Split(*connsFlag, ",") {
@@ -45,7 +67,7 @@ func main() {
 	}
 
 	observe := *traceOut != "" || *metricsOut != "" || *phaseTable || *attrTable
-	points, err := eval.RunFreezeSweepSeeded(conns, eval.SweepStrategies, *repeats, *parallel, *seed, observe)
+	points, err := eval.RunFreezeSweepMig(conns, eval.SweepStrategies, *repeats, *parallel, *seed, observe, mig)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "migbench: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,183 @@
+package ckpt
+
+import (
+	"fmt"
+	"sort"
+
+	"dvemig/internal/proc"
+)
+
+// PageCoord names one page of an address space: the owning region's
+// start address and the page index within it.
+type PageCoord struct {
+	VMAStart uint64
+	Index    uint64
+}
+
+// Addr returns the page's virtual address.
+func (c PageCoord) Addr() uint64 { return c.VMAStart + c.Index*proc.PageSize }
+
+// PageDir is the partial-image directory a post-copy (or hybrid)
+// migration ships at freeze time instead of page content: the full VMA
+// geometry plus, for every resident page, a presence verdict. Present
+// pages already hold their authoritative content on the destination
+// (hybrid's bounded pre-copy round shipped them and they stayed clean);
+// absent pages stay on the source and are pulled on demand or swept by
+// the background prefetcher. Unlisted pages were never materialized and
+// remain lazy zero pages on both sides.
+type PageDir struct {
+	VMAs    []VMARange
+	Present []PageCoord
+	Absent  []PageCoord
+}
+
+// BuildPageDir walks the address space in canonical (VMA, index) order
+// and classifies every resident page with the present predicate. A nil
+// predicate marks everything absent (pure post-copy).
+func BuildPageDir(as *proc.AddressSpace, present func(v *proc.VMA, idx uint64, pg *proc.Page) bool) *PageDir {
+	dir := &PageDir{}
+	for _, v := range as.VMAs() {
+		dir.VMAs = append(dir.VMAs, VMARange{Start: v.Start, End: v.End, Perms: v.Perms})
+		idxs := make([]uint64, 0, len(v.Pages))
+		for idx := range v.Pages {
+			idxs = append(idxs, idx)
+		}
+		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+		for _, idx := range idxs {
+			c := PageCoord{VMAStart: v.Start, Index: idx}
+			if present != nil && present(v, idx, v.Pages[idx]) {
+				dir.Present = append(dir.Present, c)
+			} else {
+				dir.Absent = append(dir.Absent, c)
+			}
+		}
+	}
+	return dir
+}
+
+// Encode serializes the directory.
+func (d *PageDir) Encode() []byte { return d.EncodeInto(nil) }
+
+// EncodeInto serializes into buf's capacity (see MemDelta.EncodeInto).
+func (d *PageDir) EncodeInto(buf []byte) []byte {
+	w := wbuf{b: buf[:0]}
+	w.u32(uint32(len(d.VMAs)))
+	for _, v := range d.VMAs {
+		w.u64(v.Start)
+		w.u64(v.End)
+		w.str(v.Perms)
+	}
+	for _, set := range [][]PageCoord{d.Present, d.Absent} {
+		w.u32(uint32(len(set)))
+		for _, c := range set {
+			w.u64(c.VMAStart)
+			w.u64(c.Index)
+		}
+	}
+	return w.b
+}
+
+// DecodePageDir parses an encoded directory.
+func DecodePageDir(data []byte) (*PageDir, error) {
+	r := &rbuf{b: data}
+	d := &PageDir{}
+	nv := int(r.u32())
+	if r.err != nil || nv > 1<<20 {
+		return nil, fmt.Errorf("ckpt: corrupt page-dir vma count")
+	}
+	for i := 0; i < nv && r.err == nil; i++ {
+		d.VMAs = append(d.VMAs, VMARange{Start: r.u64(), End: r.u64(), Perms: r.str()})
+	}
+	for set := 0; set < 2; set++ {
+		n := int(r.u32())
+		if r.err != nil || n > 1<<24 {
+			return nil, fmt.Errorf("ckpt: corrupt page-dir coord count")
+		}
+		coords := make([]PageCoord, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			coords = append(coords, PageCoord{VMAStart: r.u64(), Index: r.u64()})
+		}
+		if set == 0 {
+			d.Present = coords
+		} else {
+			d.Absent = coords
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return d, nil
+}
+
+// ApplyPageDir reconciles the destination's shadow address space with
+// the freeze-time directory: geometry is brought to the frozen shape
+// (pure post-copy starts from an empty shadow; hybrid's shadow already
+// holds round-one state), every present page is verified resident, and
+// every absent page gets a placeholder that faults until filled.
+func ApplyPageDir(as *proc.AddressSpace, dir *PageDir) error {
+	want := make(map[uint64]VMARange, len(dir.VMAs))
+	for _, v := range dir.VMAs {
+		want[v.Start] = v
+	}
+	var stale []uint64
+	for _, v := range as.VMAs() {
+		if _, ok := want[v.Start]; !ok {
+			stale = append(stale, v.Start)
+		}
+	}
+	for _, s := range stale {
+		if err := as.Munmap(s); err != nil {
+			return err
+		}
+	}
+	for _, v := range dir.VMAs {
+		cur := findRegion(as, v.Start)
+		switch {
+		case cur == nil:
+			if _, err := as.MmapFixed(v.Start, v.End, v.Perms); err != nil {
+				return err
+			}
+		case cur.End != v.End:
+			if err := as.Resize(v.Start, v.End-v.Start); err != nil {
+				return err
+			}
+		}
+	}
+	for _, c := range dir.Present {
+		v := findRegion(as, c.VMAStart)
+		if v == nil || v.Pages[c.Index] == nil || v.Pages[c.Index].Absent {
+			return fmt.Errorf("ckpt: directory says page %#x+%d is present but it is not",
+				c.VMAStart, c.Index)
+		}
+	}
+	for _, c := range dir.Absent {
+		if err := as.MarkAbsent(c.VMAStart, c.Index); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func findRegion(as *proc.AddressSpace, start uint64) *proc.VMA {
+	for _, v := range as.VMAs() {
+		if v.Start == start {
+			return v
+		}
+	}
+	return nil
+}
+
+// ExtractPage copies one page's content out of a (frozen) address
+// space — the pull server's read primitive. The bool is false when the
+// coordinate names no resident page.
+func ExtractPage(as *proc.AddressSpace, c PageCoord) ([]byte, bool) {
+	v := findRegion(as, c.VMAStart)
+	if v == nil {
+		return nil, false
+	}
+	pg := v.Pages[c.Index]
+	if pg == nil || pg.Absent {
+		return nil, false
+	}
+	return append([]byte(nil), pg.Data...), true
+}

@@ -123,15 +123,6 @@ func TestPrecopyRandomWorkloadConverges(t *testing.T) {
 	}
 }
 
-func findRegion(as *proc.AddressSpace, start uint64) *proc.VMA {
-	for _, v := range as.VMAs() {
-		if v.Start == start {
-			return v
-		}
-	}
-	return nil
-}
-
 func assertSpacesEqual(t *testing.T, seed int64, a, b *proc.AddressSpace) {
 	t.Helper()
 	av, bv := a.VMAs(), b.VMAs()

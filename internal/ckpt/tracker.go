@@ -22,6 +22,17 @@ func (d *MemDelta) Empty() bool {
 	return len(d.NewVMAs) == 0 && len(d.Removed) == 0 && len(d.Resized) == 0 && len(d.Pages) == 0
 }
 
+// PageDataBytes sums the raw page content the delta carries — the
+// strategy race's bytes-transferred axis (geometry records and framing
+// excluded so pre-copy, post-copy and hybrid compare like for like).
+func (d *MemDelta) PageDataBytes() uint64 {
+	var n uint64
+	for _, p := range d.Pages {
+		n += uint64(len(p.Data))
+	}
+	return n
+}
+
 // Encode serializes the delta (this is what crosses the network each
 // precopy round).
 func (d *MemDelta) Encode() []byte { return d.EncodeInto(nil) }

@@ -174,6 +174,14 @@ func RunFreezeSweepObserved(conns []int, strategies []sockmig.Strategy, repeats,
 // byte-identical at any worker count; unequal seeds diverge — the CI
 // obs job asserts both directions with obsdiff.
 func RunFreezeSweepSeeded(conns []int, strategies []sockmig.Strategy, repeats, workers int, seed uint64, observe bool) ([]*FreezePoint, error) {
+	return RunFreezeSweepMig(conns, strategies, repeats, workers, seed, observe, nil)
+}
+
+// RunFreezeSweepMig additionally pins the memory-movement strategy
+// (migration.Precopy/Postcopy/Hybrid) for every cell — the second,
+// orthogonal axis the strategy race compares. nil keeps the default
+// (pre-copy), making this a strict generalization of the seeded sweep.
+func RunFreezeSweepMig(conns []int, strategies []sockmig.Strategy, repeats, workers int, seed uint64, observe bool, mig migration.Strategy) ([]*FreezePoint, error) {
 	cells := make([]FreezeConfig, 0, len(conns)*len(strategies))
 	for _, n := range conns {
 		for _, s := range strategies {
@@ -182,6 +190,7 @@ func RunFreezeSweepSeeded(conns []int, strategies []sockmig.Strategy, repeats, w
 			fc.Workers = 1
 			fc.Observe = observe
 			fc.Seed = seed
+			fc.MigCfg.Mig = mig
 			cells = append(cells, fc)
 		}
 	}

@@ -1,0 +1,221 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"dvemig/internal/migration"
+	"dvemig/internal/obs"
+)
+
+// StrategySweepConfig parameterizes the strategy race: every migration
+// strategy runs the same chaos scenario battery at the same seeds, so
+// the per-strategy freeze/downtime/degraded-window columns are directly
+// comparable cell by cell.
+type StrategySweepConfig struct {
+	// Strategies lists the migration strategies to race (default: all
+	// three, in migration.StrategyNames order).
+	Strategies []string
+	Chaos      ChaosConfig
+}
+
+// DefaultStrategySweepConfig races all three strategies over the
+// default chaos battery at two seeds.
+func DefaultStrategySweepConfig() StrategySweepConfig {
+	chaos := DefaultChaosConfig()
+	chaos.Seeds = []uint64{1, 2}
+	return StrategySweepConfig{
+		Strategies: migration.StrategyNames(),
+		Chaos:      chaos,
+	}
+}
+
+// StrategyResult is one (strategy, scenario, seed) cell.
+type StrategyResult struct {
+	Strategy string
+	*ChaosResult
+}
+
+// StrategyReport aggregates the race, strategy-major, scenario-minor,
+// seed-ordered — the canonical order every rendering walks, so the
+// artifacts are bit-identical at any worker count.
+type StrategyReport struct {
+	Results []*StrategyResult
+}
+
+// Captures lists the observed cells' captures in canonical order.
+func (r *StrategyReport) Captures() []*obs.Capture {
+	var out []*obs.Capture
+	for _, res := range r.Results {
+		if res.Obs != nil {
+			out = append(out, res.Obs)
+		}
+	}
+	return out
+}
+
+// Counts returns (survived, completed, aborted, violated) cell counts.
+func (r *StrategyReport) Counts() (survived, completed, aborted, violated int) {
+	for _, res := range r.Results {
+		if res.Survived {
+			survived++
+		}
+		if res.Completed {
+			completed++
+		}
+		if res.Aborted {
+			aborted++
+		}
+		if len(res.Violations) > 0 {
+			violated++
+		}
+	}
+	return
+}
+
+// Table renders every cell with the three per-strategy latency columns:
+// freeze time (process stopped on both nodes), total downtime (freeze
+// plus post-resume demand-fault stalls), and the degraded window (from
+// migration start until the last page fill — the span in which the
+// process runs below full speed). For pre-copy the stall share is zero
+// and the degraded window ends at resume, so the columns degenerate to
+// the classic freeze-centric view.
+func (r *StrategyReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy race: per-cell freeze / downtime / degraded window under chaos\n")
+	fmt.Fprintf(&b, "%-9s %-18s %5s %8s %7s %10s %10s %10s %6s %18s\n",
+		"strategy", "scenario", "seed", "outcome", "viol", "freeze-ms", "down-ms", "degr-ms", "pulls", "trace-hash")
+	for _, res := range r.Results {
+		outcome := "none"
+		switch {
+		case res.Completed:
+			outcome = "migrated"
+		case res.Aborted:
+			outcome = "aborted"
+		}
+		freeze, down, degr, pulls := "-", "-", "-", "-"
+		if m := res.Metrics; m != nil && res.Completed {
+			freeze = fmt.Sprintf("%.2f", float64(m.FreezeTime)/1e6)
+			down = fmt.Sprintf("%.2f", float64(m.FreezeTime+m.StallTime)/1e6)
+			degr = fmt.Sprintf("%.2f", float64(m.DegradedWindow)/1e6)
+			pulls = fmt.Sprintf("%d", m.PagesDemand+m.PagesPrefetched)
+		}
+		fmt.Fprintf(&b, "%-9s %-18s %5d %8s %7d %10s %10s %10s %6s %#18x\n",
+			res.Strategy, res.Scenario, res.Seed, outcome, len(res.Violations),
+			freeze, down, degr, pulls, res.TraceHash)
+	}
+	s, c, a, v := r.Counts()
+	fmt.Fprintf(&b, "total: %d cells, %d survived, %d migrated, %d aborted, %d with violations\n",
+		len(r.Results), s, c, a, v)
+	return b.String()
+}
+
+// Summary renders the head-to-head comparison: per (scenario, strategy)
+// means over the seeds that completed. This is the table EXPERIMENTS.md
+// quotes.
+func (r *StrategyReport) Summary() string {
+	type key struct{ scenario, strategy string }
+	type agg struct {
+		n                   int
+		freeze, down, degr  float64
+		bytes               uint64
+		completed, survived int
+	}
+	aggs := make(map[key]*agg)
+	var scenarios, strategies []string
+	seenSc := map[string]bool{}
+	seenSt := map[string]bool{}
+	for _, res := range r.Results {
+		if !seenSt[res.Strategy] {
+			seenSt[res.Strategy] = true
+			strategies = append(strategies, res.Strategy)
+		}
+		if !seenSc[res.Scenario] {
+			seenSc[res.Scenario] = true
+			scenarios = append(scenarios, res.Scenario)
+		}
+		k := key{res.Scenario, res.Strategy}
+		a := aggs[k]
+		if a == nil {
+			a = &agg{}
+			aggs[k] = a
+		}
+		if res.Survived {
+			a.survived++
+		}
+		if m := res.Metrics; m != nil && res.Completed {
+			a.completed++
+			a.n++
+			a.freeze += float64(m.FreezeTime) / 1e6
+			a.down += float64(m.FreezeTime+m.StallTime) / 1e6
+			a.degr += float64(m.DegradedWindow) / 1e6
+			a.bytes += m.MemPageBytes
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy race summary: mean over completed seeds, per scenario\n")
+	fmt.Fprintf(&b, "%-18s %-9s %9s %10s %10s %10s %12s\n",
+		"scenario", "strategy", "completed", "freeze-ms", "down-ms", "degr-ms", "page-bytes")
+	for _, sc := range scenarios {
+		for _, st := range strategies {
+			a := aggs[key{sc, st}]
+			if a == nil {
+				continue
+			}
+			if a.n == 0 {
+				fmt.Fprintf(&b, "%-18s %-9s %9d %10s %10s %10s %12s\n",
+					sc, st, a.completed, "-", "-", "-", "-")
+				continue
+			}
+			n := float64(a.n)
+			fmt.Fprintf(&b, "%-18s %-9s %9d %10.2f %10.2f %10.2f %12d\n",
+				sc, st, a.completed, a.freeze/n, a.down/n, a.degr/n, a.bytes/uint64(a.n))
+		}
+	}
+	return b.String()
+}
+
+// RunStrategySweep races every configured migration strategy through
+// every chaos scenario at every seed. Each cell owns a private
+// scheduler and cluster; cells fan out over cfg.Chaos.Workers
+// goroutines and merge in canonical order, so the report — trace hashes
+// included — is bit-identical at any worker count.
+func RunStrategySweep(cfg StrategySweepConfig) (*StrategyReport, error) {
+	strategies := cfg.Strategies
+	if len(strategies) == 0 {
+		strategies = migration.StrategyNames()
+	}
+	type cell struct {
+		strategy string
+		sc       ChaosScenario
+		seed     uint64
+	}
+	var cells []cell
+	for _, st := range strategies {
+		if _, err := migration.StrategyByName(st); err != nil {
+			return nil, err
+		}
+		for _, sc := range cfg.Chaos.Scenarios {
+			for _, seed := range cfg.Chaos.Seeds {
+				cells = append(cells, cell{strategy: st, sc: sc, seed: seed})
+			}
+		}
+	}
+	results, err := RunParallel(cells, cfg.Chaos.Workers, func(c cell) (*StrategyResult, error) {
+		mig, err := migration.StrategyByName(c.strategy)
+		if err != nil {
+			return nil, err
+		}
+		chaos := cfg.Chaos // value copy; the cell owns its config
+		chaos.MigCfg.Mig = mig
+		res, err := RunChaosScenario(chaos, c.sc, c.seed)
+		if err != nil {
+			return nil, fmt.Errorf("strategy %s chaos %s seed %d: %w", c.strategy, c.sc.Name, c.seed, err)
+		}
+		return &StrategyResult{Strategy: c.strategy, ChaosResult: res}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &StrategyReport{Results: results}, nil
+}

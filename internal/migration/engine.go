@@ -78,33 +78,51 @@ type Config struct {
 	// thing standing between a source crash mid-transfer and a leaked
 	// shadow process. Renewed on every migd message; once the full freeze
 	// image has arrived the restore completes regardless. Zero disables.
+	// Post-copy reuses the same bound for peer silence during the pull
+	// phase, on both sides: the destination's hole-y process dies if the
+	// source goes silent, and the source reaps its frozen shell if the
+	// destination does.
 	InboundLease simtime.Duration
-	Costs        CostModel
+	// Mig selects the migration strategy — the memory-movement axis:
+	// Precopy() (the default when nil), Postcopy() or Hybrid().
+	// Orthogonal to Strategy, which picks the socket migration flavor.
+	Mig Strategy
+	// PrefetchInterval/PrefetchBatch drive post-copy's background sweep:
+	// every interval the source pushes up to batch not-yet-shipped pages
+	// in canonical order. A zero interval disables the sweep (pure
+	// demand paging).
+	PrefetchInterval simtime.Duration
+	PrefetchBatch    int
+	Costs            CostModel
 }
 
 // DefaultConfig returns the paper's configuration with the incremental
 // collective strategy.
 func DefaultConfig() Config {
 	return Config{
-		Strategy:        sockmig.IncrementalCollective,
-		InitialTimeout:  500 * 1e6, // 500ms
-		FreezeThreshold: 20 * 1e6,  // 20ms
-		EnablePrecopy:   true,
-		EnableCapture:   true,
-		LocalNetBits:    24,
-		Deadline:        30 * 1e9,
-		ConnTimeout:     5 * 1e9,
-		ConnRetries:     0,
-		RetryBackoff:    100 * 1e6, // 100ms, doubling
-		RetryBackoffMax: 1600 * 1e6,
-		InboundLease:    10 * 1e9, // 10s of source silence discards the transfer
-		Costs:           DefaultCosts,
+		Strategy:         sockmig.IncrementalCollective,
+		InitialTimeout:   500 * 1e6, // 500ms
+		FreezeThreshold:  20 * 1e6,  // 20ms
+		EnablePrecopy:    true,
+		EnableCapture:    true,
+		LocalNetBits:     24,
+		Deadline:         30 * 1e9,
+		ConnTimeout:      5 * 1e9,
+		ConnRetries:      0,
+		RetryBackoff:     100 * 1e6, // 100ms, doubling
+		RetryBackoffMax:  1600 * 1e6,
+		InboundLease:     10 * 1e9, // 10s of source silence discards the transfer
+		PrefetchInterval: 2 * 1e6,  // 2ms between prefetch batches
+		PrefetchBatch:    8,
+		Costs:            DefaultCosts,
 	}
 }
 
 // Metrics reports one migration, the quantities Figs 4/5b/5c measure.
 type Metrics struct {
 	Strategy sockmig.Strategy
+	// Mig names the migration strategy ("precopy", "postcopy", "hybrid").
+	Mig string
 	// PID / ProcName / ProcCPUDemand identify the migrated process and
 	// its CPU demand at freeze time (experiments derive client counts
 	// from it).
@@ -126,6 +144,30 @@ type Metrics struct {
 	FreezeSockBytes  uint64
 	Captured         uint32
 	Reinjected       uint32
+	// MemPageBytes sums raw page content shipped over every channel —
+	// pre-copy rounds, the freeze delta, demand pulls and prefetch
+	// pushes — with geometry and framing excluded, so the three
+	// strategies compare like for like on the bytes axis.
+	MemPageBytes uint64
+	// Post-copy pull accounting: pages the source shipped in total, by
+	// demand pull, by prefetch push, and duplicate coords it refused to
+	// re-ship (exactly-once guarantee; nonzero only under wire anomalies).
+	PagesShipped    uint32
+	PagesDemand     uint32
+	PagesPrefetched uint32
+	PullDuplicates  uint32
+	// StallTime is the virtual time the destination's process loop spent
+	// gated on outstanding demand faults; LastFillAt is when the last
+	// hole filled (the degraded window's end). TotalDowntime for the
+	// strategy race is FreezeTime + StallTime.
+	StallTime  simtime.Duration
+	LastFillAt simtime.Time
+	// DegradedWindow is the total span the application ran degraded by
+	// migration work: Start→FreezeStart (pre-copy rounds competing for
+	// the link) plus ResumeAt→LastFillAt (running with holes). Pre-copy
+	// has only the first term, post-copy essentially only the second,
+	// hybrid both.
+	DegradedWindow simtime.Duration
 	// Retries counts migd reconnection attempts beyond the first.
 	Retries int
 	// TraceID identifies the migration's end-to-end trace when the
@@ -159,8 +201,19 @@ type Migrator struct {
 	Epochs *epoch.Table
 
 	// LeaseExpired counts inbound migrations discarded because the source
-	// went silent for longer than Config.InboundLease mid-transfer.
+	// went silent for longer than Config.InboundLease mid-transfer (for
+	// post-copy this includes hole-y processes destroyed mid-pull).
 	LeaseExpired uint64
+
+	// DupFills counts page fills the destination's memory layer rejected
+	// because the page was already resident — zero whenever the
+	// exactly-once shipping guarantee holds.
+	DupFills uint64
+
+	// OnPageShip observes every page the post-copy pull server ships
+	// (demand true for demand pulls, false for prefetch pushes) — the
+	// property tests' shadow-model hook.
+	OnPageShip func(c ckpt.PageCoord, demand bool)
 
 	listener *netstack.TCPSocket
 
@@ -241,21 +294,24 @@ func (m *Migrator) MigrateTraced(p *proc.Process, dest netsim.Addr, ctx obs.Trac
 		memTracker:  ckpt.NewTracker(),
 		sockTracker: sockmig.NewTracker(),
 		timeout:     m.Config.InitialTimeout,
-		metrics: &Metrics{Strategy: m.Config.Strategy, Start: m.sched().Now(),
-			PID: p.PID, ProcName: p.Name},
+		metrics: &Metrics{Strategy: m.Config.Strategy, Mig: m.Config.mig().Name(),
+			Start: m.sched().Now(), PID: p.PID, ProcName: p.Name},
 	}
 	ob.pt.begin(m, "migration", p.PID, ctx)
 	ob.pt.root.SetAttr("strategy", m.Config.Strategy.String())
+	ob.pt.root.SetAttr("mig_strategy", m.Config.mig().Name())
 	ob.metrics.TraceID = ob.pt.root.Context().Trace
 	ob.dial()
 	if ob.failed {
 		return
 	}
 	// Overall deadline: a destination that dies mid-migration must not
-	// leave the process frozen forever.
+	// leave the process frozen forever. Refused after the post-copy
+	// handover — once the destination runs the process the source can
+	// never roll back, and the pull watchdog bounds the remaining phase.
 	if m.Config.Deadline > 0 {
 		m.sched().After(m.Config.Deadline, "migd.deadline", func() {
-			if !ob.finished && !ob.failed {
+			if !ob.finished && !ob.failed && !ob.handedOver {
 				ob.fail(errors.New("migration: deadline exceeded"))
 			}
 		})
@@ -399,6 +455,18 @@ type outbound struct {
 	transferFired bool
 	onCaptureAck  func()
 
+	// Post-copy pull-server state (postcopy.go). handedOver marks the
+	// point of no return: the destination runs the process, so fail()
+	// routes to orphan() and the deadline stands down.
+	handedOver      bool
+	resumeAt        simtime.Time
+	pullDir         *ckpt.PageDir
+	shipped         map[ckpt.PageCoord]bool
+	shipCursor      int
+	pullsServed     int
+	prefetchBatches int
+	pullWatch       *simtime.Event
+
 	// Freeze-time attribution (paper Fig 5b's breakdown axis): the three
 	// directly measurable components of the freeze window accumulate
 	// here — coordination (signal/freeze overhead plus capture-filter
@@ -424,7 +492,8 @@ func (ob *outbound) start() {
 	ob.token = registerBehavior(&ckpt.Behavior{Tick: ob.p.Tick, SigHandlers: ob.p.SigHandlers})
 	ob.epoch = ob.m.Epochs.Current(ob.p.Name)
 	rctx := ob.pt.root.Context()
-	req := migrateReq{PID: ob.p.PID, Strategy: ob.m.Config.Strategy, Token: ob.token,
+	req := migrateReq{PID: ob.p.PID, Strategy: ob.m.Config.Strategy,
+		Mode: ob.m.Config.mig().mode(), Token: ob.token,
 		Epoch: ob.epoch, TraceID: rctx.Trace, SpanID: rctx.Span, Name: ob.p.Name}
 	ob.send(MsgMigrateReq, req.encode())
 }
@@ -445,6 +514,12 @@ func (ob *outbound) send(t MsgType, payload []byte) {
 // the application observes a contiguous stream).
 func (ob *outbound) fail(err error) {
 	if ob.failed || ob.finished {
+		return
+	}
+	if ob.handedOver {
+		// Past the post-copy point of no return: the process runs (or
+		// died) remotely, so there is nothing to thaw — reap the shell.
+		ob.orphan(err)
 		return
 	}
 	ob.failed = true
@@ -509,13 +584,12 @@ func (ob *outbound) onMsg(t MsgType, payload []byte) {
 	if ob.failed || ob.finished {
 		return
 	}
+	if ob.handedOver {
+		ob.renewPullWatch()
+	}
 	switch t {
 	case MsgMigrateAck:
-		if ob.m.Config.EnablePrecopy {
-			ob.precopyRound()
-		} else {
-			ob.freeze()
-		}
+		ob.m.Config.mig().start(ob)
 	case MsgCaptureAck:
 		if cb := ob.onCaptureAck; cb != nil {
 			ob.onCaptureAck = nil
@@ -534,6 +608,11 @@ func (ob *outbound) onMsg(t MsgType, payload []byte) {
 		} else {
 			ob.fail(errAborted)
 		}
+	case MsgResumed, MsgPageReq, MsgPullsDone:
+		if !ob.m.Config.mig().onSourceMsg(ob, t, payload) {
+			ob.fail(fmt.Errorf("migration: unexpected %s for %s strategy",
+				t, ob.m.Config.mig().Name()))
+		}
 	}
 }
 
@@ -547,9 +626,30 @@ func (ob *outbound) precopyRound() {
 	if ob.failed || ob.finished {
 		return // a phase hook may have aborted the migration
 	}
+	trackCost := ob.shipDeltaRound()
+	wait := ob.timeout + trackCost
+	ob.timeout /= 2
+	ob.m.sched().After(wait, "migd.precopy", func() {
+		if ob.failed || ob.finished {
+			return
+		}
+		if ob.timeout < ob.m.Config.FreezeThreshold {
+			ob.freeze()
+		} else {
+			ob.precopyRound()
+		}
+	})
+}
+
+// shipDeltaRound dumps one round of address-space changes (and, for
+// the incremental socket strategy, socket changes) to the destination,
+// returning the socket tracking cost the round incurred. Shared by the
+// pre-copy loop and hybrid's single bounded round.
+func (ob *outbound) shipDeltaRound() simtime.Duration {
 	d := ob.memTracker.Delta(ob.p.AS)
 	ob.encBuf = d.EncodeInto(ob.encBuf)
 	ob.metrics.PrecopyMemBytes += uint64(len(ob.encBuf))
+	ob.metrics.MemPageBytes += d.PageDataBytes()
 	if ob.m.Obs != nil {
 		ob.m.obsm.roundBytes.Observe(float64(len(ob.encBuf)))
 		ob.pt.cur.SetInt("mem_bytes", int64(len(ob.encBuf)))
@@ -566,18 +666,7 @@ func (ob *outbound) precopyRound() {
 			ob.send(MsgSockDelta, ob.sockEncBuf)
 		}
 	}
-	wait := ob.timeout + trackCost
-	ob.timeout /= 2
-	ob.m.sched().After(wait, "migd.precopy", func() {
-		if ob.failed || ob.finished {
-			return
-		}
-		if ob.timeout < ob.m.Config.FreezeThreshold {
-			ob.freeze()
-		} else {
-			ob.precopyRound()
-		}
-	})
+	return trackCost
 }
 
 // freeze enters the freeze phase: signal the application (threads abandon
@@ -705,7 +794,7 @@ func (ob *outbound) iterativeStep(tcp []*netstack.TCPSocket, udp []*netstack.UDP
 		return
 	}
 	if len(tcp) == 0 && len(udp) == 0 {
-		ob.sendFreeze(nil)
+		ob.m.Config.mig().finalTransfer(ob, nil)
 		return
 	}
 	var key netsim.FlowKey
@@ -828,7 +917,7 @@ func (ob *outbound) collectivePhase2() {
 		} else {
 			sd = sockmig.FullDelta(ob.p)
 		}
-		ob.sendFreeze(sd)
+		ob.m.Config.mig().finalTransfer(ob, sd)
 	})
 }
 
@@ -842,23 +931,13 @@ func (ob *outbound) sendFreeze(sd *sockmig.SockDelta) {
 	} else if sd == nil {
 		sd = &sockmig.SockDelta{}
 	}
-	img := &ckpt.Image{
-		PID: ob.p.PID, Name: ob.p.Name,
-		CPUDemand: ob.p.CPUDemand, LoopPeriod: ob.p.LoopPeriod,
-		FDs: ckpt.CheckpointFDsExcludingSockets(ob.p),
-	}
-	for sig := range ob.p.SigHandlers {
-		img.HandledSignals = append(img.HandledSignals, sig)
-	}
-	for _, th := range ob.p.Threads {
-		img.Threads = append(img.Threads, ckpt.ThreadImage{TID: th.TID, Regs: th.Regs})
-	}
 	memDelta := ob.memTracker.Delta(ob.p.AS)
 	memEnc := memDelta.Encode()
 	ob.metrics.FreezeMemBytes += uint64(len(memEnc))
+	ob.metrics.MemPageBytes += memDelta.PageDataBytes()
 	fm := freezeMsg{
 		FreezeStart: ob.metrics.FreezeStart,
-		Image:       img.Encode(),
+		Image:       ob.buildImage().Encode(),
 		MemDelta:    memEnc,
 	}
 	if sd != nil {
@@ -874,6 +953,23 @@ func (ob *outbound) sendFreeze(sd *sockmig.SockDelta) {
 func countSockets(p *proc.Process) (int, int) {
 	tcp, udp := p.Sockets()
 	return len(tcp), len(udp)
+}
+
+// buildImage assembles the minimal checkpoint image (threads, regular
+// FDs, meta) every strategy's freeze payload carries.
+func (ob *outbound) buildImage() *ckpt.Image {
+	img := &ckpt.Image{
+		PID: ob.p.PID, Name: ob.p.Name,
+		CPUDemand: ob.p.CPUDemand, LoopPeriod: ob.p.LoopPeriod,
+		FDs: ckpt.CheckpointFDsExcludingSockets(ob.p),
+	}
+	for sig := range ob.p.SigHandlers {
+		img.HandledSignals = append(img.HandledSignals, sig)
+	}
+	for _, th := range ob.p.Threads {
+		img.Threads = append(img.Threads, ckpt.ThreadImage{TID: th.TID, Regs: th.Regs})
+	}
+	return img
 }
 
 // FreezeAttrComponents are the freeze-time attribution components, in
@@ -928,6 +1024,11 @@ func (ob *outbound) finish(rd restoreDone) {
 	ob.metrics.TotalTime = rd.ResumeAt - ob.metrics.Start
 	ob.metrics.Captured = rd.Captured
 	ob.metrics.Reinjected = rd.Reinjected
+	// Pre-copy's degraded window is the pre-freeze span (rounds competing
+	// with the application for the link); the resume instant is also the
+	// moment the last page arrived.
+	ob.metrics.DegradedWindow = ob.metrics.FreezeStart - ob.metrics.Start
+	ob.metrics.LastFillAt = rd.ResumeAt
 	// The process now lives on the destination; dismantle it here and
 	// drop any local translation rules that protected its (departed)
 	// in-cluster connections.
@@ -964,6 +1065,14 @@ type inbound struct {
 	filters  []*capture.Filter
 
 	active bool
+
+	// post marks a post-copy/hybrid restore: the freeze payload is a
+	// POST_IMAGE, PhaseReinject is not terminal, and a puller drives the
+	// demand-paging phase after resume. holes is the absent-page count
+	// the directory declared.
+	post   bool
+	holes  int
+	puller *puller
 
 	// lease discards the half-restored state if the source goes silent
 	// (a crashed source sends no FIN, so OnClose never fires). Renewed on
@@ -1015,7 +1124,13 @@ func (ib *inbound) onMsg(t MsgType, payload []byte) {
 				req.Epoch, req.Name, ib.m.Epochs.Current(req.Name)))
 			return
 		}
+		if _, err := strategyByMode(req.Mode); err != nil {
+			ib.abort(err)
+			return
+		}
 		ib.req = req
+		ib.post = req.Mode != modePrecopy
+		ib.pt.pullsAfterReinject = ib.post
 		ib.shadowAS = proc.NewAddressSpace()
 		ib.store = sockmig.NewStore()
 		ib.active = true
@@ -1075,6 +1190,35 @@ func (ib *inbound) onMsg(t MsgType, payload []byte) {
 			ib.lease = nil
 		}
 		ib.restore(fm)
+	case MsgPostImage:
+		if !ib.post {
+			ib.abort(errors.New("migration: POST_IMAGE on a pre-copy migration"))
+			return
+		}
+		pm, err := decodePostImage(payload)
+		if err != nil {
+			ib.abort(err)
+			return
+		}
+		// Same point-of-no-return logic as MsgFreeze: the restore (and the
+		// resume with holes) proceeds; from here the *pull lease* bounds
+		// source silence instead of the transfer lease.
+		ib.restoring = true
+		if ib.lease != nil {
+			ib.m.sched().Cancel(ib.lease)
+			ib.lease = nil
+		}
+		ib.restorePost(pm)
+	case MsgPageResp:
+		if ib.puller == nil {
+			return // late content after teardown; drop
+		}
+		pr, err := decodePageResp(payload)
+		if err != nil {
+			ib.abort(err)
+			return
+		}
+		ib.puller.onResp(pr)
 	case MsgAbort:
 		ib.cleanup()
 	}
@@ -1091,6 +1235,12 @@ func (ib *inbound) abort(err error) {
 }
 
 func (ib *inbound) cleanup() {
+	if ib.puller != nil {
+		// Mid-pull teardown (source abort, fence, corruption): a process
+		// with holes can never serve — destroy() is a no-op once drained.
+		ib.puller.destroy()
+		ib.puller = nil
+	}
 	for _, f := range ib.filters {
 		ib.m.Capture.Drop(f)
 	}
@@ -1186,6 +1336,12 @@ func (ib *inbound) finishRestore(img *ckpt.Image) {
 			p.SigHandlers = b.SigHandlers
 		}
 	}
+	if ib.post {
+		// Install the demand-paging client before anything can touch the
+		// address space: reinjected packets and the first loop tick may
+		// land on holes.
+		ib.puller = newPuller(ib, p)
+	}
 	// Reinject captured packets through the okfn, then resume.
 	ib.m.firePhase(&ib.pt, PhaseReinject, 0, ib.req.PID)
 	if !ib.m.Node.Alive {
@@ -1209,9 +1365,17 @@ func (ib *inbound) finishRestore(img *ckpt.Image) {
 		n.StartLoop(p, img.LoopPeriod)
 	}
 	now := ib.m.sched().Now()
-	ib.conn.Send(MsgRestoreDone, restoreDone{ResumeAt: now, Captured: captured, Reinjected: reinjected}.encode())
+	if ib.post {
+		ib.puller.resume(now, captured, reinjected)
+	} else {
+		ib.conn.Send(MsgRestoreDone, restoreDone{ResumeAt: now, Captured: captured, Reinjected: reinjected}.encode())
+	}
 	if ib.m.OnArrived != nil {
-		m := &Metrics{Strategy: ib.req.Strategy, ResumeAt: now}
+		mig := Precopy()
+		if st, err := strategyByMode(ib.req.Mode); err == nil {
+			mig = st
+		}
+		m := &Metrics{Strategy: ib.req.Strategy, Mig: mig.Name(), ResumeAt: now}
 		ib.m.OnArrived(p, m)
 	}
 }

@@ -27,15 +27,30 @@ const (
 	// PhaseReinject: the destination is about to reinject captured
 	// packets and resume the process.
 	PhaseReinject
-	// PhaseDone: the source learned the process resumed remotely.
+	// PhaseDone: the source learned the process resumed remotely (and,
+	// for post-copy, that every page was delivered).
 	PhaseDone
 	// PhaseAborted: the migration was rolled back at the source.
 	PhaseAborted
+	// PhaseResume: the source learned the destination resumed the
+	// process with holes (post-copy; downtime ends, the degraded
+	// demand-pull window begins). Fires on the source migrator.
+	PhaseResume
+	// PhasePull: the source served one demand page pull
+	// (PhaseEvent.Round = 1-based pull number).
+	PhasePull
+	// PhasePrefetch: the source pushed one background prefetch batch
+	// (PhaseEvent.Round = 1-based batch number).
+	PhasePrefetch
+	// PhaseDrained: the destination filled its last hole (terminal on
+	// the destination for post-copy restores).
+	PhaseDrained
 )
 
 var phaseNames = [...]string{
 	"connect", "precopy", "freeze", "transfer",
 	"restore", "reinject", "done", "aborted",
+	"resume", "pull", "prefetch", "drained",
 }
 
 func (p Phase) String() string {
@@ -82,7 +97,7 @@ type migObsHandles struct {
 func (m *Migrator) SetObs(o *obs.Obs) {
 	m.Obs = o
 	r := o.M()
-	for ph := PhaseConnect; ph <= PhaseAborted; ph++ {
+	for ph := PhaseConnect; int(ph) < len(phaseNames); ph++ {
 		m.obsm.phaseUs[ph] = r.Histogram("mig/phase_"+ph.String()+"_us", obs.DurationBucketsUs)
 	}
 	m.obsm.freezeUs = r.Histogram("mig/freeze_us", obs.DurationBucketsUs)
@@ -100,6 +115,11 @@ type phaseTrack struct {
 	last simtime.Time
 	root *obs.Span
 	cur  *obs.Span
+
+	// pullsAfterReinject marks a post-copy inbound: PhaseReinject is not
+	// terminal (the pull/drain phases follow) and PhaseDrained closes
+	// the trace instead.
+	pullsAfterReinject bool
 }
 
 // begin stamps the migration's start time and, when observing, opens
@@ -145,15 +165,29 @@ func (m *Migrator) firePhase(pt *phaseTrack, ph Phase, round, pid int) {
 			pt.root.CloseAt(now)
 			pt.cur = nil
 		case PhaseReinject:
-			// Terminal on the destination: the remaining reinject work
-			// runs synchronously inside this event, at the same virtual
-			// instant.
 			pt.cur = pt.root.Child(ph.String())
+			if pt.pullsAfterReinject {
+				// Post-copy: the restore is not over — the reinject child
+				// stays open until PhaseDrained closes the trace.
+				break
+			}
+			// Terminal on the destination for pre-copy: the remaining
+			// reinject work runs synchronously inside this event, at the
+			// same virtual instant.
 			pt.cur.CloseAt(now)
 			pt.root.CloseAt(now)
+		case PhaseDrained:
+			// Terminal on the destination for post-copy: the last hole
+			// filled at this instant.
+			pt.cur = pt.root.Child(ph.String())
+			pt.cur.CloseAt(now)
+			pt.root.SetAttr("outcome", "drained")
+			pt.root.CloseAt(now)
+			pt.cur = nil
 		default:
 			pt.cur = pt.root.Child(ph.String())
-			if ph == PhasePrecopy {
+			switch ph {
+			case PhasePrecopy, PhasePull, PhasePrefetch:
 				pt.cur.SetInt("round", int64(round))
 			}
 		}

@@ -1,0 +1,211 @@
+package migration
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"dvemig/internal/ckpt"
+	"dvemig/internal/simtime"
+)
+
+// Migration strategy wire tags (migrateReq.Mode).
+const (
+	modePrecopy byte = iota
+	modePostcopy
+	modeHybrid
+)
+
+// postImage is the post-copy freeze payload: the minimal image (threads,
+// non-socket FDs, meta), the page directory describing which pages ride
+// along as resident versus which stay behind as pull-on-demand holes,
+// and — for collective socket strategies — the socket payload. Page
+// *data* for the resident set travels in the MemDelta part (hybrid);
+// pure post-copy ships an empty delta and every page is a hole.
+type postImage struct {
+	FreezeStart simtime.Time
+	Image       []byte // encoded ckpt.Image
+	Dir         []byte // encoded ckpt.PageDir
+	MemDelta    []byte // encoded ckpt.MemDelta (resident pages; may be empty)
+	SockDelta   []byte // encoded sockmig.SockDelta (may be empty)
+}
+
+func (m postImage) encode() []byte {
+	b := make([]byte, 8, 8+16+len(m.Image)+len(m.Dir)+len(m.MemDelta)+len(m.SockDelta))
+	binary.BigEndian.PutUint64(b, uint64(m.FreezeStart))
+	for _, part := range [][]byte{m.Image, m.Dir, m.MemDelta, m.SockDelta} {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(part)))
+		b = append(b, l[:]...)
+		b = append(b, part...)
+	}
+	return b
+}
+
+func decodePostImage(b []byte) (postImage, error) {
+	var m postImage
+	if len(b) < 8 {
+		return m, errors.New("migration: short POST_IMAGE")
+	}
+	m.FreezeStart = simtime.Time(binary.BigEndian.Uint64(b))
+	off := 8
+	parts := make([][]byte, 4)
+	for i := range parts {
+		if off+4 > len(b) {
+			return m, errors.New("migration: truncated POST_IMAGE")
+		}
+		n := int(binary.BigEndian.Uint32(b[off:]))
+		off += 4
+		if n < 0 || off+n > len(b) {
+			return m, errors.New("migration: truncated POST_IMAGE part")
+		}
+		parts[i] = b[off : off+n]
+		off += n
+	}
+	m.Image, m.Dir, m.MemDelta, m.SockDelta = parts[0], parts[1], parts[2], parts[3]
+	return m, nil
+}
+
+// pageReq is a destination→source demand pull: the pages the resumed
+// process faulted on. Epoch is the destination's view of the service
+// epoch from the original MIGRATE_REQ; the source fences requests whose
+// epoch is no longer current (the puller's ownership was superseded).
+type pageReq struct {
+	ID     uint32 // correlates the eventual pageResp, 1-based
+	Epoch  uint64
+	Coords []ckpt.PageCoord
+}
+
+func (m pageReq) encode() []byte {
+	b := make([]byte, 16, 16+16*len(m.Coords))
+	binary.BigEndian.PutUint32(b[0:], m.ID)
+	binary.BigEndian.PutUint64(b[4:], m.Epoch)
+	binary.BigEndian.PutUint32(b[12:], uint32(len(m.Coords)))
+	for _, c := range m.Coords {
+		var e [16]byte
+		binary.BigEndian.PutUint64(e[0:], c.VMAStart)
+		binary.BigEndian.PutUint64(e[8:], c.Index)
+		b = append(b, e[:]...)
+	}
+	return b
+}
+
+func decodePageReq(b []byte) (pageReq, error) {
+	if len(b) < 16 {
+		return pageReq{}, errors.New("migration: short PAGE_REQ")
+	}
+	m := pageReq{
+		ID:    binary.BigEndian.Uint32(b[0:]),
+		Epoch: binary.BigEndian.Uint64(b[4:]),
+	}
+	n := int(binary.BigEndian.Uint32(b[12:]))
+	if n < 0 || n > (len(b)-16)/16 {
+		return pageReq{}, errors.New("migration: truncated PAGE_REQ")
+	}
+	off := 16
+	m.Coords = make([]ckpt.PageCoord, 0, n)
+	for i := 0; i < n; i++ {
+		m.Coords = append(m.Coords, ckpt.PageCoord{
+			VMAStart: binary.BigEndian.Uint64(b[off:]),
+			Index:    binary.BigEndian.Uint64(b[off+8:]),
+		})
+		off += 16
+	}
+	return m, nil
+}
+
+// pageResp carries page content source→destination. ID echoes the
+// demand pageReq it answers, or 0 for an unsolicited prefetch push. A
+// demand reply may carry fewer pages than were asked for when some of
+// the coords were already shipped (the content is then in flight ahead
+// of this reply on the same ordered stream).
+type pageResp struct {
+	ID    uint32
+	Pages []respPage
+}
+
+// respPage is one page of content keyed by its coordinate.
+type respPage struct {
+	Coord ckpt.PageCoord
+	Data  []byte
+}
+
+func (m pageResp) encode() []byte {
+	sz := 8
+	for _, p := range m.Pages {
+		sz += 20 + len(p.Data)
+	}
+	b := make([]byte, 8, sz)
+	binary.BigEndian.PutUint32(b[0:], m.ID)
+	binary.BigEndian.PutUint32(b[4:], uint32(len(m.Pages)))
+	for _, p := range m.Pages {
+		var e [20]byte
+		binary.BigEndian.PutUint64(e[0:], p.Coord.VMAStart)
+		binary.BigEndian.PutUint64(e[8:], p.Coord.Index)
+		binary.BigEndian.PutUint32(e[16:], uint32(len(p.Data)))
+		b = append(b, e[:]...)
+		b = append(b, p.Data...)
+	}
+	return b
+}
+
+func decodePageResp(b []byte) (pageResp, error) {
+	if len(b) < 8 {
+		return pageResp{}, errors.New("migration: short PAGE_RESP")
+	}
+	m := pageResp{ID: binary.BigEndian.Uint32(b[0:])}
+	n := int(binary.BigEndian.Uint32(b[4:]))
+	if n < 0 || n > (len(b)-8)/20 {
+		return pageResp{}, errors.New("migration: truncated PAGE_RESP")
+	}
+	off := 8
+	m.Pages = make([]respPage, 0, n)
+	for i := 0; i < n; i++ {
+		if off+20 > len(b) {
+			return pageResp{}, errors.New("migration: truncated PAGE_RESP page")
+		}
+		c := ckpt.PageCoord{
+			VMAStart: binary.BigEndian.Uint64(b[off:]),
+			Index:    binary.BigEndian.Uint64(b[off+8:]),
+		}
+		dl := int(binary.BigEndian.Uint32(b[off+16:]))
+		off += 20
+		if dl < 0 || off+dl > len(b) {
+			return pageResp{}, errors.New("migration: truncated PAGE_RESP data")
+		}
+		m.Pages = append(m.Pages, respPage{Coord: c, Data: b[off : off+dl]})
+		off += dl
+	}
+	return m, nil
+}
+
+// pullsDone reports the end of the degraded window back to the source:
+// the destination filled its last hole at LastFillAt, after Demand
+// demand-pulled pages and Prefetched prefetch-pushed ones, stalling the
+// process for StallNs of virtual time in total.
+type pullsDone struct {
+	LastFillAt simtime.Time
+	Demand     uint32
+	Prefetched uint32
+	StallNs    uint64
+}
+
+func (m pullsDone) encode() []byte {
+	b := make([]byte, 24)
+	binary.BigEndian.PutUint64(b[0:], uint64(m.LastFillAt))
+	binary.BigEndian.PutUint32(b[8:], m.Demand)
+	binary.BigEndian.PutUint32(b[12:], m.Prefetched)
+	binary.BigEndian.PutUint64(b[16:], m.StallNs)
+	return b
+}
+
+func decodePullsDone(b []byte) (pullsDone, error) {
+	if len(b) < 24 {
+		return pullsDone{}, errors.New("migration: short PULLS_DONE")
+	}
+	return pullsDone{
+		LastFillAt: simtime.Time(binary.BigEndian.Uint64(b[0:])),
+		Demand:     binary.BigEndian.Uint32(b[8:]),
+		Prefetched: binary.BigEndian.Uint32(b[12:]),
+		StallNs:    binary.BigEndian.Uint64(b[16:]),
+	}, nil
+}

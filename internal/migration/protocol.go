@@ -32,6 +32,13 @@ const (
 	MsgFreeze                         // S→D: final state (mem, threads, fds)
 	MsgRestoreDone                    // D→S: process resumed
 	MsgAbort                          // either direction
+
+	// Post-copy page-pull protocol (PR 6).
+	MsgPostImage // S→D: minimal freeze image + page directory, no page data
+	MsgResumed   // D→S: process resumed with holes; downtime ends here
+	MsgPageReq   // D→S: demand pull for faulted pages (epoch-fenced)
+	MsgPageResp  // S→D: page content (demand reply or prefetch push)
+	MsgPullsDone // D→S: last hole filled; the source may dismantle
 )
 
 // String names the message type.
@@ -41,6 +48,8 @@ func (t MsgType) String() string {
 		MsgMemDelta: "MEM_DELTA", MsgSockDelta: "SOCK_DELTA",
 		MsgCaptureReq: "CAPTURE_REQ", MsgCaptureAck: "CAPTURE_ACK",
 		MsgFreeze: "FREEZE", MsgRestoreDone: "RESTORE_DONE", MsgAbort: "ABORT",
+		MsgPostImage: "POST_IMAGE", MsgResumed: "RESUMED",
+		MsgPageReq: "PAGE_REQ", MsgPageResp: "PAGE_RESP", MsgPullsDone: "PULLS_DONE",
 	}
 	if s, ok := names[t]; ok {
 		return s

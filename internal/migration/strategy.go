@@ -1,0 +1,128 @@
+package migration
+
+import (
+	"fmt"
+
+	"dvemig/internal/sockmig"
+)
+
+// Strategy is the memory-movement axis of a migration: how page content
+// gets from the source to the destination relative to the freeze point.
+// It is orthogonal to Config.Strategy, which picks the *socket*
+// migration flavor (§III-C); any combination of the two axes is valid.
+//
+//   - Precopy  — iterate dirty-page rounds while the process runs, then
+//     freeze and ship the residue (Fig 3; the engine's historical mode).
+//   - Postcopy — freeze immediately, ship a minimal image plus a page
+//     directory, resume at the destination with every page a hole, and
+//     fill the holes by demand pulls plus a background prefetch sweep.
+//   - Hybrid   — one bounded pre-copy round, then post-copy for the
+//     pages dirtied during that round.
+//
+// The methods are unexported: implementations live in this package and
+// hook the phases of the outbound engine. Use Precopy/Postcopy/Hybrid
+// (or StrategyByName) to obtain one.
+type Strategy interface {
+	Name() string
+	// mode is the wire tag stamped into migrateReq.Mode.
+	mode() byte
+	// start runs when the destination acks the migration request.
+	start(ob *outbound)
+	// finalTransfer ships the freeze-time payload once the socket phase
+	// has subtracted sd (nil for the iterative socket strategy, which
+	// already shipped its sockets one by one).
+	finalTransfer(ob *outbound, sd *sockmig.SockDelta)
+	// onSourceMsg handles strategy-specific messages on the source side;
+	// false means the message is not part of this strategy's protocol.
+	onSourceMsg(ob *outbound, t MsgType, payload []byte) bool
+}
+
+type precopyStrategy struct{}
+
+func (precopyStrategy) Name() string { return "precopy" }
+func (precopyStrategy) mode() byte   { return modePrecopy }
+func (precopyStrategy) start(ob *outbound) {
+	if ob.m.Config.EnablePrecopy {
+		ob.precopyRound()
+	} else {
+		ob.freeze()
+	}
+}
+func (precopyStrategy) finalTransfer(ob *outbound, sd *sockmig.SockDelta) { ob.sendFreeze(sd) }
+func (precopyStrategy) onSourceMsg(*outbound, MsgType, []byte) bool       { return false }
+
+type postcopyStrategy struct{}
+
+func (postcopyStrategy) Name() string       { return "postcopy" }
+func (postcopyStrategy) mode() byte         { return modePostcopy }
+func (postcopyStrategy) start(ob *outbound) { ob.freeze() }
+func (postcopyStrategy) finalTransfer(ob *outbound, sd *sockmig.SockDelta) {
+	ob.sendPostImage(sd, false)
+}
+func (postcopyStrategy) onSourceMsg(ob *outbound, t MsgType, payload []byte) bool {
+	return ob.postSourceMsg(t, payload)
+}
+
+type hybridStrategy struct{}
+
+func (hybridStrategy) Name() string       { return "hybrid" }
+func (hybridStrategy) mode() byte         { return modeHybrid }
+func (hybridStrategy) start(ob *outbound) { ob.hybridRound() }
+func (hybridStrategy) finalTransfer(ob *outbound, sd *sockmig.SockDelta) {
+	ob.sendPostImage(sd, true)
+}
+func (hybridStrategy) onSourceMsg(ob *outbound, t MsgType, payload []byte) bool {
+	return ob.postSourceMsg(t, payload)
+}
+
+// Precopy returns the iterative dirty-page pre-copy strategy (the
+// default when Config.Mig is nil).
+func Precopy() Strategy { return precopyStrategy{} }
+
+// Postcopy returns the freeze-first demand-paging strategy.
+func Postcopy() Strategy { return postcopyStrategy{} }
+
+// Hybrid returns one bounded pre-copy round followed by post-copy for
+// the residual dirty set.
+func Hybrid() Strategy { return hybridStrategy{} }
+
+// StrategyNames lists the migration strategies in canonical order (the
+// order the strategy race reports them in).
+func StrategyNames() []string { return []string{"precopy", "postcopy", "hybrid"} }
+
+// StrategyByName parses a -strategy flag value. The empty string means
+// the default (precopy).
+func StrategyByName(s string) (Strategy, error) {
+	switch s {
+	case "precopy", "":
+		return Precopy(), nil
+	case "postcopy":
+		return Postcopy(), nil
+	case "hybrid":
+		return Hybrid(), nil
+	}
+	return nil, fmt.Errorf("migration: unknown strategy %q (want precopy, postcopy or hybrid)", s)
+}
+
+// strategyByMode maps a migrateReq.Mode wire tag back to its strategy
+// (the destination's dispatch).
+func strategyByMode(b byte) (Strategy, error) {
+	switch b {
+	case modePrecopy:
+		return Precopy(), nil
+	case modePostcopy:
+		return Postcopy(), nil
+	case modeHybrid:
+		return Hybrid(), nil
+	}
+	return nil, fmt.Errorf("migration: unknown strategy mode %d", b)
+}
+
+// mig resolves the configured migration strategy, defaulting to
+// pre-copy so every pre-existing Config keeps its behavior.
+func (c *Config) mig() Strategy {
+	if c.Mig == nil {
+		return Precopy()
+	}
+	return c.Mig
+}

@@ -1,0 +1,270 @@
+package migration
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"dvemig/internal/ckpt"
+	"dvemig/internal/proc"
+	"dvemig/internal/simtime"
+)
+
+func TestStrategyByName(t *testing.T) {
+	for _, name := range StrategyNames() {
+		st, err := StrategyByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Name() != name {
+			t.Fatalf("StrategyByName(%q).Name() = %q", name, st.Name())
+		}
+		rt, err := strategyByMode(st.mode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.Name() != name {
+			t.Fatalf("mode round-trip broke: %q -> %q", name, rt.Name())
+		}
+	}
+	if st, err := StrategyByName(""); err != nil || st.Name() != "precopy" {
+		t.Fatalf("empty name should default to precopy, got %v, %v", st, err)
+	}
+	if _, err := StrategyByName("lazy"); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if _, err := strategyByMode(77); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+// TestPostcopyMigrationEndToEnd runs the full client-streaming scenario
+// of TestLiveMigrationEndToEnd under the post-copy and hybrid
+// strategies: the process must arrive, resume with holes, drain, and
+// never lose or reorder a byte of any client stream.
+func TestPostcopyMigrationEndToEnd(t *testing.T) {
+	for _, mig := range []Strategy{Postcopy(), Hybrid()} {
+		t.Run(mig.Name(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Mig = mig
+			e := newEnv(t, 3, 8, cfg)
+			origPID := e.p.PID
+
+			var sent [][]byte
+			var tickers []*simtime.Ticker
+			for i, cli := range e.clients {
+				i, cli := i, cli
+				sent = append(sent, nil)
+				tk := simtime.NewTicker(e.c.Sched, 40*time.Millisecond, "cli", func() {
+					msg := []byte(fmt.Sprintf("c%d.%d;", i, len(sent[i])))
+					sent[i] = append(sent[i], msg...)
+					cli.Send(msg)
+				})
+				tk.Start()
+				tickers = append(tickers, tk)
+			}
+			e.c.Sched.RunFor(300 * time.Millisecond)
+
+			m := e.migrate(t, 1)
+			dst := e.c.Nodes[1]
+			q := findProcess(dst, "zone_serv1")
+			if q == nil {
+				t.Fatal("process did not arrive on destination")
+			}
+			if q.PID != origPID {
+				t.Fatalf("PID changed: %d -> %d", origPID, q.PID)
+			}
+			if findProcess(e.c.Nodes[0], "zone_serv1") != nil {
+				t.Fatal("process still on source")
+			}
+			if m.Mig != mig.Name() {
+				t.Fatalf("Metrics.Mig = %q, want %q", m.Mig, mig.Name())
+			}
+			// The drain happened: every hole filled, no page left absent.
+			if n := q.AS.AbsentCount(); n != 0 {
+				t.Fatalf("%d pages still absent after completion", n)
+			}
+			if q.Stalled {
+				t.Fatal("process still stalled after drain")
+			}
+			// Pull accounting is exact: demand + prefetch = shipped, no
+			// duplicates anywhere, and the degraded window is coherent.
+			if m.PagesShipped == 0 {
+				t.Fatal("no pages shipped post-resume")
+			}
+			if m.PagesDemand+m.PagesPrefetched != m.PagesShipped {
+				t.Fatalf("pull accounting off: demand %d + prefetch %d != shipped %d",
+					m.PagesDemand, m.PagesPrefetched, m.PagesShipped)
+			}
+			if m.PullDuplicates != 0 {
+				t.Fatalf("PullDuplicates = %d, want 0", m.PullDuplicates)
+			}
+			if e.migrators[1].DupFills != 0 {
+				t.Fatalf("destination rejected %d duplicate fills", e.migrators[1].DupFills)
+			}
+			if m.LastFillAt < m.ResumeAt {
+				t.Fatalf("LastFillAt %v before ResumeAt %v", m.LastFillAt, m.ResumeAt)
+			}
+			if m.DegradedWindow <= 0 || m.TotalTime <= 0 {
+				t.Fatalf("windows implausible: degraded %v total %v", m.DegradedWindow, m.TotalTime)
+			}
+			// Post-copy's raison d'être: the freeze window excludes memory
+			// copying, so it stays short even with 256 pages resident.
+			if m.FreezeTime <= 0 || m.FreezeTime > 200*time.Millisecond {
+				t.Fatalf("freeze time implausible for %s: %v", mig.Name(), m.FreezeTime)
+			}
+			// The pull traffic was class-stamped: both NICs saw page-pull
+			// bytes on the in-cluster link.
+			if e.c.Nodes[0].LocalNIC.PullTxBytes == 0 || e.c.Nodes[1].LocalNIC.PullRxBytes == 0 {
+				t.Fatalf("pull-class accounting missing: tx=%d rx=%d",
+					e.c.Nodes[0].LocalNIC.PullTxBytes, e.c.Nodes[1].LocalNIC.PullRxBytes)
+			}
+
+			// Stream integrity across the degraded window.
+			e.c.Sched.RunFor(2 * time.Second)
+			for _, tk := range tickers {
+				tk.Stop()
+			}
+			e.c.Sched.RunFor(time.Second)
+			all := e.received.Bytes()
+			for i := range e.clients {
+				want := sent[i]
+				got := extractClient(all, i)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("client %d stream mismatch: got %d bytes, want %d",
+						i, len(got), len(want))
+				}
+			}
+			if !bytes.Contains(e.dbPeer.Recv(), []byte("ping;")) {
+				t.Fatal("db connection dead after migration")
+			}
+		})
+	}
+}
+
+// TestPostcopyShipsEveryPageExactlyOnce is the shadow-model property:
+// the set of pages shipped after resume must equal the resident set at
+// freeze time, each shipped exactly once, split consistently between
+// demand and prefetch.
+func TestPostcopyShipsEveryPageExactlyOnce(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mig = Postcopy()
+	e := newEnv(t, 2, 4, cfg)
+
+	shipped := map[ckpt.PageCoord]int{}
+	demand := 0
+	e.migrators[0].OnPageShip = func(c ckpt.PageCoord, d bool) {
+		shipped[c]++
+		if d {
+			demand++
+		}
+	}
+	frozen := map[ckpt.PageCoord]bool{}
+	e.migrators[0].OnPhase = func(ev PhaseEvent) {
+		if ev.Phase == PhaseFreeze && ev.Node == e.c.Nodes[0].Name {
+			// Synchronous with the freeze point: no tick can interleave, so
+			// this is exactly the resident set the directory will describe.
+			for _, v := range e.p.AS.VMAs() {
+				for idx := range v.Pages {
+					frozen[ckpt.PageCoord{VMAStart: v.Start, Index: idx}] = true
+				}
+			}
+		}
+	}
+	m := e.migrate(t, 1)
+	if len(frozen) == 0 {
+		t.Fatal("freeze snapshot empty — hook never fired")
+	}
+	if len(shipped) != len(frozen) {
+		t.Fatalf("shipped %d distinct pages, frozen resident set has %d", len(shipped), len(frozen))
+	}
+	for c, n := range shipped {
+		if !frozen[c] {
+			t.Fatalf("shipped page %#x+%d was not resident at freeze", c.VMAStart, c.Index)
+		}
+		if n != 1 {
+			t.Fatalf("page %#x+%d shipped %d times", c.VMAStart, c.Index, n)
+		}
+	}
+	if int(m.PagesShipped) != len(frozen) {
+		t.Fatalf("PagesShipped = %d, want %d", m.PagesShipped, len(frozen))
+	}
+	if int(m.PagesDemand) != demand {
+		t.Fatalf("PagesDemand = %d, hook saw %d", m.PagesDemand, demand)
+	}
+	if m.PullDuplicates != 0 || e.migrators[1].DupFills != 0 {
+		t.Fatalf("duplicates: served=%d filled=%d, want 0/0", m.PullDuplicates, e.migrators[1].DupFills)
+	}
+}
+
+// TestHybridBytesNeverExceedPrecopy is the transfer-volume property:
+// for the same seed-deterministic dirty-page schedule, hybrid's total
+// page bytes (one bounded round + pulls for the residual) can never
+// exceed pure pre-copy's (the same first round plus every later round
+// and the freeze residue).
+func TestHybridBytesNeverExceedPrecopy(t *testing.T) {
+	for _, nClients := range []int{2, 8, 16} {
+		t.Run(fmt.Sprintf("clients=%d", nClients), func(t *testing.T) {
+			run := func(mig Strategy) *Metrics {
+				cfg := DefaultConfig()
+				cfg.Mig = mig
+				e := newEnv(t, 2, nClients, cfg)
+				return e.migrate(t, 1)
+			}
+			pre := run(Precopy())
+			hyb := run(Hybrid())
+			if pre.MemPageBytes == 0 || hyb.MemPageBytes == 0 {
+				t.Fatalf("page byte accounting missing: pre=%d hyb=%d",
+					pre.MemPageBytes, hyb.MemPageBytes)
+			}
+			if hyb.MemPageBytes > pre.MemPageBytes {
+				t.Fatalf("hybrid shipped more page bytes than precopy: %d > %d",
+					hyb.MemPageBytes, pre.MemPageBytes)
+			}
+			if hyb.Rounds != 1 {
+				t.Fatalf("hybrid ran %d pre-copy rounds, want exactly 1", hyb.Rounds)
+			}
+			if pre.Rounds <= 1 {
+				t.Fatalf("precopy ran %d rounds; comparison degenerate", pre.Rounds)
+			}
+		})
+	}
+}
+
+// TestPostcopyZeroResidentDrainsImmediately covers the degenerate
+// directory: a process whose address space has no materialized pages
+// resumes and drains in the same instant, with no pull traffic.
+func TestPostcopyZeroResidentDrainsImmediately(t *testing.T) {
+	c := proc.NewCluster(simtime.NewScheduler(), 2)
+	cfg := DefaultConfig()
+	cfg.Mig = Postcopy()
+	var ms []*Migrator
+	for _, n := range c.Nodes {
+		m, err := NewMigrator(n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, m)
+	}
+	p := c.Nodes[0].Spawn("empty_proc", 1)
+	p.AS.Mmap(16*proc.PageSize, "rw-") // mapped but never touched
+	var got *Metrics
+	ms[0].Migrate(p, c.Nodes[1].LocalIP, func(m *Metrics, err error) {
+		if err != nil {
+			t.Errorf("migration failed: %v", err)
+		}
+		got = m
+	})
+	c.Sched.RunFor(5 * time.Second)
+	if got == nil {
+		t.Fatal("migration never completed")
+	}
+	if got.PagesShipped != 0 {
+		t.Fatalf("shipped %d pages from an empty resident set", got.PagesShipped)
+	}
+	q := findProcess(c.Nodes[1], "empty_proc")
+	if q == nil || q.AS.AbsentCount() != 0 {
+		t.Fatal("process missing or hole-y on destination")
+	}
+}

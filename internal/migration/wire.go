@@ -21,26 +21,32 @@ import (
 type migrateReq struct {
 	PID      int
 	Strategy sockmig.Strategy
-	Token    uint64
-	Epoch    uint64
-	TraceID  uint64
-	SpanID   uint64
-	Name     string
+	// Mode is the migration strategy's wire tag (modePrecopy /
+	// modePostcopy / modeHybrid): it tells the destination which restore
+	// machinery to run — full-image restore, or partial restore plus the
+	// page-pull protocol.
+	Mode    byte
+	Token   uint64
+	Epoch   uint64
+	TraceID uint64
+	SpanID  uint64
+	Name    string
 }
 
 func (m migrateReq) encode() []byte {
-	b := make([]byte, 37, 37+len(m.Name))
+	b := make([]byte, 38, 38+len(m.Name))
 	binary.BigEndian.PutUint32(b[0:], uint32(m.PID))
 	b[4] = byte(m.Strategy)
 	binary.BigEndian.PutUint64(b[5:], m.Token)
 	binary.BigEndian.PutUint64(b[13:], m.Epoch)
 	binary.BigEndian.PutUint64(b[21:], m.TraceID)
 	binary.BigEndian.PutUint64(b[29:], m.SpanID)
+	b[37] = m.Mode
 	return append(b, m.Name...)
 }
 
 func decodeMigrateReq(b []byte) (migrateReq, error) {
-	if len(b) < 37 {
+	if len(b) < 38 {
 		return migrateReq{}, errors.New("migration: short MIGRATE_REQ")
 	}
 	return migrateReq{
@@ -50,7 +56,8 @@ func decodeMigrateReq(b []byte) (migrateReq, error) {
 		Epoch:    binary.BigEndian.Uint64(b[13:]),
 		TraceID:  binary.BigEndian.Uint64(b[21:]),
 		SpanID:   binary.BigEndian.Uint64(b[29:]),
-		Name:     string(b[37:]),
+		Mode:     b[37],
+		Name:     string(b[38:]),
 	}, nil
 }
 

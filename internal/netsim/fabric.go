@@ -90,6 +90,11 @@ type NIC struct {
 	FaultDuplicated uint64
 	FaultDelayed    uint64
 
+	// Page-pull class accounting (Packet.Class == ClassPagePull): the
+	// post-copy demand-pull/prefetch bytes that crossed this NIC, so the
+	// strategy race can attribute degraded-window wire pressure.
+	PullTxBytes, PullRxBytes uint64
+
 	// FR, when attached, records every packet verdict on this NIC into
 	// the flight recorder (tx, rx, drops, duplicates). Nil by default.
 	FR *flight.Recorder
@@ -135,6 +140,9 @@ func (n *NIC) Send(p *Packet) {
 	n.busyUntil = done
 	n.TxPackets++
 	n.TxBytes += uint64(p.Len())
+	if p.Class == ClassPagePull {
+		n.PullTxBytes += uint64(p.Len())
+	}
 	if n.FR != nil {
 		frRecord(n.FR, now, "tx", p)
 	}
@@ -203,6 +211,9 @@ func (n *NIC) deliver(p *Packet) {
 	}
 	n.RxPackets++
 	n.RxBytes += uint64(p.Len())
+	if p.Class == ClassPagePull {
+		n.PullRxBytes += uint64(p.Len())
+	}
 	if n.FR != nil {
 		frRecord(n.FR, n.sched.Now(), "rx", p)
 	}

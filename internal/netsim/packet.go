@@ -132,7 +132,24 @@ type Packet struct {
 	// unstamped path pays one nil word per packet); Clone's struct copy
 	// preserves it across hops.
 	Trace *TraceRef
+
+	// Class tags the traffic class the packet belongs to. Like Trace it
+	// is out-of-band metadata — never marshalled, never checksummed —
+	// used by NIC accounting to break migration traffic out of the
+	// aggregate: the post-copy page-pull channel stamps ClassPagePull so
+	// the degraded-window analysis can see exactly how much pull traffic
+	// shared the wire with the application.
+	Class byte
 }
+
+// Traffic classes (Packet.Class).
+const (
+	// ClassDefault is ordinary application or control traffic.
+	ClassDefault byte = iota
+	// ClassPagePull marks post-copy demand-pull and prefetch traffic on
+	// the migration control connection after the destination resumed.
+	ClassPagePull
+)
 
 // TraceRef is a causal trace coordinate — the trace ID and the deciding
 // span's ID, mirroring obs.TraceContext without importing it (netsim

@@ -139,6 +139,13 @@ type TCPSocket struct {
 	// migration: a migrated application socket starts clean.
 	Trace *netsim.TraceRef
 
+	// Class is the traffic class stamped onto every segment the socket
+	// emits (netsim.Packet.Class). The migration engine flips its
+	// control connection to netsim.ClassPagePull when the post-copy
+	// demand-pull phase begins so NIC accounting can separate pull
+	// traffic from the application's. Like Trace, not serialized.
+	Class byte
+
 	// The five queues of §V-C1. writeQueue holds sent-but-unacked
 	// segments (retransmission source); sndBuf is app data not yet
 	// segmented because cwnd is full. receiveQueue holds in-order data
@@ -796,6 +803,7 @@ func (sk *TCPSocket) makePacket(flags byte, seq, ack uint32, payload []byte) *ne
 		Payload: payload,
 		Dst:     sk.dst,
 		Trace:   sk.Trace,
+		Class:   sk.Class,
 	}
 	p.FixChecksum()
 	return p

@@ -15,9 +15,13 @@ const PageSize = 4096
 // Page is one resident page: its data and the page-table dirty bit. The
 // paper's implementation tracks dirtiness via the PTE dirty bit with the
 // swap facility relaxed (§V-A); our pages are never swapped either.
+// Absent marks a post-copy placeholder: the page's content still lives
+// on the migration source, and any access faults (ErrPageAbsent) until
+// FillPage delivers the data.
 type Page struct {
-	Data  []byte
-	Dirty bool
+	Data   []byte
+	Dirty  bool
+	Absent bool
 }
 
 // VMA is a continuous mapped memory area, the analogue of Linux
@@ -40,6 +44,13 @@ func (v *VMA) Resident() int { return len(v.Pages) }
 type AddressSpace struct {
 	vmas    []*VMA // sorted by Start
 	nextMap uint64 // bump allocator for anonymous mappings
+
+	// OnMissing observes every access that lands on an absent page (a
+	// post-copy placeholder whose content is still on the migration
+	// source). The access itself fails with ErrPageAbsent and the state
+	// of the space is untouched; the hook is where the demand-pull
+	// client hangs.
+	OnMissing func(vmaStart, pageIndex uint64)
 }
 
 // NewAddressSpace creates an empty address space with mappings starting
@@ -139,12 +150,30 @@ func (v *VMA) page(addr uint64) *Page {
 	return p
 }
 
+// ErrPageAbsent is the fault an access to a post-copy placeholder page
+// raises: the content has not arrived from the migration source yet.
+var ErrPageAbsent = fmt.Errorf("proc: page not resident (post-copy fault)")
+
+// missing fires the demand-fault hook and returns the canonical fault.
+func (as *AddressSpace) missing(v *VMA, idx uint64) error {
+	if as.OnMissing != nil {
+		as.OnMissing(v.Start, idx)
+	}
+	return ErrPageAbsent
+}
+
 // Write stores data at addr, faulting pages in and setting dirty bits.
+// Writes that land on an absent page fault (fire OnMissing, return
+// ErrPageAbsent) without storing anything.
 func (as *AddressSpace) Write(addr uint64, data []byte) error {
 	for len(data) > 0 {
 		v := as.findVMA(addr)
 		if v == nil {
 			return fmt.Errorf("proc: segmentation fault writing %#x", addr)
+		}
+		idx := (addr - v.Start) / PageSize
+		if p := v.Pages[idx]; p != nil && p.Absent {
+			return as.missing(v, idx)
 		}
 		p := v.page(addr)
 		off := addr % PageSize
@@ -156,7 +185,8 @@ func (as *AddressSpace) Write(addr uint64, data []byte) error {
 	return nil
 }
 
-// Read copies length bytes starting at addr.
+// Read copies length bytes starting at addr. Reads that land on an
+// absent page fault like writes do.
 func (as *AddressSpace) Read(addr uint64, length int) ([]byte, error) {
 	out := make([]byte, 0, length)
 	for length > 0 {
@@ -171,6 +201,9 @@ func (as *AddressSpace) Read(addr uint64, length int) ([]byte, error) {
 		}
 		idx := (addr - v.Start) / PageSize
 		if p := v.Pages[idx]; p != nil {
+			if p.Absent {
+				return nil, as.missing(v, idx)
+			}
 			out = append(out, p.Data[off:int(off)+n]...)
 		} else {
 			out = append(out, make([]byte, n)...) // unfaulted zero page
@@ -187,10 +220,79 @@ func (as *AddressSpace) Touch(addr uint64) error {
 	if v == nil {
 		return fmt.Errorf("proc: segmentation fault touching %#x", addr)
 	}
+	idx := (addr - v.Start) / PageSize
+	if p := v.Pages[idx]; p != nil && p.Absent {
+		return as.missing(v, idx)
+	}
 	p := v.page(addr)
 	p.Dirty = true
 	p.Data[addr%PageSize]++
 	return nil
+}
+
+// MarkAbsent installs a post-copy placeholder: the page is known to
+// exist (it was resident on the source at freeze time) but its content
+// has not been shipped. Any access faults until FillPage arrives.
+func (as *AddressSpace) MarkAbsent(vmaStart, pageIndex uint64) error {
+	v := as.findVMA(vmaStart)
+	if v == nil || v.Start != vmaStart {
+		return fmt.Errorf("proc: mark-absent on unmapped region %#x", vmaStart)
+	}
+	v.Pages[pageIndex] = &Page{Absent: true}
+	return nil
+}
+
+// FillPage delivers a pulled (or pushed) page's content, clearing the
+// absent mark. The fill does not set the dirty bit: arriving content is
+// clean by definition (it is the source's authoritative copy). Filling
+// a page that is not absent is rejected so the exactly-once shipping
+// property is checkable at the memory layer.
+func (as *AddressSpace) FillPage(vmaStart, pageIndex uint64, data []byte) error {
+	v := as.findVMA(vmaStart)
+	if v == nil || v.Start != vmaStart {
+		return fmt.Errorf("proc: fill of unmapped region %#x", vmaStart)
+	}
+	p := v.Pages[pageIndex]
+	if p == nil || !p.Absent {
+		return fmt.Errorf("proc: duplicate fill of resident page %#x+%d", vmaStart, pageIndex)
+	}
+	p.Data = make([]byte, PageSize)
+	copy(p.Data, data)
+	p.Absent = false
+	p.Dirty = false
+	return nil
+}
+
+// AbsentPages lists the remaining placeholders in canonical (VMA,
+// index) order — the prefetch sweep's work list.
+func (as *AddressSpace) AbsentPages() []DirtyRef {
+	var out []DirtyRef
+	for _, v := range as.vmas {
+		idxs := make([]uint64, 0, len(v.Pages))
+		for idx, p := range v.Pages {
+			if p.Absent {
+				idxs = append(idxs, idx)
+			}
+		}
+		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+		for _, idx := range idxs {
+			out = append(out, DirtyRef{VMA: v, PageIndex: idx})
+		}
+	}
+	return out
+}
+
+// AbsentCount counts the remaining placeholders.
+func (as *AddressSpace) AbsentCount() int {
+	n := 0
+	for _, v := range as.vmas {
+		for _, p := range v.Pages {
+			if p.Absent {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // DirtyPages returns (vmaStart, pageIndex) pairs of every dirty page.

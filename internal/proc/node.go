@@ -139,14 +139,15 @@ func (n *Node) NumProcesses() int { return len(n.processes) }
 
 // StartLoop arms the process's real-time loop at the given period. The
 // loop silently skips while the process is frozen (the freeze phase of a
-// migration) and is re-armed on the destination node after migration.
+// migration) or stalled on a demand page fault (post-copy), and is
+// re-armed on the destination node after migration.
 func (n *Node) StartLoop(p *Process, period simtime.Duration) {
 	p.LoopPeriod = period
 	if tk := n.tickers[p.PID]; tk != nil {
 		tk.Stop()
 	}
 	tk := simtime.NewTicker(n.Sched, period, p.Name+".loop", func() {
-		if p.State == ProcRunning && p.Tick != nil {
+		if p.State == ProcRunning && !p.Stalled && p.Tick != nil {
 			p.Tick(p)
 		}
 	})

@@ -179,6 +179,13 @@ type Process struct {
 	// the DVE zone server raises it proportionally to its client count.
 	CPUDemand float64
 
+	// Stalled gates the real-time loop while a demand page fault is
+	// outstanding (post-copy migration): the process is logically
+	// running — it still owns its sockets and counts as the service
+	// owner — but is blocked on memory, so ticks are skipped until the
+	// page arrives.
+	Stalled bool
+
 	// Tick, if set, runs the application's real-time loop; the node wires
 	// it to a ticker firing every LoopPeriod. It receives the process it
 	// runs as (the object identity changes across a migration, the state
