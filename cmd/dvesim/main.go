@@ -34,10 +34,17 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON (Perfetto-loadable) of the run to this file")
 	metricsOut := flag.String("metrics-out", "", "write the run's metric snapshot (counters/gauges/histograms) to this file")
 	strategy := flag.String("strategy", "precopy", "memory-movement strategy for every LB migration: precopy|postcopy|hybrid")
+	soak := flag.Bool("soak", false, "run the control-plane soak battery instead of the DVE simulation")
+	soakRequests := flag.Int("soak-requests", 200, "with -soak: migration objects per (scenario, seed) cell")
 	flag.Parse()
 
 	if *showMap {
 		fmt.Println(dve.Fig5a())
+		return
+	}
+
+	if *soak {
+		runSoak(*soakRequests, *strategy, *traceOut, *metricsOut)
 		return
 	}
 
@@ -134,6 +141,31 @@ func main() {
 		}
 	}
 	fmt.Println(eval.DVESummary(r, cfg.LB))
+}
+
+// runSoak is the -soak mode: a reduced control-plane soak battery (the
+// full-size one lives in cmd/soak) sharing dvesim's artifact flags.
+func runSoak(requests int, strategy, tracePath, metricsPath string) {
+	cfg := eval.DefaultSoakConfig()
+	cfg.Requests = requests
+	cfg.Strategy = strategy
+	cfg.Observe = tracePath != "" || metricsPath != ""
+	fmt.Fprintf(os.Stderr, "soaking %d cells × %d requests (strategy %s)...\n",
+		len(cfg.Scenarios)*len(cfg.Seeds), cfg.Requests, cfg.Strategy)
+	rep, err := eval.RunSoak(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvesim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Table())
+	writeObs(tracePath, metricsPath, rep.Captures()...)
+	for _, res := range rep.Results {
+		if len(res.Violations) > 0 {
+			fmt.Fprintf(os.Stderr, "dvesim: soak violations in %s/seed%d: %v\n",
+				res.Scenario, res.Seed, res.Violations)
+			os.Exit(1)
+		}
+	}
 }
 
 // writeObs writes the trace and/or metrics artifacts when their flags

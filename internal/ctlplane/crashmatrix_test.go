@@ -1,0 +1,85 @@
+package ctlplane
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dvemig/internal/migration"
+)
+
+// TestControllerCrashMatrix kills the primary controller's node while a
+// migration object sits in each pre-terminal lifecycle state, for every
+// strategy. The standby must take over under a bumped epoch and drive
+// the object to a terminal state — and the agents' dedup log must keep
+// the engine at exactly one migration: a crash can delay an object, but
+// never double-drive it.
+func TestControllerCrashMatrix(t *testing.T) {
+	states := []State{Pending, Scheduling, Running}
+	for _, strat := range migration.StrategyNames() {
+		for _, st := range states {
+			t.Run(fmt.Sprintf("%s_%s", strat, st), func(t *testing.T) {
+				e := newCtlEnv(t, 2, true, fastCtlConfig())
+				p := e.worker(0, "zone")
+				spec := e.spec(p, 0, 1)
+				spec.Strategy = strat
+				o, err := e.ctl.Submit(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				crash := func() {
+					if e.ctl.Node.Alive {
+						e.ctl.Node.Fail(e.c)
+						e.ctl.Stop()
+					}
+				}
+				if st == Pending {
+					// Before the first reconcile tick: only the Pending
+					// replica made it to the standby.
+					e.c.Sched.After(10*time.Millisecond, "test/crash", crash)
+				} else {
+					target := st
+					e.ctl.OnTransition = func(obj *Object, _, to State) {
+						if obj.Spec.ID == o.Spec.ID && to == target {
+							// Mid-transition: the stack goes down before this
+							// very transition can replicate, so the standby
+							// resumes from the previous state.
+							crash()
+						}
+					}
+				}
+				e.c.Sched.RunFor(60 * time.Second)
+
+				if e.standby.Takeovers != 1 {
+					t.Fatalf("takeovers = %d, want 1", e.standby.Takeovers)
+				}
+				if e.standby.Epoch() <= 1 {
+					t.Fatalf("standby epoch = %d, want > 1", e.standby.Epoch())
+				}
+				got := e.standby.Get(o.Spec.ID)
+				if got == nil {
+					t.Fatal("object lost across takeover")
+				}
+				if got.Status.State != Succeeded {
+					t.Fatalf("object = %s %v", got.Status.State, got.Status.Cause)
+				}
+				// Exactly one engine migration end to end: one agent start,
+				// one completed outbound, zero aborted, and the process
+				// arrived exactly once.
+				if e.agents[0].Started != 1 {
+					t.Fatalf("agent drove %d migrations, want 1", e.agents[0].Started)
+				}
+				if n := len(e.migrators[0].Completed); n != 1 {
+					t.Fatalf("engine completed %d migrations, want 1", n)
+				}
+				if n := len(e.migrators[0].Aborted); n != 0 {
+					t.Fatalf("engine aborted %d migrations, want 0", n)
+				}
+				if e.c.Nodes[1].NumProcesses() != 1 || e.c.Nodes[0].NumProcesses() != 0 {
+					t.Fatalf("process placement wrong: src=%d dst=%d",
+						e.c.Nodes[0].NumProcesses(), e.c.Nodes[1].NumProcesses())
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,477 @@
+package ctlplane
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dvemig/internal/lb"
+	"dvemig/internal/migration"
+	"dvemig/internal/netsim"
+	"dvemig/internal/proc"
+	"dvemig/internal/simtime"
+)
+
+// ctlEnv is a cluster with worker nodes (migrator + agent) and one or
+// two controller nodes at the tail.
+type ctlEnv struct {
+	c         *proc.Cluster
+	migrators []*migration.Migrator
+	agents    []*Agent
+	ctl       *Controller // primary
+	standby   *Controller // nil unless standby=true
+}
+
+func fastMigConfig() migration.Config {
+	cfg := migration.DefaultConfig()
+	cfg.ConnTimeout = 200 * time.Millisecond
+	cfg.ConnRetries = 1
+	cfg.RetryBackoff = 50 * time.Millisecond
+	cfg.RetryBackoffMax = 200 * time.Millisecond
+	return cfg
+}
+
+func fastCtlConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Retry = migration.BackoffPolicy{Base: 100 * time.Millisecond, Max: 500 * time.Millisecond}
+	cfg.ProbeAfter = 500 * time.Millisecond
+	return cfg
+}
+
+func newCtlEnv(t *testing.T, workers int, standby bool, ccfg Config) *ctlEnv {
+	t.Helper()
+	nodes := workers + 1
+	if standby {
+		nodes++
+	}
+	e := &ctlEnv{c: proc.NewCluster(simtime.NewScheduler(), nodes)}
+	for i := 0; i < workers; i++ {
+		n := e.c.Nodes[i]
+		m, err := migration.NewMigrator(n, fastMigConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := NewAgent(n, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.migrators = append(e.migrators, m)
+		e.agents = append(e.agents, a)
+	}
+	primaryNode := e.c.Nodes[workers]
+	var peer netsim.Addr
+	if standby {
+		peer = e.c.Nodes[workers+1].LocalIP
+	}
+	ctl, err := NewController(primaryNode, peer, true, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ctl = ctl
+	if standby {
+		sb, err := NewController(e.c.Nodes[workers+1], primaryNode.LocalIP, false, ccfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.standby = sb
+	}
+	return e
+}
+
+// worker spawns a small migratable process on node i.
+func (e *ctlEnv) worker(i int, name string) *proc.Process {
+	n := e.c.Nodes[i]
+	p := n.Spawn(name, 1)
+	v := p.AS.Mmap(16*proc.PageSize, "rw-")
+	for j := uint64(0); j < 4; j++ {
+		p.AS.Write(v.Start+j*proc.PageSize, []byte{byte(j)})
+	}
+	p.CPUDemand = 0.2
+	p.Tick = func(self *proc.Process) { self.AS.Touch(v.Start) }
+	n.StartLoop(p, 50*time.Millisecond)
+	return p
+}
+
+func (e *ctlEnv) spec(p *proc.Process, from, to int) Spec {
+	return Spec{
+		PID: p.PID, Name: p.Name,
+		Source: e.c.Nodes[from].LocalIP, Dest: e.c.Nodes[to].LocalIP,
+		MaxRetries: -1,
+	}
+}
+
+func hasCause(o *Object, substr string) bool {
+	for _, cz := range o.Status.Cause {
+		if strings.Contains(cz, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLifecycleSucceeds(t *testing.T) {
+	for _, strat := range migration.StrategyNames() {
+		t.Run(strat, func(t *testing.T) {
+			e := newCtlEnv(t, 2, false, fastCtlConfig())
+			p := e.worker(0, "zone")
+			spec := e.spec(p, 0, 1)
+			spec.Strategy = strat
+			o, err := e.ctl.Submit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.c.Sched.RunFor(15 * time.Second)
+			if o.Status.State != Succeeded {
+				t.Fatalf("state = %s (causes %v)", o.Status.State, o.Status.Cause)
+			}
+			if o.Status.Attempt != 1 || o.Status.Retries != 0 {
+				t.Fatalf("attempt=%d retries=%d, want 1/0", o.Status.Attempt, o.Status.Retries)
+			}
+			if o.Status.DoneAt == 0 {
+				t.Fatal("DoneAt not stamped")
+			}
+			if e.c.Nodes[1].NumProcesses() != 1 || e.c.Nodes[0].NumProcesses() != 0 {
+				t.Fatalf("process did not move: src=%d dst=%d",
+					e.c.Nodes[0].NumProcesses(), e.c.Nodes[1].NumProcesses())
+			}
+			if e.agents[0].Started != 1 {
+				t.Fatalf("agent drove %d migrations, want 1", e.agents[0].Started)
+			}
+		})
+	}
+}
+
+func TestAdmissionRejectsBeforeAnyStateMoves(t *testing.T) {
+	e := newCtlEnv(t, 2, false, fastCtlConfig())
+	p := e.worker(0, "zone")
+
+	// Destination equals source.
+	same := e.spec(p, 0, 0)
+	o1, _ := e.ctl.Submit(same)
+	// Second in-flight migration for the same service.
+	a, _ := e.ctl.Submit(e.spec(p, 0, 1))
+	b, _ := e.ctl.Submit(e.spec(p, 0, 1))
+	e.c.Sched.RunFor(15 * time.Second)
+
+	if o1.Status.State != Failed || !hasCause(o1, "destination equals source") {
+		t.Fatalf("same-dest object: %s %v", o1.Status.State, o1.Status.Cause)
+	}
+	if a.Status.State != Succeeded {
+		t.Fatalf("first migration: %s %v", a.Status.State, a.Status.Cause)
+	}
+	if b.Status.State != Failed || !hasCause(b, "already has migration") {
+		t.Fatalf("duplicate in-flight object: %s %v", b.Status.State, b.Status.Cause)
+	}
+	// Nothing was dispatched for the rejected objects.
+	if o1.dispatched != 0 || b.dispatched != 0 {
+		t.Fatalf("rejected objects were dispatched: %d/%d", o1.dispatched, b.dispatched)
+	}
+	if e.agents[0].Started != 1 {
+		t.Fatalf("agent drove %d migrations, want 1", e.agents[0].Started)
+	}
+}
+
+func TestAdmissionRejectsStaleOwnershipEpoch(t *testing.T) {
+	e := newCtlEnv(t, 2, false, fastCtlConfig())
+	p := e.worker(0, "zone")
+	// The service's ownership epoch on the source has moved to 5; a
+	// submitter claiming epoch 3 has a stale view.
+	e.migrators[0].Epochs.Observe("zone", 5)
+	spec := e.spec(p, 0, 1)
+	spec.Epoch = 3
+	o, _ := e.ctl.Submit(spec)
+	e.c.Sched.RunFor(10 * time.Second)
+	if o.Status.State != Failed || !hasCause(o, "stale epoch") {
+		t.Fatalf("stale-epoch object: %s %v", o.Status.State, o.Status.Cause)
+	}
+	if e.agents[0].Started != 0 {
+		t.Fatal("stale-epoch migration was driven")
+	}
+	// A fresh claim at the watermark is admitted.
+	spec2 := e.spec(p, 0, 1)
+	spec2.Epoch = 5
+	o2, _ := e.ctl.Submit(spec2)
+	e.c.Sched.RunFor(15 * time.Second)
+	if o2.Status.State != Succeeded {
+		t.Fatalf("current-epoch object: %s %v", o2.Status.State, o2.Status.Cause)
+	}
+}
+
+func TestRetriesExhaustedParksFailedWithCauseChain(t *testing.T) {
+	e := newCtlEnv(t, 1, false, fastCtlConfig())
+	p := e.worker(0, "zone")
+	// Dest is a hole: no node, every connect times out.
+	spec := e.spec(p, 0, 0)
+	spec.Dest = netsim.Addr(0xC0A801FA) // 192.168.1.250, unoccupied
+	spec.MaxRetries = 2
+	o, _ := e.ctl.Submit(spec)
+	e.c.Sched.RunFor(25 * time.Second)
+	if o.Status.State != Failed {
+		t.Fatalf("state = %s %v", o.Status.State, o.Status.Cause)
+	}
+	if o.Status.Attempt != 3 || o.Status.Retries != 2 {
+		t.Fatalf("attempt=%d retries=%d, want 3/2", o.Status.Attempt, o.Status.Retries)
+	}
+	if !hasCause(o, "retries exhausted") {
+		t.Fatalf("cause chain missing verdict: %v", o.Status.Cause)
+	}
+	// One cause entry per aborted attempt, oldest first.
+	aborts := 0
+	for _, cz := range o.Status.Cause {
+		if strings.Contains(cz, "aborted") {
+			aborts++
+		}
+	}
+	if aborts != 3 {
+		t.Fatalf("cause chain has %d abort entries, want 3: %v", aborts, o.Status.Cause)
+	}
+	// The process never left and still runs.
+	if p.State != proc.ProcRunning || p.Node != e.c.Nodes[0] {
+		t.Fatal("process disturbed by failed migration")
+	}
+	// No hot loop: exactly 3 attempts were driven.
+	if e.agents[0].Started != 3 {
+		t.Fatalf("agent drove %d attempts, want 3", e.agents[0].Started)
+	}
+}
+
+func TestCancelVerbAbortsInFlightMigration(t *testing.T) {
+	e := newCtlEnv(t, 2, false, fastCtlConfig())
+	n := e.c.Nodes[0]
+	p := n.Spawn("zone", 1)
+	// Big, hot address space so precopy has work to do.
+	v := p.AS.Mmap(512*proc.PageSize, "rw-")
+	for j := uint64(0); j < 512; j++ {
+		p.AS.Write(v.Start+j*proc.PageSize, []byte{byte(j)})
+	}
+	p.Tick = func(self *proc.Process) {
+		for j := uint64(0); j < 64; j++ {
+			self.AS.Touch(v.Start + j*proc.PageSize)
+		}
+	}
+	n.StartLoop(p, 20*time.Millisecond)
+
+	o, _ := e.ctl.Submit(e.spec(p, 0, 1))
+	// Cancel once it is Running.
+	canceled := false
+	e.ctl.OnTransition = func(obj *Object, _, to State) {
+		if obj == o && to == Running && !canceled {
+			canceled = true
+			e.c.Sched.After(50*time.Millisecond, "test/cancel", func() {
+				if err := e.ctl.Cancel(o.Spec.ID, "operator said so"); err != nil {
+					t.Errorf("cancel: %v", err)
+				}
+			})
+		}
+	}
+	e.c.Sched.RunFor(20 * time.Second)
+	if !canceled {
+		t.Fatal("migration never reached Running")
+	}
+	if o.Status.State != Aborted {
+		t.Fatalf("state = %s %v", o.Status.State, o.Status.Cause)
+	}
+	// Rollback: the process thawed and still runs at the source.
+	if p.Node != e.c.Nodes[0] || p.State != proc.ProcRunning {
+		t.Fatalf("rollback failed: node=%v state=%v", p.Node.Name, p.State)
+	}
+	if e.c.Nodes[1].NumProcesses() != 0 {
+		t.Fatal("ghost process on destination")
+	}
+	if !hasCause(o, "cancel requested") {
+		t.Fatalf("cause chain: %v", o.Status.Cause)
+	}
+}
+
+func TestCancelBeforeDispatchAbortsImmediately(t *testing.T) {
+	e := newCtlEnv(t, 2, false, fastCtlConfig())
+	p := e.worker(0, "zone")
+	o, _ := e.ctl.Submit(e.spec(p, 0, 1))
+	if err := e.ctl.Cancel(o.Spec.ID, "changed my mind"); err != nil {
+		t.Fatal(err)
+	}
+	if o.Status.State != Aborted {
+		t.Fatalf("state = %s", o.Status.State)
+	}
+	e.c.Sched.RunFor(5 * time.Second)
+	if e.agents[0].Started != 0 {
+		t.Fatal("canceled object was still dispatched")
+	}
+	if err := e.ctl.Cancel(o.Spec.ID, "again"); err == nil {
+		t.Fatal("cancel of a terminal object should error")
+	}
+}
+
+func TestDeadlineParksObject(t *testing.T) {
+	e := newCtlEnv(t, 1, false, fastCtlConfig())
+	p := e.worker(0, "zone")
+	spec := e.spec(p, 0, 0)
+	spec.Dest = netsim.Addr(0xC0A801FA) // black hole
+	spec.Deadline = 900 * time.Millisecond
+	spec.MaxRetries = 50 // deadline, not retry budget, must stop it
+	o, _ := e.ctl.Submit(spec)
+	e.c.Sched.RunFor(30 * time.Second)
+	if o.Status.State != Failed {
+		t.Fatalf("state = %s %v", o.Status.State, o.Status.Cause)
+	}
+	if !hasCause(o, "deadline exceeded") {
+		t.Fatalf("cause chain: %v", o.Status.Cause)
+	}
+	if p.State != proc.ProcRunning {
+		t.Fatal("process not running after deadline abort")
+	}
+	// Parked means parked: no further dispatches after the terminal state.
+	started := e.agents[0].Started
+	e.c.Sched.RunFor(10 * time.Second)
+	if e.agents[0].Started != started {
+		t.Fatal("controller kept dispatching a parked object")
+	}
+}
+
+func TestStandbyTakesOverAndFinishesObjects(t *testing.T) {
+	e := newCtlEnv(t, 2, true, fastCtlConfig())
+	p := e.worker(0, "zone")
+	o, _ := e.ctl.Submit(e.spec(p, 0, 1))
+	// Let replication land, then kill the primary before it can finish
+	// reconciling (the first dispatch happens on the next tick; crash the
+	// node shortly after submit while the object is still in flight).
+	e.c.Sched.After(150*time.Millisecond, "test/crash-primary", func() {
+		e.ctl.Node.Fail(e.c)
+		e.ctl.Stop()
+	})
+	e.c.Sched.RunFor(30 * time.Second)
+	if e.standby.Takeovers != 1 {
+		t.Fatalf("takeovers = %d, want 1", e.standby.Takeovers)
+	}
+	if !e.standby.Primary {
+		t.Fatal("standby did not promote")
+	}
+	if e.standby.Epoch() <= 1 {
+		t.Fatalf("takeover did not bump the epoch: %d", e.standby.Epoch())
+	}
+	got := e.standby.Get(o.Spec.ID)
+	if got == nil || got.Status.State != Succeeded {
+		t.Fatalf("object after takeover: %+v", got)
+	}
+	// Exactly one engine migration despite the handoff.
+	if e.agents[0].Started != 1 {
+		t.Fatalf("agent drove %d migrations, want 1", e.agents[0].Started)
+	}
+	if e.c.Nodes[1].NumProcesses() != 1 {
+		t.Fatal("process did not arrive")
+	}
+}
+
+func TestFencedExPrimaryDemotes(t *testing.T) {
+	e := newCtlEnv(t, 2, true, fastCtlConfig())
+	p := e.worker(0, "zone")
+	// Partition the primary from everything; the standby takes over and
+	// completes a migration, bumping every agent's watermark. When the
+	// partition heals, the ex-primary's next directive is fenced and it
+	// demotes itself instead of double-driving.
+	e.c.Sched.After(100*time.Millisecond, "test/partition", func() {
+		e.ctl.Node.Stack.SetDown(true)
+	})
+	e.c.Sched.After(4*time.Second, "test/submit", func() {
+		if _, err := e.standby.Submit(e.spec(p, 0, 1)); err != nil {
+			t.Errorf("standby submit: %v", err)
+		}
+	})
+	e.c.Sched.After(20*time.Second, "test/heal", func() {
+		e.ctl.Node.Stack.SetDown(false)
+		// The healed ex-primary still believes it is primary and tries to
+		// reconcile — give it an object to dispatch so a directive flows.
+		if e.ctl.Primary {
+			if _, err := e.ctl.Submit(e.spec(p, 1, 0)); err != nil {
+				t.Errorf("ex-primary submit: %v", err)
+			}
+		}
+	})
+	e.c.Sched.RunFor(40 * time.Second)
+	if e.standby.Takeovers != 1 {
+		t.Fatalf("takeovers = %d", e.standby.Takeovers)
+	}
+	if e.ctl.Primary {
+		t.Fatal("fenced ex-primary still believes it is primary")
+	}
+	if e.ctl.Demotions == 0 {
+		t.Fatal("demotion not recorded")
+	}
+}
+
+// TestEarlyAbortReleasesConductorSlotSynchronously is the satellite-2
+// regression: an abort that never reached Freeze must free the lb
+// conductor's migration slot at the instant the engine decides — not at
+// the next conductor heartbeat — for every strategy.
+func TestEarlyAbortReleasesConductorSlotSynchronously(t *testing.T) {
+	for _, strat := range migration.StrategyNames() {
+		t.Run(strat, func(t *testing.T) {
+			sched := simtime.NewScheduler()
+			c := proc.NewCluster(sched, 2)
+			lcfg := lb.DefaultConfig()
+			lcfg.ImbalanceThreshold = 10 // conductor never balances on its own
+			lcfg.Period = time.Hour      // and never ticks during the window we probe
+			var agents []*Agent
+			var conds []*lb.Conductor
+			for _, n := range c.Nodes {
+				m, err := migration.NewMigrator(n, fastMigConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				cd, err := lb.NewConductor(n, m, lcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a, err := NewAgent(n, m, cd)
+				if err != nil {
+					t.Fatal(err)
+				}
+				agents = append(agents, a)
+				conds = append(conds, cd)
+			}
+			ctl, err := NewController(c.AddNode("ctl"), 0, true, fastCtlConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := c.Nodes[0]
+			p := n.Spawn("zone", 1)
+			p.AS.Mmap(8*proc.PageSize, "rw-")
+			n.StartLoop(p, 50*time.Millisecond)
+
+			spec := Spec{PID: p.PID, Name: "zone", Source: n.LocalIP,
+				Dest:     netsim.Addr(0xC0A801FA), // black hole: connect never succeeds
+				Strategy: strat, MaxRetries: 0}
+			o, _ := ctl.Submit(spec)
+
+			// Watch the engine: the instant the abort fires, the conductor
+			// slot must already be free one scheduler step later — no
+			// conductor tick can run in between (Period = 1h).
+			checked := false
+			mig := agents[0].Mig
+			mig.OnPhase = func(ev migration.PhaseEvent) {
+				if ev.Phase == migration.PhaseAborted && !checked {
+					checked = true
+					sched.After(0, "test/check-slot", func() {
+						if !conds[0].MigrationSlotFree() {
+							t.Error("conductor slot still held after early abort")
+						}
+						if mig.Migrating(p.PID) {
+							t.Error("engine still marks the process as migrating")
+						}
+					})
+				}
+			}
+			sched.RunFor(30 * time.Second)
+			if !checked {
+				t.Fatal("migration never aborted")
+			}
+			if o.Status.State != Failed {
+				t.Fatalf("object = %s %v", o.Status.State, o.Status.Cause)
+			}
+			if p.State != proc.ProcRunning {
+				t.Fatal("process not running after abort")
+			}
+			ctl.Stop()
+		})
+	}
+}

@@ -1,0 +1,247 @@
+package ctlplane
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dvemig/internal/netsim"
+)
+
+// CtlPort is the UDP port controllers (primary and standby) listen on;
+// AgentPort is the per-node agent's. Both ride internal/netsim, so the
+// control plane shares the cluster links' faults with the data plane.
+const (
+	CtlPort   = 7903
+	AgentPort = 7904
+)
+
+// Wire opcodes. Every controller-originated message leads with the
+// controller epoch — the fence agents ratchet on, so a superseded
+// primary cannot drive anything after a takeover.
+const (
+	opRun       = 1 // ctl→agent: drive one migration attempt
+	opCancel    = 2 // ctl→agent: cancel the object's in-flight attempt
+	opEvent     = 3 // agent→ctl: watch event (lifecycle observation)
+	opHello     = 4 // primary→standby: liveness heartbeat
+	opReplicate = 5 // primary→standby: one object's spec+status
+)
+
+// Watch-event kinds (agent → controller).
+const (
+	evAccepted      = 1 // admitted; the engine's migration started
+	evRejected      = 2 // admission check failed — terminal, never started
+	evSucceeded     = 3 // migration completed; process runs on dest
+	evAborted       = 4 // migration rolled back (or canceled) at the source
+	evBusy          = 5 // lb migration slot busy — retryable without rollback
+	evCancelRefused = 6 // cancel arrived past the point of no return
+	evStaleCtl      = 7 // the sending controller's epoch is below the fence
+)
+
+func evKindString(k byte) string {
+	switch k {
+	case evAccepted:
+		return "accepted"
+	case evRejected:
+		return "rejected"
+	case evSucceeded:
+		return "succeeded"
+	case evAborted:
+		return "aborted"
+	case evBusy:
+		return "busy"
+	case evCancelRefused:
+		return "cancel-refused"
+	case evStaleCtl:
+		return "stale-ctl"
+	}
+	return fmt.Sprintf("ev(%d)", k)
+}
+
+// runMsg is one migration-attempt directive. Resending it is always
+// safe: the agent dedups on (ObjID, Attempt) and answers with the
+// recorded outcome instead of driving twice.
+type runMsg struct {
+	CtlEpoch uint64
+	ObjID    uint64
+	Attempt  uint32
+	PID      uint32
+	Dest     netsim.Addr
+	SvcEpoch uint64 // submitter's ownership-epoch claim (0 = unchecked)
+	Strategy string
+	Name     string
+}
+
+func (m runMsg) encode() []byte {
+	b := make([]byte, 0, 40+len(m.Strategy)+len(m.Name))
+	b = append(b, opRun)
+	b = binary.BigEndian.AppendUint64(b, m.CtlEpoch)
+	b = binary.BigEndian.AppendUint64(b, m.ObjID)
+	b = binary.BigEndian.AppendUint32(b, m.Attempt)
+	b = binary.BigEndian.AppendUint32(b, m.PID)
+	b = binary.BigEndian.AppendUint32(b, uint32(m.Dest))
+	b = binary.BigEndian.AppendUint64(b, m.SvcEpoch)
+	b = append(b, byte(len(m.Strategy)))
+	b = append(b, m.Strategy...)
+	b = append(b, m.Name...)
+	return b
+}
+
+func decodeRunMsg(b []byte) (runMsg, error) {
+	var m runMsg
+	d := wireReader{b: b}
+	if op := d.u8(); op != opRun {
+		return m, fmt.Errorf("ctlplane: not a run frame (op %d)", op)
+	}
+	m.CtlEpoch = d.u64()
+	m.ObjID = d.u64()
+	m.Attempt = d.u32()
+	m.PID = d.u32()
+	m.Dest = netsim.Addr(d.u32())
+	m.SvcEpoch = d.u64()
+	m.Strategy = d.str(int(d.u8()))
+	if d.err != nil {
+		return m, d.err
+	}
+	m.Name = string(b[d.off:])
+	if len(m.Name) > maxWireName {
+		return m, fmt.Errorf("ctlplane: name too long (%d)", len(m.Name))
+	}
+	return m, nil
+}
+
+// cancelMsg asks the agent to abort the object's in-flight attempt.
+type cancelMsg struct {
+	CtlEpoch uint64
+	ObjID    uint64
+	Attempt  uint32
+	Reason   string
+}
+
+func (m cancelMsg) encode() []byte {
+	b := make([]byte, 0, 24+len(m.Reason))
+	b = append(b, opCancel)
+	b = binary.BigEndian.AppendUint64(b, m.CtlEpoch)
+	b = binary.BigEndian.AppendUint64(b, m.ObjID)
+	b = binary.BigEndian.AppendUint32(b, m.Attempt)
+	b = append(b, m.Reason...)
+	return b
+}
+
+func decodeCancelMsg(b []byte) (cancelMsg, error) {
+	var m cancelMsg
+	d := wireReader{b: b}
+	if op := d.u8(); op != opCancel {
+		return m, fmt.Errorf("ctlplane: not a cancel frame (op %d)", op)
+	}
+	m.CtlEpoch = d.u64()
+	m.ObjID = d.u64()
+	m.Attempt = d.u32()
+	if d.err != nil {
+		return m, d.err
+	}
+	m.Reason = string(b[d.off:])
+	return m, nil
+}
+
+// eventMsg is one watch event: the agent's observation of an object's
+// lifecycle, carrying the agent's controller-epoch watermark (so a
+// superseded primary learns it was fenced) and the service's current
+// ownership epoch (so the controller's admission watermark advances).
+type eventMsg struct {
+	CtlEpoch uint64
+	ObjID    uint64
+	Attempt  uint32
+	Kind     byte
+	SvcEpoch uint64
+	Detail   string
+}
+
+func (m eventMsg) encode() []byte {
+	b := make([]byte, 0, 32+len(m.Detail))
+	b = append(b, opEvent)
+	b = binary.BigEndian.AppendUint64(b, m.CtlEpoch)
+	b = binary.BigEndian.AppendUint64(b, m.ObjID)
+	b = binary.BigEndian.AppendUint32(b, m.Attempt)
+	b = append(b, m.Kind)
+	b = binary.BigEndian.AppendUint64(b, m.SvcEpoch)
+	b = append(b, m.Detail...)
+	return b
+}
+
+func decodeEventMsg(b []byte) (eventMsg, error) {
+	var m eventMsg
+	d := wireReader{b: b}
+	if op := d.u8(); op != opEvent {
+		return m, fmt.Errorf("ctlplane: not an event frame (op %d)", op)
+	}
+	m.CtlEpoch = d.u64()
+	m.ObjID = d.u64()
+	m.Attempt = d.u32()
+	m.Kind = d.u8()
+	m.SvcEpoch = d.u64()
+	if d.err != nil {
+		return m, d.err
+	}
+	if m.Kind < evAccepted || m.Kind > evStaleCtl {
+		return m, fmt.Errorf("ctlplane: unknown event kind %d", m.Kind)
+	}
+	m.Detail = string(b[d.off:])
+	return m, nil
+}
+
+// helloMsg is the primary's liveness beacon to the standby.
+type helloMsg struct {
+	CtlEpoch uint64
+	Seq      uint64
+}
+
+func (m helloMsg) encode() []byte {
+	b := make([]byte, 0, 17)
+	b = append(b, opHello)
+	b = binary.BigEndian.AppendUint64(b, m.CtlEpoch)
+	b = binary.BigEndian.AppendUint64(b, m.Seq)
+	return b
+}
+
+func decodeHelloMsg(b []byte) (helloMsg, error) {
+	var m helloMsg
+	d := wireReader{b: b}
+	if op := d.u8(); op != opHello {
+		return m, fmt.Errorf("ctlplane: not a hello frame (op %d)", op)
+	}
+	m.CtlEpoch = d.u64()
+	m.Seq = d.u64()
+	if d.err != nil {
+		return m, d.err
+	}
+	if d.off != len(b) {
+		return m, fmt.Errorf("ctlplane: %d trailing bytes in hello", len(b)-d.off)
+	}
+	return m, nil
+}
+
+// encodeReplicate frames one object for the standby.
+func encodeReplicate(ctlEpoch uint64, o *Object) []byte {
+	obj := EncodeObject(o)
+	b := make([]byte, 0, 9+len(obj))
+	b = append(b, opReplicate)
+	b = binary.BigEndian.AppendUint64(b, ctlEpoch)
+	b = append(b, obj...)
+	return b
+}
+
+func decodeReplicate(b []byte) (uint64, *Object, error) {
+	d := wireReader{b: b}
+	if op := d.u8(); op != opReplicate {
+		return 0, nil, fmt.Errorf("ctlplane: not a replicate frame (op %d)", op)
+	}
+	ep := d.u64()
+	if d.err != nil {
+		return 0, nil, d.err
+	}
+	o, err := DecodeObject(b[d.off:])
+	if err != nil {
+		return 0, nil, err
+	}
+	return ep, o, nil
+}

@@ -1,0 +1,630 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"dvemig/internal/ctlplane"
+	"dvemig/internal/faults"
+	"dvemig/internal/flight"
+	"dvemig/internal/lb"
+	"dvemig/internal/migration"
+	"dvemig/internal/obs"
+	"dvemig/internal/proc"
+	"dvemig/internal/simtime"
+	"dvemig/internal/trace"
+)
+
+// SoakEnv is the environment a soak scenario's Arm hook sabotages: a
+// five-node cell — three worker nodes running migrator + conductor +
+// control-plane agent, a primary controller node and a standby — with a
+// fault injector seeded for the run. Control-plane datagrams ride the
+// same in-cluster links as migd, so every fault applies to both planes.
+type SoakEnv struct {
+	Sched    *simtime.Scheduler
+	Cluster  *proc.Cluster
+	Inj      *faults.Injector
+	Workers  []*proc.Node
+	CtlNode  *proc.Node
+	SbNode   *proc.Node
+	Ctl      *ctlplane.Controller
+	Standby  *ctlplane.Controller
+	Agents   []*ctlplane.Agent
+	Migrator []*migration.Migrator
+}
+
+// SoakScenario is one named fault script, armed after the healthy cell
+// is built and before the request pump starts.
+type SoakScenario struct {
+	Name string
+	Arm  func(env *SoakEnv)
+}
+
+// DefaultSoakScenarios is the soak chaos battery. Unlike the chaos
+// sweep (one migration under one fault), every scenario here runs under
+// a continuous stream of migration requests.
+func DefaultSoakScenarios() []SoakScenario {
+	allLocal := func(e *SoakEnv, prog func() *faults.Program) {
+		for _, n := range e.Cluster.Nodes {
+			e.Inj.Attach(n.LocalNIC, prog())
+		}
+	}
+	return []SoakScenario{
+		{Name: "healthy", Arm: func(*SoakEnv) {}},
+		{Name: "lossy", Arm: func(e *SoakEnv) {
+			allLocal(e, func() *faults.Program { return &faults.Program{BaseLoss: 0.03} })
+		}},
+		{Name: "dup-reorder", Arm: func(e *SoakEnv) {
+			allLocal(e, func() *faults.Program {
+				return &faults.Program{DupRate: 0.03, ReorderRate: 0.1, ReorderDelay: 2 * time.Millisecond}
+			})
+		}},
+		{Name: "jitter", Arm: func(e *SoakEnv) {
+			allLocal(e, func() *faults.Program { return &faults.Program{JitterMax: 1 * time.Millisecond} })
+		}},
+		{Name: "ctl-crash", Arm: func(e *SoakEnv) {
+			// Kill the primary controller's node mid-soak: the standby must
+			// take over under a bumped epoch and finish every object without
+			// double-driving a single migration.
+			e.Inj.CrashAt(e.Cluster, e.CtlNode, e.Sched.Now()+8*1e9)
+		}},
+		{Name: "ctl-partition", Arm: func(e *SoakEnv) {
+			// The primary is partitioned (not dead) for 6s: the standby takes
+			// over; when the link heals the fenced ex-primary must demote
+			// instead of double-driving.
+			from := e.Sched.Now() + 6*1e9
+			e.Inj.DownFor(e.CtlNode.LocalNIC, from, from+6*1e9)
+		}},
+	}
+}
+
+// SoakConfig parameterizes a soak sweep.
+type SoakConfig struct {
+	Scenarios []SoakScenario
+	Seeds     []uint64
+	// Requests is the number of migration objects pumped per cell.
+	Requests int
+	// Procs is the number of migratable processes (default 9, spread
+	// round-robin across the three workers).
+	Procs int
+	// Inflight caps concurrently non-terminal objects (default 4).
+	Inflight int
+	// Strategy pins the memory-movement strategy; "mixed" rotates
+	// through all three, "" uses the engine default.
+	Strategy string
+	// CancelFraction of submissions get a cancel verb shortly after
+	// (default 0.02), exercising abort/rollback under load.
+	CancelFraction float64
+	MigCfg         migration.Config
+	// Workers bounds sweep parallelism (cells are private; the report is
+	// bit-identical at any worker count).
+	Workers int
+	// Observe attaches a per-cell observability plane.
+	Observe bool
+	// FlightDepth, when positive, attaches a flight recorder and dumps
+	// its window into SoakResult.FlightDump on an audit violation.
+	FlightDepth int
+	// Horizon caps a cell's simulated runtime (default 30 sim-minutes);
+	// hitting it with non-terminal objects is an audit violation.
+	Horizon simtime.Duration
+}
+
+// DefaultSoakConfig returns a soak tuned so aborts and retries resolve
+// quickly enough to pump thousands of requests per simulated hour.
+func DefaultSoakConfig() SoakConfig {
+	mc := migration.DefaultConfig()
+	mc.Deadline = 4 * 1e9
+	mc.ConnTimeout = 500 * time.Millisecond
+	mc.ConnRetries = 1
+	mc.RetryBackoff = 100 * time.Millisecond
+	mc.RetryJitter = 0.2
+	return SoakConfig{
+		Scenarios:      DefaultSoakScenarios(),
+		Seeds:          []uint64{1, 2},
+		Requests:       500,
+		Procs:          9,
+		Inflight:       4,
+		Strategy:       "mixed",
+		CancelFraction: 0.02,
+		MigCfg:         mc,
+		Horizon:        30 * time.Minute,
+	}
+}
+
+// SoakResult is one (scenario, seed) cell's outcome and audit verdict.
+type SoakResult struct {
+	Scenario string
+	Seed     uint64
+	// Requests submitted; terminal-state breakdown.
+	Requests  int
+	Succeeded int
+	Failed    int
+	Aborted   int
+	// Retries sums Status.Retries over all objects; CancelsIssued counts
+	// accepted cancel verbs.
+	Retries       int
+	CancelsIssued int
+	// Control-plane counters (summed over both controllers / all agents).
+	Dispatches uint64
+	Resends    uint64
+	Dedups     uint64
+	StaleCtl   uint64
+	Takeovers  uint64
+	Demotions  uint64
+	// Engine truth: migrations actually driven / completed / rolled back.
+	EngineStarted   uint64
+	EngineCompleted int
+	EngineAborted   int
+	// Violations is the audit verdict: exactly-once, single-owner,
+	// all-terminal. Empty means the soak held.
+	Violations []string
+	// FailureCauses samples up to eight Failed objects' cause chains —
+	// enough to tell "deadline" from "retries exhausted" in a report.
+	FailureCauses []string
+	// DowntimesUs lists per completed migration FreezeTime+StallTime in
+	// microseconds (p99 via trace.Percentile).
+	DowntimesUs []float64
+	// TraceHash folds every packet event on all five nodes' in-cluster
+	// links; equal hashes mean bit-identical cells.
+	TraceHash         uint64
+	PendingAfterDrain int
+	Obs               *obs.Capture
+	FlightDump        string
+}
+
+// SoakReport aggregates a sweep.
+type SoakReport struct {
+	Results []*SoakResult
+}
+
+// Captures lists cells' observability captures in canonical order.
+func (r *SoakReport) Captures() []*obs.Capture {
+	var out []*obs.Capture
+	for _, res := range r.Results {
+		if res.Obs != nil {
+			out = append(out, res.Obs)
+		}
+	}
+	return out
+}
+
+// MergedSnapshot sums every observed cell's metric snapshot.
+func (r *SoakReport) MergedSnapshot() (*obs.Snapshot, error) {
+	caps := r.Captures()
+	if len(caps) == 0 {
+		return nil, nil
+	}
+	snaps := make([]*obs.Snapshot, len(caps))
+	for i, c := range caps {
+		snaps[i] = c.Snap
+	}
+	return obs.MergeSnapshots(snaps...)
+}
+
+// Violations counts cells with a non-empty audit verdict.
+func (r *SoakReport) Violations() int {
+	n := 0
+	for _, res := range r.Results {
+		if len(res.Violations) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// DowntimeP99Us returns the 99th-percentile migration downtime (µs)
+// across every completed migration in the sweep.
+func (r *SoakReport) DowntimeP99Us() float64 {
+	var all []float64
+	for _, res := range r.Results {
+		all = append(all, res.DowntimesUs...)
+	}
+	if len(all) == 0 {
+		return 0
+	}
+	sort.Float64s(all)
+	return trace.Percentile(all, 99)
+}
+
+// Table renders the sweep for console output.
+func (r *SoakReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "soak: lifecycle outcomes, retries and audits per cell\n")
+	fmt.Fprintf(&b, "%-14s %5s %5s %5s %5s %5s %6s %7s %6s %5s %5s %18s\n",
+		"scenario", "seed", "req", "ok", "fail", "abort", "retry", "resend", "dedup", "tkovr", "viol", "trace-hash")
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "%-14s %5d %5d %5d %5d %5d %6d %7d %6d %5d %5d %#18x\n",
+			res.Scenario, res.Seed, res.Requests, res.Succeeded, res.Failed, res.Aborted,
+			res.Retries, res.Resends, res.Dedups, res.Takeovers, len(res.Violations), res.TraceHash)
+	}
+	var req, ok, fail, abort, retry int
+	for _, res := range r.Results {
+		req += res.Requests
+		ok += res.Succeeded
+		fail += res.Failed
+		abort += res.Aborted
+		retry += res.Retries
+	}
+	fmt.Fprintf(&b, "total: %d requests, %d succeeded, %d failed, %d aborted, %d retries, %d cells with violations, p99 downtime %.0fµs\n",
+		req, ok, fail, abort, retry, r.Violations(), r.DowntimeP99Us())
+	return b.String()
+}
+
+// RunSoak pumps cfg.Requests migration objects per (scenario, seed)
+// cell through the declarative control plane under the chaos battery,
+// audits exactly-once and single-owner invariants afterwards, and
+// merges results in canonical order — bit-identical at any worker
+// count.
+func RunSoak(cfg SoakConfig) (*SoakReport, error) {
+	type cell struct {
+		sc   SoakScenario
+		seed uint64
+	}
+	cells := make([]cell, 0, len(cfg.Scenarios)*len(cfg.Seeds))
+	for _, sc := range cfg.Scenarios {
+		for _, seed := range cfg.Seeds {
+			cells = append(cells, cell{sc: sc, seed: seed})
+		}
+	}
+	results, err := RunParallel(cells, cfg.Workers, func(c cell) (*SoakResult, error) {
+		res, err := runSoakCell(cfg, c.sc, c.seed)
+		if err != nil {
+			return nil, fmt.Errorf("soak %s seed %d: %w", c.sc.Name, c.seed, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SoakReport{Results: results}, nil
+}
+
+func runSoakCell(cfg SoakConfig, sc SoakScenario, seed uint64) (*SoakResult, error) {
+	if cfg.Requests <= 0 {
+		cfg.Requests = 500
+	}
+	if cfg.Procs <= 0 {
+		cfg.Procs = 9
+	}
+	if cfg.Inflight <= 0 {
+		cfg.Inflight = 4
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 30 * time.Minute
+	}
+	const nWorkers = 3
+	sched := simtime.NewScheduler()
+	cluster := proc.NewCluster(sched, nWorkers+2)
+	workers := cluster.Nodes[:nWorkers]
+	ctlNode, sbNode := cluster.Nodes[nWorkers], cluster.Nodes[nWorkers+1]
+
+	var o *obs.Obs
+	if cfg.Observe {
+		o = obs.New(sched)
+	}
+	var fset *flight.Set
+	if cfg.FlightDepth > 0 {
+		fset = flight.NewSet(cfg.FlightDepth)
+		sched.FR = fset.Track("sched")
+		for _, n := range cluster.Nodes {
+			n.AttachFlight(fset)
+		}
+	}
+
+	// Per-node sniffers fold into one cell hash in node order.
+	sniffs := make([]*fnvSniffer, len(cluster.Nodes))
+	for i, n := range cluster.Nodes {
+		sniffs[i] = newFnvSniffer()
+		n.LocalNIC.AttachSniffer(sniffs[i])
+	}
+
+	lcfg := lb.DefaultConfig()
+	lcfg.ImbalanceThreshold = 10 // conductors heartbeat but never self-balance
+	var migrators []*migration.Migrator
+	var agents []*ctlplane.Agent
+	var conds []*lb.Conductor
+	for _, n := range workers {
+		m, err := migration.NewMigrator(n, cfg.MigCfg)
+		if err != nil {
+			return nil, err
+		}
+		if o != nil {
+			m.SetObs(o)
+		}
+		cd, err := lb.NewConductor(n, m, lcfg)
+		if err != nil {
+			return nil, err
+		}
+		a, err := ctlplane.NewAgent(n, m, cd)
+		if err != nil {
+			return nil, err
+		}
+		migrators = append(migrators, m)
+		conds = append(conds, cd)
+		agents = append(agents, a)
+	}
+
+	ccfg := ctlplane.DefaultConfig()
+	ccfg.Retry = migration.BackoffPolicy{Base: 200 * time.Millisecond, Max: 2 * time.Second, Jitter: 0.3}
+	// With Inflight objects racing over three source nodes, "lb slot
+	// busy" collisions are routine — give the reconcile loop enough
+	// retry budget to wait a slot-holder out.
+	ccfg.MaxRetries = 6
+	ccfg.Deadline = 10 * time.Second
+	ccfg.CancelGrace = 3 * time.Second
+	ccfg.Seed = seed
+	ctl, err := ctlplane.NewController(ctlNode, sbNode.LocalIP, true, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	standby, err := ctlplane.NewController(sbNode, ctlNode.LocalIP, false, ccfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Terminal tracking across both controllers (the soak survives a
+	// takeover mid-run): an object is done the first time either
+	// controller parks it.
+	done := make(map[uint64]bool)
+	onT := func(obj *ctlplane.Object, _, to ctlplane.State) {
+		if to.Terminal() {
+			done[obj.Spec.ID] = true
+		}
+	}
+	ctl.OnTransition = onT
+	standby.OnTransition = onT
+
+	// The migratable fleet.
+	names := make([]string, cfg.Procs)
+	for i := 0; i < cfg.Procs; i++ {
+		n := workers[i%nWorkers]
+		name := fmt.Sprintf("svc%02d", i)
+		names[i] = name
+		p := n.Spawn(name, 1)
+		v := p.AS.Mmap(8*proc.PageSize, "rw-")
+		p.CPUDemand = 0.1
+		idx := uint64(i)
+		p.Tick = func(self *proc.Process) {
+			self.AS.Touch(v.Start + (idx%8)*proc.PageSize)
+		}
+		n.StartLoop(p, 200*time.Millisecond)
+	}
+	// locate finds a service's current (unique) home among the workers.
+	locate := func(name string) (*proc.Process, *proc.Node) {
+		for _, n := range workers {
+			for _, p := range n.Processes() {
+				if p.Name == name {
+					return p, n
+				}
+			}
+		}
+		return nil, nil
+	}
+	// primary picks the controller to submit to. During a partition both
+	// may claim primacy for a moment — the higher epoch is the one whose
+	// directives the fenced agents will accept.
+	primary := func() *ctlplane.Controller {
+		var pick *ctlplane.Controller
+		for _, c := range []*ctlplane.Controller{ctl, standby} {
+			if c.Primary && c.Node.Alive && (pick == nil || c.Epoch() > pick.Epoch()) {
+				pick = c
+			}
+		}
+		return pick
+	}
+
+	inj := faults.NewInjector(sched, seed)
+	inj.Obs = o
+	env := &SoakEnv{Sched: sched, Cluster: cluster, Inj: inj,
+		Workers: workers, CtlNode: ctlNode, SbNode: sbNode,
+		Ctl: ctl, Standby: standby, Agents: agents, Migrator: migrators}
+	if sc.Arm != nil {
+		sc.Arm(env)
+	}
+
+	res := &SoakResult{Scenario: sc.Name, Seed: seed}
+	rng := simtime.NewRand(seed ^ 0x736f616b)
+	strategies := migration.StrategyNames()
+	submitted := 0
+	submittedIDs := make([]uint64, 0, cfg.Requests)
+	inflightName := make(map[string]uint64) // service → open object
+	idName := make(map[uint64]string)
+
+	pump := simtime.NewTicker(sched, 120*time.Millisecond, "soak.pump", func() {
+		pr := primary()
+		if pr == nil {
+			return // takeover window: no one to submit to
+		}
+		// Reap finished names so the next pick can reuse them.
+		for name, id := range inflightName {
+			if done[id] {
+				delete(inflightName, name)
+			}
+		}
+		for submitted < cfg.Requests && len(submittedIDs)-len(done) < cfg.Inflight {
+			name := names[rng.Intn(len(names))]
+			if _, open := inflightName[name]; open {
+				return // try again next tick — keeps the rng sequence state-driven
+			}
+			p, home := locate(name)
+			if p == nil || p.State != proc.ProcRunning {
+				return
+			}
+			dest := workers[rng.Intn(nWorkers)]
+			if dest == home {
+				dest = workers[(rng.Intn(nWorkers-1)+1+indexOf(workers, home))%nWorkers]
+			}
+			strat := cfg.Strategy
+			if strat == "mixed" {
+				strat = strategies[submitted%len(strategies)]
+			}
+			obj, err := pr.Submit(ctlplane.Spec{
+				PID: p.PID, Name: name, Source: home.LocalIP, Dest: dest.LocalIP,
+				Strategy: strat, MaxRetries: -1,
+			})
+			if err != nil {
+				return
+			}
+			submitted++
+			submittedIDs = append(submittedIDs, obj.Spec.ID)
+			inflightName[name] = obj.Spec.ID
+			idName[obj.Spec.ID] = name
+			if cfg.CancelFraction > 0 && rng.Float64() < cfg.CancelFraction {
+				id := obj.Spec.ID
+				delay := simtime.Duration(rng.Intn(400)) * time.Millisecond
+				sched.After(delay, "soak.cancel", func() {
+					if pr := primary(); pr != nil {
+						if pr.Cancel(id, "soak cancel") == nil {
+							res.CancelsIssued++
+						}
+					}
+				})
+			}
+		}
+	})
+	pump.Start()
+
+	// Run until every submitted object is terminal (or the horizon trips).
+	limitAt := sched.Now() + cfg.Horizon
+	for sched.Now() < limitAt {
+		sched.RunFor(1 * 1e9)
+		if submitted >= cfg.Requests && len(done) >= submitted {
+			break
+		}
+	}
+	pump.Stop()
+
+	// Stop every periodic service, then drain to quiescence.
+	ctl.Stop()
+	standby.Stop()
+	for _, cd := range conds {
+		cd.Stop()
+	}
+	for _, a := range agents {
+		a.Stop()
+	}
+	sched.RunFor(2 * 1e9) // let in-flight engine work settle
+	for _, n := range workers {
+		for _, p := range n.Processes() {
+			n.StopLoop(p)
+		}
+	}
+	limit := sched.Now() + 3600*1e9
+	for sched.Pending() > 0 {
+		next, _ := sched.NextEventTime()
+		if next > limit {
+			break
+		}
+		sched.RunUntil(next)
+	}
+	res.PendingAfterDrain = sched.Pending()
+
+	// ---- audits ----
+	// The surviving primary is authoritative; objects a fenced ex-primary
+	// parked before its replicas ever flowed exist only on that side.
+	auth, other := ctl, standby
+	if !auth.Primary || !auth.Node.Alive {
+		auth, other = standby, ctl
+	}
+	res.Requests = submitted
+	for _, id := range submittedIDs {
+		obj := auth.Get(id)
+		if obj == nil {
+			obj = other.Get(id)
+		}
+		if obj == nil {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("object #%d (%s) lost across controllers", id, idName[id]))
+			continue
+		}
+		res.Retries += obj.Status.Retries
+		switch obj.Status.State {
+		case ctlplane.Succeeded:
+			res.Succeeded++
+		case ctlplane.Failed:
+			res.Failed++
+			if len(res.FailureCauses) < 8 {
+				res.FailureCauses = append(res.FailureCauses,
+					fmt.Sprintf("#%d %s: %s", id, idName[id], strings.Join(obj.Status.Cause, " | ")))
+			}
+		case ctlplane.Aborted:
+			res.Aborted++
+		default:
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("object #%d (%s) not terminal: %s after %v",
+					id, idName[id], obj.Status.State, obj.Status.Cause))
+		}
+	}
+
+	// Single-owner: every service runs on exactly one worker.
+	for _, name := range names {
+		running := 0
+		for _, n := range workers {
+			for _, p := range n.Processes() {
+				if p.Name == name && p.State == proc.ProcRunning {
+					running++
+				}
+			}
+		}
+		if running != 1 {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("single-owner broken: %s running on %d nodes", name, running))
+		}
+	}
+
+	// Exactly-once: every migration the agents started is accounted for
+	// by the engine exactly once — completed or rolled back, never both,
+	// never duplicated by a probe, a replay or a controller takeover.
+	for _, a := range agents {
+		res.EngineStarted += a.Started
+		res.Dedups += a.Deduped
+		res.StaleCtl += a.StaleCtl
+	}
+	for _, m := range migrators {
+		res.EngineCompleted += len(m.Completed)
+		res.EngineAborted += len(m.Aborted)
+		for _, mt := range m.Completed {
+			res.DowntimesUs = append(res.DowntimesUs,
+				float64(mt.FreezeTime+mt.StallTime)/float64(time.Microsecond))
+		}
+	}
+	if int(res.EngineStarted) != res.EngineCompleted+res.EngineAborted {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("exactly-once broken: agents started %d migrations, engine settled %d (%d completed + %d aborted)",
+				res.EngineStarted, res.EngineCompleted+res.EngineAborted,
+				res.EngineCompleted, res.EngineAborted))
+	}
+	res.Dispatches = ctl.Dispatches + standby.Dispatches
+	res.Resends = ctl.Resends + standby.Resends
+	res.Takeovers = ctl.Takeovers + standby.Takeovers
+	res.Demotions = ctl.Demotions + standby.Demotions
+
+	// Fold the per-node hashes in node order.
+	master := newFnvSniffer()
+	for _, s := range sniffs {
+		master.word(s.h)
+	}
+	res.TraceHash = master.h
+
+	if o != nil {
+		obs.HarvestCluster(o.Metrics, cluster)
+		res.Obs = o.Capture(fmt.Sprintf("soak/%s/seed%d", sc.Name, seed))
+	}
+	if fset != nil && len(res.Violations) > 0 {
+		var b strings.Builder
+		fset.Dump(&b)
+		res.FlightDump = b.String()
+	}
+	return res, nil
+}
+
+func indexOf(ns []*proc.Node, n *proc.Node) int {
+	for i, x := range ns {
+		if x == n {
+			return i
+		}
+	}
+	return 0
+}

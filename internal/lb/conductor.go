@@ -162,6 +162,15 @@ type Conductor struct {
 	reserveAt  simtime.Time
 	nextSeq    uint32
 
+	// extLocked marks the migration slot as held by an external driver
+	// (the control plane's node agent): the conductor neither proposes
+	// nor accepts transfers while it is set, and none of its own
+	// timeouts may clear the state. Acquired/released synchronously via
+	// TryAcquireMigration/ReleaseMigration — an early-aborted migration
+	// frees the slot the instant its done callback runs, not at the
+	// next heartbeat tick.
+	extLocked bool
+
 	// Failover state (see failover.go). standby is nil until
 	// EnableFailover wires one; owned tracks local service ownerships;
 	// claims tracks pending failover elections; maxPeersSeen is the
@@ -476,15 +485,51 @@ func (c *Conductor) propose(to netsim.Addr) {
 	binary.BigEndian.PutUint64(msg[13:], ctx.Trace)
 	binary.BigEndian.PutUint64(msg[21:], ctx.Span)
 	c.send(to, msg)
-	// Proposal timeout.
+	// Proposal timeout. The extLocked guard keeps a stale timeout from
+	// clearing a slot the control plane has since acquired (the seq is
+	// not advanced by TryAcquireMigration).
 	seq := c.nextSeq
 	c.Node.Sched.After(3*c.Config.Period, "cond.propose-timeout", func() {
-		if c.state == stateSending && c.reserveSeq == seq {
+		if c.state == stateSending && c.reserveSeq == seq && !c.extLocked {
 			c.state = stateIdle
 			c.rebalanceEnd("timeout")
 		}
 	})
 }
+
+// TryAcquireMigration claims the conductor's one-migration-at-a-time
+// slot for an external driver (the control plane's node agent). While
+// held, the conductor makes no balancing proposals and rejects inbound
+// ones — exactly as if its own migration were in flight. Returns false
+// when the slot is busy (a conductor-initiated transfer or reservation
+// is active, or another external driver holds it).
+func (c *Conductor) TryAcquireMigration() bool {
+	if c.state != stateIdle {
+		return false
+	}
+	c.state = stateSending
+	c.extLocked = true
+	return true
+}
+
+// ReleaseMigration frees the slot claimed by TryAcquireMigration. It
+// must be called synchronously from the migration's done callback —
+// including the early-abort path that never reached Freeze — so the
+// conductor can balance again the same instant, not at its next tick.
+// Releasing a slot not externally held is a no-op.
+func (c *Conductor) ReleaseMigration() {
+	if !c.extLocked {
+		return
+	}
+	c.extLocked = false
+	if c.state == stateSending {
+		c.state = stateIdle
+	}
+}
+
+// MigrationSlotFree reports whether the migration slot is idle (tests
+// and the agent's admission check).
+func (c *Conductor) MigrationSlotFree() bool { return c.state == stateIdle }
 
 // selectProcess applies the selection policy of §IV-C: the process whose
 // CPU consumption is closest to the local excess over the cluster

@@ -1,0 +1,99 @@
+// The commit-fence property: a Cancel issued at ANY instant of a
+// migration must leave exactly one running copy of the process. Before
+// the fence the source rolls back; after it the cancel is refused and
+// the destination commits. The soak harness found the original
+// violation — a cancel landing between the final image send and the
+// restore ack rolled the source back while the destination resumed,
+// forking the process. This sweep pins the fix for every strategy.
+package migration_test
+
+import (
+	"testing"
+	"time"
+
+	"dvemig/internal/migration"
+	"dvemig/internal/simtime"
+)
+
+func TestCancelAtAnyInstantNeverDuplicates(t *testing.T) {
+	for _, strat := range migration.StrategyNames() {
+		t.Run(strat, func(t *testing.T) {
+			mig, _ := migration.StrategyByName(strat)
+			// First pass: measure how long an undisturbed migration takes
+			// so the sweep covers the whole window including the commit
+			// tail.
+			total := func() simtime.Duration {
+				cfg := migration.DefaultConfig()
+				cfg.Mig = mig
+				e := newFaultEnv(t, 3, 2, 1, cfg)
+				e.startStreams(40 * time.Millisecond)
+				done := false
+				e.migs[0].Migrate(e.p, e.c.Nodes[1].LocalIP, func(m *migration.Metrics, err error) {
+					if err != nil {
+						t.Fatalf("baseline migration failed: %v", err)
+					}
+					done = true
+				})
+				start := e.c.Sched.Now()
+				e.c.Sched.RunFor(30 * time.Second)
+				e.stopStreams()
+				if !done {
+					t.Fatal("baseline migration hung")
+				}
+				return e.c.Sched.Now() - start
+			}()
+
+			step := total / 16
+			if step <= 0 {
+				step = time.Millisecond
+			}
+			refused, rolledBack := 0, 0
+			for at := simtime.Duration(0); at <= total+step; at += step {
+				cfg := migration.DefaultConfig()
+				cfg.Mig = mig
+				e := newFaultEnv(t, 3, 2, 1, cfg)
+				e.startStreams(40 * time.Millisecond)
+				settled := false
+				var migErr error
+				e.migs[0].Migrate(e.p, e.c.Nodes[1].LocalIP, func(m *migration.Metrics, err error) {
+					settled, migErr = true, err
+				})
+				canceled := false
+				e.c.Sched.After(at, "test/cancel", func() {
+					canceled = e.migs[0].Cancel(e.p.PID, "sweep")
+				})
+				e.c.Sched.RunFor(40 * time.Second)
+				e.stopStreams()
+				if !settled {
+					t.Fatalf("cancel@%v: migration neither completed nor aborted", at)
+				}
+				if canceled {
+					rolledBack++
+					if migErr == nil {
+						t.Fatalf("cancel@%v: accepted but migration reported success", at)
+					}
+				} else {
+					refused++
+				}
+				if n := fenvCountRunning(e.c, "zone_serv"); n != 1 {
+					t.Fatalf("cancel@%v (accepted=%v): %d running copies of the process, want exactly 1",
+						at, canceled, n)
+				}
+				// Ownership must match the verdict: rollback keeps it on the
+				// source, refusal means the destination got it.
+				srcHas := fenvFindProcess(e.c.Nodes[0], "zone_serv") != nil
+				dstHas := fenvFindProcess(e.c.Nodes[1], "zone_serv") != nil
+				if canceled && (!srcHas || dstHas) {
+					t.Fatalf("cancel@%v: accepted cancel but src=%v dst=%v", at, srcHas, dstHas)
+				}
+				if !canceled && (srcHas || !dstHas) {
+					t.Fatalf("cancel@%v: refused cancel but src=%v dst=%v", at, srcHas, dstHas)
+				}
+			}
+			// The sweep must actually exercise both sides of the fence.
+			if rolledBack == 0 || refused == 0 {
+				t.Fatalf("sweep never crossed the fence: %d rollbacks, %d refusals", rolledBack, refused)
+			}
+		})
+	}
+}

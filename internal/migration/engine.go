@@ -72,6 +72,13 @@ type Config struct {
 	// Zero or negative falls back to 100 ms.
 	RetryBackoff    simtime.Duration
 	RetryBackoffMax simtime.Duration
+	// RetryJitter adds up to this fraction of each backoff delay, drawn
+	// from a per-migration rng seeded from (PID, start time) — fully
+	// deterministic per run, but decorrelated across concurrent
+	// migrations so retry storms spread out. Zero (the default) keeps
+	// the exact historical schedule. The same BackoffPolicy drives the
+	// control plane's retry timers (see ctlplane).
+	RetryJitter float64
 	// InboundLease bounds how long the destination keeps half-restored
 	// state without hearing from the source. A crashed source sends no
 	// FIN, so the connection's OnClose never fires; the lease is the only
@@ -236,13 +243,20 @@ type Migrator struct {
 	// via SetObs so the metric handles in obsm are pre-resolved.
 	Obs  *obs.Obs
 	obsm migObsHandles
+
+	// active tracks the in-flight outbound migration per PID: the
+	// second Migrate of a process already leaving is rejected (no
+	// double-drive), and Cancel finds its target here. Entries are
+	// removed synchronously on finish/fail — the same instant the done
+	// callback fires, never at a later tick.
+	active map[int]*outbound
 }
 
 // NewMigrator starts the migration service on a node: the migd listener
 // on the in-cluster interface, the capture service, the translation
 // daemon and the translation request client.
 func NewMigrator(n *proc.Node, cfg Config) (*Migrator, error) {
-	m := &Migrator{Node: n, Config: cfg, Epochs: epoch.NewTable()}
+	m := &Migrator{Node: n, Config: cfg, Epochs: epoch.NewTable(), active: make(map[int]*outbound)}
 	m.Capture = capture.NewService(n.Stack)
 	m.Xlat = xlat.NewClient(n.Stack, n.LocalIP)
 	var err error
@@ -281,6 +295,14 @@ func (m *Migrator) Migrate(p *proc.Process, dest netsim.Addr, done func(*Metrics
 // migration — including the destination's restore tree — parents into
 // the decision that caused it. The zero context roots a fresh trace.
 func (m *Migrator) MigrateTraced(p *proc.Process, dest netsim.Addr, ctx obs.TraceContext, done func(*Metrics, error)) {
+	m.MigrateWith(p, dest, m.Config.mig(), ctx, done)
+}
+
+// MigrateWith is MigrateTraced with an explicit memory-movement
+// strategy for this one migration, overriding Config.Mig — the control
+// plane routes per-object strategy choices through here without
+// mutating the shared config under concurrent migrations.
+func (m *Migrator) MigrateWith(p *proc.Process, dest netsim.Addr, strat Strategy, ctx obs.TraceContext, done func(*Metrics, error)) {
 	if p.Node != m.Node {
 		done(nil, fmt.Errorf("migration: process %d not on node %s", p.PID, m.Node.Name))
 		return
@@ -289,17 +311,25 @@ func (m *Migrator) MigrateTraced(p *proc.Process, dest netsim.Addr, ctx obs.Trac
 		done(nil, fmt.Errorf("migration: process %d not running", p.PID))
 		return
 	}
+	if m.active[p.PID] != nil {
+		done(nil, fmt.Errorf("migration: process %d already migrating", p.PID))
+		return
+	}
+	if strat == nil {
+		strat = Precopy()
+	}
 	ob := &outbound{
-		m: m, p: p, dest: dest, done: done,
+		m: m, p: p, dest: dest, done: done, strat: strat,
 		memTracker:  ckpt.NewTracker(),
 		sockTracker: sockmig.NewTracker(),
 		timeout:     m.Config.InitialTimeout,
-		metrics: &Metrics{Strategy: m.Config.Strategy, Mig: m.Config.mig().Name(),
+		metrics: &Metrics{Strategy: m.Config.Strategy, Mig: strat.Name(),
 			Start: m.sched().Now(), PID: p.PID, ProcName: p.Name},
 	}
+	m.active[p.PID] = ob
 	ob.pt.begin(m, "migration", p.PID, ctx)
 	ob.pt.root.SetAttr("strategy", m.Config.Strategy.String())
-	ob.pt.root.SetAttr("mig_strategy", m.Config.mig().Name())
+	ob.pt.root.SetAttr("mig_strategy", strat.Name())
 	ob.metrics.TraceID = ob.pt.root.Context().Trace
 	ob.dial()
 	if ob.failed {
@@ -309,14 +339,56 @@ func (m *Migrator) MigrateTraced(p *proc.Process, dest netsim.Addr, ctx obs.Trac
 	// leave the process frozen forever. Refused after the post-copy
 	// handover — once the destination runs the process the source can
 	// never roll back, and the pull watchdog bounds the remaining phase.
+	// If the deadline lands inside the commit window (final image sent,
+	// ack not yet back), rolling back immediately would race a live
+	// destination's restore and run the process twice; instead the ack
+	// gets one bounded grace period, after which the destination is
+	// presumed dead and the rollback is safe.
 	if m.Config.Deadline > 0 {
-		m.sched().After(m.Config.Deadline, "migd.deadline", func() {
-			if !ob.finished && !ob.failed && !ob.handedOver {
-				ob.fail(errors.New("migration: deadline exceeded"))
+		var onDeadline func(graced bool)
+		onDeadline = func(graced bool) {
+			if ob.finished || ob.failed || ob.handedOver {
+				return
 			}
-		})
+			if ob.commitSent && !graced {
+				// ConnTimeout is the engine's liveness bound for the peer —
+				// the right budget for "will the restore ack ever come".
+				grace := m.Config.ConnTimeout
+				if grace <= 0 {
+					grace = m.Config.InboundLease
+				}
+				if grace <= 0 {
+					grace = 5 * 1e9
+				}
+				m.sched().After(grace, "migd.commit-grace", func() { onDeadline(true) })
+				return
+			}
+			ob.fail(errors.New("migration: deadline exceeded"))
+		}
+		m.sched().After(m.Config.Deadline, "migd.deadline", func() { onDeadline(false) })
 	}
 }
+
+// Cancel aborts the in-flight outbound migration of pid, rolling the
+// process back to full service on this node (the PR-1 rollback path:
+// thaw, rehash, local reinjection, xlat undo, MsgAbort to the peer).
+// Returns false when there is nothing to cancel or the migration is
+// past a point of no return: the post-copy handover (the destination
+// already runs the process), or the commit fence (the final image is
+// on the wire and the destination restores unconditionally when it
+// lands — a rollback now could leave the process running on both
+// nodes). The caller must treat the migration as committed.
+func (m *Migrator) Cancel(pid int, reason string) bool {
+	ob := m.active[pid]
+	if ob == nil || ob.failed || ob.finished || ob.handedOver || ob.commitSent {
+		return false
+	}
+	ob.fail(fmt.Errorf("migration: canceled: %s", reason))
+	return true
+}
+
+// Migrating reports whether pid has an in-flight outbound migration.
+func (m *Migrator) Migrating(pid int) bool { return m.active[pid] != nil }
 
 // dial opens one migd connection attempt. All attempt-scoped callbacks
 // capture the generation counter so a late failure of an abandoned
@@ -387,16 +459,12 @@ func (ob *outbound) connFailed(gen int, err error) {
 	ob.metrics.Retries++
 	ob.dialGen++ // invalidate the abandoned attempt's callbacks
 	ob.conn.Close()
-	backoff := ob.m.Config.RetryBackoff
-	if backoff <= 0 {
-		backoff = 100 * 1e6
+	if ob.rng == nil && ob.m.Config.RetryJitter > 0 {
+		// Seeded from the migration's identity (PID, start instant):
+		// deterministic per run, decorrelated across migrations.
+		ob.rng = simtime.NewRand(uint64(ob.p.PID)<<32 ^ uint64(ob.metrics.Start) ^ 0x6d696764)
 	}
-	for i := 1; i < ob.attempts; i++ {
-		backoff *= 2
-	}
-	if max := ob.m.Config.RetryBackoffMax; max > 0 && backoff > max {
-		backoff = max
-	}
+	backoff := ob.m.Config.retryPolicy().Delay(ob.attempts, ob.rng)
 	ob.m.sched().After(backoff, "migd.conn-retry", func() {
 		if ob.failed || ob.finished || ob.started {
 			return
@@ -420,6 +488,12 @@ type outbound struct {
 	metrics     *Metrics
 	token       uint64
 	epoch       uint64 // ownership epoch of the migrated service
+
+	// strat is this migration's memory-movement strategy (frozen at
+	// start so a config change mid-flight cannot switch modes); rng
+	// feeds the retry backoff jitter, lazily seeded on first retry.
+	strat Strategy
+	rng   *simtime.Rand
 
 	// encBuf / sockEncBuf are per-migration scratch buffers for delta
 	// serialization: the transport copies payloads into the socket send
@@ -455,6 +529,15 @@ type outbound struct {
 	transferFired bool
 	onCaptureAck  func()
 
+	// commitSent marks the source-side commit fence: the final image
+	// (MsgFreeze or MsgPostImage) is on the wire. The destination
+	// completes its restore unconditionally once that image arrives, so
+	// from here a voluntary rollback (Cancel, the deadline's first
+	// firing) could leave the process running on both nodes. Only
+	// evidence of a dead destination — connection close, or the commit
+	// grace expiring with no ack — may roll back past this fence.
+	commitSent bool
+
 	// Post-copy pull-server state (postcopy.go). handedOver marks the
 	// point of no return: the destination runs the process, so fail()
 	// routes to orphan() and the deadline stands down.
@@ -481,6 +564,14 @@ type outbound struct {
 	attrSer   simtime.Duration
 }
 
+// mig returns the outbound's pinned strategy.
+func (ob *outbound) mig() Strategy {
+	if ob.strat == nil {
+		return Precopy()
+	}
+	return ob.strat
+}
+
 // xlatOp is one translation request to (un)do during rollback.
 type xlatOp struct {
 	peer netsim.Addr
@@ -493,7 +584,7 @@ func (ob *outbound) start() {
 	ob.epoch = ob.m.Epochs.Current(ob.p.Name)
 	rctx := ob.pt.root.Context()
 	req := migrateReq{PID: ob.p.PID, Strategy: ob.m.Config.Strategy,
-		Mode: ob.m.Config.mig().mode(), Token: ob.token,
+		Mode: ob.mig().mode(), Token: ob.token,
 		Epoch: ob.epoch, TraceID: rctx.Trace, SpanID: rctx.Span, Name: ob.p.Name}
 	ob.send(MsgMigrateReq, req.encode())
 }
@@ -569,6 +660,7 @@ func (ob *outbound) fail(err error) {
 		ob.localFilters = nil
 	}
 	takeBehavior(ob.token)
+	delete(ob.m.active, ob.p.PID)
 	ob.conn.Send(MsgAbort, nil)
 	ob.conn.Close()
 	ob.metrics.Aborted = true
@@ -589,7 +681,7 @@ func (ob *outbound) onMsg(t MsgType, payload []byte) {
 	}
 	switch t {
 	case MsgMigrateAck:
-		ob.m.Config.mig().start(ob)
+		ob.mig().start(ob)
 	case MsgCaptureAck:
 		if cb := ob.onCaptureAck; cb != nil {
 			ob.onCaptureAck = nil
@@ -609,9 +701,9 @@ func (ob *outbound) onMsg(t MsgType, payload []byte) {
 			ob.fail(errAborted)
 		}
 	case MsgResumed, MsgPageReq, MsgPullsDone:
-		if !ob.m.Config.mig().onSourceMsg(ob, t, payload) {
+		if !ob.mig().onSourceMsg(ob, t, payload) {
 			ob.fail(fmt.Errorf("migration: unexpected %s for %s strategy",
-				t, ob.m.Config.mig().Name()))
+				t, ob.mig().Name()))
 		}
 	}
 }
@@ -794,7 +886,7 @@ func (ob *outbound) iterativeStep(tcp []*netstack.TCPSocket, udp []*netstack.UDP
 		return
 	}
 	if len(tcp) == 0 && len(udp) == 0 {
-		ob.m.Config.mig().finalTransfer(ob, nil)
+		ob.mig().finalTransfer(ob, nil)
 		return
 	}
 	var key netsim.FlowKey
@@ -917,7 +1009,7 @@ func (ob *outbound) collectivePhase2() {
 		} else {
 			sd = sockmig.FullDelta(ob.p)
 		}
-		ob.m.Config.mig().finalTransfer(ob, sd)
+		ob.mig().finalTransfer(ob, sd)
 	})
 }
 
@@ -947,6 +1039,7 @@ func (ob *outbound) sendFreeze(sd *sockmig.SockDelta) {
 			ob.metrics.TCPMigrated, ob.metrics.UDPMigrated = countSockets(ob.p)
 		}
 	}
+	ob.commitSent = true
 	ob.send(MsgFreeze, fm.encode())
 }
 
@@ -1011,6 +1104,7 @@ func (ob *outbound) observeFreezeAttr() {
 
 func (ob *outbound) finish(rd restoreDone) {
 	ob.finished = true
+	delete(ob.m.active, ob.p.PID)
 	// The process resumed remotely: the local safety-net filters (and
 	// the packets they swallowed — the destination processed its own
 	// broadcast copies) are no longer needed, nor is the rollback plan.

@@ -62,6 +62,7 @@ func (ob *outbound) sendPostImage(sd *sockmig.SockDelta, hybrid bool) {
 			ob.metrics.TCPMigrated, ob.metrics.UDPMigrated = countSockets(ob.p)
 		}
 	}
+	ob.commitSent = true
 	ob.send(MsgPostImage, pm.encode())
 }
 
@@ -252,6 +253,7 @@ func (ob *outbound) servePull(pr pageReq) {
 // destination filled its last hole, so the frozen shell here can go.
 func (ob *outbound) finishPost(pd pullsDone) {
 	ob.finished = true
+	delete(ob.m.active, ob.p.PID)
 	if ob.pullWatch != nil {
 		ob.m.sched().Cancel(ob.pullWatch)
 		ob.pullWatch = nil
@@ -292,6 +294,7 @@ func (ob *outbound) finishPost(pd pullsDone) {
 // is failover territory (epoch promotion), not rollback.
 func (ob *outbound) orphan(err error) {
 	ob.failed = true
+	delete(ob.m.active, ob.p.PID)
 	if ob.pullWatch != nil {
 		ob.m.sched().Cancel(ob.pullWatch)
 		ob.pullWatch = nil
