@@ -1,0 +1,126 @@
+// Alloc-regression gates for the simulator's hot paths. These are
+// ordinary tests (they run in CI's test and bench-smoke jobs) so an
+// allocation slipped into the event loop fails the build instead of
+// silently eroding the numbers BENCH_simperf.json records.
+package dvemig
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"dvemig/internal/eval"
+	"dvemig/internal/simtime"
+	"dvemig/internal/sockmig"
+)
+
+// ringState carries the re-arm parameters behind one pointer: boxing a
+// bare Duration into the trampoline's any-slot would itself allocate,
+// which is exactly what this gate exists to catch.
+type ringState struct {
+	s *simtime.Scheduler
+	d simtime.Duration
+}
+
+// ringArm is the closure-free self-rescheduling event the alloc gate
+// fires: the scheduler's AfterCall trampoline carries the state pointer
+// through its any-slot, so re-arming allocates nothing once the event
+// free list is warm.
+func ringArm(a0, _ any) {
+	r := a0.(*ringState)
+	r.s.AfterCall(r.d, "gate.ring", ringArm, r, nil)
+}
+
+// TestAllocGateEventLoop pins the scheduler's fire/re-arm cycle — the
+// dominant pattern of every simulation — at zero allocations per fired
+// event.
+func TestAllocGateEventLoop(t *testing.T) {
+	s := simtime.NewScheduler()
+	for i := 0; i < 64; i++ {
+		r := &ringState{s: s, d: simtime.Duration(i+1) * simtime.Duration(time.Microsecond)}
+		s.AfterCall(r.d, "gate.ring", ringArm, r, nil)
+	}
+	s.RunFor(simtime.Duration(time.Millisecond)) // warm the free list
+	per := testing.AllocsPerRun(10, func() {
+		s.RunFor(64 * simtime.Duration(time.Microsecond))
+	})
+	if per > 0 {
+		t.Fatalf("event-loop step allocates %.1f/run, want 0", per)
+	}
+}
+
+// TestAllocGateTimerChurn pins the arm/cancel pattern the TCP
+// retransmission timer generates on every ACK at zero allocations.
+func TestAllocGateTimerChurn(t *testing.T) {
+	s := simtime.NewScheduler()
+	for i := 0; i < 1024; i++ {
+		s.After(simtime.Duration(i+1)*simtime.Duration(time.Hour), "gate.backdrop", func() {})
+	}
+	ev := s.After(simtime.Duration(time.Second), "gate.rto", func() {})
+	s.Cancel(ev) // warm the free list
+	per := testing.AllocsPerRun(100, func() {
+		e := s.After(simtime.Duration(time.Second), "gate.rto", func() {})
+		s.Cancel(e)
+	})
+	if per > 0 {
+		t.Fatalf("timer arm+cancel allocates %.1f/run, want 0", per)
+	}
+}
+
+// TestAllocGateTicker pins the periodic-loop re-arm (process ticks,
+// client command loops) at zero allocations per tick.
+func TestAllocGateTicker(t *testing.T) {
+	s := simtime.NewScheduler()
+	var ticks int
+	tk := simtime.NewTicker(s, simtime.Duration(time.Millisecond), "gate.tick", func() { ticks++ })
+	tk.Start()
+	defer tk.Stop()
+	s.RunFor(simtime.Duration(10 * time.Millisecond)) // warm up
+	per := testing.AllocsPerRun(10, func() {
+		s.RunFor(simtime.Duration(10 * time.Millisecond))
+	})
+	if per > 0 {
+		t.Fatalf("ticker re-arm allocates %.1f per 10 ticks, want 0", per)
+	}
+}
+
+// TestAllocGateMigrationEngine is the bench-smoke regression fence: a
+// full 8-connection live migration must not allocate more than 25%
+// over the allocs/op recorded in BENCH_simperf.json. Regenerating the
+// record (SIMPERF_REPORT=1 go test -run TestWriteSimPerfReport)
+// re-baselines the gate; deleting it skips the gate.
+func TestAllocGateMigrationEngine(t *testing.T) {
+	data, err := os.ReadFile("BENCH_simperf.json")
+	if err != nil {
+		t.Skipf("no BENCH_simperf.json: %v", err)
+	}
+	var report struct {
+		MigrationEngine struct {
+			Current struct {
+				AllocsPerOp float64 `json:"allocs_per_op"`
+			} `json:"current"`
+		} `json:"MigrationEngine"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_simperf.json: %v", err)
+	}
+	recorded := report.MigrationEngine.Current.AllocsPerOp
+	if recorded <= 0 {
+		t.Skip("BENCH_simperf.json has no MigrationEngine.current record")
+	}
+	fc := eval.DefaultFreezeConfig(sockmig.IncrementalCollective, 8)
+	fc.Repeats = 1
+	measured := testing.AllocsPerRun(3, func() {
+		if _, err := eval.RunFreezePoint(fc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ceiling := recorded * 1.25
+	if measured > ceiling {
+		t.Fatalf("migration engine allocs/op = %.0f, exceeds recorded %.0f +25%% headroom (%.0f) — "+
+			"fix the regression or re-baseline with SIMPERF_REPORT=1",
+			measured, recorded, ceiling)
+	}
+	t.Logf("migration engine allocs/op = %.0f (recorded %.0f, ceiling %.0f)", measured, recorded, ceiling)
+}

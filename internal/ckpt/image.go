@@ -250,7 +250,7 @@ func (img *Image) EncodeInto(buf []byte) []byte {
 	for _, p := range img.Pages {
 		w.u64(p.VMAStart)
 		w.u64(p.Index)
-		w.bytes(p.Data)
+		encodePage(&w, p.Data)
 	}
 	w.u32(uint32(len(img.FDs)))
 	for _, f := range img.FDs {
@@ -294,7 +294,7 @@ func DecodeImage(data []byte) (*Image, error) {
 		return nil, errors.New("ckpt: corrupt page count")
 	}
 	for i := 0; i < np; i++ {
-		img.Pages = append(img.Pages, PageImage{VMAStart: r.u64(), Index: r.u64(), Data: r.bytes()})
+		img.Pages = append(img.Pages, PageImage{VMAStart: r.u64(), Index: r.u64(), Data: decodePageData(r)})
 	}
 	nf := int(r.u32())
 	if r.err != nil || nf > 1<<20 {

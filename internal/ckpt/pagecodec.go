@@ -1,0 +1,146 @@
+package ckpt
+
+// Page-content codec: the per-page encoding the checkpoint pipeline
+// ships. A page is encoded as a one-byte tag plus a tag-specific body:
+//
+//	raw    — u32 length + the bytes verbatim (the historical format).
+//	zero   — u32 length only: the page is all zeros, nothing crosses
+//	         the wire (zero-page elision; zone-server working sets are
+//	         mostly untouched zero pages).
+//	sparse — u32 raw length, u16 segment count, then per segment
+//	         {u16 offset, u16 length, bytes}: a delta against the zero
+//	         page carrying only the non-zero runs. Chosen only when it
+//	         is strictly smaller than raw, so pathological content
+//	         costs at most one tag byte over the historical format.
+//
+// The decoder always materializes the full raw page, so everything
+// downstream (ApplyDelta, PageDataBytes, restore) is format-agnostic.
+
+const (
+	pageEncRaw byte = iota
+	pageEncZero
+	pageEncSparse
+)
+
+// segHdrBytes is the wire cost of one sparse segment header (offset +
+// length); zero gaps shorter than this are cheaper to ship inline than
+// to split around.
+const segHdrBytes = 4
+
+// maxSparseLen bounds pages eligible for zero/sparse encoding: segment
+// offsets are u16, so anything larger goes raw.
+const maxSparseLen = 1 << 16
+
+// nextSparseRun returns the next non-zero run at or after i, with zero
+// gaps shorter than a segment header merged in. Returns (-1, -1) when
+// only zeros remain.
+func nextSparseRun(data []byte, i int) (start, end int) {
+	for i < len(data) && data[i] == 0 {
+		i++
+	}
+	if i >= len(data) {
+		return -1, -1
+	}
+	start = i
+	end = i
+	for i < len(data) {
+		if data[i] != 0 {
+			i++
+			end = i
+			continue
+		}
+		j := i
+		for j < len(data) && data[j] == 0 {
+			j++
+		}
+		if j < len(data) && j-i < segHdrBytes {
+			i = j
+			continue
+		}
+		break
+	}
+	return start, end
+}
+
+// encodePage appends one page's content in the cheapest representation.
+// It allocates nothing: segment runs are discovered by scanning twice
+// (size pass, emit pass) instead of collecting them.
+func encodePage(w *wbuf, data []byte) {
+	if len(data) >= maxSparseLen {
+		w.u8(pageEncRaw)
+		w.bytes(data)
+		return
+	}
+	nseg, sparseSize := 0, 2
+	for s, e := nextSparseRun(data, 0); s >= 0; s, e = nextSparseRun(data, e) {
+		nseg++
+		sparseSize += segHdrBytes + (e - s)
+	}
+	if nseg == 0 {
+		w.u8(pageEncZero)
+		w.u32(uint32(len(data)))
+		return
+	}
+	if nseg >= 1<<16 || sparseSize >= len(data) {
+		w.u8(pageEncRaw)
+		w.bytes(data)
+		return
+	}
+	w.u8(pageEncSparse)
+	w.u32(uint32(len(data)))
+	w.u16(uint16(nseg))
+	for s, e := nextSparseRun(data, 0); s >= 0; s, e = nextSparseRun(data, e) {
+		w.u16(uint16(s))
+		w.u16(uint16(e - s))
+		w.b = append(w.b, data[s:e]...)
+	}
+}
+
+// maxDecodedPage bounds a decoded page's claimed raw length; real pages
+// are PageSize, but the decoder is a fuzz surface and must not be
+// talked into huge allocations.
+const maxDecodedPage = 1 << 20
+
+// decodePageData parses one encodePage record, returning the full raw
+// page content (freshly allocated — it never aliases the input).
+func decodePageData(r *rbuf) []byte {
+	switch r.u8() {
+	case pageEncRaw:
+		return r.bytes()
+	case pageEncZero:
+		n := int(r.u32())
+		if r.err != nil || n < 0 || n > maxDecodedPage {
+			r.fail()
+			return nil
+		}
+		return make([]byte, n)
+	case pageEncSparse:
+		n := int(r.u32())
+		nseg := int(r.u16())
+		if r.err != nil || n < 0 || n > maxDecodedPage {
+			r.fail()
+			return nil
+		}
+		out := make([]byte, n)
+		for i := 0; i < nseg; i++ {
+			off := int(r.u16())
+			l := int(r.u16())
+			if r.err != nil {
+				return nil
+			}
+			if off+l > n || r.off+l > len(r.b) {
+				r.fail()
+				return nil
+			}
+			copy(out[off:off+l], r.b[r.off:r.off+l])
+			r.off += l
+		}
+		if r.err != nil {
+			return nil
+		}
+		return out
+	default:
+		r.fail()
+		return nil
+	}
+}

@@ -65,7 +65,7 @@ func (d *MemDelta) EncodeInto(buf []byte) []byte {
 	for _, p := range d.Pages {
 		w.u64(p.VMAStart)
 		w.u64(p.Index)
-		w.bytes(p.Data)
+		encodePage(&w, p.Data)
 	}
 	return w.b
 }
@@ -88,7 +88,7 @@ func DecodeMemDelta(data []byte) (*MemDelta, error) {
 	}
 	n = int(r.u32())
 	for i := 0; i < n && r.err == nil; i++ {
-		d.Pages = append(d.Pages, PageImage{VMAStart: r.u64(), Index: r.u64(), Data: r.bytes()})
+		d.Pages = append(d.Pages, PageImage{VMAStart: r.u64(), Index: r.u64(), Data: decodePageData(r)})
 	}
 	if r.err != nil {
 		return nil, r.err

@@ -27,14 +27,20 @@ import (
 // serial loop on the calling goroutine (no goroutines spawned), which
 // keeps single-threaded runs easy to debug and profile.
 //
+// workers is clamped to GOMAXPROCS: a sweep cell is pure CPU (no
+// blocking I/O a goroutine could overlap), so oversubscribing the
+// scheduler buys nothing and costs context switches — on small
+// machines the extra goroutines made the scaling curve flat to
+// negative (workers=2 measurably *slower* than workers=1 on one CPU).
+//
 // All cells are run even if some fail; the returned error is the first
 // failure in canonical cell order, so error reporting is as
 // deterministic as the results themselves.
 func RunParallel[C any, R any](cells []C, workers int, fn func(C) (R, error)) ([]R, error) {
 	results := make([]R, len(cells))
 	errs := make([]error, len(cells))
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if max := runtime.GOMAXPROCS(0); workers <= 0 || workers > max {
+		workers = max
 	}
 	if workers > len(cells) {
 		workers = len(cells)

@@ -1,0 +1,198 @@
+package migration
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dvemig/internal/proc"
+	"dvemig/internal/simtime"
+)
+
+// TestChunkedMatchesMonolithic pins the pipelined/monolithic boundary:
+// the same migration run monolithically (ChunkBytes 0), at a
+// pathological 512-byte chunk size, and at the default 64 KiB must ship
+// the same rounds, the same payload bytes, and restore a byte-identical
+// heap. Chunking is a transport concern — it must never change what is
+// shipped.
+func TestChunkedMatchesMonolithic(t *testing.T) {
+	type run struct {
+		m    *Metrics
+		heap []byte
+	}
+	runs := map[int]run{}
+	for _, chunk := range []int{0, 512, 64 << 10} {
+		cfg := DefaultConfig()
+		cfg.ChunkBytes = chunk
+		e := newEnv(t, 2, 4, cfg)
+		heapStart := e.p.AS.VMAs()[0].Start
+		m := e.migrate(t, 1)
+		p := findProcess(e.c.Nodes[1], "zone_serv1")
+		if p == nil {
+			t.Fatalf("chunk=%d: process not on destination", chunk)
+		}
+		heap, err := p.AS.Read(heapStart, int(256*proc.PageSize))
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		runs[chunk] = run{m: m, heap: heap}
+	}
+	base := runs[0]
+	for _, chunk := range []int{512, 64 << 10} {
+		r := runs[chunk]
+		if r.m.Rounds != base.m.Rounds {
+			t.Errorf("chunk=%d: Rounds=%d, monolithic=%d", chunk, r.m.Rounds, base.m.Rounds)
+		}
+		if r.m.PrecopyMemBytes != base.m.PrecopyMemBytes {
+			t.Errorf("chunk=%d: PrecopyMemBytes=%d, monolithic=%d",
+				chunk, r.m.PrecopyMemBytes, base.m.PrecopyMemBytes)
+		}
+		if r.m.FreezeMemBytes != base.m.FreezeMemBytes {
+			t.Errorf("chunk=%d: FreezeMemBytes=%d, monolithic=%d",
+				chunk, r.m.FreezeMemBytes, base.m.FreezeMemBytes)
+		}
+		if r.m.MemPageBytes != base.m.MemPageBytes {
+			t.Errorf("chunk=%d: MemPageBytes=%d, monolithic=%d",
+				chunk, r.m.MemPageBytes, base.m.MemPageBytes)
+		}
+		if !bytes.Equal(r.heap, base.heap) {
+			t.Errorf("chunk=%d: restored heap differs from monolithic restore", chunk)
+		}
+	}
+}
+
+// quiescentEnv: a two-node cluster with an idle process — it ticks but
+// never touches memory, so every precopy round after the first is empty.
+func quiescentEnv(t *testing.T, cfg Config) (*proc.Cluster, []*Migrator, *proc.Process) {
+	t.Helper()
+	c := proc.NewCluster(simtime.NewScheduler(), 2)
+	var migs []*Migrator
+	for _, n := range c.Nodes {
+		m, err := NewMigrator(n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		migs = append(migs, m)
+	}
+	p := c.Nodes[0].Spawn("idle_serv", 1)
+	heap := p.AS.Mmap(32*proc.PageSize, "rw-")
+	for i := uint64(0); i < 32; i++ {
+		p.AS.Write(heap.Start+i*proc.PageSize, []byte{byte(i + 1), 0xEE})
+	}
+	p.Tick = func(self *proc.Process) {} // alive but quiescent
+	c.Nodes[0].StartLoop(p, 50*time.Millisecond)
+	c.Sched.RunFor(100 * time.Millisecond)
+	return c, migs, p
+}
+
+// TestQuiescentRoundShipsNothing is the regression test for the
+// empty-delta bug: shipDeltaRound used to send a MsgMemDelta frame even
+// when the delta was empty, so every quiescent round paid wire framing
+// and delta headers. Now a longer precopy schedule (more empty rounds)
+// must ship exactly the same bytes as a short one.
+func TestQuiescentRoundShipsNothing(t *testing.T) {
+	migrate := func(initial simtime.Duration) *Metrics {
+		cfg := DefaultConfig()
+		cfg.InitialTimeout = initial
+		c, migs, p := quiescentEnv(t, cfg)
+		var got *Metrics
+		var gotErr error
+		done := false
+		migs[0].Migrate(p, c.Nodes[1].LocalIP, func(m *Metrics, err error) {
+			got, gotErr, done = m, err, true
+		})
+		c.Sched.RunFor(30 * time.Second)
+		if !done {
+			t.Fatal("migration never completed")
+		}
+		if gotErr != nil {
+			t.Fatalf("migration failed: %v", gotErr)
+		}
+		if findProcess(c.Nodes[1], "idle_serv") == nil {
+			t.Fatal("process not on destination")
+		}
+		return got
+	}
+	short := migrate(320 * 1e6) // 320ms: few precopy rounds
+	long := migrate(2560 * 1e6) // 2.56s: three more halvings, all empty
+	if long.Rounds <= short.Rounds {
+		t.Fatalf("long schedule ran %d rounds, short ran %d — test is not adding empty rounds",
+			long.Rounds, short.Rounds)
+	}
+	if long.PrecopyMemBytes != short.PrecopyMemBytes {
+		t.Fatalf("empty rounds shipped delta bytes: long=%d short=%d",
+			long.PrecopyMemBytes, short.PrecopyMemBytes)
+	}
+	if long.MemPageBytes != short.MemPageBytes {
+		t.Fatalf("empty rounds shipped page content: long=%d short=%d",
+			long.MemPageBytes, short.MemPageBytes)
+	}
+}
+
+// TestPipelineShipsEveryDirtyPageOnce runs the chunked pipeline against
+// a shadow ledger: at each precopy round the test notes what the
+// tracker is about to ship (all resident pages in round 1, the dirty
+// set afterwards), and at freeze it notes the final dirty set plus a
+// snapshot of the source heap. The engine's MemPageBytes must equal the
+// ledger exactly — every dirty page shipped exactly once per round it
+// was dirty in, nothing skipped, nothing shipped twice — and the
+// destination heap must equal the freeze-time snapshot.
+func TestPipelineShipsEveryDirtyPageOnce(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ChunkBytes = 4 << 10 // force real multi-chunk streams
+	e := newEnv(t, 2, 4, cfg)
+	heapStart := e.p.AS.VMAs()[0].Start
+
+	var ledger uint64
+	var frozenHeap []byte
+	srcNode := e.c.Nodes[0].Name
+	e.migrators[0].OnPhase = func(ev PhaseEvent) {
+		if ev.Node != srcNode || ev.PID != e.p.PID {
+			return
+		}
+		switch ev.Phase {
+		case PhasePrecopy:
+			if ev.Round == 1 {
+				ledger += e.p.AS.ResidentBytes()
+			} else {
+				ledger += proc.PageSize * uint64(len(e.p.AS.DirtyPages()))
+			}
+		case PhaseFreeze:
+			ledger += proc.PageSize * uint64(len(e.p.AS.DirtyPages()))
+			h, err := e.p.AS.Read(heapStart, int(256*proc.PageSize))
+			if err != nil {
+				t.Errorf("freeze snapshot: %v", err)
+			}
+			frozenHeap = h
+		}
+	}
+	var arrivedHeap []byte
+	e.migrators[1].OnArrived = func(p *proc.Process, _ *Metrics) {
+		h, err := p.AS.Read(heapStart, int(256*proc.PageSize))
+		if err != nil {
+			t.Errorf("arrival snapshot: %v", err)
+		}
+		arrivedHeap = h
+	}
+
+	m := e.migrate(t, 1)
+	if ledger == 0 || frozenHeap == nil || arrivedHeap == nil {
+		t.Fatal("phase hooks never fired")
+	}
+	if m.MemPageBytes != ledger {
+		t.Fatalf("MemPageBytes=%d, shadow ledger=%d — pages skipped or double-shipped",
+			m.MemPageBytes, ledger)
+	}
+	if !bytes.Equal(frozenHeap, arrivedHeap) {
+		t.Fatal("destination heap differs from the freeze-time source heap")
+	}
+	// The checkpoint stream must ride its own traffic class: the source
+	// NIC counts at least the encoded delta payloads, and on this
+	// lossless fabric the destination sees every byte the source sent.
+	tx := e.c.Nodes[0].LocalNIC.CkptTxBytes
+	rx := e.c.Nodes[1].LocalNIC.CkptRxBytes
+	if enc := m.PrecopyMemBytes + m.FreezeMemBytes; tx < enc || rx != tx {
+		t.Fatalf("checkpoint class accounting: tx=%d rx=%d, encoded payload %d",
+			tx, rx, enc)
+	}
+}

@@ -100,7 +100,18 @@ type Config struct {
 	// demand paging).
 	PrefetchInterval simtime.Duration
 	PrefetchBatch    int
-	Costs            CostModel
+	// ChunkBytes splits large checkpoint payloads (precopy deltas, the
+	// freeze image, post-copy's directory image) into MsgChunk frames of
+	// at most this many bytes, so serialization and link transfer
+	// overlap. Zero or negative disables chunking: payloads travel as
+	// the legacy monolithic messages.
+	ChunkBytes int
+	// ChunkWindow bounds how many chunk frames are queued on the
+	// transport per event-loop step; the remainder is pumped via
+	// zero-delay continuations so the socket drains between bursts.
+	// Zero or negative falls back to defaultChunkWindow.
+	ChunkWindow int
+	Costs       CostModel
 }
 
 // DefaultConfig returns the paper's configuration with the incremental
@@ -121,6 +132,8 @@ func DefaultConfig() Config {
 		InboundLease:     10 * 1e9, // 10s of source silence discards the transfer
 		PrefetchInterval: 2 * 1e6,  // 2ms between prefetch batches
 		PrefetchBatch:    8,
+		ChunkBytes:       64 << 10, // 64 KiB checkpoint chunks
+		ChunkWindow:      defaultChunkWindow,
 		Costs:            DefaultCosts,
 	}
 }
@@ -404,6 +417,9 @@ func (ob *outbound) dial() {
 	if c := ob.pt.root.Context(); c.Valid() {
 		sk.Trace = &netsim.TraceRef{Trace: c.Trace, Span: c.Span}
 	}
+	// The outbound leg carries checkpoint transfer until (for post-copy)
+	// handover restamps it to the pull class.
+	sk.Class = netsim.ClassCheckpoint
 	ob.conn = NewConn(sk)
 	ob.conn.OnMsg = ob.onMsg
 	sk.OnReadable = func() {
@@ -501,6 +517,10 @@ type outbound struct {
 	// allocation instead of growing the heap.
 	encBuf     []byte
 	sockEncBuf []byte
+
+	// chunkStream numbers outgoing chunk streams (chunkpipe.go); the id
+	// lets the destination reject frames from an abandoned stream.
+	chunkStream uint32
 
 	started  bool
 	frozen   bool
@@ -739,14 +759,25 @@ func (ob *outbound) precopyRound() {
 // pre-copy loop and hybrid's single bounded round.
 func (ob *outbound) shipDeltaRound() simtime.Duration {
 	d := ob.memTracker.Delta(ob.p.AS)
-	ob.encBuf = d.EncodeInto(ob.encBuf)
-	ob.metrics.PrecopyMemBytes += uint64(len(ob.encBuf))
-	ob.metrics.MemPageBytes += d.PageDataBytes()
-	if ob.m.Obs != nil {
-		ob.m.obsm.roundBytes.Observe(float64(len(ob.encBuf)))
-		ob.pt.cur.SetInt("mem_bytes", int64(len(ob.encBuf)))
+	if d.Empty() {
+		// Quiescent round: nothing changed since the last scan, so no
+		// MEM_DELTA crosses the wire (mirroring the socket delta's
+		// emptiness guard below). Rounds still counts — the loop ran —
+		// but the round contributes zero delta bytes.
+		if ob.m.Obs != nil {
+			ob.m.obsm.roundBytes.Observe(0)
+			ob.pt.cur.SetInt("mem_bytes", 0)
+		}
+	} else {
+		ob.encBuf = d.EncodeInto(ob.encBuf)
+		ob.metrics.PrecopyMemBytes += uint64(len(ob.encBuf))
+		ob.metrics.MemPageBytes += d.PageDataBytes()
+		if ob.m.Obs != nil {
+			ob.m.obsm.roundBytes.Observe(float64(len(ob.encBuf)))
+			ob.pt.cur.SetInt("mem_bytes", int64(len(ob.encBuf)))
+		}
+		ob.sendPayload(chunkKindMemDelta, MsgMemDelta, ob.encBuf, false)
 	}
-	ob.send(MsgMemDelta, ob.encBuf)
 	var trackCost simtime.Duration
 	if ob.m.Config.Strategy == sockmig.IncrementalCollective {
 		sd := ob.sockTracker.Delta(ob.p, false)
@@ -1039,8 +1070,9 @@ func (ob *outbound) sendFreeze(sd *sockmig.SockDelta) {
 			ob.metrics.TCPMigrated, ob.metrics.UDPMigrated = countSockets(ob.p)
 		}
 	}
-	ob.commitSent = true
-	ob.send(MsgFreeze, fm.encode())
+	// The commit fence rises with the stream's final frame (sendPayload);
+	// the destination restores only on a complete image either way.
+	ob.sendPayload(chunkKindFreeze, MsgFreeze, fm.encode(), true)
 }
 
 func countSockets(p *proc.Process) (int, int) {
@@ -1168,6 +1200,15 @@ type inbound struct {
 	holes  int
 	puller *puller
 
+	// Chunk-stream reassembly (chunkpipe.go): the open stream's identity,
+	// the next expected sequence number, and the accumulation buffer
+	// (reused across precopy rounds' streams).
+	chunkOpen   bool
+	chunkKind   byte
+	chunkStream uint32
+	chunkNext   uint32
+	chunkBuf    []byte
+
 	// lease discards the half-restored state if the source goes silent
 	// (a crashed source sends no FIN, so OnClose never fires). Renewed on
 	// every message; disarmed once the full freeze image has arrived —
@@ -1238,26 +1279,19 @@ func (ib *inbound) onMsg(t MsgType, payload []byte) {
 			sk := ib.conn.Socket()
 			sk.Trace = &netsim.TraceRef{Trace: sctx.Trace, Span: sctx.Span}
 		}
+		// Acks and RESTORE_DONE ride the checkpoint class too (the pull
+		// phase restamps to ClassPagePull at resume).
+		ib.conn.Socket().Class = netsim.ClassCheckpoint
 		ib.renewLease()
 		ib.conn.Send(MsgMigrateAck, nil)
 	case MsgMemDelta:
-		d, err := ckpt.DecodeMemDelta(payload)
-		if err != nil {
-			ib.abort(err)
-			return
-		}
-		if err := ckpt.ApplyDelta(ib.shadowAS, d); err != nil {
-			ib.abort(err)
-		}
+		ib.applyMemDelta(payload)
 	case MsgSockDelta:
-		sd, err := sockmig.DecodeSockDelta(payload)
-		if err != nil {
-			ib.abort(err)
-			return
-		}
-		if err := ib.store.Apply(sd); err != nil {
-			ib.abort(err)
-		}
+		ib.applySockDelta(payload)
+	case MsgChunk:
+		ib.onChunk(payload)
+	case MsgChunkEnd:
+		ib.onChunkEnd(payload)
 	case MsgCaptureReq:
 		keys, err := decodeCaptureReq(payload)
 		if err != nil {
@@ -1269,40 +1303,9 @@ func (ib *inbound) onMsg(t MsgType, payload []byte) {
 		}
 		ib.conn.Send(MsgCaptureAck, nil)
 	case MsgFreeze:
-		fm, err := decodeFreezeMsg(payload)
-		if err != nil {
-			ib.abort(err)
-			return
-		}
-		// The full freeze image is here: past the point of no return, the
-		// restore proceeds even if the source dies now (the source only
-		// dismantles its copy after RestoreDone, and a dead source cannot
-		// serve — either way exactly one owner remains).
-		ib.restoring = true
-		if ib.lease != nil {
-			ib.m.sched().Cancel(ib.lease)
-			ib.lease = nil
-		}
-		ib.restore(fm)
+		ib.beginFreeze(payload)
 	case MsgPostImage:
-		if !ib.post {
-			ib.abort(errors.New("migration: POST_IMAGE on a pre-copy migration"))
-			return
-		}
-		pm, err := decodePostImage(payload)
-		if err != nil {
-			ib.abort(err)
-			return
-		}
-		// Same point-of-no-return logic as MsgFreeze: the restore (and the
-		// resume with holes) proceeds; from here the *pull lease* bounds
-		// source silence instead of the transfer lease.
-		ib.restoring = true
-		if ib.lease != nil {
-			ib.m.sched().Cancel(ib.lease)
-			ib.lease = nil
-		}
-		ib.restorePost(pm)
+		ib.beginPostImage(payload)
 	case MsgPageResp:
 		if ib.puller == nil {
 			return // late content after teardown; drop

@@ -62,8 +62,9 @@ func (ob *outbound) sendPostImage(sd *sockmig.SockDelta, hybrid bool) {
 			ob.metrics.TCPMigrated, ob.metrics.UDPMigrated = countSockets(ob.p)
 		}
 	}
-	ob.commitSent = true
-	ob.send(MsgPostImage, pm.encode())
+	// The commit fence rises with the stream's final frame (sendPayload);
+	// the destination restores only on a complete image either way.
+	ob.sendPayload(chunkKindPostImage, MsgPostImage, pm.encode(), true)
 }
 
 // postSourceMsg handles the pull-protocol messages on the source; false

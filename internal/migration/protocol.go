@@ -39,6 +39,14 @@ const (
 	MsgPageReq   // D→S: demand pull for faulted pages (epoch-fenced)
 	MsgPageResp  // S→D: page content (demand reply or prefetch push)
 	MsgPullsDone // D→S: last hole filled; the source may dismantle
+
+	// Chunked checkpoint streams (PR 8). Large checkpoint payloads —
+	// precopy memory deltas, the freeze image, post-copy's directory
+	// image — are split into bounded MsgChunk frames closed by a
+	// MsgChunkEnd trailer, so serialization and link transfer overlap
+	// instead of one monolithic message stalling the pipeline.
+	MsgChunk    // S→D: one bounded frame of a chunked checkpoint payload
+	MsgChunkEnd // S→D: stream trailer — kind, frame count, total bytes
 )
 
 // String names the message type.
@@ -50,6 +58,7 @@ func (t MsgType) String() string {
 		MsgFreeze: "FREEZE", MsgRestoreDone: "RESTORE_DONE", MsgAbort: "ABORT",
 		MsgPostImage: "POST_IMAGE", MsgResumed: "RESUMED",
 		MsgPageReq: "PAGE_REQ", MsgPageResp: "PAGE_RESP", MsgPullsDone: "PULLS_DONE",
+		MsgChunk: "CHUNK", MsgChunkEnd: "CHUNK_END",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -68,6 +77,10 @@ type Conn struct {
 
 	// BytesSent counts framed payload bytes, for metrics.
 	BytesSent uint64
+
+	// hdr is the frame-header scratch; the transport copies what Send
+	// hands it synchronously, so one buffer per connection suffices.
+	hdr [5]byte
 }
 
 // NewConn wraps an (established or establishing) TCP socket.
@@ -82,14 +95,30 @@ func (c *Conn) Socket() *netstack.TCPSocket { return c.sk }
 
 // Send transmits one framed message: type byte + u32 length + payload.
 func (c *Conn) Send(t MsgType, payload []byte) error {
-	hdr := make([]byte, 5)
-	hdr[0] = byte(t)
-	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
-	c.BytesSent += uint64(len(payload)) + 5
-	if err := c.sk.Send(hdr); err != nil {
+	return c.Send2(t, payload, nil)
+}
+
+// Send2 transmits one framed message whose payload is the concatenation
+// head||tail, without gluing the parts into a temporary buffer. The
+// chunk sender uses it to prepend a small frame header to a slice of a
+// larger encode buffer.
+func (c *Conn) Send2(t MsgType, head, tail []byte) error {
+	n := len(head) + len(tail)
+	c.hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(c.hdr[1:], uint32(n))
+	c.BytesSent += uint64(n) + 5
+	if err := c.sk.Send(c.hdr[:]); err != nil {
 		return err
 	}
-	return c.sk.Send(payload)
+	if len(head) > 0 {
+		if err := c.sk.Send(head); err != nil {
+			return err
+		}
+	}
+	if len(tail) > 0 {
+		return c.sk.Send(tail)
+	}
+	return nil
 }
 
 func (c *Conn) onReadable() {

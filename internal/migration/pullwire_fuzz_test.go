@@ -93,6 +93,11 @@ func pullEnv(t *testing.T, prefetch simtime.Duration) (*fakeDest, *Migrator, fun
 	cfg.EnableCapture = false
 	cfg.PrefetchInterval = prefetch
 	cfg.InboundLease = 3 * 1e9
+	// The fake destination speaks the monolithic wire dialect (it
+	// switches on MsgPostImage directly); disabling chunking here both
+	// keeps this impersonator simple and keeps the legacy path under
+	// fuzz. The chunked dialect has its own battery in chunk_fuzz_test.go.
+	cfg.ChunkBytes = 0
 	m, err := NewMigrator(c.Nodes[0], cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -144,6 +144,93 @@ func decodeFreezeMsg(b []byte) (freezeMsg, error) {
 	return m, nil
 }
 
+// Chunked checkpoint stream kinds: which logical payload a MsgChunk
+// stream reassembles into.
+const (
+	chunkKindMemDelta  byte = iota + 1 // an encoded ckpt.MemDelta (precopy round)
+	chunkKindFreeze                    // an encoded freezeMsg (pre-copy final image)
+	chunkKindPostImage                 // an encoded postImage (post-copy/hybrid handover)
+)
+
+// chunkHdrBytes is the fixed prefix of a MsgChunk payload: kind (u8),
+// stream id (u32), sequence number (u32).
+const chunkHdrBytes = 9
+
+// chunkEndBytes is the exact size of a MsgChunkEnd payload: kind (u8),
+// stream id (u32), frame count (u32), total bytes (u64).
+const chunkEndBytes = 17
+
+// maxChunkStreamBytes bounds a reassembled stream; a peer claiming more
+// is malformed (real images are a few MB at most).
+const maxChunkStreamBytes = 1 << 30
+
+// chunkFrame is one decoded MsgChunk payload. Data aliases the input
+// buffer; the reassembler copies it into its stream buffer immediately.
+type chunkFrame struct {
+	Kind   byte
+	Stream uint32
+	Seq    uint32
+	Data   []byte
+}
+
+// putChunkHdr fills the frame header the sender prepends via Conn.Send2.
+func putChunkHdr(h *[chunkHdrBytes]byte, kind byte, stream, seq uint32) {
+	h[0] = kind
+	binary.BigEndian.PutUint32(h[1:5], stream)
+	binary.BigEndian.PutUint32(h[5:9], seq)
+}
+
+func (m chunkFrame) encode() []byte {
+	b := make([]byte, chunkHdrBytes+len(m.Data))
+	b[0] = m.Kind
+	binary.BigEndian.PutUint32(b[1:5], m.Stream)
+	binary.BigEndian.PutUint32(b[5:9], m.Seq)
+	copy(b[chunkHdrBytes:], m.Data)
+	return b
+}
+
+func decodeChunk(b []byte) (chunkFrame, error) {
+	if len(b) < chunkHdrBytes {
+		return chunkFrame{}, errors.New("migration: short CHUNK")
+	}
+	return chunkFrame{
+		Kind:   b[0],
+		Stream: binary.BigEndian.Uint32(b[1:5]),
+		Seq:    binary.BigEndian.Uint32(b[5:9]),
+		Data:   b[chunkHdrBytes:],
+	}, nil
+}
+
+// chunkEnd is the stream trailer. Chunks and Total let the destination
+// verify it reassembled exactly what the source sent before acting on it.
+type chunkEnd struct {
+	Kind   byte
+	Stream uint32
+	Chunks uint32
+	Total  uint64
+}
+
+func (m chunkEnd) encode() []byte {
+	b := make([]byte, chunkEndBytes)
+	b[0] = m.Kind
+	binary.BigEndian.PutUint32(b[1:5], m.Stream)
+	binary.BigEndian.PutUint32(b[5:9], m.Chunks)
+	binary.BigEndian.PutUint64(b[9:17], m.Total)
+	return b
+}
+
+func decodeChunkEnd(b []byte) (chunkEnd, error) {
+	if len(b) != chunkEndBytes {
+		return chunkEnd{}, errors.New("migration: malformed CHUNK_END")
+	}
+	return chunkEnd{
+		Kind:   b[0],
+		Stream: binary.BigEndian.Uint32(b[1:5]),
+		Chunks: binary.BigEndian.Uint32(b[5:9]),
+		Total:  binary.BigEndian.Uint64(b[9:17]),
+	}, nil
+}
+
 // restoreDone reports completion back to the source.
 type restoreDone struct {
 	ResumeAt   simtime.Time

@@ -95,6 +95,11 @@ type NIC struct {
 	// strategy race can attribute degraded-window wire pressure.
 	PullTxBytes, PullRxBytes uint64
 
+	// Checkpoint class accounting (Packet.Class == ClassCheckpoint):
+	// precopy/freeze transfer bytes on the migd connection, so eval can
+	// attribute migration wire pressure separately from the pull phase.
+	CkptTxBytes, CkptRxBytes uint64
+
 	// FR, when attached, records every packet verdict on this NIC into
 	// the flight recorder (tx, rx, drops, duplicates). Nil by default.
 	FR *flight.Recorder
@@ -140,8 +145,11 @@ func (n *NIC) Send(p *Packet) {
 	n.busyUntil = done
 	n.TxPackets++
 	n.TxBytes += uint64(p.Len())
-	if p.Class == ClassPagePull {
+	switch p.Class {
+	case ClassPagePull:
 		n.PullTxBytes += uint64(p.Len())
+	case ClassCheckpoint:
+		n.CkptTxBytes += uint64(p.Len())
 	}
 	if n.FR != nil {
 		frRecord(n.FR, now, "tx", p)
@@ -187,15 +195,20 @@ func (n *NIC) Send(p *Packet) {
 				frRecord(n.FR, now, "dup", p)
 			}
 			dup := p.Clone()
-			n.sched.At(done+n.Params.Latency+extra+act.DupDelay, "netsim.deliver-dup", func() {
-				n.seg.route(n, dup)
-			})
+			n.sched.AtCall(done+n.Params.Latency+extra+act.DupDelay, "netsim.deliver-dup", routeCall, n, dup)
 		}
 	}
 	arrive := done + n.Params.Latency + extra
-	n.sched.At(arrive, "netsim.deliver", func() {
-		n.seg.route(n, p)
-	})
+	n.sched.AtCall(arrive, "netsim.deliver", routeCall, n, p)
+}
+
+// routeCall is the closure-free delivery trampoline: the NIC and packet
+// ride in the pooled event's argument slots, so the per-packet schedule
+// in Send allocates nothing.
+func routeCall(a0, a1 any) {
+	n := a0.(*NIC)
+	p := a1.(*Packet)
+	n.seg.route(n, p)
 }
 
 func (n *NIC) deliver(p *Packet) {
@@ -211,8 +224,11 @@ func (n *NIC) deliver(p *Packet) {
 	}
 	n.RxPackets++
 	n.RxBytes += uint64(p.Len())
-	if p.Class == ClassPagePull {
+	switch p.Class {
+	case ClassPagePull:
 		n.PullRxBytes += uint64(p.Len())
+	case ClassCheckpoint:
+		n.CkptRxBytes += uint64(p.Len())
 	}
 	if n.FR != nil {
 		frRecord(n.FR, n.sched.Now(), "rx", p)

@@ -20,10 +20,7 @@ import (
 // goroutine-safe) and buffer identity never influences simulation
 // results, so determinism is unaffected.
 var payloadPool = sync.Pool{
-	New: func() any {
-		b := make([]byte, 0, payloadBufCap)
-		return &b
-	},
+	New: func() any { return new([payloadBufCap]byte) },
 }
 
 // payloadBufCap is the capacity of pooled payload buffers: one Ethernet
@@ -33,13 +30,14 @@ const payloadBufCap = 1536
 // GetPayload returns a length-n byte slice, recycled from the payload
 // pool when n fits a pooled buffer. Callers hand the buffer back via
 // PutPayload (usually through Packet.Release) when the payload's life
-// ends.
+// ends. The pool holds *[payloadBufCap]byte array pointers rather than
+// *[]byte slice headers: a pointer round-trips through the pool's `any`
+// without boxing, so neither Get nor Put allocates.
 func GetPayload(n int) []byte {
 	if n > payloadBufCap {
 		return make([]byte, n)
 	}
-	bp := payloadPool.Get().(*[]byte)
-	return (*bp)[:n]
+	return payloadPool.Get().(*[payloadBufCap]byte)[:n]
 }
 
 // PutPayload recycles a payload buffer obtained from GetPayload.
@@ -48,21 +46,43 @@ func PutPayload(b []byte) {
 	if cap(b) != payloadBufCap {
 		return
 	}
-	b = b[:0]
-	payloadPool.Put(&b)
+	payloadPool.Put((*[payloadBufCap]byte)(b[:payloadBufCap]))
 }
 
-// Release returns the packet's payload buffer to the pool and clears the
-// reference. It must only be called at points where the packet
-// provably has no other referents: drop paths in the fabric, after the
-// receiving socket copied the bytes out, or after an acknowledged
-// segment leaves the write queue. Releasing twice is harmless (the
-// second call sees a nil payload).
+// packetPool recycles Packet structs themselves: the fabric and the TCP
+// send path mint one struct per segment plus one per hop clone, which
+// dominates the event loop's allocation profile once payloads are pooled.
+// Like payloadPool it is shared across concurrently running simulations;
+// struct identity never influences results.
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// NewPacket returns a zeroed Packet drawn from the struct pool. Callers
+// that construct literal &Packet{} values remain correct (Release accepts
+// any packet), they just bypass the recycling.
+func NewPacket() *Packet {
+	p := packetPool.Get().(*Packet)
+	*p = Packet{}
+	return p
+}
+
+// Release returns the packet's payload buffer and struct to their pools.
+// It must only be called at points where the packet provably has no
+// other referents: drop paths in the fabric, after the receiving socket
+// copied the bytes out, or after an acknowledged segment leaves the
+// write queue. Releasing twice before the struct is reused is harmless
+// (the second call sees the released flag); fields must not be read
+// after Release — the struct may be serving another packet, possibly in
+// a concurrently running simulation.
 func (p *Packet) Release() {
+	if p.released {
+		return
+	}
+	p.released = true
 	if p.Payload != nil {
 		PutPayload(p.Payload)
 		p.Payload = nil
 	}
+	packetPool.Put(p)
 }
 
 // Addr is an IPv4 address.
@@ -140,6 +160,10 @@ type Packet struct {
 	// the degraded-window analysis can see exactly how much pull traffic
 	// shared the wire with the application.
 	Class byte
+
+	// released guards the struct pool against double-Release (see
+	// Release). Out-of-band; never marshalled.
+	released bool
 }
 
 // Traffic classes (Packet.Class).
@@ -149,6 +173,11 @@ const (
 	// ClassPagePull marks post-copy demand-pull and prefetch traffic on
 	// the migration control connection after the destination resumed.
 	ClassPagePull
+	// ClassCheckpoint marks checkpoint-transfer traffic on the migd
+	// control connection: precopy deltas, the freeze image and chunk
+	// streams. Post-copy restamps the connection to ClassPagePull at
+	// handover, so the two classes partition migration traffic by phase.
+	ClassCheckpoint
 )
 
 // TraceRef is a causal trace coordinate — the trace ID and the deciding
@@ -184,14 +213,16 @@ func (p *Packet) Len() int { return headerBytes + len(p.Payload) }
 // immutable once published — translation filters replace the pointer,
 // never the fields.
 func (p *Packet) Clone() *Packet {
-	q := *p
+	q := packetPool.Get().(*Packet)
+	*q = *p
+	q.released = false
 	if len(p.Payload) == 0 {
 		q.Payload = nil
 	} else {
 		q.Payload = GetPayload(len(p.Payload))
 		copy(q.Payload, p.Payload)
 	}
-	return &q
+	return q
 }
 
 // marshalHeader encodes the 52-byte canonical header into buf.

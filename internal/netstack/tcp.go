@@ -452,15 +452,21 @@ func (sk *TCPSocket) input(p *netsim.Packet) {
 		// Fast path: park on the prequeue, process in "process context"
 		// (a zero-delay event standing in for the awakened reader).
 		sk.prequeue = append(sk.prequeue, p)
-		sk.stack.sched.After(0, "tcp.prequeue", func() {
-			if sk.readerWaiting {
-				sk.StopRecvWait()
-				sk.StartRecvWait()
-			}
-		})
+		sk.stack.sched.AfterCall(0, "tcp.prequeue", prequeueCall, sk, nil)
 		return
 	}
 	sk.segArrived(p)
+}
+
+// prequeueCall drains the prequeue in "process context" (a zero-delay
+// event standing in for the awakened reader); closure-free because it
+// fires once per fast-path segment.
+func prequeueCall(a0, _ any) {
+	sk := a0.(*TCPSocket)
+	if sk.readerWaiting {
+		sk.StopRecvWait()
+		sk.StartRecvWait()
+	}
 }
 
 // segArrived runs the TCP state machine on one segment. It is the
@@ -795,16 +801,15 @@ func (sk *TCPSocket) tsNow() uint32 { return sk.stack.Jiffies() + sk.TSOffset }
 // destination cache entry onto a new segment.
 func (sk *TCPSocket) makePacket(flags byte, seq, ack uint32, payload []byte) *netsim.Packet {
 	sk.LastTxJiffies = sk.tsNow()
-	p := &netsim.Packet{
-		SrcIP: sk.LocalIP, DstIP: sk.RemoteIP, Proto: netsim.ProtoTCP, TTL: 64,
-		SrcPort: sk.LocalPort, DstPort: sk.RemotePort,
-		Seq: seq, Ack: ack, Flags: flags, Window: sk.advertisedWindow(),
-		TSVal: sk.LastTxJiffies, TSEcr: sk.TSRecent,
-		Payload: payload,
-		Dst:     sk.dst,
-		Trace:   sk.Trace,
-		Class:   sk.Class,
-	}
+	p := netsim.NewPacket()
+	p.SrcIP, p.DstIP, p.Proto, p.TTL = sk.LocalIP, sk.RemoteIP, netsim.ProtoTCP, 64
+	p.SrcPort, p.DstPort = sk.LocalPort, sk.RemotePort
+	p.Seq, p.Ack, p.Flags, p.Window = seq, ack, flags, sk.advertisedWindow()
+	p.TSVal, p.TSEcr = sk.LastTxJiffies, sk.TSRecent
+	p.Payload = payload
+	p.Dst = sk.dst
+	p.Trace = sk.Trace
+	p.Class = sk.Class
 	p.FixChecksum()
 	return p
 }
@@ -847,8 +852,12 @@ func (sk *TCPSocket) armRetransTimer() {
 		rto = MaxRTO
 	}
 	sk.rtoPending = true
-	sk.retransTimer = sk.stack.sched.After(rto, "tcp.rto", sk.onRetransTimeout)
+	sk.retransTimer = sk.stack.sched.AfterCall(rto, "tcp.rto", rtoCall, sk, nil)
 }
+
+// rtoCall is the closure-free retransmission-timeout trampoline: arming
+// the timer per ACK batch must not allocate a method-value closure.
+func rtoCall(a0, _ any) { a0.(*TCPSocket).onRetransTimeout() }
 
 // ensureRetransTimer arms the timer only when none is pending: sending
 // fresh segments must not keep pushing the timeout of the oldest

@@ -74,13 +74,13 @@ func (us *UDPSocket) SendTo(dst netsim.Addr, port uint16, payload []byte) error 
 		}
 		us.dstCacheByPeer[dst] = d
 	}
-	p := &netsim.Packet{
-		SrcIP: us.LocalIP, DstIP: dst, Proto: netsim.ProtoUDP, TTL: 64,
-		SrcPort: us.LocalPort, DstPort: port,
-		TSVal:   us.stack.Jiffies(),
-		Payload: append([]byte(nil), payload...),
-		Dst:     d,
-	}
+	p := netsim.NewPacket()
+	p.SrcIP, p.DstIP, p.Proto, p.TTL = us.LocalIP, dst, netsim.ProtoUDP, 64
+	p.SrcPort, p.DstPort = us.LocalPort, port
+	p.TSVal = us.stack.Jiffies()
+	p.Payload = netsim.GetPayload(len(payload))
+	copy(p.Payload, payload)
+	p.Dst = d
 	p.FixChecksum()
 	us.PacketsOut++
 	us.BytesOut += uint64(len(payload))
@@ -99,6 +99,10 @@ func (us *UDPSocket) input(p *netsim.Packet) {
 	})
 	us.PacketsIn++
 	us.BytesIn += uint64(len(p.Payload))
+	// The datagram stole the payload buffer; detach it so Release only
+	// recycles the struct.
+	p.Payload = nil
+	p.Release()
 	if us.OnReadable != nil {
 		us.OnReadable()
 	}

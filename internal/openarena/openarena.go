@@ -53,6 +53,19 @@ type clientKey struct {
 	port uint16
 }
 
+// fillEntityPage fills buf with deterministic, dense (never-zero)
+// pseudo-entity bytes, seeded per page so pages differ. Density is the
+// point: the checkpoint codec's zero/sparse elision must see these
+// pages as the incompressible entity state a real server carries.
+func fillEntityPage(buf []byte, seed uint64) {
+	x := seed*0x9e3779b97f4a7c15 + 0xda942042e4dd58b5
+	for j := range buf {
+		x ^= x << 13
+		x ^= x >> 7
+		buf[j] = byte(x%255) + 1
+	}
+}
+
 // Server is the game server handle.
 type Server struct {
 	Proc *proc.Process
@@ -69,8 +82,16 @@ func StartServer(n *proc.Node, cfg ServerConfig) (*Server, error) {
 	p := n.Spawn("oa_ded", 2)
 	p.CPUDemand = cfg.CPUDemand
 	v := p.AS.Mmap(cfg.MemPages*proc.PageSize, "rw-")
-	for i := uint64(0); i < cfg.MemPages; i += 16 {
-		if err := p.AS.Write(v.Start+i*proc.PageSize, []byte{0xA7, byte(i)}); err != nil {
+	// A real game server's working set is dense — entity arrays, BSP
+	// data, textures — not zeros, so seed every page with incompressible
+	// content. This matters for migration fidelity: the checkpoint
+	// pipeline elides zero and near-zero pages, and a sparse seeding
+	// would let it shrink the transfer (and the measured downtime) far
+	// below what the paper's workload produced.
+	pageBuf := make([]byte, proc.PageSize)
+	for i := uint64(0); i < cfg.MemPages; i++ {
+		fillEntityPage(pageBuf, i)
+		if err := p.AS.Write(v.Start+i*proc.PageSize, pageBuf); err != nil {
 			return nil, err
 		}
 	}
@@ -112,9 +133,14 @@ func StartServer(n *proc.Node, cfg ServerConfig) (*Server, error) {
 				clients[k] = binary.BigEndian.Uint32(dg.Payload)
 			}
 		}
-		// Entity state churn dirties part of the working set.
+		// Entity state churn rewrites part of the working set with fresh
+		// (dense) entity data: the frame stamp makes the content new,
+		// the rest of the scratch page stays dense so the checkpoint
+		// codec cannot elide it.
+		binary.BigEndian.PutUint64(pageBuf, frame|1<<56)
 		for i := uint64(0); i < cfg.DirtyPerFrame; i++ {
-			_ = self.AS.Touch(heap + ((frame*cfg.DirtyPerFrame+i)%cfg.MemPages)*proc.PageSize)
+			pg := (frame*cfg.DirtyPerFrame + i) % cfg.MemPages
+			_ = self.AS.Write(heap+pg*proc.PageSize, pageBuf)
 		}
 		// Send one snapshot per client per frame.
 		snap := make([]byte, SnapshotBytes)

@@ -62,6 +62,13 @@ func (f *UDPFile) FileKind() string { return "udp" }
 type FDTable struct {
 	files  map[int]File
 	nextFD int
+	// gen counts mutations; caches derived from the table (the sorted FD
+	// list, a process's socket slices) compare generations instead of
+	// rebuilding per call — the application tick loop asks for its sockets
+	// every period and the table almost never changes between asks.
+	gen    uint64
+	fds    []int // sorted descriptors, valid when fdsGen == gen+1
+	fdsGen uint64
 }
 
 // NewFDTable returns an empty table with descriptors from 3 (0-2 are the
@@ -75,6 +82,7 @@ func (t *FDTable) Install(f File) int {
 	fd := t.nextFD
 	t.nextFD++
 	t.files[fd] = f
+	t.gen++
 	return fd
 }
 
@@ -87,6 +95,7 @@ func (t *FDTable) InstallAt(fd int, f File) error {
 	if fd >= t.nextFD {
 		t.nextFD = fd + 1
 	}
+	t.gen++
 	return nil
 }
 
@@ -94,19 +103,32 @@ func (t *FDTable) InstallAt(fd int, f File) error {
 func (t *FDTable) Get(fd int) File { return t.files[fd] }
 
 // CloseFD removes the descriptor.
-func (t *FDTable) CloseFD(fd int) { delete(t.files, fd) }
+func (t *FDTable) CloseFD(fd int) {
+	delete(t.files, fd)
+	t.gen++
+}
 
 // Len returns the number of open descriptors.
 func (t *FDTable) Len() int { return len(t.files) }
 
+// Gen returns the table's mutation generation (see gen).
+func (t *FDTable) Gen() uint64 { return t.gen }
+
 // FDs returns descriptors in ascending order — the iteration order of the
-// migration engine's "file descriptor table iteration".
+// migration engine's "file descriptor table iteration". The slice is a
+// cached snapshot rebuilt only after a mutation; callers must not modify
+// it. A rebuild allocates fresh backing so a snapshot held across a
+// mutation stays internally consistent (merely stale).
 func (t *FDTable) FDs() []int {
+	if t.fdsGen == t.gen+1 {
+		return t.fds
+	}
 	out := make([]int, 0, len(t.files))
 	for fd := range t.files {
 		out = append(out, fd)
 	}
 	sort.Ints(out)
+	t.fds, t.fdsGen = out, t.gen+1
 	return out
 }
 
@@ -194,6 +216,13 @@ type Process struct {
 	LoopPeriod simtime.Duration
 
 	nextTID int
+
+	// Cached Sockets() result, keyed by the FD table's generation (zero
+	// sockGen means never built). Rebuilds allocate fresh slices so a
+	// caller holding the previous snapshot is unaffected.
+	sockGen uint64
+	sockTCP []*netstack.TCPSocket
+	sockUDP []*netstack.UDPSocket
 }
 
 // NewThread adds a thread to the process.
@@ -224,8 +253,13 @@ func (p *Process) Signal(sig Signal) {
 	}
 }
 
-// Sockets returns the process's TCP and UDP sockets in FD order.
+// Sockets returns the process's TCP and UDP sockets in FD order. The
+// slices are cached snapshots rebuilt only when the FD table changes;
+// callers must not modify them.
 func (p *Process) Sockets() (tcp []*netstack.TCPSocket, udp []*netstack.UDPSocket) {
+	if p.sockGen == p.FDs.Gen()+1 {
+		return p.sockTCP, p.sockUDP
+	}
 	for _, fd := range p.FDs.FDs() {
 		switch f := p.FDs.Get(fd).(type) {
 		case *TCPFile:
@@ -234,6 +268,7 @@ func (p *Process) Sockets() (tcp []*netstack.TCPSocket, udp []*netstack.UDPSocke
 			udp = append(udp, f.Sock)
 		}
 	}
+	p.sockTCP, p.sockUDP, p.sockGen = tcp, udp, p.FDs.Gen()+1
 	return tcp, udp
 }
 

@@ -52,6 +52,9 @@ type Event struct {
 	when     Time
 	seq      uint64 // tie-breaker for deterministic ordering
 	fn       func()
+	fn2      func(a0, a1 any) // closure-free form (AtCall); fn==nil then
+	arg0     any
+	arg1     any
 	canceled bool
 	state    uint8
 	index    int // heap index, -1 when not in the heap
@@ -182,6 +185,41 @@ func (s *Scheduler) After(d Duration, name string, fn func()) *Event {
 	return s.At(s.now+d, name, fn)
 }
 
+// AtCall schedules fn(a0, a1) at absolute virtual time t. Unlike At it
+// takes a plain function plus its arguments, stored inline in the pooled
+// Event, so hot paths (per-packet delivery, per-segment retransmission
+// timers) schedule without allocating a closure. Pointer-shaped arguments
+// convert to `any` without boxing, keeping the call alloc-free.
+func (s *Scheduler) AtCall(t Time, name string, fn func(a0, a1 any), a0, a1 any) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("simtime: scheduling %q at %v before now %v", name, t, s.now))
+	}
+	s.seq++
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{}
+	}
+	e.when, e.seq, e.name = t, s.seq, name
+	e.fn = nil
+	e.fn2, e.arg0, e.arg1 = fn, a0, a1
+	e.canceled = false
+	e.state = statePending
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// AfterCall schedules fn(a0, a1) to run d from now (see AtCall).
+func (s *Scheduler) AfterCall(d Duration, name string, fn func(a0, a1 any), a0, a1 any) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtCall(s.now+d, name, fn, a0, a1)
+}
+
 // Cancel removes the event from the queue immediately (O(log n)) and
 // recycles it. Canceling an already-fired, already-canceled or nil event
 // is a no-op; canceling the currently firing event only marks it canceled
@@ -205,6 +243,7 @@ func (s *Scheduler) Cancel(e *Event) {
 func (s *Scheduler) release(e *Event) {
 	e.state = stateDead
 	e.fn = nil
+	e.fn2, e.arg0, e.arg1 = nil, nil, nil
 	e.index = -1
 	if len(s.free) < maxFreeEvents {
 		s.free = append(s.free, e)
@@ -226,8 +265,13 @@ func (s *Scheduler) step() bool {
 		s.FR.Record(int64(s.now), "sched", e.name, int64(e.seq), 0, 0)
 	}
 	e.state = stateFiring
-	fn := e.fn
-	fn()
+	if e.fn != nil {
+		fn := e.fn
+		fn()
+	} else {
+		fn2, a0, a1 := e.fn2, e.arg0, e.arg1
+		fn2(a0, a1)
+	}
 	s.release(e)
 	return true
 }
@@ -311,19 +355,25 @@ func (t *Ticker) Start() {
 }
 
 func (t *Ticker) arm() {
-	t.ev = t.s.After(t.period, t.name, func() {
-		t.ev = nil // event is dead the moment it fires
-		if t.stop {
-			t.running = false
-			return
-		}
-		t.fn()
-		if !t.stop {
-			t.arm()
-		} else {
-			t.running = false
-		}
-	})
+	t.ev = t.s.AfterCall(t.period, t.name, tickerCall, t, nil)
+}
+
+// tickerCall is the closure-free tick trampoline: a ticker re-arms once
+// per period for the whole simulation, so the per-tick schedule must not
+// allocate.
+func tickerCall(a0, _ any) {
+	t := a0.(*Ticker)
+	t.ev = nil // event is dead the moment it fires
+	if t.stop {
+		t.running = false
+		return
+	}
+	t.fn()
+	if !t.stop {
+		t.arm()
+	} else {
+		t.running = false
+	}
 }
 
 // Stop disarms the ticker.

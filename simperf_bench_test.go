@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"dvemig/internal/eval"
+	"dvemig/internal/migration"
 	"dvemig/internal/simtime"
 	"dvemig/internal/sockmig"
 )
@@ -204,6 +205,31 @@ func TestWriteSimPerfReport(t *testing.T) {
 		"allocs_ratio":     engine["allocs_per_op"] / simPerfBaseline["allocs_per_op"],
 		"ns_ratio":         engine["ns_per_op"] / simPerfBaseline["ns_per_op"],
 	}
+
+	// Per-strategy engine cost (the EXPERIMENTS.md strategy-race section
+	// quotes these).
+	strat := map[string]any{
+		"note": "one full 8-connection live migration per op, per memory-movement " +
+			"strategy (BenchmarkMigrationEngineStrategy); post-copy skips the " +
+			"pre-copy round loop, hybrid pays one round plus a short pull phase",
+	}
+	for _, name := range migration.StrategyNames() {
+		mig, err := migration.StrategyByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		strat[name] = record(testing.Benchmark(func(b *testing.B) {
+			fc := eval.DefaultFreezeConfig(sockmig.IncrementalCollective, 8)
+			fc.Repeats = 1
+			fc.MigCfg.Mig = mig
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.RunFreezePoint(fc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+	report["MigrationEngineStrategy"] = strat
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
