@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dvemig/internal/eval"
+	"dvemig/internal/obs"
 	"dvemig/internal/simtime"
 	"dvemig/internal/sockmig"
 )
@@ -123,4 +124,31 @@ func TestAllocGateMigrationEngine(t *testing.T) {
 			measured, recorded, ceiling)
 	}
 	t.Logf("migration engine allocs/op = %.0f (recorded %.0f, ceiling %.0f)", measured, recorded, ceiling)
+}
+
+// TestAllocGateSamplerDisabled pins the streaming-observability plane's
+// disabled path at zero allocations: a nil *Sampler (the default when
+// no cell opts into sampling) must make every method a free no-op, so
+// the sampler's existence costs unobserved simulations nothing.
+func TestAllocGateSamplerDisabled(t *testing.T) {
+	var s *obs.Sampler
+	var ts *obs.TimeSeries
+	var e *obs.SLOEngine
+	var w obs.SampleWindow
+	per := testing.AllocsPerRun(100, func() {
+		s.Start()
+		s.Flush()
+		s.Stop()
+		s.OnSample(nil)
+		s.AttachSLO(nil)
+		_ = s.Store()
+		_ = s.Windows()
+		ts.Append(0, 0)
+		_ = ts.Len()
+		e.Observe(w)
+		_ = e.Results()
+	})
+	if per > 0 {
+		t.Fatalf("disabled sampler path allocates %.1f/run, want 0", per)
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"dvemig/internal/dve"
 	"dvemig/internal/eval"
@@ -33,6 +34,8 @@ func main() {
 	csvDir := flag.String("csv", "", "write cpu.csv / procs.csv / rate.csv time series into this directory")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON (Perfetto-loadable) of the run to this file")
 	metricsOut := flag.String("metrics-out", "", "write the run's metric snapshot (counters/gauges/histograms) to this file")
+	sample := flag.Duration("sample", time.Second, "sim-time sampling cadence for the observability time series (0 disables)")
+	seriesOut := flag.String("series-out", "", "write the sampled time series to this file (.csv for CSV, else JSON)")
 	strategy := flag.String("strategy", "precopy", "memory-movement strategy for every LB migration: precopy|postcopy|hybrid")
 	soak := flag.Bool("soak", false, "run the control-plane soak battery instead of the DVE simulation")
 	soakRequests := flag.Int("soak-requests", 200, "with -soak: migration objects per (scenario, seed) cell")
@@ -44,11 +47,11 @@ func main() {
 	}
 
 	if *soak {
-		runSoak(*soakRequests, *strategy, *traceOut, *metricsOut)
+		runSoak(*soakRequests, *strategy, *traceOut, *metricsOut, *seriesOut)
 		return
 	}
 
-	observe := *traceOut != "" || *metricsOut != ""
+	observe := *traceOut != "" || *metricsOut != "" || *seriesOut != ""
 	cfg := dve.DefaultConfig()
 	mig, err := migration.StrategyByName(*strategy)
 	if err != nil {
@@ -79,6 +82,7 @@ func main() {
 			if err != nil {
 				return nil, err
 			}
+			attachSampler(sim, *sample)
 			r := sim.Run()
 			if observe {
 				// Index writes are per-worker-disjoint and canonical
@@ -95,7 +99,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dvesim: %v\n", err)
 			os.Exit(1)
 		}
-		writeObs(*traceOut, *metricsOut, caps...)
+		writeObs(*traceOut, *metricsOut, *seriesOut, caps...)
 		if *series {
 			fmt.Printf("=== Fig 5e (CPU per node, no LB) ===\n%s\n", runs[0].CPU.Table())
 			fmt.Printf("=== Fig 5f (CPU per node, LB enabled) ===\n%s\n", runs[1].CPU.Table())
@@ -113,9 +117,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "running %ds of simulated time (%d zones, %d clients, lb=%v)...\n",
 		*duration, dve.GridW*dve.GridH, cfg.Clients, cfg.LB)
+	attachSampler(sim, *sample)
 	r := sim.Run()
 	if observe {
-		writeObs(*traceOut, *metricsOut, sim.CaptureObs(fmt.Sprintf("dve/lb=%v", cfg.LB)))
+		writeObs(*traceOut, *metricsOut, *seriesOut, sim.CaptureObs(fmt.Sprintf("dve/lb=%v", cfg.LB)))
 	}
 
 	if *series {
@@ -143,13 +148,27 @@ func main() {
 	fmt.Println(eval.DVESummary(r, cfg.LB))
 }
 
+// attachSampler arms a sim-time sampler on an observed run: every
+// period the cluster totals are harvested (idempotently) into the
+// registry and appended to ring series, which CaptureObs then folds
+// into the exported artifacts. No-op when unobserved or period ≤ 0.
+func attachSampler(sim *dve.Simulation, period time.Duration) {
+	if sim.Obs == nil || period <= 0 {
+		return
+	}
+	s := obs.NewSampler(sim.Cluster.Sched, sim.Obs.Metrics, period, 0)
+	s.Harvest = func(r *obs.Registry) { obs.HarvestCluster(r, sim.Cluster) }
+	sim.Obs.Sampler = s
+	s.Start()
+}
+
 // runSoak is the -soak mode: a reduced control-plane soak battery (the
 // full-size one lives in cmd/soak) sharing dvesim's artifact flags.
-func runSoak(requests int, strategy, tracePath, metricsPath string) {
+func runSoak(requests int, strategy, tracePath, metricsPath, seriesPath string) {
 	cfg := eval.DefaultSoakConfig()
 	cfg.Requests = requests
 	cfg.Strategy = strategy
-	cfg.Observe = tracePath != "" || metricsPath != ""
+	cfg.Observe = tracePath != "" || metricsPath != "" || seriesPath != ""
 	fmt.Fprintf(os.Stderr, "soaking %d cells × %d requests (strategy %s)...\n",
 		len(cfg.Scenarios)*len(cfg.Seeds), cfg.Requests, cfg.Strategy)
 	rep, err := eval.RunSoak(cfg)
@@ -158,7 +177,10 @@ func runSoak(requests int, strategy, tracePath, metricsPath string) {
 		os.Exit(1)
 	}
 	fmt.Print(rep.Table())
-	writeObs(tracePath, metricsPath, rep.Captures()...)
+	if t := rep.SLOTable(); t != "" {
+		fmt.Print(t)
+	}
+	writeObs(tracePath, metricsPath, seriesPath, rep.Captures()...)
 	for _, res := range rep.Results {
 		if len(res.Violations) > 0 {
 			fmt.Fprintf(os.Stderr, "dvesim: soak violations in %s/seed%d: %v\n",
@@ -168,9 +190,9 @@ func runSoak(requests int, strategy, tracePath, metricsPath string) {
 	}
 }
 
-// writeObs writes the trace and/or metrics artifacts when their flags
-// were given; either path may be empty.
-func writeObs(tracePath, metricsPath string, caps ...*obs.Capture) {
+// writeObs writes the trace, metrics and/or series artifacts when
+// their flags were given; any path may be empty.
+func writeObs(tracePath, metricsPath, seriesPath string, caps ...*obs.Capture) {
 	write := func(path, what string, fn func(string, ...*obs.Capture) error) {
 		if path == "" {
 			return
@@ -183,4 +205,5 @@ func writeObs(tracePath, metricsPath string, caps ...*obs.Capture) {
 	}
 	write(tracePath, "trace", obs.WriteChromeTraceFile)
 	write(metricsPath, "metrics", obs.WriteMetricsFile)
+	write(seriesPath, "series", obs.WriteSeriesFile)
 }

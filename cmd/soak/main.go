@@ -7,6 +7,13 @@
 // Usage:
 //
 //	soak [-requests 500] [-seeds 1,2] [-scenario lossy] [-strategy mixed] [-workers 0]
+//	     [-sample 1s] [-series-out series.json]
+//
+// With observability on, a sim-time sampler snapshots every cell's
+// metrics each -sample period into time series, runs incremental audits
+// at every boundary (violations surface in their containing window with
+// a scoped flight dump) and evaluates the soak SLOs, rendered after the
+// main table.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"dvemig/internal/eval"
 	"dvemig/internal/migration"
@@ -34,6 +42,8 @@ func main() {
 	causes := flag.Bool("causes", false, "print sampled failure cause chains per cell")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of every cell to this file")
 	metricsOut := flag.String("metrics-out", "", "write the merged metric snapshot artifacts to this file")
+	sample := flag.Duration("sample", time.Second, "sim-time sampling cadence for series, incremental audits and SLOs (0 disables)")
+	seriesOut := flag.String("series-out", "", "write every cell's sampled time series + SLO verdicts to this file (.csv for CSV, else JSON)")
 	flag.Parse()
 
 	cfg := eval.DefaultSoakConfig()
@@ -43,7 +53,12 @@ func main() {
 	cfg.CancelFraction = *cancels
 	cfg.Workers = *workers
 	cfg.FlightDepth = *flight
-	cfg.Observe = *traceOut != "" || *metricsOut != ""
+	cfg.Observe = *traceOut != "" || *metricsOut != "" || *seriesOut != ""
+	if *sample <= 0 {
+		cfg.SamplePeriod = -1 // sampling, incremental audits and SLOs off
+	} else {
+		cfg.SamplePeriod = *sample
+	}
 	if *strategy != "mixed" && *strategy != "" {
 		if _, err := migration.StrategyByName(*strategy); err != nil {
 			fmt.Fprintf(os.Stderr, "soak: %v\n", err)
@@ -87,6 +102,9 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(rep.Table())
+	if t := rep.SLOTable(); t != "" {
+		fmt.Print(t)
+	}
 
 	if *causes {
 		for _, res := range rep.Results {
@@ -95,7 +113,7 @@ func main() {
 			}
 		}
 	}
-	writeArtifacts(*traceOut, *metricsOut, rep)
+	writeArtifacts(*traceOut, *metricsOut, *seriesOut, rep)
 
 	bad := false
 	for _, res := range rep.Results {
@@ -115,8 +133,8 @@ func main() {
 	}
 }
 
-func writeArtifacts(tracePath, metricsPath string, rep *eval.SoakReport) {
-	if tracePath == "" && metricsPath == "" {
+func writeArtifacts(tracePath, metricsPath, seriesPath string, rep *eval.SoakReport) {
+	if tracePath == "" && metricsPath == "" && seriesPath == "" {
 		return
 	}
 	caps := rep.Captures()
@@ -133,5 +151,12 @@ func writeArtifacts(tracePath, metricsPath string, rep *eval.SoakReport) {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", metricsPath)
+	}
+	if seriesPath != "" {
+		if err := obs.WriteSeriesFile(seriesPath, caps...); err != nil {
+			fmt.Fprintf(os.Stderr, "soak: writing series: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", seriesPath)
 	}
 }

@@ -11,17 +11,23 @@
 // artifacts so a schema or causality regression fails the build instead
 // of silently producing files Perfetto refuses to load.
 //
-// Artifact kinds are auto-detected (leading '{' or '[' = trace JSON,
-// otherwise metrics text); force with -trace or -metrics.
+// Series JSON (-series-out files, kind "dvemig-series") must carry the
+// kind marker, a positive sample period, aligned t/v arrays with
+// strictly increasing timestamps, and monotonic counter-kind series.
+//
+// Artifact kinds are auto-detected (the "dvemig-series" kind marker =
+// series JSON, else leading '{' or '[' = trace JSON, otherwise metrics
+// text); force with -trace, -metrics or -series.
 //
 // Usage:
 //
-//	tracecheck [-connected] [-trace|-metrics] file [file ...]
+//	tracecheck [-connected] [-trace|-metrics|-series] file [file ...]
 //
 // Exit codes: 0 all files valid, 1 trace schema failure, 2 usage/IO
-// error, 3 metrics validation failure, 4 trace connectivity failure.
-// When several classes fail across the file list, the schema class
-// wins, then metrics, then connectivity.
+// error, 3 metrics validation failure, 4 trace connectivity failure,
+// 5 series validation failure. When several classes fail across the
+// file list, the schema class wins, then metrics, then connectivity,
+// then series.
 package main
 
 import (
@@ -39,28 +45,46 @@ const (
 	exitUsage     = 2
 	exitMetrics   = 3
 	exitConnected = 4
+	exitSeries    = 5
 )
 
 func main() {
 	connected := flag.Bool("connected", false, "require traces to form connected causal trees with a cross-track migration→inbound link")
 	forceTrace := flag.Bool("trace", false, "treat all inputs as Chrome trace JSON")
 	forceMetrics := flag.Bool("metrics", false, "treat all inputs as metrics text")
+	forceSeries := flag.Bool("series", false, "treat all inputs as sampled time-series JSON")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-connected] [-trace|-metrics] file [file ...]")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-connected] [-trace|-metrics|-series] file [file ...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() < 1 || (*forceTrace && *forceMetrics) || (*connected && *forceMetrics) {
+	forced := 0
+	for _, f := range []bool{*forceTrace, *forceMetrics, *forceSeries} {
+		if f {
+			forced++
+		}
+	}
+	if flag.NArg() < 1 || forced > 1 || (*connected && (*forceMetrics || *forceSeries)) {
 		flag.Usage()
 		os.Exit(exitUsage)
 	}
 
-	var schemaBad, metricsBad, connBad bool
+	var schemaBad, metricsBad, connBad, seriesBad bool
 	for _, path := range flag.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
 			os.Exit(exitUsage)
+		}
+		isSeries := *forceSeries || (forced == 0 && obs.LooksLikeSeriesJSON(data))
+		if isSeries {
+			if err := obs.ValidateSeriesJSON(data); err != nil {
+				fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+				seriesBad = true
+				continue
+			}
+			fmt.Printf("%s: series ok (%d bytes)\n", path, len(data))
+			continue
 		}
 		isTrace := *forceTrace || (!*forceMetrics && looksLikeJSON(data))
 		if !isTrace {
@@ -95,6 +119,8 @@ func main() {
 		os.Exit(exitMetrics)
 	case connBad:
 		os.Exit(exitConnected)
+	case seriesBad:
+		os.Exit(exitSeries)
 	}
 }
 

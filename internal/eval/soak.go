@@ -2,7 +2,6 @@ package eval
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
@@ -109,6 +108,36 @@ type SoakConfig struct {
 	// Horizon caps a cell's simulated runtime (default 30 sim-minutes);
 	// hitting it with non-terminal objects is an audit violation.
 	Horizon simtime.Duration
+	// SamplePeriod is the streaming-observability cadence: every period
+	// the cell's sampler snapshots the registry into time series and runs
+	// the incremental audits, so a violation surfaces in its containing
+	// window instead of at teardown. 0 selects the default (1 sim-second);
+	// negative disables sampling and incremental audits entirely.
+	SamplePeriod simtime.Duration
+	// MaxSamples bounds each time series' ring (≤0 → 512).
+	MaxSamples int
+	// SLOs are the objectives the per-cell SLO engine evaluates over the
+	// sampled windows (requires Observe). Nil selects DefaultSoakSLOs;
+	// empty disables the engine.
+	SLOs []obs.Objective
+}
+
+// soakAuditSlack pads the per-object deadline+grace budget before the
+// incremental audit calls an object stuck: a takeover blind window
+// (~TakeoverAfter) plus a few reconcile periods of re-drive latency.
+const soakAuditSlack = 5 * time.Second
+
+// DefaultSoakSLOs are the soak battery's per-cell objectives, the
+// thresholds EXPERIMENTS.md and BENCH_simperf.json track PR-over-PR:
+// p99 migration downtime under a quarter simulated second, at most 5%
+// of terminal objects aborted, and a retry budget of two per submitted
+// request.
+func DefaultSoakSLOs() []obs.Objective {
+	return []obs.Objective{
+		{Name: "downtime-p99", Hist: "mig/downtime_us", Pct: 99, Max: 250e3},
+		{Name: "abort-rate", Bad: "soak/aborted_total", Total: "soak/terminal_total", Max: 0.05},
+		{Name: "retry-budget", Bad: "soak/retries_total", Total: "soak/submitted_total", Max: 2.0},
+	}
 }
 
 // DefaultSoakConfig returns a soak tuned so aborts and retries resolve
@@ -172,6 +201,14 @@ type SoakResult struct {
 	PendingAfterDrain int
 	Obs               *obs.Capture
 	FlightDump        string
+	// Windows counts emitted sample windows; FirstViolationWindow is the
+	// index of the first window whose incremental audit found something
+	// (-1 when the run held or sampling was off) — the FlightDump is then
+	// scoped to that window via its locator header.
+	Windows              int
+	FirstViolationWindow int
+	// SLO holds the per-cell SLO engine verdicts (nil without Observe).
+	SLO []*obs.SLOResult
 }
 
 // SoakReport aggregates a sweep.
@@ -214,18 +251,57 @@ func (r *SoakReport) Violations() int {
 	return n
 }
 
+// MergedSeries sums every observed cell's time series element-wise by
+// sample index (nil when no cell sampled).
+func (r *SoakReport) MergedSeries() (*obs.SeriesStore, error) {
+	var stores []*obs.SeriesStore
+	for _, c := range r.Captures() {
+		if c.Series != nil {
+			stores = append(stores, c.Series)
+		}
+	}
+	if len(stores) == 0 {
+		return nil, nil
+	}
+	return obs.MergeSeriesStores(stores...)
+}
+
 // DowntimeP99Us returns the 99th-percentile migration downtime (µs)
-// across every completed migration in the sweep.
+// across every completed migration in the sweep (trace.Percentile
+// sorts internally).
 func (r *SoakReport) DowntimeP99Us() float64 {
 	var all []float64
 	for _, res := range r.Results {
 		all = append(all, res.DowntimesUs...)
 	}
-	if len(all) == 0 {
-		return 0
-	}
-	sort.Float64s(all)
 	return trace.Percentile(all, 99)
+}
+
+// SLOTable renders the per-cell SLO verdicts: the objective's overall
+// value against its target, single-window breach count and first
+// breach index, and the burn-rate peak per accounting window length.
+// Empty when no cell ran the SLO engine.
+func (r *SoakReport) SLOTable() string {
+	var b strings.Builder
+	rows := 0
+	for _, res := range r.Results {
+		for _, s := range res.SLO {
+			if rows == 0 {
+				fmt.Fprintf(&b, "slo: per-cell objectives over sampled windows (burnN = peak burn rate over N windows)\n")
+				fmt.Fprintf(&b, "%-14s %5s %-14s %10s %10s %-6s %7s %6s %s\n",
+					"scenario", "seed", "objective", "target", "overall", "met", "breach", "first", "burn peaks")
+			}
+			rows++
+			burns := ""
+			for _, bu := range s.Burns {
+				burns += fmt.Sprintf(" burn%d=%.2f", bu.Len, bu.Peak)
+			}
+			fmt.Fprintf(&b, "%-14s %5d %-14s %10.4g %10.4g %-6v %7d %6d%s\n",
+				res.Scenario, res.Seed, s.Name, s.Objective.Max, s.Overall,
+				s.Met, s.BreachWindows, s.FirstBreach, burns)
+		}
+	}
+	return b.String()
 }
 
 // Table renders the sweep for console output.
@@ -424,13 +500,126 @@ func runSoakCell(cfg SoakConfig, sc SoakScenario, seed uint64) (*SoakResult, err
 		sc.Arm(env)
 	}
 
-	res := &SoakResult{Scenario: sc.Name, Seed: seed}
+	res := &SoakResult{Scenario: sc.Name, Seed: seed, FirstViolationWindow: -1}
 	rng := simtime.NewRand(seed ^ 0x736f616b)
 	strategies := migration.StrategyNames()
 	submitted := 0
 	submittedIDs := make([]uint64, 0, cfg.Requests)
 	inflightName := make(map[string]uint64) // service → open object
 	idName := make(map[uint64]string)
+
+	// violate records an audit violation once: a condition that persists
+	// across sample windows (or reappears at teardown) is reported in its
+	// first containing window only, keyed by its stable message text.
+	seenViol := make(map[string]bool)
+	violate := func(msg string) bool {
+		if seenViol[msg] {
+			return false
+		}
+		seenViol[msg] = true
+		return true
+	}
+
+	// Streaming observability: a sim-time sampler snapshots the registry
+	// into ring series every period and runs the incremental audits — the
+	// mid-run half of the teardown audit suite, restricted to invariants
+	// that hold at any instant (a service may legally run on 0 nodes
+	// inside a freeze window, never on 2).
+	samplePeriod := cfg.SamplePeriod
+	if samplePeriod == 0 {
+		samplePeriod = time.Second
+	}
+	var sampler *obs.Sampler
+	var sloEng *obs.SLOEngine
+	if samplePeriod > 0 {
+		sampler = obs.NewSampler(sched, o.M(), samplePeriod, cfg.MaxSamples)
+		if o != nil {
+			o.Sampler = sampler
+			// Idempotent scrape: cluster totals plus the soak's own
+			// monotonic request-lifecycle counters, re-stored every window.
+			sampler.Harvest = func(r *obs.Registry) {
+				obs.HarvestCluster(r, cluster)
+				r.Counter("soak/submitted_total").Store(uint64(submitted))
+				r.Counter("soak/terminal_total").Store(uint64(len(done)))
+				var retries, aborted uint64
+				for _, id := range submittedIDs {
+					obj := ctl.Get(id)
+					if obj == nil {
+						obj = standby.Get(id)
+					}
+					if obj == nil {
+						continue
+					}
+					retries += uint64(obj.Status.Retries)
+					if obj.Status.State == ctlplane.Aborted {
+						aborted++
+					}
+				}
+				r.Counter("soak/retries_total").Store(retries)
+				r.Counter("soak/aborted_total").Store(aborted)
+			}
+			slos := cfg.SLOs
+			if slos == nil {
+				slos = DefaultSoakSLOs()
+			}
+			if len(slos) > 0 {
+				sloEng = obs.NewSLOEngine(slos...)
+				sampler.AttachSLO(sloEng)
+			}
+		}
+		sampler.OnSample(func(w obs.SampleWindow) {
+			res.Windows = w.Index + 1
+			var found []string
+			// Single-owner, mid-run form: >1 running is always a fork
+			// (0 is legal inside a freeze window).
+			for _, name := range names {
+				running := 0
+				for _, n := range workers {
+					for _, p := range n.Processes() {
+						if p.Name == name && p.State == proc.ProcRunning {
+							running++
+						}
+					}
+				}
+				if running > 1 {
+					found = append(found,
+						fmt.Sprintf("single-owner broken: %s running on %d nodes", name, running))
+				}
+			}
+			// Exactly-once, mid-run form: the engine can never have settled
+			// more migrations than the agents started.
+			var started uint64
+			settled := 0
+			for _, a := range agents {
+				started += a.Started
+			}
+			for _, m := range migrators {
+				settled += len(m.Completed) + len(m.Aborted)
+			}
+			if uint64(settled) > started {
+				found = append(found,
+					fmt.Sprintf("exactly-once broken: engine settled %d migrations but agents only started %d", settled, started))
+			}
+			found = append(found, ctlplane.AuditLive(ctl, standby, soakAuditSlack)...)
+			fresh := false
+			for _, f := range found {
+				if violate(f) {
+					fresh = true
+					res.Violations = append(res.Violations,
+						fmt.Sprintf("window %d [%v, %v): %s", w.Index, w.From, w.To, f))
+				}
+			}
+			if fresh && res.FirstViolationWindow < 0 {
+				res.FirstViolationWindow = w.Index
+				if fset != nil {
+					var b strings.Builder
+					fset.DumpWindow(&b, w.Index, int64(w.From), int64(w.To))
+					res.FlightDump = b.String()
+				}
+			}
+		})
+		sampler.Start()
+	}
 
 	pump := simtime.NewTicker(sched, 120*time.Millisecond, "soak.pump", func() {
 		pr := primary()
@@ -506,6 +695,7 @@ func runSoakCell(cfg SoakConfig, sc SoakScenario, seed uint64) (*SoakResult, err
 		a.Stop()
 	}
 	sched.RunFor(2 * 1e9) // let in-flight engine work settle
+	sampler.Stop()        // the drain below must not chase sampler ticks forever
 	for _, n := range workers {
 		for _, p := range n.Processes() {
 			n.StopLoop(p)
@@ -528,6 +718,9 @@ func runSoakCell(cfg SoakConfig, sc SoakScenario, seed uint64) (*SoakResult, err
 	if !auth.Primary || !auth.Node.Alive {
 		auth, other = standby, ctl
 	}
+	// Teardown audits run through the same dedup as the incremental ones:
+	// a violation already reported in its containing sample window is not
+	// re-reported here.
 	res.Requests = submitted
 	for _, id := range submittedIDs {
 		obj := auth.Get(id)
@@ -535,8 +728,9 @@ func runSoakCell(cfg SoakConfig, sc SoakScenario, seed uint64) (*SoakResult, err
 			obj = other.Get(id)
 		}
 		if obj == nil {
-			res.Violations = append(res.Violations,
-				fmt.Sprintf("object #%d (%s) lost across controllers", id, idName[id]))
+			if msg := fmt.Sprintf("object #%d (%s) lost across controllers", id, idName[id]); violate(msg) {
+				res.Violations = append(res.Violations, msg)
+			}
 			continue
 		}
 		res.Retries += obj.Status.Retries
@@ -552,9 +746,10 @@ func runSoakCell(cfg SoakConfig, sc SoakScenario, seed uint64) (*SoakResult, err
 		case ctlplane.Aborted:
 			res.Aborted++
 		default:
-			res.Violations = append(res.Violations,
-				fmt.Sprintf("object #%d (%s) not terminal: %s after %v",
-					id, idName[id], obj.Status.State, obj.Status.Cause))
+			if msg := fmt.Sprintf("object #%d (%s) not terminal: %s after %v",
+				id, idName[id], obj.Status.State, obj.Status.Cause); violate(msg) {
+				res.Violations = append(res.Violations, msg)
+			}
 		}
 	}
 
@@ -569,8 +764,9 @@ func runSoakCell(cfg SoakConfig, sc SoakScenario, seed uint64) (*SoakResult, err
 			}
 		}
 		if running != 1 {
-			res.Violations = append(res.Violations,
-				fmt.Sprintf("single-owner broken: %s running on %d nodes", name, running))
+			if msg := fmt.Sprintf("single-owner broken: %s running on %d nodes", name, running); violate(msg) {
+				res.Violations = append(res.Violations, msg)
+			}
 		}
 	}
 
@@ -591,10 +787,12 @@ func runSoakCell(cfg SoakConfig, sc SoakScenario, seed uint64) (*SoakResult, err
 		}
 	}
 	if int(res.EngineStarted) != res.EngineCompleted+res.EngineAborted {
-		res.Violations = append(res.Violations,
-			fmt.Sprintf("exactly-once broken: agents started %d migrations, engine settled %d (%d completed + %d aborted)",
-				res.EngineStarted, res.EngineCompleted+res.EngineAborted,
-				res.EngineCompleted, res.EngineAborted))
+		msg := fmt.Sprintf("exactly-once broken: agents started %d migrations, engine settled %d (%d completed + %d aborted)",
+			res.EngineStarted, res.EngineCompleted+res.EngineAborted,
+			res.EngineCompleted, res.EngineAborted)
+		if violate(msg) {
+			res.Violations = append(res.Violations, msg)
+		}
 	}
 	res.Dispatches = ctl.Dispatches + standby.Dispatches
 	res.Resends = ctl.Resends + standby.Resends
@@ -608,11 +806,20 @@ func runSoakCell(cfg SoakConfig, sc SoakScenario, seed uint64) (*SoakResult, err
 	}
 	res.TraceHash = master.h
 
+	// Close the final partial window: the teardown tail gets sampled and
+	// audited like every full window, then the capture folds the series
+	// and SLO verdicts in.
+	sampler.Flush()
+	if sloEng != nil {
+		res.SLO = sloEng.Results()
+	}
 	if o != nil {
 		obs.HarvestCluster(o.Metrics, cluster)
 		res.Obs = o.Capture(fmt.Sprintf("soak/%s/seed%d", sc.Name, seed))
 	}
-	if fset != nil && len(res.Violations) > 0 {
+	if fset != nil && len(res.Violations) > 0 && res.FlightDump == "" {
+		// Teardown-only discovery (sampling off, or a violation only
+		// expressible at quiescence): dump without a window anchor.
 		var b strings.Builder
 		fset.Dump(&b)
 		res.FlightDump = b.String()

@@ -120,6 +120,7 @@ func (r *StrategyReport) Summary() string {
 		freeze, down, degr  float64
 		bytes               uint64
 		completed, survived int
+		snaps               []*obs.Snapshot
 	}
 	aggs := make(map[key]*agg)
 	var scenarios, strategies []string
@@ -143,6 +144,9 @@ func (r *StrategyReport) Summary() string {
 		if res.Survived {
 			a.survived++
 		}
+		if res.Obs != nil && res.Obs.Snap != nil {
+			a.snaps = append(a.snaps, res.Obs.Snap)
+		}
 		if m := res.Metrics; m != nil && res.Completed {
 			a.completed++
 			a.n++
@@ -154,22 +158,32 @@ func (r *StrategyReport) Summary() string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "strategy race summary: mean over completed seeds, per scenario\n")
-	fmt.Fprintf(&b, "%-18s %-9s %9s %10s %10s %10s %12s\n",
-		"scenario", "strategy", "completed", "freeze-ms", "down-ms", "degr-ms", "page-bytes")
+	fmt.Fprintf(&b, "%-18s %-9s %9s %10s %10s %10s %10s %12s\n",
+		"scenario", "strategy", "completed", "freeze-ms", "down-ms", "p99dn-ms", "degr-ms", "page-bytes")
 	for _, sc := range scenarios {
 		for _, st := range strategies {
 			a := aggs[key{sc, st}]
 			if a == nil {
 				continue
 			}
+			// p99 downtime across the cell group's histograms, bucket-merged
+			// so the percentile covers every seed, not a mean of per-seed
+			// estimates.
+			p99 := "-"
+			if merged, err := obs.MergeSnapshots(a.snaps...); err == nil && merged != nil {
+				if h, ok := merged.Hist("mig/downtime_us"); ok && h.N > 0 {
+					v, _ := merged.HistogramPercentile("mig/downtime_us", 99)
+					p99 = fmt.Sprintf("%.2f", v/1e3)
+				}
+			}
 			if a.n == 0 {
-				fmt.Fprintf(&b, "%-18s %-9s %9d %10s %10s %10s %12s\n",
-					sc, st, a.completed, "-", "-", "-", "-")
+				fmt.Fprintf(&b, "%-18s %-9s %9d %10s %10s %10s %10s %12s\n",
+					sc, st, a.completed, "-", "-", p99, "-", "-")
 				continue
 			}
 			n := float64(a.n)
-			fmt.Fprintf(&b, "%-18s %-9s %9d %10.2f %10.2f %10.2f %12d\n",
-				sc, st, a.completed, a.freeze/n, a.down/n, a.degr/n, a.bytes/uint64(a.n))
+			fmt.Fprintf(&b, "%-18s %-9s %9d %10.2f %10.2f %10s %10.2f %12d\n",
+				sc, st, a.completed, a.freeze/n, a.down/n, p99, a.degr/n, a.bytes/uint64(a.n))
 		}
 	}
 	return b.String()

@@ -147,3 +147,16 @@ func (s *Set) Dump(w io.Writer) {
 		r.Dump(w)
 	}
 }
+
+// DumpWindow is Dump preceded by a locator header: the sample-window
+// index and sim-time range the dump was captured for. A mid-run dump
+// is then self-locating — the reader knows which slice of the run the
+// retained events belong to without any external context.
+func (s *Set) DumpWindow(w io.Writer, window int, fromNs, toNs int64) {
+	if s == nil {
+		return
+	}
+	fmt.Fprintf(w, "flight dump @ sample window %d [%.6fs, %.6fs)\n",
+		window, float64(fromNs)/1e9, float64(toNs)/1e9)
+	s.Dump(w)
+}

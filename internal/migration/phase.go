@@ -86,6 +86,7 @@ type PhaseEvent struct {
 type migObsHandles struct {
 	phaseUs    [len(phaseNames)]*obs.Histogram
 	freezeUs   *obs.Histogram
+	downtimeUs *obs.Histogram
 	roundBytes *obs.Histogram
 	completed  *obs.Counter
 	aborted    *obs.Counter
@@ -101,6 +102,10 @@ func (m *Migrator) SetObs(o *obs.Obs) {
 		m.obsm.phaseUs[ph] = r.Histogram("mig/phase_"+ph.String()+"_us", obs.DurationBucketsUs)
 	}
 	m.obsm.freezeUs = r.Histogram("mig/freeze_us", obs.DurationBucketsUs)
+	// Downtime is the strategy race's comparison axis: FreezeTime plus
+	// (for post-copy) the demand-fault stall — the quantity the soak's
+	// p99-downtime SLO bounds.
+	m.obsm.downtimeUs = r.Histogram("mig/downtime_us", obs.DurationBucketsUs)
 	m.obsm.roundBytes = r.Histogram("mig/precopy_round_bytes", obs.ByteBuckets)
 	m.obsm.completed = r.Counter("mig/completed_total")
 	m.obsm.aborted = r.Counter("mig/aborted_total")

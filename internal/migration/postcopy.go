@@ -276,6 +276,7 @@ func (ob *outbound) finishPost(pd pullsDone) {
 	ob.m.Completed = append(ob.m.Completed, ob.metrics)
 	if ob.m.Obs != nil {
 		ob.m.obsm.freezeUs.Observe(float64(ob.metrics.FreezeTime) / 1e3)
+		ob.m.obsm.downtimeUs.Observe(float64(ob.metrics.FreezeTime+ob.metrics.StallTime) / 1e3)
 		ob.pt.root.SetInt("freeze_us", int64(ob.metrics.FreezeTime)/1e3)
 		ob.pt.root.SetInt("degraded_us", int64(ob.metrics.DegradedWindow)/1e3)
 		ob.pt.root.SetInt("pages_demand", int64(ob.metrics.PagesDemand))

@@ -160,6 +160,82 @@ func CheckConnected(data []byte) error {
 	return fmt.Errorf("obs: no trace links a source migration span to a destination inbound span across tracks — the export contains no connected end-to-end migration")
 }
 
+// LooksLikeSeriesJSON reports whether data is a -series-out artifact
+// (top-level kind marker), so tracecheck can route it without a flag.
+func LooksLikeSeriesJSON(data []byte) bool {
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	return json.Unmarshal(data, &probe) == nil && probe.Kind == SeriesDocKind
+}
+
+// ValidateSeriesJSON validates a -series-out artifact: the kind marker,
+// at least one capture with a positive period, and per series — a
+// non-empty name, a known kind, parallel t_ns/v arrays within the
+// retention cap, strictly increasing timestamps, a total of at least
+// the retained length, and (for counter-backed kinds) non-decreasing
+// values, since a monotonic total sampled over time can never go down.
+func ValidateSeriesJSON(data []byte) error {
+	var doc seriesDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("obs: series file is not valid JSON: %w", err)
+	}
+	if doc.Kind != SeriesDocKind {
+		return fmt.Errorf("obs: series file kind %q, want %q", doc.Kind, SeriesDocKind)
+	}
+	if len(doc.Captures) == 0 {
+		return fmt.Errorf("obs: series file has no captures")
+	}
+	kinds := map[string]bool{
+		string(SeriesCounter): true, string(SeriesGauge): true,
+		string(SeriesHistCount): true, string(SeriesHistP99): true,
+	}
+	total := 0
+	for ci, c := range doc.Captures {
+		if c.PeriodNs <= 0 {
+			return fmt.Errorf("obs: capture[%d] %q has non-positive period_ns %d", ci, c.Label, c.PeriodNs)
+		}
+		for si, s := range c.Series {
+			where := fmt.Sprintf("capture[%d] %q series[%d] %q", ci, c.Label, si, s.Name)
+			if s.Name == "" {
+				return fmt.Errorf("obs: capture[%d] %q series[%d] has no name", ci, c.Label, si)
+			}
+			if !kinds[s.Kind] {
+				return fmt.Errorf("obs: %s has unknown kind %q", where, s.Kind)
+			}
+			if len(s.T) != len(s.V) {
+				return fmt.Errorf("obs: %s has %d timestamps but %d values", where, len(s.T), len(s.V))
+			}
+			if c.MaxSamples > 0 && len(s.T) > c.MaxSamples {
+				return fmt.Errorf("obs: %s retains %d samples, cap is %d", where, len(s.T), c.MaxSamples)
+			}
+			if s.Total < uint64(len(s.T)) {
+				return fmt.Errorf("obs: %s total %d below retained length %d", where, s.Total, len(s.T))
+			}
+			monotonic := s.Kind == string(SeriesCounter) || s.Kind == string(SeriesHistCount)
+			for i := range s.T {
+				if i > 0 && s.T[i] <= s.T[i-1] {
+					return fmt.Errorf("obs: %s timestamps not strictly increasing at index %d", where, i)
+				}
+				if monotonic {
+					if s.V[i] < 0 {
+						return fmt.Errorf("obs: %s counter value negative at index %d", where, i)
+					}
+					if i > 0 && s.V[i] < s.V[i-1] {
+						return fmt.Errorf("obs: %s counter series decreases at index %d (%g → %g)",
+							where, i, s.V[i-1], s.V[i])
+					}
+				}
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("obs: series file contains no series")
+	}
+	return nil
+}
+
 // ValidateMetricsText validates a -metrics-out artifact: section
 // structure (`=== label ===` capture markers, `# counters` / `# gauges`
 // / `# histograms` headers), line shapes per section, counter values

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"dvemig/internal/simtime"
@@ -268,6 +269,134 @@ func WriteMetricsText(w io.Writer, caps ...*Capture) error {
 		bw.WriteString(c.Snap.Text())
 	}
 	return bw.Flush()
+}
+
+// SeriesDocKind is the top-level marker of a -series-out JSON artifact;
+// tracecheck auto-detects series files by it.
+const SeriesDocKind = "dvemig-series"
+
+// seriesDoc is the -series-out JSON schema: one document per export,
+// one entry per capture, one series per sampled metric. Field order is
+// fixed by the struct, values derive from virtual time — byte-identical
+// across runs and worker counts.
+type seriesDoc struct {
+	Kind     string          `json:"kind"`
+	Captures []seriesCapture `json:"captures"`
+}
+
+type seriesCapture struct {
+	Label      string        `json:"label"`
+	PeriodNs   int64         `json:"period_ns"`
+	MaxSamples int           `json:"max_samples"`
+	Series     []seriesEntry `json:"series"`
+	SLO        []sloEntry    `json:"slo,omitempty"`
+}
+
+type seriesEntry struct {
+	Name  string    `json:"name"`
+	Kind  string    `json:"kind"`
+	Total uint64    `json:"total"`
+	T     []int64   `json:"t_ns"`
+	V     []float64 `json:"v"`
+}
+
+type sloEntry struct {
+	Name     string      `json:"name"`
+	Target   float64     `json:"target"`
+	Overall  float64     `json:"overall"`
+	Met      bool        `json:"met"`
+	Breaches int         `json:"breach_windows"`
+	First    int         `json:"first_breach"`
+	Burns    []burnEntry `json:"burns,omitempty"`
+}
+
+type burnEntry struct {
+	Len    int     `json:"len"`
+	Peak   float64 `json:"peak"`
+	PeakAt int     `json:"peak_at"`
+}
+
+func seriesDocOf(caps ...*Capture) seriesDoc {
+	doc := seriesDoc{Kind: SeriesDocKind, Captures: []seriesCapture{}}
+	for _, c := range caps {
+		if c == nil || c.Series == nil {
+			continue
+		}
+		sc := seriesCapture{
+			Label:      c.Label,
+			PeriodNs:   int64(c.SamplePeriod),
+			MaxSamples: c.Series.Max,
+			Series:     []seriesEntry{},
+		}
+		for _, name := range c.Series.Names() {
+			ts := c.Series.Series(name)
+			t, v := ts.Points()
+			e := seriesEntry{Name: name, Kind: string(ts.Kind), Total: ts.Total(),
+				T: make([]int64, len(t)), V: v}
+			for i, at := range t {
+				e.T[i] = int64(at)
+			}
+			sc.Series = append(sc.Series, e)
+		}
+		for _, r := range c.SLO {
+			se := sloEntry{Name: r.Name, Target: r.Objective.Max, Overall: r.Overall,
+				Met: r.Met, Breaches: r.BreachWindows, First: r.FirstBreach}
+			for _, b := range r.Burns {
+				se.Burns = append(se.Burns, burnEntry{Len: b.Len, Peak: b.Peak, PeakAt: b.PeakAt})
+			}
+			sc.SLO = append(sc.SLO, se)
+		}
+		doc.Captures = append(doc.Captures, sc)
+	}
+	return doc
+}
+
+// WriteSeriesJSON writes the captures' sampled time series (and SLO
+// verdicts, when present) as one JSON document — the -series-out
+// format. Captures without a sampler are skipped.
+func WriteSeriesJSON(w io.Writer, caps ...*Capture) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(seriesDocOf(caps...))
+}
+
+// WriteSeriesCSV writes the same data in long form — one row per
+// sample point: capture,series,kind,t_ns,value.
+func WriteSeriesCSV(w io.Writer, caps ...*Capture) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "capture,series,kind,t_ns,value")
+	for _, c := range caps {
+		if c == nil || c.Series == nil {
+			continue
+		}
+		for _, name := range c.Series.Names() {
+			ts := c.Series.Series(name)
+			t, v := ts.Points()
+			for i := range t {
+				fmt.Fprintf(bw, "%s,%s,%s,%d,%s\n", c.Label, name, ts.Kind,
+					int64(t[i]), strconv.FormatFloat(v[i], 'g', -1, 64))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSeriesFile writes the captures' series artifact at path: CSV
+// when the path ends in .csv, JSON otherwise — the -series-out
+// plumbing shared by the commands.
+func WriteSeriesFile(path string, caps ...*Capture) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := WriteSeriesJSON
+	if strings.HasSuffix(path, ".csv") {
+		werr = WriteSeriesCSV
+	}
+	if err := werr(f, caps...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // WriteChromeTraceFile writes the captures as one Chrome trace JSON

@@ -12,14 +12,19 @@ import (
 // steps/cancels) into a Registry at capture time. The lower layers stay
 // obs-free — no import cycle, no hot-path cost — and the registry gets a
 // complete cross-layer snapshot with stable metric names.
+//
+// Harvests use Counter.Store (absolute copy of the layer's own
+// monotonic total), never Add: harvesting is idempotent, so the
+// periodic Sampler can re-scrape the cluster at every sample boundary
+// and a final capture-time harvest never double-counts.
 
 // HarvestScheduler records the event-loop totals.
 func HarvestScheduler(r *Registry, sched *simtime.Scheduler) {
 	if r == nil || sched == nil {
 		return
 	}
-	r.Counter("simtime/events_fired_total").Add(sched.Steps())
-	r.Counter("simtime/events_canceled_total").Add(sched.Cancels())
+	r.Counter("simtime/events_fired_total").Store(sched.Steps())
+	r.Counter("simtime/events_canceled_total").Store(sched.Cancels())
 	r.Gauge("simtime/events_pending").Set(float64(sched.Pending()))
 }
 
@@ -29,14 +34,14 @@ func HarvestNIC(r *Registry, nic *netsim.NIC) {
 		return
 	}
 	p := "link/" + nic.Name + "/"
-	r.Counter(p + "tx_packets").Add(nic.TxPackets)
-	r.Counter(p + "rx_packets").Add(nic.RxPackets)
-	r.Counter(p + "tx_bytes").Add(nic.TxBytes)
-	r.Counter(p + "rx_bytes").Add(nic.RxBytes)
-	r.Counter(p + "loss_dropped").Add(nic.LossDropped)
-	r.Counter(p + "fault_dropped").Add(nic.FaultDropped)
-	r.Counter(p + "fault_duplicated").Add(nic.FaultDuplicated)
-	r.Counter(p + "fault_delayed").Add(nic.FaultDelayed)
+	r.Counter(p + "tx_packets").Store(nic.TxPackets)
+	r.Counter(p + "rx_packets").Store(nic.RxPackets)
+	r.Counter(p + "tx_bytes").Store(nic.TxBytes)
+	r.Counter(p + "rx_bytes").Store(nic.RxBytes)
+	r.Counter(p + "loss_dropped").Store(nic.LossDropped)
+	r.Counter(p + "fault_dropped").Store(nic.FaultDropped)
+	r.Counter(p + "fault_duplicated").Store(nic.FaultDuplicated)
+	r.Counter(p + "fault_delayed").Store(nic.FaultDelayed)
 }
 
 // HarvestStack records one node's stack counters under stack/<name>/…
@@ -46,19 +51,20 @@ func HarvestStack(r *Registry, st *netstack.Stack) {
 	}
 	p := "stack/" + st.Name + "/"
 	s := &st.Stats
-	r.Counter(p + "delivered").Add(s.Delivered)
-	r.Counter(p + "no_socket_drops").Add(s.NoSocketDrops)
-	r.Counter(p + "hook_drops").Add(s.HookDrops)
-	r.Counter(p + "reinjected").Add(s.Reinjected)
-	r.Counter(p + "checksum_errors").Add(s.ChecksumErrors)
-	r.Counter(p + "tcp_retransmits").Add(s.Retransmits)
-	r.Counter(p + "tcp_fast_retransmits").Add(s.FastRetransmits)
-	r.Counter(p + "tcp_rto_resets").Add(s.RTOResets)
-	r.Counter(p + "tcp_ts_fixups").Add(s.TSFixups)
+	r.Counter(p + "delivered").Store(s.Delivered)
+	r.Counter(p + "no_socket_drops").Store(s.NoSocketDrops)
+	r.Counter(p + "hook_drops").Store(s.HookDrops)
+	r.Counter(p + "reinjected").Store(s.Reinjected)
+	r.Counter(p + "checksum_errors").Store(s.ChecksumErrors)
+	r.Counter(p + "tcp_retransmits").Store(s.Retransmits)
+	r.Counter(p + "tcp_fast_retransmits").Store(s.FastRetransmits)
+	r.Counter(p + "tcp_rto_resets").Store(s.RTOResets)
+	r.Counter(p + "tcp_ts_fixups").Store(s.TSFixups)
 }
 
 // HarvestCluster walks the whole testbed: every node's NICs and stack,
-// plus the shared scheduler. Call it once, just before Capture.
+// plus the shared scheduler. Idempotent — call it before Capture, or
+// hang it on a Sampler's Harvest hook to re-scrape every window.
 func HarvestCluster(r *Registry, c *proc.Cluster) {
 	if r == nil || c == nil {
 		return

@@ -29,6 +29,17 @@ func (c *Counter) Add(d uint64) {
 	c.v += d
 }
 
+// Store overwrites the counter with an absolute value. This is the
+// scrape path: the lower layers keep their own monotonic uint64 totals,
+// and harvesting copies the total instead of adding it, so a periodic
+// sampler can re-harvest every window without double-counting.
+func (c *Counter) Store(v uint64) {
+	if c == nil {
+		return
+	}
+	c.v = v
+}
+
 // Value reads the counter (0 on nil).
 func (c *Counter) Value() uint64 {
 	if c == nil {
@@ -225,6 +236,53 @@ func (h HistPoint) Mean() float64 {
 	return h.Sum / float64(h.N)
 }
 
+// Percentile estimates the p-th percentile from the bucket counts. It
+// follows trace.Percentile's closest-ranks convention — the target rank
+// is p/100·(N−1), interpolated linearly — with the interpolation
+// happening inside the containing bucket (observations spread uniformly
+// between its lower and upper bound; the first bucket's lower bound is
+// 0). Ranks landing in the +Inf bucket clamp to the largest finite
+// bound, the standard fixed-bucket convention. Returns 0 when empty.
+func (h HistPoint) Percentile(p float64) float64 {
+	if h.N == 0 || len(h.Counts) == 0 {
+		return 0
+	}
+	rank := p / 100 * float64(h.N-1)
+	if rank < 0 {
+		rank = 0
+	}
+	if rank > float64(h.N-1) {
+		rank = float64(h.N - 1)
+	}
+	var cum float64
+	lo := 0.0
+	for i, c := range h.Counts {
+		if c == 0 {
+			if i < len(h.Bounds) {
+				lo = h.Bounds[i]
+			}
+			continue
+		}
+		if i >= len(h.Bounds) {
+			return lo // +Inf bucket: clamp to the last finite bound
+		}
+		hi := h.Bounds[i]
+		if rank < cum+float64(c) || i == len(h.Counts)-1 {
+			pos := (rank - cum) / float64(c)
+			if pos < 0 {
+				pos = 0
+			}
+			if pos > 1 {
+				pos = 1
+			}
+			return lo + pos*(hi-lo)
+		}
+		cum += float64(c)
+		lo = hi
+	}
+	return lo
+}
+
 // Snapshot is a deterministic (name-sorted) copy of a registry's state
 // at one moment.
 type Snapshot struct {
@@ -279,6 +337,17 @@ func (s *Snapshot) Hist(name string) (HistPoint, bool) {
 		}
 	}
 	return HistPoint{}, false
+}
+
+// HistogramPercentile estimates the p-th percentile of the named
+// histogram (see HistPoint.Percentile); ok is false when the snapshot
+// has no such histogram.
+func (s *Snapshot) HistogramPercentile(name string, p float64) (float64, bool) {
+	h, ok := s.Hist(name)
+	if !ok {
+		return 0, false
+	}
+	return h.Percentile(p), true
 }
 
 // Diff returns s minus prev: counter and histogram deltas (entries

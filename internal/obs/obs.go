@@ -6,11 +6,16 @@
 // snapshot/diff API).
 //
 // Everything in this package records *virtual* time. Because the
-// simulations are bit-for-bit deterministic and obs never schedules
-// events, consumes randomness or feeds back into the simulation, the
+// simulations are bit-for-bit deterministic and obs never consumes
+// randomness, sends packets or feeds back into the simulation, the
 // exported artifacts are byte-identical across runs — and, when sweeps
 // fan out over eval.RunParallel, identical at every worker count
-// (per-cell tracers merge in canonical cell order).
+// (per-cell tracers merge in canonical cell order). The one amendment
+// to the original "obs never schedules events" rule is the Sampler: it
+// arms read-only tick events at whole multiples of its period — state-
+// independent instants that cannot perturb packet timing, so the
+// determinism contract holds unchanged (trace hashes fold packet
+// events only).
 //
 // The plane is near-free when disabled: every method is nil-receiver
 // safe, so instrumented code paths pay one pointer comparison and
@@ -30,6 +35,9 @@ type Clock interface {
 type Obs struct {
 	Trace   *Tracer
 	Metrics *Registry
+	// Sampler, when attached, streams the registry into time series at a
+	// fixed sim-time cadence; Capture folds its artifacts in.
+	Sampler *Sampler
 }
 
 // New creates an enabled observability plane on the given virtual clock.
@@ -60,7 +68,15 @@ func (o *Obs) Capture(label string) *Capture {
 	if o == nil {
 		return nil
 	}
-	return &Capture{Label: label, Trace: o.Trace, Snap: o.Metrics.Snapshot()}
+	c := &Capture{Label: label, Trace: o.Trace, Snap: o.Metrics.Snapshot()}
+	if o.Sampler != nil {
+		c.Series = o.Sampler.Store()
+		c.SamplePeriod = o.Sampler.Period
+		if o.Sampler.slo != nil {
+			c.SLO = o.Sampler.slo.Results()
+		}
+	}
+	return c
 }
 
 // Capture is one run's exported observability artifact set.
@@ -68,4 +84,9 @@ type Capture struct {
 	Label string
 	Trace *Tracer
 	Snap  *Snapshot
+	// Series and SLO carry the sampler's artifacts when one was attached
+	// (nil otherwise); SamplePeriod is its cadence.
+	Series       *SeriesStore
+	SamplePeriod simtime.Duration
+	SLO          []*SLOResult
 }

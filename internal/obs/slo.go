@@ -1,0 +1,245 @@
+package obs
+
+import "fmt"
+
+// The SLO engine evaluates service-level objectives over sampled
+// windows, the migration survey's comparison axis (downtime SLOs, not
+// averages). Each objective is either a percentile bound on a histogram
+// (p99 migration downtime ≤ X µs) or a ratio bound between two counters
+// (aborts per terminal object ≤ Y). Alongside the single-window breach
+// count it keeps multi-window burn rates — the SRE pattern scaled to
+// sim cadence: a short window catches a sharp regression, a long one a
+// slow leak that never trips any single sample.
+
+// DefaultBurnWindows are the burn-rate accounting window lengths, in
+// samples.
+var DefaultBurnWindows = []int{1, 6, 24}
+
+// Objective declares one SLO. Exactly one of Hist or Bad/Total is set.
+type Objective struct {
+	Name string
+	// Percentile objective: the Pct-th percentile of histogram Hist must
+	// stay ≤ Max (Max in the histogram's sample unit).
+	Hist string
+	Pct  float64
+	// Ratio objective: counter Bad over counter Total must stay ≤ Max.
+	Bad, Total string
+	// Max is the objective's threshold.
+	Max float64
+	// Windows are the burn window lengths in samples (nil selects
+	// DefaultBurnWindows).
+	Windows []int
+}
+
+// WindowBurn is the worst burn rate observed over any window of one
+// length. Burn rate is the window's value divided by Max: 1.0 means
+// exactly on target, above 1.0 the objective is burning.
+type WindowBurn struct {
+	Len    int
+	Peak   float64
+	PeakAt int // index of the sample window where the peak window ended; -1 when no data
+}
+
+// SLOResult is one objective's verdict after a run.
+type SLOResult struct {
+	Name      string
+	Objective Objective
+	// Samples is how many windows were observed.
+	Samples int
+	// Overall is the full-run value (the cumulative percentile or ratio);
+	// Met reports Overall ≤ Max.
+	Overall float64
+	Met     bool
+	// BreachWindows counts single sample windows whose value exceeded
+	// Max; FirstBreach is the first such window's index (-1 when none).
+	BreachWindows int
+	FirstBreach   int
+	// Burns holds the per-length burn-rate peaks, in Windows order.
+	Burns []WindowBurn
+}
+
+type sloState struct {
+	obj     Objective
+	windows []int
+	// Per-window deltas, bounded by the longest burn window.
+	hists  []HistPoint  // percentile objectives
+	ratios [][2]float64 // ratio objectives: {badΔ, totalΔ}
+	maxW   int
+
+	samples     int
+	lastCum     *Snapshot
+	breaches    int
+	firstBreach int
+	burns       []WindowBurn
+}
+
+// SLOEngine evaluates a fixed set of objectives over sample windows —
+// hang it on a Sampler via AttachSLO, or drive Observe directly.
+type SLOEngine struct {
+	states []*sloState
+}
+
+// NewSLOEngine creates an engine over the given objectives.
+func NewSLOEngine(objs ...Objective) *SLOEngine {
+	e := &SLOEngine{}
+	for _, o := range objs {
+		ws := o.Windows
+		if len(ws) == 0 {
+			ws = DefaultBurnWindows
+		}
+		maxW := 0
+		burns := make([]WindowBurn, len(ws))
+		for i, w := range ws {
+			if w > maxW {
+				maxW = w
+			}
+			burns[i] = WindowBurn{Len: w, PeakAt: -1}
+		}
+		e.states = append(e.states, &sloState{
+			obj: o, windows: ws, maxW: maxW, firstBreach: -1, burns: burns,
+		})
+	}
+	return e
+}
+
+// Observe folds one sample window into every objective.
+func (e *SLOEngine) Observe(w SampleWindow) {
+	if e == nil {
+		return
+	}
+	for _, st := range e.states {
+		st.observe(w)
+	}
+}
+
+func (st *sloState) observe(w SampleWindow) {
+	st.samples++
+	st.lastCum = w.Cum
+	// Record this window's delta, evicting past the longest burn window.
+	if st.obj.Hist != "" {
+		h, _ := w.Delta.Hist(st.obj.Hist)
+		st.hists = append(st.hists, h)
+		if len(st.hists) > st.maxW {
+			st.hists = st.hists[1:]
+		}
+	} else {
+		bad, _ := w.Delta.Counter(st.obj.Bad)
+		tot, _ := w.Delta.Counter(st.obj.Total)
+		st.ratios = append(st.ratios, [2]float64{float64(bad), float64(tot)})
+		if len(st.ratios) > st.maxW {
+			st.ratios = st.ratios[1:]
+		}
+	}
+	if v, ok := st.windowValue(1); ok && v > st.obj.Max {
+		st.breaches++
+		if st.firstBreach < 0 {
+			st.firstBreach = w.Index
+		}
+	}
+	for i, bw := range st.windows {
+		v, ok := st.windowValue(bw)
+		if !ok || st.obj.Max <= 0 {
+			continue
+		}
+		if burn := v / st.obj.Max; burn > st.burns[i].Peak {
+			st.burns[i].Peak = burn
+			st.burns[i].PeakAt = w.Index
+		}
+	}
+}
+
+// windowValue evaluates the objective over the last n windows (or as
+// many as exist); ok is false when the span holds no observations.
+func (st *sloState) windowValue(n int) (float64, bool) {
+	if st.obj.Hist != "" {
+		if len(st.hists) == 0 {
+			return 0, false
+		}
+		lo := len(st.hists) - n
+		if lo < 0 {
+			lo = 0
+		}
+		merged := HistPoint{}
+		for _, h := range st.hists[lo:] {
+			if h.N == 0 {
+				continue
+			}
+			if merged.Counts == nil {
+				merged.Bounds = h.Bounds
+				merged.Counts = append([]uint64(nil), h.Counts...)
+				merged.Sum, merged.N = h.Sum, h.N
+				continue
+			}
+			for i := range h.Counts {
+				merged.Counts[i] += h.Counts[i]
+			}
+			merged.Sum += h.Sum
+			merged.N += h.N
+		}
+		if merged.N == 0 {
+			return 0, false
+		}
+		return merged.Percentile(st.obj.Pct), true
+	}
+	if len(st.ratios) == 0 {
+		return 0, false
+	}
+	lo := len(st.ratios) - n
+	if lo < 0 {
+		lo = 0
+	}
+	var bad, tot float64
+	for _, r := range st.ratios[lo:] {
+		bad += r[0]
+		tot += r[1]
+	}
+	if tot == 0 {
+		return 0, false
+	}
+	return bad / tot, true
+}
+
+// Results renders every objective's verdict, in declaration order. The
+// overall value comes from the last window's cumulative snapshot, so
+// call after the final window (Sampler.Flush) for full-run coverage.
+func (e *SLOEngine) Results() []*SLOResult {
+	if e == nil {
+		return nil
+	}
+	out := make([]*SLOResult, 0, len(e.states))
+	for _, st := range e.states {
+		r := &SLOResult{
+			Name: st.obj.Name, Objective: st.obj, Samples: st.samples,
+			BreachWindows: st.breaches, FirstBreach: st.firstBreach,
+			Burns: append([]WindowBurn(nil), st.burns...),
+		}
+		if st.lastCum != nil {
+			if st.obj.Hist != "" {
+				r.Overall, _ = st.lastCum.HistogramPercentile(st.obj.Hist, st.obj.Pct)
+			} else {
+				bad, _ := st.lastCum.Counter(st.obj.Bad)
+				tot, _ := st.lastCum.Counter(st.obj.Total)
+				if tot > 0 {
+					r.Overall = float64(bad) / float64(tot)
+				}
+			}
+		}
+		r.Met = r.Overall <= st.obj.Max
+		out = append(out, r)
+	}
+	return out
+}
+
+// String renders one verdict compactly for logs and tables.
+func (r *SLOResult) String() string {
+	verdict := "met"
+	if !r.Met {
+		verdict = "MISSED"
+	}
+	s := fmt.Sprintf("%s: %s (%.4g vs max %.4g over %d windows, %d breaches",
+		r.Name, verdict, r.Overall, r.Objective.Max, r.Samples, r.BreachWindows)
+	for _, b := range r.Burns {
+		s += fmt.Sprintf(", burn%d=%.2f", b.Len, b.Peak)
+	}
+	return s + ")"
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// histWindow builds a SampleWindow whose delta holds one histogram with
+// the given observations and whose cum holds the running union.
+type sloFeeder struct {
+	bounds []float64
+	cumReg *Registry
+	idx    int
+	prev   *Snapshot
+}
+
+func newSLOFeeder(bounds []float64) *sloFeeder {
+	return &sloFeeder{bounds: bounds, cumReg: NewRegistry(), prev: (&Snapshot{})}
+}
+
+// window observes vals into the cumulative histogram and emits the next
+// SampleWindow, mirroring what the Sampler does.
+func (f *sloFeeder) window(vals ...float64) SampleWindow {
+	h := f.cumReg.Histogram("lat", f.bounds)
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	cum := f.cumReg.Snapshot()
+	w := SampleWindow{Index: f.idx, Cum: cum, Delta: cum.Diff(f.prev)}
+	f.prev = cum
+	f.idx++
+	return w
+}
+
+func TestSLOPercentileObjective(t *testing.T) {
+	e := NewSLOEngine(Objective{
+		Name: "lat-p99", Hist: "lat", Pct: 99, Max: 50, Windows: []int{1, 2},
+	})
+	f := newSLOFeeder([]float64{10, 100, 1000})
+	e.Observe(f.window(5, 5, 5)) // window 0: p99 ≈ 6.6, well under
+	e.Observe(f.window(500))     // window 1: lone obs in (100,1000] → estimate 100 → breach
+	e.Observe(f.window(5))       // window 2: clean again
+
+	r := e.Results()[0]
+	if r.Samples != 3 {
+		t.Fatalf("Samples = %d", r.Samples)
+	}
+	if r.BreachWindows != 1 || r.FirstBreach != 1 {
+		t.Fatalf("breaches = %d first = %d, want 1 @ 1", r.BreachWindows, r.FirstBreach)
+	}
+	if len(r.Burns) != 2 || r.Burns[0].Len != 1 || r.Burns[1].Len != 2 {
+		t.Fatalf("burns = %+v", r.Burns)
+	}
+	// The 1-window peak is window 1's lone 500: estimate 100 → burn 2.0.
+	if math.Abs(r.Burns[0].Peak-2.0) > 1e-9 || r.Burns[0].PeakAt != 1 {
+		t.Fatalf("burn1 = %+v, want peak 2.0 at window 1", r.Burns[0])
+	}
+	// The 2-window merge dilutes the spike: rank p99·(4−1) stays inside
+	// the bottom bucket (≈9.9), so the long window burns cooler — the
+	// short window is the one that catches a sharp one-off regression.
+	if math.Abs(r.Burns[1].Peak-0.198) > 1e-3 {
+		t.Fatalf("burn2 = %+v, want peak ≈ 0.198", r.Burns[1])
+	}
+	// Overall: 4 of 5 observations sit in the bottom bucket, so the
+	// cumulative p99 stays under 10 and the objective is met despite
+	// the mid-run breach — exactly what BreachWindows is for.
+	if !r.Met {
+		t.Fatalf("Met = false with overall %.4g", r.Overall)
+	}
+	if !strings.Contains(r.String(), "met") {
+		t.Fatalf("String() = %q", r.String())
+	}
+}
+
+func TestSLORatioObjective(t *testing.T) {
+	e := NewSLOEngine(Objective{
+		Name: "abort-rate", Bad: "bad", Total: "tot", Max: 0.1, Windows: []int{1, 4},
+	})
+	reg := NewRegistry()
+	bad, tot := reg.Counter("bad"), reg.Counter("tot")
+	prev := &Snapshot{}
+	emit := func(i int) SampleWindow {
+		cum := reg.Snapshot()
+		w := SampleWindow{Index: i, Cum: cum, Delta: cum.Diff(prev)}
+		prev = cum
+		return w
+	}
+	tot.Add(10)
+	e.Observe(emit(0)) // 0/10
+	bad.Add(5)
+	tot.Add(5)
+	e.Observe(emit(1)) // window delta 5/5 = 1.0 → breach
+	tot.Add(85)
+	e.Observe(emit(2)) // window delta 0/85
+
+	r := e.Results()[0]
+	if r.BreachWindows != 1 || r.FirstBreach != 1 {
+		t.Fatalf("breaches = %d first = %d", r.BreachWindows, r.FirstBreach)
+	}
+	// Overall = 5/100 = 0.05 ≤ 0.1: met despite the mid-run breach.
+	if !r.Met || math.Abs(r.Overall-0.05) > 1e-9 {
+		t.Fatalf("overall = %v met = %v", r.Overall, r.Met)
+	}
+	// burn1 peak: window 1 at 1.0/0.1 = 10×.
+	if math.Abs(r.Burns[0].Peak-10) > 1e-9 || r.Burns[0].PeakAt != 1 {
+		t.Fatalf("burn1 = %+v", r.Burns[0])
+	}
+	// burn4 is the trailing-4-window maximum over the run: hottest at
+	// window 1, where the trail holds 5 bad / 15 total → (1/3)/0.1.
+	if math.Abs(r.Burns[1].Peak-10.0/3.0) > 1e-9 || r.Burns[1].PeakAt != 1 {
+		t.Fatalf("burn4 = %+v", r.Burns[1])
+	}
+}
+
+func TestSLOEmptyWindowsNoBreach(t *testing.T) {
+	e := NewSLOEngine(
+		Objective{Name: "lat", Hist: "lat", Pct: 99, Max: 1},
+		Objective{Name: "ratio", Bad: "bad", Total: "tot", Max: 0.5},
+	)
+	// Windows with no observations at all: 0/0 ratios and empty
+	// histograms must not count as breaches.
+	for i := 0; i < 5; i++ {
+		e.Observe(SampleWindow{Index: i, Cum: &Snapshot{}, Delta: &Snapshot{}})
+	}
+	for _, r := range e.Results() {
+		if r.BreachWindows != 0 || r.FirstBreach != -1 || !r.Met {
+			t.Fatalf("%s: %+v", r.Name, r)
+		}
+		for _, b := range r.Burns {
+			if b.Peak != 0 || b.PeakAt != -1 {
+				t.Fatalf("%s burn = %+v, want untouched", r.Name, b)
+			}
+		}
+	}
+}
+
+func TestSLONilEngineNoOps(t *testing.T) {
+	var e *SLOEngine
+	e.Observe(SampleWindow{})
+	if e.Results() != nil {
+		t.Fatal("nil engine Results should be nil")
+	}
+}
+
+func TestHistPointPercentile(t *testing.T) {
+	h := HistPoint{
+		Bounds: []float64{10, 100, 1000},
+		Counts: []uint64{2, 2, 0, 0}, // 2 in (0,10], 2 in (10,100]
+		N:      4,
+	}
+	// p0 = rank 0 → first bucket's start (0).
+	if v := h.Percentile(0); v != 0 {
+		t.Fatalf("p0 = %v", v)
+	}
+	// p100 = rank 3, the last observation: halfway through the second
+	// bucket's two occupants → pos (3-2)/2 = 0.5 → 10 + 0.5·90 = 55.
+	if v := h.Percentile(100); math.Abs(v-55) > 1e-9 {
+		t.Fatalf("p100 = %v, want 55", v)
+	}
+	// p50 = rank 1.5 in the first bucket: pos (1.5-0)/2 = 0.75 → 7.5.
+	if v := h.Percentile(50); math.Abs(v-7.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 7.5", v)
+	}
+	// Empty histogram → 0.
+	if v := (HistPoint{}).Percentile(99); v != 0 {
+		t.Fatalf("empty p99 = %v", v)
+	}
+	// +Inf bucket clamps to the last finite bound.
+	inf := HistPoint{Bounds: []float64{10}, Counts: []uint64{0, 3}, N: 3}
+	if v := inf.Percentile(99); v != 10 {
+		t.Fatalf("inf-bucket p99 = %v, want 10", v)
+	}
+}
+
+func TestSnapshotHistogramPercentile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("x", []float64{10, 100})
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	s := reg.Snapshot()
+	if v, ok := s.HistogramPercentile("x", 99); !ok || v <= 0 || v > 10 {
+		t.Fatalf("p99 = (%v, %v)", v, ok)
+	}
+	if _, ok := s.HistogramPercentile("absent", 99); ok {
+		t.Fatal("absent histogram must report !ok")
+	}
+}

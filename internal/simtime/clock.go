@@ -358,6 +358,23 @@ func (t *Ticker) arm() {
 	t.ev = t.s.AfterCall(t.period, t.name, tickerCall, t, nil)
 }
 
+// StartAligned arms the ticker so every tick lands on a whole multiple
+// of the period, regardless of when it is called: the first tick fires
+// at the next multiple strictly after now, and re-arming by +period
+// stays on the grid. Samplers use this so sample instants depend only
+// on the period — never on construction order — which is what keeps
+// time-series artifacts byte-identical across harness variations.
+// Starting a running ticker is a no-op.
+func (t *Ticker) StartAligned() {
+	if t.running {
+		return
+	}
+	t.stop = false
+	t.running = true
+	next := (t.s.Now()/t.period + 1) * t.period
+	t.ev = t.s.AtCall(next, t.name, tickerCall, t, nil)
+}
+
 // tickerCall is the closure-free tick trampoline: a ticker re-arms once
 // per period for the whole simulation, so the per-tick schedule must not
 // allocate.

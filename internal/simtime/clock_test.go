@@ -300,3 +300,36 @@ func TestSchedulerOrderingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTickerStartAligned pins the grid alignment StartAligned
+// guarantees: no matter when the ticker is armed, ticks land on whole
+// multiples of the period — the anchor that makes sampling instants
+// independent of construction order.
+func TestTickerStartAligned(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	tk := NewTicker(s, 100*time.Millisecond, "aligned", func() { fired = append(fired, s.Now()) })
+	s.RunUntil(150 * time.Millisecond) // arm off-grid
+	tk.StartAligned()
+	s.RunUntil(450 * time.Millisecond)
+	tk.Stop()
+	want := []Time{200 * time.Millisecond, 300 * time.Millisecond, 400 * time.Millisecond}
+	if len(fired) != len(want) {
+		t.Fatalf("ticks at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("ticks at %v, want %v", fired, want)
+		}
+	}
+	// Starting exactly on the grid still skips to the *next* multiple —
+	// a tick at the current instant would sample a half-built window.
+	fired = nil
+	s.RunUntil(500 * time.Millisecond)
+	tk.StartAligned()
+	s.RunUntil(650 * time.Millisecond)
+	tk.Stop()
+	if len(fired) != 1 || fired[0] != 600*time.Millisecond {
+		t.Fatalf("on-grid restart ticks at %v, want [600ms]", fired)
+	}
+}

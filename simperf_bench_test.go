@@ -240,3 +240,66 @@ func TestWriteSimPerfReport(t *testing.T) {
 	}
 	t.Logf("wrote BENCH_simperf.json:\n%s", data)
 }
+
+// TestWriteSimPerfSoakSLO runs the 12-cell soak battery with streaming
+// sampling on and merges the per-scenario SLO verdicts into
+// BENCH_simperf.json under the "SoakSLO" key — only that key, so the
+// engine benchmarks recorded by TestWriteSimPerfReport keep their
+// numbers (the alloc gate's ±1% comparison stays meaningful). Gated
+// behind SIMPERF_SLO=1.
+func TestWriteSimPerfSoakSLO(t *testing.T) {
+	if os.Getenv("SIMPERF_SLO") == "" {
+		t.Skip("set SIMPERF_SLO=1 to record SoakSLO into BENCH_simperf.json")
+	}
+	cfg := eval.DefaultSoakConfig()
+	cfg.Observe = true
+	rep, err := eval.RunSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := map[string]any{}
+	for _, res := range rep.Results {
+		objectives := map[string]any{}
+		for _, s := range res.SLO {
+			burns := map[string]any{}
+			for _, b := range s.Burns {
+				burns[fmt.Sprintf("burn_%d", b.Len)] = map[string]any{"peak": b.Peak, "peak_at": b.PeakAt}
+			}
+			objectives[s.Name] = map[string]any{
+				"target":         s.Objective.Max,
+				"overall":        s.Overall,
+				"met":            s.Met,
+				"windows":        s.Samples,
+				"breach_windows": s.BreachWindows,
+				"first_breach":   s.FirstBreach,
+				"burns":          burns,
+			}
+		}
+		cells[fmt.Sprintf("%s/seed%d", res.Scenario, res.Seed)] = objectives
+	}
+	slo := map[string]any{
+		"note": "per-cell SLO verdicts over sampled windows (1s sim-time cadence); " +
+			"overall is the full-run cumulative value, breach_windows counts single " +
+			"sample windows over target, burns are trailing-window peak burn rates",
+		"requests_per_cell": cfg.Requests,
+		"sample_period_ns":  int64(time.Second),
+		"cells":             cells,
+	}
+
+	// Merge: rewrite only the SoakSLO key of the existing report.
+	report := map[string]any{}
+	if data, err := os.ReadFile("BENCH_simperf.json"); err == nil {
+		if err := json.Unmarshal(data, &report); err != nil {
+			t.Fatalf("BENCH_simperf.json: %v", err)
+		}
+	}
+	report["SoakSLO"] = slo
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_simperf.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("merged SoakSLO into BENCH_simperf.json (%d cells)", len(cells))
+}
