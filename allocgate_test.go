@@ -12,6 +12,7 @@ import (
 
 	"dvemig/internal/eval"
 	"dvemig/internal/obs"
+	"dvemig/internal/simprof"
 	"dvemig/internal/simtime"
 	"dvemig/internal/sockmig"
 )
@@ -150,5 +151,34 @@ func TestAllocGateSamplerDisabled(t *testing.T) {
 	})
 	if per > 0 {
 		t.Fatalf("disabled sampler path allocates %.1f/run, want 0", per)
+	}
+}
+
+// TestAllocGateSimprofDisabled pins the self-profiling plane's disabled
+// path at zero allocations: a nil *Profiler (the default everywhere —
+// no command flag, no config field set) hands out nil collectors whose
+// every method must be a free no-op, so the scheduler's per-event
+// Begin/End hook, the parallel runner's cell brackets and the migration
+// engine's phase recording cost unprofiled runs nothing.
+func TestAllocGateSimprofDisabled(t *testing.T) {
+	var p *simprof.Profiler
+	lp := p.Loop("cell")
+	sp := p.Sweep("sweep", 4)
+	sk := p.Skew("cell")
+	if lp != nil || sp != nil || sk != nil {
+		t.Fatal("nil profiler handed out non-nil collectors")
+	}
+	per := testing.AllocsPerRun(100, func() {
+		t0 := lp.Begin()
+		lp.End(t0, "netsim.deliver", 3)
+		_ = lp.Events()
+		sp.Begin(4, 2)
+		sp.CellStart(0, 0)
+		sp.CellEnd(0)
+		sp.End()
+		sk.Record("freeze", 1000, sk.NowNs())
+	})
+	if per > 0 {
+		t.Fatalf("disabled simprof path allocates %.1f/run, want 0", per)
 	}
 }

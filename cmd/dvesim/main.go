@@ -7,6 +7,7 @@
 // Usage:
 //
 //	dvesim [-lb] [-duration 900] [-fast]
+//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-simprof-out simprof.json]
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"dvemig/internal/eval"
 	"dvemig/internal/migration"
 	"dvemig/internal/obs"
+	"dvemig/internal/simprof"
 	"dvemig/internal/simtime"
 )
 
@@ -39,6 +41,9 @@ func main() {
 	strategy := flag.String("strategy", "precopy", "memory-movement strategy for every LB migration: precopy|postcopy|hybrid")
 	soak := flag.Bool("soak", false, "run the control-plane soak battery instead of the DVE simulation")
 	soakRequests := flag.Int("soak-requests", 200, "with -soak: migration objects per (scenario, seed) cell")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file at exit")
+	simprofOut := flag.String("simprof-out", "", "self-profile the simulator's hot paths and write the simprof JSON report to this file")
 	flag.Parse()
 
 	if *showMap {
@@ -46,8 +51,21 @@ func main() {
 		return
 	}
 
+	sess, err := simprof.OpenSession(*cpuProfile, *memProfile, *simprofOut, 1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvesim: %v\n", err)
+		os.Exit(2)
+	}
+	closeSession := func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dvesim: writing profiles: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *soak {
-		runSoak(*soakRequests, *strategy, *traceOut, *metricsOut, *seriesOut)
+		runSoak(*soakRequests, *strategy, *traceOut, *metricsOut, *seriesOut, sess.Prof)
+		closeSession()
 		return
 	}
 
@@ -82,6 +100,7 @@ func main() {
 			if err != nil {
 				return nil, err
 			}
+			sim.Cluster.Sched.Prof = sess.Prof.Loop(fmt.Sprintf("dve/lb=%v", lb))
 			attachSampler(sim, *sample)
 			r := sim.Run()
 			if observe {
@@ -107,6 +126,7 @@ func main() {
 		}
 		fmt.Println(eval.DVESummary(runs[0], false))
 		fmt.Println(eval.DVESummary(runs[1], true))
+		closeSession()
 		return
 	}
 
@@ -117,6 +137,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "running %ds of simulated time (%d zones, %d clients, lb=%v)...\n",
 		*duration, dve.GridW*dve.GridH, cfg.Clients, cfg.LB)
+	sim.Cluster.Sched.Prof = sess.Prof.Loop(fmt.Sprintf("dve/lb=%v", cfg.LB))
 	attachSampler(sim, *sample)
 	r := sim.Run()
 	if observe {
@@ -146,6 +167,7 @@ func main() {
 		}
 	}
 	fmt.Println(eval.DVESummary(r, cfg.LB))
+	closeSession()
 }
 
 // attachSampler arms a sim-time sampler on an observed run: every
@@ -164,11 +186,12 @@ func attachSampler(sim *dve.Simulation, period time.Duration) {
 
 // runSoak is the -soak mode: a reduced control-plane soak battery (the
 // full-size one lives in cmd/soak) sharing dvesim's artifact flags.
-func runSoak(requests int, strategy, tracePath, metricsPath, seriesPath string) {
+func runSoak(requests int, strategy, tracePath, metricsPath, seriesPath string, prof *simprof.Profiler) {
 	cfg := eval.DefaultSoakConfig()
 	cfg.Requests = requests
 	cfg.Strategy = strategy
 	cfg.Observe = tracePath != "" || metricsPath != "" || seriesPath != ""
+	cfg.Prof = prof
 	fmt.Fprintf(os.Stderr, "soaking %d cells × %d requests (strategy %s)...\n",
 		len(cfg.Scenarios)*len(cfg.Seeds), cfg.Requests, cfg.Strategy)
 	rep, err := eval.RunSoak(cfg)

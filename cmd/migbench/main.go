@@ -10,6 +10,7 @@
 //	         [-seed N] [-phase-table] [-attr-table]
 //	         [-strategy precopy|postcopy|hybrid] [-strategy-race]
 //	         [-trace-out mig.json] [-metrics-out mig.metrics]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-simprof-out simprof.json]
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"dvemig/internal/eval"
 	"dvemig/internal/migration"
 	"dvemig/internal/obs"
+	"dvemig/internal/simprof"
 )
 
 func main() {
@@ -36,11 +38,27 @@ func main() {
 	attrTable := flag.Bool("attr-table", false, "run the sweep observed and print the per-connection freeze-time attribution (Fig 5b breakdown axis)")
 	strategy := flag.String("strategy", "precopy", "memory-movement strategy: precopy|postcopy|hybrid (orthogonal to the socket-strategy axis the tables sweep)")
 	race := flag.Bool("strategy-race", false, "run the chaos strategy race (all three strategies head to head) and print its tables instead of the Fig 5b/5c sweep")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file at exit")
+	simprofOut := flag.String("simprof-out", "", "self-profile the simulator's hot paths and write the simprof JSON report to this file")
 	flag.Parse()
+
+	sess, err := simprof.OpenSession(*cpuProfile, *memProfile, *simprofOut, 1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "migbench: %v\n", err)
+		os.Exit(2)
+	}
+	closeSession := func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "migbench: writing profiles: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *race {
 		cfg := eval.DefaultStrategySweepConfig()
 		cfg.Chaos.Workers = *parallel
+		cfg.Chaos.Prof = sess.Prof
 		r, err := eval.RunStrategySweep(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "migbench: %v\n", err)
@@ -48,6 +66,7 @@ func main() {
 		}
 		fmt.Println(r.Table())
 		fmt.Println(r.Summary())
+		closeSession()
 		return
 	}
 	mig, err := migration.StrategyByName(*strategy)
@@ -67,7 +86,7 @@ func main() {
 	}
 
 	observe := *traceOut != "" || *metricsOut != "" || *phaseTable || *attrTable
-	points, err := eval.RunFreezeSweepMig(conns, eval.SweepStrategies, *repeats, *parallel, *seed, observe, mig)
+	points, err := eval.RunFreezeSweepProf(conns, eval.SweepStrategies, *repeats, *parallel, *seed, observe, mig, sess.Prof)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "migbench: %v\n", err)
 		os.Exit(1)
@@ -116,4 +135,5 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
 		}
 	}
+	closeSession()
 }

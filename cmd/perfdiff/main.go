@@ -1,0 +1,278 @@
+// Command perfdiff compares two BENCH_simperf.json-shaped snapshots —
+// or a live `go test -bench` run against the committed file — and exits
+// nonzero when any tracked metric regressed past the threshold. It is
+// the repo's machine-checked perf trajectory: CI runs the 1-iteration
+// bench smoke, parses its output into snapshot shape and diffs it
+// against the committed baseline.
+//
+// Usage:
+//
+//	perfdiff [-threshold 0.25] [-metrics ns_per_op,...] old.json new.json
+//	perfdiff [-threshold 0.25] -bench bench.txt old.json
+//
+// Comparison walks every numeric leaf present in both snapshots at the
+// same path. Direction is inferred from the metric name: ns_per_op /
+// bytes_per_op / allocs_per_op regress upward, rate metrics ("…/s",
+// best_speedup_vs_serial) regress downward; anything else (notes,
+// verdicts, environment records) is skipped. A snapshot entry of the
+// {baseline_*, current} shape is compared through its "current" branch
+// when the other side is flat — the shape TestWriteSimPerfReport gives
+// the MigrationEngine suite.
+//
+// Exit codes: 0 no regression, 1 at least one metric regressed, 2
+// usage/IO/parse error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type comparison struct {
+	Path  string
+	Old   float64
+	New   float64
+	Ratio float64 // new/old for lower-better, old/new for higher-better
+	Worse bool
+}
+
+// metricDir reports how the named leaf regresses: +1 = lower is better
+// (regress when new > old), -1 = higher is better, 0 = not compared.
+func metricDir(key string) int {
+	switch key {
+	case "ns_per_op", "bytes_per_op", "allocs_per_op":
+		return +1
+	case "best_speedup_vs_serial":
+		return -1
+	}
+	if strings.HasSuffix(key, "/s") {
+		return -1
+	}
+	return 0
+}
+
+// compare walks old and new in parallel and scores every numeric leaf
+// whose key names a tracked metric and which exists on both sides.
+// selected filters by leaf key (nil/empty = every tracked metric).
+func compare(old, new map[string]any, threshold float64, selected map[string]bool) []comparison {
+	var out []comparison
+	var walk func(path string, o, n any)
+	walk = func(path string, o, n any) {
+		om, oIsMap := o.(map[string]any)
+		nm, nIsMap := n.(map[string]any)
+		switch {
+		case oIsMap && nIsMap:
+			// The committed MigrationEngine entry nests the live numbers
+			// under "current" next to the recorded baseline; a bench-run
+			// snapshot is flat. Descend into old's current branch when new
+			// has no matching key but old has one.
+			if cur, ok := om["current"].(map[string]any); ok {
+				if _, alsoNew := nm["current"]; !alsoNew {
+					om = cur
+				}
+			}
+			keys := make([]string, 0, len(om))
+			for k := range om {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				nv, ok := nm[k]
+				if !ok {
+					continue
+				}
+				p := k
+				if path != "" {
+					p = path + "." + k
+				}
+				walk(p, om[k], nv)
+			}
+		case !oIsMap && !nIsMap:
+			ov, oOK := o.(float64)
+			nv, nOK := n.(float64)
+			if !oOK || !nOK {
+				return
+			}
+			key := path
+			if i := strings.LastIndexByte(path, '.'); i >= 0 {
+				key = path[i+1:]
+			}
+			dir := metricDir(key)
+			if dir == 0 || (len(selected) > 0 && !selected[key]) {
+				return
+			}
+			c := comparison{Path: path, Old: ov, New: nv}
+			switch {
+			case ov == 0 && nv == 0:
+				c.Ratio = 1
+			case ov == 0 || nv == 0:
+				// A metric collapsing to (or appearing from) zero is a
+				// shape change, not a measured ratio; flag only a
+				// lower-better metric that grew from zero.
+				c.Ratio = 0
+				c.Worse = dir > 0 && nv > 0
+			case dir > 0:
+				c.Ratio = nv / ov
+				c.Worse = c.Ratio > 1+threshold
+			default:
+				c.Ratio = ov / nv
+				c.Worse = c.Ratio > 1+threshold
+			}
+			out = append(out, c)
+		}
+	}
+	walk("", any(old), any(new))
+	return out
+}
+
+// parseBench converts `go test -bench -benchmem` output into the
+// nested snapshot shape: BenchmarkName[-P] and sub-bench segments map
+// to path components ("SimCoreChaosSweep/workers-1" →
+// SimCoreChaosSweep.workers_1), units map to the snapshot keys
+// (ns/op → ns_per_op, B/op → bytes_per_op, allocs/op → allocs_per_op;
+// rate units like events/s keep their name).
+func parseBench(data []byte) map[string]any {
+	root := map[string]any{}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		// Strip the -GOMAXPROCS suffix from the last path segment.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		metrics := map[string]float64{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				metrics["ns_per_op"] = v
+			case "B/op":
+				metrics["bytes_per_op"] = v
+			case "allocs/op":
+				metrics["allocs_per_op"] = v
+			default:
+				metrics[unit] = v
+			}
+		}
+		if len(metrics) == 0 {
+			continue
+		}
+		// Descend: path segments are sub-bench names with '-' → '_' so
+		// "workers-1" lines up with the committed "workers_1" keys.
+		node := root
+		segs := strings.Split(name, "/")
+		for _, seg := range segs[:len(segs)-1] {
+			seg = strings.ReplaceAll(seg, "-", "_")
+			child, ok := node[seg].(map[string]any)
+			if !ok {
+				child = map[string]any{}
+				node[seg] = child
+			}
+			node = child
+		}
+		leafKey := strings.ReplaceAll(segs[len(segs)-1], "-", "_")
+		leaf, ok := node[leafKey].(map[string]any)
+		if !ok {
+			leaf = map[string]any{}
+			node[leafKey] = leaf
+		}
+		for k, v := range metrics {
+			leaf[k] = v
+		}
+	}
+	return root
+}
+
+func loadJSON(path string) (map[string]any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := map[string]any{}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.25, "regression threshold as a fraction (0.25 = fail beyond ±25%)")
+	benchPath := flag.String("bench", "", "parse this `go test -bench` output as the new snapshot (then only old.json is given)")
+	metricsFlag := flag.String("metrics", "", "comma-separated metric keys to compare (default: every tracked metric); e.g. allocs_per_op,bytes_per_op for noise-free 1-iteration smokes")
+	quiet := flag.Bool("q", false, "print regressions only")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: perfdiff [-threshold 0.25] [-metrics k1,k2] old.json new.json")
+		fmt.Fprintln(os.Stderr, "       perfdiff [-threshold 0.25] [-metrics k1,k2] -bench bench.txt old.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var old, new map[string]any
+	var err error
+	switch {
+	case *benchPath != "" && flag.NArg() == 1:
+		old, err = loadJSON(flag.Arg(0))
+		if err == nil {
+			var data []byte
+			if data, err = os.ReadFile(*benchPath); err == nil {
+				new = parseBench(data)
+				if len(new) == 0 {
+					err = fmt.Errorf("%s: no benchmark lines found", *benchPath)
+				}
+			}
+		}
+	case *benchPath == "" && flag.NArg() == 2:
+		if old, err = loadJSON(flag.Arg(0)); err == nil {
+			new, err = loadJSON(flag.Arg(1))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	selected := map[string]bool{}
+	for _, k := range strings.Split(*metricsFlag, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			selected[k] = true
+		}
+	}
+
+	comps := compare(old, new, *threshold, selected)
+	if len(comps) == 0 {
+		fmt.Fprintln(os.Stderr, "perfdiff: no comparable metrics found")
+		os.Exit(2)
+	}
+	regressions := 0
+	for _, c := range comps {
+		if c.Worse {
+			regressions++
+			fmt.Printf("REGRESSION %-52s old=%-14.6g new=%-14.6g ratio=%.3f (threshold %.2f)\n",
+				c.Path, c.Old, c.New, c.Ratio, 1+*threshold)
+		} else if !*quiet {
+			fmt.Printf("ok         %-52s old=%-14.6g new=%-14.6g ratio=%.3f\n",
+				c.Path, c.Old, c.New, c.Ratio)
+		}
+	}
+	fmt.Printf("perfdiff: %d metrics compared, %d regressions (threshold ±%.0f%%)\n",
+		len(comps), regressions, *threshold*100)
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}

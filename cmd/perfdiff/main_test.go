@@ -1,0 +1,140 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func findComp(t *testing.T, comps []comparison, path string) comparison {
+	t.Helper()
+	for _, c := range comps {
+		if c.Path == path {
+			return c
+		}
+	}
+	t.Fatalf("no comparison for %q in %+v", path, comps)
+	return comparison{}
+}
+
+// TestCompareFlagsInjectedRegression is the acceptance check: an
+// injected ≥25% ns/op regression must be flagged at the 0.25 threshold.
+func TestCompareFlagsInjectedRegression(t *testing.T) {
+	old := map[string]any{
+		"SimCoreEventLoop": map[string]any{
+			"ns_per_op": 100.0, "allocs_per_op": 1.0, "events/s": 1e7,
+		},
+		"note": "env record, not a metric",
+	}
+	new := map[string]any{
+		"SimCoreEventLoop": map[string]any{
+			"ns_per_op": 130.0, "allocs_per_op": 1.0, "events/s": 1e7,
+		},
+		"note": "env record, not a metric",
+	}
+	comps := compare(old, new, 0.25, nil)
+	c := findComp(t, comps, "SimCoreEventLoop.ns_per_op")
+	if !c.Worse {
+		t.Errorf("30%% ns_per_op regression not flagged: %+v", c)
+	}
+	if c := findComp(t, comps, "SimCoreEventLoop.allocs_per_op"); c.Worse {
+		t.Errorf("unchanged allocs_per_op flagged: %+v", c)
+	}
+	// Exactly at the threshold is not a regression; just past it is.
+	new["SimCoreEventLoop"].(map[string]any)["ns_per_op"] = 125.0
+	if c := findComp(t, compare(old, new, 0.25, nil), "SimCoreEventLoop.ns_per_op"); c.Worse {
+		t.Errorf("exactly-at-threshold flagged: %+v", c)
+	}
+}
+
+// Rate metrics regress downward: a throughput drop past the threshold
+// must be flagged, a gain must not.
+func TestCompareRateDirection(t *testing.T) {
+	old := map[string]any{"SimCoreEventLoop": map[string]any{"events/s": 1e7}}
+	new := map[string]any{"SimCoreEventLoop": map[string]any{"events/s": 7e6}}
+	if c := findComp(t, compare(old, new, 0.25, nil), "SimCoreEventLoop.events/s"); !c.Worse {
+		t.Errorf("30%% throughput drop not flagged: %+v", c)
+	}
+	new["SimCoreEventLoop"].(map[string]any)["events/s"] = 2e7
+	if c := findComp(t, compare(old, new, 0.25, nil), "SimCoreEventLoop.events/s"); c.Worse {
+		t.Errorf("throughput gain flagged as regression: %+v", c)
+	}
+}
+
+// The committed MigrationEngine entry nests live numbers under
+// "current"; a bench-parsed snapshot is flat and must be compared
+// through that branch.
+func TestCompareDescendsIntoCurrent(t *testing.T) {
+	old := map[string]any{
+		"MigrationEngine": map[string]any{
+			"baseline_db8741a": map[string]any{"ns_per_op": 5e7},
+			"current":          map[string]any{"ns_per_op": 1e7},
+		},
+	}
+	new := map[string]any{
+		"MigrationEngine": map[string]any{"ns_per_op": 2e7},
+	}
+	c := findComp(t, compare(old, new, 0.25, nil), "MigrationEngine.ns_per_op")
+	if c.Old != 1e7 {
+		t.Errorf("compared against %.0f, want the current branch 1e7", c.Old)
+	}
+	if !c.Worse {
+		t.Errorf("2x regression vs current not flagged: %+v", c)
+	}
+}
+
+// The -metrics selector restricts comparison to the named leaf keys.
+func TestCompareMetricSelector(t *testing.T) {
+	old := map[string]any{"B": map[string]any{"ns_per_op": 100.0, "allocs_per_op": 10.0}}
+	new := map[string]any{"B": map[string]any{"ns_per_op": 900.0, "allocs_per_op": 10.0}}
+	comps := compare(old, new, 0.25, map[string]bool{"allocs_per_op": true})
+	for _, c := range comps {
+		if strings.HasSuffix(c.Path, "ns_per_op") {
+			t.Errorf("ns_per_op compared despite selector: %+v", c)
+		}
+	}
+	findComp(t, comps, "B.allocs_per_op")
+}
+
+func TestParseBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: dvemig
+BenchmarkSimCoreEventLoop-1      	 8259148	       138.3 ns/op	   7229926 events/s	      32 B/op	       1 allocs/op
+BenchmarkSimCoreChaosSweep/workers-1-1 	       1	905260195 ns/op	  8.837 sims/s	187456616 B/op	 1789811 allocs/op
+BenchmarkMigrationEngine-1       	       5	  10941873 ns/op	  11052950 B/op	     37408 allocs/op
+PASS
+`
+	snap := parseBench([]byte(out))
+	el, ok := snap["SimCoreEventLoop"].(map[string]any)
+	if !ok {
+		t.Fatalf("SimCoreEventLoop missing: %+v", snap)
+	}
+	if got := el["ns_per_op"].(float64); got != 138.3 {
+		t.Errorf("ns_per_op = %v, want 138.3", got)
+	}
+	if got := el["events/s"].(float64); got != 7229926 {
+		t.Errorf("events/s = %v, want 7229926", got)
+	}
+	sweep, ok := snap["SimCoreChaosSweep"].(map[string]any)
+	if !ok {
+		t.Fatalf("SimCoreChaosSweep missing: %+v", snap)
+	}
+	w1, ok := sweep["workers_1"].(map[string]any)
+	if !ok {
+		t.Fatalf("workers_1 missing (sub-bench '-' not mapped to '_'): %+v", sweep)
+	}
+	if got := w1["allocs_per_op"].(float64); got != 1789811 {
+		t.Errorf("workers_1 allocs_per_op = %v", got)
+	}
+	// End-to-end: the parsed snapshot compares against a committed-shaped
+	// old file, descending into MigrationEngine.current.
+	old := map[string]any{
+		"MigrationEngine": map[string]any{
+			"current": map[string]any{"allocs_per_op": 37408.0},
+		},
+	}
+	c := findComp(t, compare(old, snap, 0.25, nil), "MigrationEngine.allocs_per_op")
+	if c.Worse {
+		t.Errorf("identical allocs_per_op flagged: %+v", c)
+	}
+}

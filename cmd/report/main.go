@@ -6,6 +6,7 @@
 //
 //	report [-full]           # -full uses the paper-scale parameters (slower)
 //	report [-phase-table]    # adds the observed per-phase latency breakdown
+//	report [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-simprof-out simprof.json]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"dvemig/internal/eval"
 	"dvemig/internal/obs"
 	"dvemig/internal/openarena"
+	"dvemig/internal/simprof"
 	"dvemig/internal/stream"
 )
 
@@ -26,11 +28,19 @@ func main() {
 	phaseTable := flag.Bool("phase-table", false, "run the Fig 5b/5c sweep observed and print the per-phase latency breakdown")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace of the observed Fig 5b/5c sweep to this file (implies observing the sweep)")
 	metricsOut := flag.String("metrics-out", "", "write the observed sweep's merged metric snapshots to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file at exit")
+	simprofOut := flag.String("simprof-out", "", "self-profile the simulator's hot paths and write the simprof JSON report to this file")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "report: %v\n", err)
 		os.Exit(1)
+	}
+
+	sess, err := simprof.OpenSession(*cpuProfile, *memProfile, *simprofOut, 1)
+	if err != nil {
+		fail(err)
 	}
 
 	fmt.Println("=== dvemig evaluation report (all quantities simulated) ===")
@@ -54,11 +64,7 @@ func main() {
 		repeats = 3
 	}
 	observe := *phaseTable || *traceOut != "" || *metricsOut != ""
-	sweep := eval.RunFreezeSweep
-	if observe {
-		sweep = eval.RunFreezeSweepObserved
-	}
-	points, err := sweep(conns, eval.SweepStrategies, repeats, *parallel)
+	points, err := eval.RunFreezeSweepProf(conns, eval.SweepStrategies, repeats, *parallel, 0, observe, nil, sess.Prof)
 	if err != nil {
 		fail(err)
 	}
@@ -122,6 +128,9 @@ func main() {
 		bc.Mode, bc.Lost, nat.Mode, nat.Lost)
 	fmt.Printf("  client outage: OS-level %.2f client-seconds vs app-layer baseline %.2f\n",
 		on.OutageClientSeconds, mustAppLayer(dcfg).OutageClientSeconds)
+	if err := sess.Close(); err != nil {
+		fail(err)
+	}
 }
 
 func runDVE(cfg dve.Config, lb bool) (*dve.Results, error) {

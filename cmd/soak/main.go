@@ -8,6 +8,7 @@
 //
 //	soak [-requests 500] [-seeds 1,2] [-scenario lossy] [-strategy mixed] [-workers 0]
 //	     [-sample 1s] [-series-out series.json]
+//	     [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-simprof-out simprof.json]
 //
 // With observability on, a sim-time sampler snapshots every cell's
 // metrics each -sample period into time series, runs incremental audits
@@ -27,6 +28,7 @@ import (
 	"dvemig/internal/eval"
 	"dvemig/internal/migration"
 	"dvemig/internal/obs"
+	"dvemig/internal/simprof"
 )
 
 func main() {
@@ -44,7 +46,16 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the merged metric snapshot artifacts to this file")
 	sample := flag.Duration("sample", time.Second, "sim-time sampling cadence for series, incremental audits and SLOs (0 disables)")
 	seriesOut := flag.String("series-out", "", "write every cell's sampled time series + SLO verdicts to this file (.csv for CSV, else JSON)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file at exit")
+	simprofOut := flag.String("simprof-out", "", "self-profile the simulator's hot paths and write the simprof JSON report to this file")
 	flag.Parse()
+
+	sess, err := simprof.OpenSession(*cpuProfile, *memProfile, *simprofOut, 1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := eval.DefaultSoakConfig()
 	cfg.Requests = *requests
@@ -53,6 +64,7 @@ func main() {
 	cfg.CancelFraction = *cancels
 	cfg.Workers = *workers
 	cfg.FlightDepth = *flight
+	cfg.Prof = sess.Prof
 	cfg.Observe = *traceOut != "" || *metricsOut != "" || *seriesOut != ""
 	if *sample <= 0 {
 		cfg.SamplePeriod = -1 // sampling, incremental audits and SLOs off
@@ -114,6 +126,10 @@ func main() {
 		}
 	}
 	writeArtifacts(*traceOut, *metricsOut, *seriesOut, rep)
+	if err := sess.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "soak: writing profiles: %v\n", err)
+		os.Exit(1)
+	}
 
 	bad := false
 	for _, res := range rep.Results {

@@ -14,10 +14,15 @@
 // Series JSON (-series-out files, kind "dvemig-series") must carry the
 // kind marker, a positive sample period, aligned t/v arrays with
 // strictly increasing timestamps, and monotonic counter-kind series.
+// Series CSV (-series-out files ending .csv) must carry the
+// "capture,series,kind,t_ns,value" header and obey the same per-series
+// invariants: known kinds, strictly increasing timestamps, monotonic
+// non-negative counter values.
 //
 // Artifact kinds are auto-detected (the "dvemig-series" kind marker =
-// series JSON, else leading '{' or '[' = trace JSON, otherwise metrics
-// text); force with -trace, -metrics or -series.
+// series JSON, the series CSV header line = series CSV, else leading
+// '{' or '[' = trace JSON, otherwise metrics text); force with -trace,
+// -metrics or -series (which accepts either series form).
 //
 // Usage:
 //
@@ -52,7 +57,7 @@ func main() {
 	connected := flag.Bool("connected", false, "require traces to form connected causal trees with a cross-track migration→inbound link")
 	forceTrace := flag.Bool("trace", false, "treat all inputs as Chrome trace JSON")
 	forceMetrics := flag.Bool("metrics", false, "treat all inputs as metrics text")
-	forceSeries := flag.Bool("series", false, "treat all inputs as sampled time-series JSON")
+	forceSeries := flag.Bool("series", false, "treat all inputs as sampled time-series artifacts (JSON or CSV)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: tracecheck [-connected] [-trace|-metrics|-series] file [file ...]")
 		flag.PrintDefaults()
@@ -76,14 +81,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
 			os.Exit(exitUsage)
 		}
-		isSeries := *forceSeries || (forced == 0 && obs.LooksLikeSeriesJSON(data))
+		isCSV := obs.LooksLikeSeriesCSV(data)
+		isSeries := *forceSeries || (forced == 0 && (isCSV || obs.LooksLikeSeriesJSON(data)))
 		if isSeries {
-			if err := obs.ValidateSeriesJSON(data); err != nil {
+			validate, form := obs.ValidateSeriesJSON, "series"
+			if isCSV {
+				validate, form = obs.ValidateSeriesCSV, "series csv"
+			}
+			if err := validate(data); err != nil {
 				fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
 				seriesBad = true
 				continue
 			}
-			fmt.Printf("%s: series ok (%d bytes)\n", path, len(data))
+			fmt.Printf("%s: %s ok (%d bytes)\n", path, form, len(data))
 			continue
 		}
 		isTrace := *forceTrace || (!*forceMetrics && looksLikeJSON(data))

@@ -12,6 +12,7 @@ import (
 	"dvemig/internal/netstack"
 	"dvemig/internal/obs"
 	"dvemig/internal/proc"
+	"dvemig/internal/simprof"
 	"dvemig/internal/simtime"
 )
 
@@ -64,6 +65,11 @@ type ChaosConfig struct {
 	// when a cell's invariant audit fails, captures the retained window
 	// into ChaosResult.FlightDump for post-mortem.
 	FlightDepth int
+	// Prof, when non-nil, attaches the wall-clock self-profiling plane:
+	// per-cell event-loop attribution, per-phase migration skew, and the
+	// sweep's worker-occupancy record. It only reads the host clock —
+	// every sim artifact stays byte-identical with or without it.
+	Prof *simprof.Profiler
 }
 
 // DefaultChaosConfig covers the ISSUE's scenario list: loss burst,
@@ -264,7 +270,7 @@ func RunChaosSweep(cfg ChaosConfig) (*ChaosReport, error) {
 			cells = append(cells, cell{sc: sc, seed: seed})
 		}
 	}
-	results, err := RunParallel(cells, cfg.Workers, func(c cell) (*ChaosResult, error) {
+	results, err := RunParallelProf(cells, cfg.Workers, cfg.Prof.Sweep("chaos-sweep", cfg.Workers), func(c cell) (*ChaosResult, error) {
 		res, err := RunChaosScenario(cfg, c.sc, c.seed)
 		if err != nil {
 			return nil, fmt.Errorf("chaos %s seed %d: %w", c.sc.Name, c.seed, err)
@@ -326,6 +332,13 @@ func RunChaosScenario(cfg ChaosConfig, sc ChaosScenario, seed uint64) (*ChaosRes
 		o = obs.New(sched)
 		srcMig.SetObs(o)
 		dstMig.SetObs(o)
+	}
+	if cfg.Prof != nil {
+		label := fmt.Sprintf("chaos/%s/seed%d", sc.Name, seed)
+		sched.Prof = cfg.Prof.Loop(label)
+		skew := cfg.Prof.Skew(label)
+		srcMig.Prof = skew
+		dstMig.Prof = skew
 	}
 	var fset *flight.Set
 	if cfg.FlightDepth > 0 {

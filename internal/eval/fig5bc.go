@@ -13,6 +13,7 @@ import (
 	"dvemig/internal/netstack"
 	"dvemig/internal/obs"
 	"dvemig/internal/proc"
+	"dvemig/internal/simprof"
 	"dvemig/internal/simtime"
 	"dvemig/internal/sockmig"
 )
@@ -56,6 +57,11 @@ type FreezeConfig struct {
 	// two seeds produce different ones — the contract obsdiff and the CI
 	// determinism job lean on. Zero is the historical default alignment.
 	Seed uint64
+	// Prof, when non-nil, attaches the wall-clock self-profiling plane
+	// to every repeat (event-loop attribution + migration phase skew).
+	// Read-only with respect to the simulation: measured freeze times
+	// and artifacts are identical with or without it.
+	Prof *simprof.Profiler
 }
 
 // DefaultFreezeConfig mirrors the paper's zone-server setup.
@@ -182,6 +188,14 @@ func RunFreezeSweepSeeded(conns []int, strategies []sockmig.Strategy, repeats, w
 // orthogonal axis the strategy race compares. nil keeps the default
 // (pre-copy), making this a strict generalization of the seeded sweep.
 func RunFreezeSweepMig(conns []int, strategies []sockmig.Strategy, repeats, workers int, seed uint64, observe bool, mig migration.Strategy) ([]*FreezePoint, error) {
+	return RunFreezeSweepProf(conns, strategies, repeats, workers, seed, observe, mig, nil)
+}
+
+// RunFreezeSweepProf is the fully instrumented sweep: prof additionally
+// attaches the wall-clock self-profiling plane to every cell and
+// records the sweep's worker occupancy. The measured figures are
+// identical with a nil prof — the plane never touches virtual time.
+func RunFreezeSweepProf(conns []int, strategies []sockmig.Strategy, repeats, workers int, seed uint64, observe bool, mig migration.Strategy, prof *simprof.Profiler) ([]*FreezePoint, error) {
 	cells := make([]FreezeConfig, 0, len(conns)*len(strategies))
 	for _, n := range conns {
 		for _, s := range strategies {
@@ -191,10 +205,11 @@ func RunFreezeSweepMig(conns []int, strategies []sockmig.Strategy, repeats, work
 			fc.Observe = observe
 			fc.Seed = seed
 			fc.MigCfg.Mig = mig
+			fc.Prof = prof
 			cells = append(cells, fc)
 		}
 	}
-	return RunParallel(cells, workers, RunFreezePoint)
+	return RunParallelProf(cells, workers, prof.Sweep("freeze-sweep", workers), RunFreezePoint)
 }
 
 func runFreezeOnce(fc FreezeConfig, rep int) (*migration.Metrics, uint64, simtime.Duration, *obs.Capture, error) {
@@ -217,6 +232,12 @@ func runFreezeOnce(fc FreezeConfig, rep int) (*migration.Metrics, uint64, simtim
 			}
 		}
 	}
+	var skew *simprof.SkewProf
+	if fc.Prof != nil {
+		label := fmt.Sprintf("freeze-c%d-%s-rep%d", fc.Conns, fc.Strategy, rep)
+		sched.Prof = fc.Prof.Loop(label)
+		skew = fc.Prof.Skew(label)
+	}
 	var migs []*migration.Migrator
 	for _, n := range cluster.Nodes[:2] {
 		m, err := migration.NewMigrator(n, fc.MigCfg)
@@ -227,6 +248,7 @@ func runFreezeOnce(fc FreezeConfig, rep int) (*migration.Metrics, uint64, simtim
 			m.SetObs(o)
 			m.OnPhase = onPhase
 		}
+		m.Prof = skew
 		migs = append(migs, m)
 	}
 	dbNode := cluster.Nodes[2]

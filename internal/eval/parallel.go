@@ -17,6 +17,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"dvemig/internal/simprof"
 )
 
 // RunParallel runs fn over every cell on up to workers goroutines and
@@ -37,6 +39,17 @@ import (
 // failure in canonical cell order, so error reporting is as
 // deterministic as the results themselves.
 func RunParallel[C any, R any](cells []C, workers int, fn func(C) (R, error)) ([]R, error) {
+	return RunParallelProf(cells, workers, nil, fn)
+}
+
+// RunParallelProf is RunParallel with a self-profiling collector: when
+// sp is non-nil, every cell's wall time and memory deltas are recorded
+// against the worker that ran it (worker 0 is the serial path / the
+// calling goroutine), bracketed by the sweep's own wall window so the
+// report can compute per-worker busy/idle occupancy. A nil sp is the
+// plain runner — the collector only reads the host clock and MemStats,
+// never the cells, so results are bit-identical either way.
+func RunParallelProf[C any, R any](cells []C, workers int, sp *simprof.SweepProf, fn func(C) (R, error)) ([]R, error) {
 	results := make([]R, len(cells))
 	errs := make([]error, len(cells))
 	if max := runtime.GOMAXPROCS(0); workers <= 0 || workers > max {
@@ -45,15 +58,19 @@ func RunParallel[C any, R any](cells []C, workers int, fn func(C) (R, error)) ([
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+	sp.Begin(len(cells), workers)
 	if workers <= 1 {
 		for i := range cells {
+			sp.CellStart(i, 0)
 			results[i], errs[i] = fn(cells[i])
+			sp.CellEnd(i)
 		}
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
+			w := w
 			go func() {
 				defer wg.Done()
 				for {
@@ -61,12 +78,15 @@ func RunParallel[C any, R any](cells []C, workers int, fn func(C) (R, error)) ([
 					if i >= len(cells) {
 						return
 					}
+					sp.CellStart(i, w)
 					results[i], errs[i] = fn(cells[i])
+					sp.CellEnd(i)
 				}
 			}()
 		}
 		wg.Wait()
 	}
+	sp.End()
 	for _, err := range errs {
 		if err != nil {
 			return results, err

@@ -1,0 +1,167 @@
+package eval
+
+import (
+	"bytes"
+	"testing"
+
+	"dvemig/internal/obs"
+	"dvemig/internal/simprof"
+)
+
+// TestSimprofArtifactsByteIdentical is the self-profiling plane's
+// determinism contract: the trace, metrics and series artifacts of a
+// run must be byte-identical with profiling on or off, at workers 1 and
+// 8. The profiler only reads the host clock and MemStats — it never
+// schedules events or feeds a sim-time decision — so its presence can
+// never show in the simulated results.
+func TestSimprofArtifactsByteIdentical(t *testing.T) {
+	// Chaos sweep → trace + metrics artifacts.
+	renderChaos := func(workers int, prof *simprof.Profiler) (trace, metrics []byte) {
+		cfg := DefaultChaosConfig()
+		cfg.Scenarios = DefaultChaosScenarios()[:2]
+		cfg.Seeds = []uint64{1}
+		cfg.Workers = workers
+		cfg.Observe = true
+		cfg.Prof = prof
+		rep, err := RunChaosSweep(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d prof=%v: %v", workers, prof != nil, err)
+		}
+		var tb, mb bytes.Buffer
+		if err := obs.WriteChromeTrace(&tb, rep.Captures()...); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteMetricsText(&mb, rep.Captures()...); err != nil {
+			t.Fatal(err)
+		}
+		return tb.Bytes(), mb.Bytes()
+	}
+	refTrace, refMetrics := renderChaos(1, nil)
+	if len(refTrace) == 0 || len(refMetrics) == 0 {
+		t.Fatal("reference artifacts empty")
+	}
+	for _, w := range []int{1, 8} {
+		for _, profiled := range []bool{false, true} {
+			if w == 1 && !profiled {
+				continue // the reference itself
+			}
+			var prof *simprof.Profiler
+			if profiled {
+				prof = simprof.New(1)
+			}
+			gotTrace, gotMetrics := renderChaos(w, prof)
+			if !bytes.Equal(refTrace, gotTrace) {
+				t.Errorf("trace differs at workers=%d profiled=%v (%d vs %d bytes)",
+					w, profiled, len(refTrace), len(gotTrace))
+			}
+			if !bytes.Equal(refMetrics, gotMetrics) {
+				t.Errorf("metrics differ at workers=%d profiled=%v (%d vs %d bytes)",
+					w, profiled, len(refMetrics), len(gotMetrics))
+			}
+			if profiled {
+				// The profiler must actually have observed the run it rode on.
+				r := prof.Report()
+				if r.EventLoopTotal == nil || r.EventLoopTotal.Events == 0 {
+					t.Errorf("workers=%d: profiler attached but recorded no events", w)
+				}
+			}
+		}
+	}
+
+	// Soak → series artifact, same on/off × worker-count grid.
+	renderSoak := func(workers int, prof *simprof.Profiler) []byte {
+		cfg := shortSoakConfig()
+		cfg.Scenarios = DefaultSoakScenarios()[:2]
+		cfg.Seeds = []uint64{5}
+		cfg.Requests = 25
+		cfg.Observe = true
+		cfg.Workers = workers
+		cfg.Prof = prof
+		rep, err := RunSoak(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteSeriesJSON(&buf, rep.Captures()...); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	refSeries := renderSoak(1, nil)
+	if len(refSeries) == 0 {
+		t.Fatal("reference series artifact empty")
+	}
+	for _, w := range []int{1, 8} {
+		for _, profiled := range []bool{false, true} {
+			if w == 1 && !profiled {
+				continue
+			}
+			var prof *simprof.Profiler
+			if profiled {
+				prof = simprof.New(1)
+			}
+			if got := renderSoak(w, prof); !bytes.Equal(refSeries, got) {
+				t.Errorf("series differs at workers=%d profiled=%v (%d vs %d bytes)",
+					w, profiled, len(refSeries), len(got))
+			}
+		}
+	}
+}
+
+// TestSimprofChaosAttribution is the attribution acceptance bar: a
+// profiled chaos sweep must attribute at least 90% of measured
+// event-loop wall time to named subsystem buckets, with the remainder
+// in "other". An attribution hole would mean a subsystem is scheduling
+// events under names SubsystemOf cannot bucket.
+func TestSimprofChaosAttribution(t *testing.T) {
+	prof := simprof.New(1)
+	cfg := DefaultChaosConfig()
+	cfg.Scenarios = DefaultChaosScenarios()[:3]
+	cfg.Seeds = []uint64{1}
+	cfg.Workers = 1
+	cfg.Prof = prof
+	if _, err := RunChaosSweep(cfg); err != nil {
+		t.Fatal(err)
+	}
+	r := prof.Report()
+	if r.EventLoopTotal == nil {
+		t.Fatal("no event-loop attribution recorded")
+	}
+	el := r.EventLoopTotal
+	if el.Events == 0 || el.WallNs <= 0 {
+		t.Fatalf("event loop recorded nothing: %+v", el)
+	}
+	if el.AttributedFrac < 0.9 {
+		t.Errorf("attributed fraction %.3f < 0.90; buckets: %+v", el.AttributedFrac, el.Buckets)
+	}
+	named := map[string]bool{}
+	for _, b := range el.Buckets {
+		if b.Subsystem != "other" {
+			named[b.Subsystem] = true
+		}
+	}
+	// The chaos cells are TCP clients migrating over the simulated
+	// network under a migration daemon — those three subsystems must
+	// show up by name.
+	for _, want := range []string{"netsim", "tcp", "migd"} {
+		if !named[want] {
+			t.Errorf("expected subsystem %q in attribution buckets: %+v", want, el.Buckets)
+		}
+	}
+	// Sweep occupancy rode along.
+	if len(r.Sweeps) != 1 || r.Sweeps[0].Label != "chaos-sweep" {
+		t.Fatalf("sweep reports: %+v", r.Sweeps)
+	}
+	sw := r.Sweeps[0]
+	if sw.WorkersRequested != 1 || sw.WorkersEffective != 1 || sw.Cells != 3 {
+		t.Errorf("sweep geometry wrong: %+v", sw)
+	}
+	if len(sw.Workers) != 1 || sw.Workers[0].Occupancy <= 0 {
+		t.Errorf("worker occupancy missing: %+v", sw.Workers)
+	}
+	// Phase skew rode along: chaos cells run real migrations, so at
+	// least one phase must have been recorded.
+	if len(r.PhaseSkewTotal) == 0 {
+		t.Error("no phase skew recorded from migrating chaos cells")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"dvemig/internal/migration"
 	"dvemig/internal/obs"
 	"dvemig/internal/proc"
+	"dvemig/internal/simprof"
 	"dvemig/internal/simtime"
 	"dvemig/internal/trace"
 )
@@ -120,6 +121,11 @@ type SoakConfig struct {
 	// sampled windows (requires Observe). Nil selects DefaultSoakSLOs;
 	// empty disables the engine.
 	SLOs []obs.Objective
+	// Prof, when non-nil, attaches the wall-clock self-profiling plane
+	// (event-loop attribution, phase skew, sweep occupancy). Read-only
+	// with respect to the simulation: the report, metrics and series
+	// artifacts are byte-identical with or without it.
+	Prof *simprof.Profiler
 }
 
 // soakAuditSlack pads the per-object deadline+grace budget before the
@@ -344,7 +350,7 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 			cells = append(cells, cell{sc: sc, seed: seed})
 		}
 	}
-	results, err := RunParallel(cells, cfg.Workers, func(c cell) (*SoakResult, error) {
+	results, err := RunParallelProf(cells, cfg.Workers, cfg.Prof.Sweep("soak-sweep", cfg.Workers), func(c cell) (*SoakResult, error) {
 		res, err := runSoakCell(cfg, c.sc, c.seed)
 		if err != nil {
 			return nil, fmt.Errorf("soak %s seed %d: %w", c.sc.Name, c.seed, err)
@@ -396,6 +402,13 @@ func runSoakCell(cfg SoakConfig, sc SoakScenario, seed uint64) (*SoakResult, err
 		n.LocalNIC.AttachSniffer(sniffs[i])
 	}
 
+	var skew *simprof.SkewProf
+	if cfg.Prof != nil {
+		label := fmt.Sprintf("soak/%s/seed%d", sc.Name, seed)
+		sched.Prof = cfg.Prof.Loop(label)
+		skew = cfg.Prof.Skew(label)
+	}
+
 	lcfg := lb.DefaultConfig()
 	lcfg.ImbalanceThreshold = 10 // conductors heartbeat but never self-balance
 	var migrators []*migration.Migrator
@@ -409,6 +422,7 @@ func runSoakCell(cfg SoakConfig, sc SoakScenario, seed uint64) (*SoakResult, err
 		if o != nil {
 			m.SetObs(o)
 		}
+		m.Prof = skew
 		cd, err := lb.NewConductor(n, m, lcfg)
 		if err != nil {
 			return nil, err

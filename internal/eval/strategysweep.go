@@ -215,7 +215,7 @@ func RunStrategySweep(cfg StrategySweepConfig) (*StrategyReport, error) {
 			}
 		}
 	}
-	results, err := RunParallel(cells, cfg.Chaos.Workers, func(c cell) (*StrategyResult, error) {
+	results, err := RunParallelProf(cells, cfg.Chaos.Workers, cfg.Chaos.Prof.Sweep("strategy-sweep", cfg.Chaos.Workers), func(c cell) (*StrategyResult, error) {
 		mig, err := migration.StrategyByName(c.strategy)
 		if err != nil {
 			return nil, err

@@ -108,6 +108,33 @@ func (r *Recorder) Dump(w io.Writer) {
 	}
 }
 
+// DumpRange writes the retained events whose timestamps fall in the
+// half-open window [fromNs, toNs) — an event exactly at fromNs is
+// included, one exactly at toNs belongs to the next window. The header
+// reports the in-window count against the retained count so a reader
+// can tell filtering from eviction.
+func (r *Recorder) DumpRange(w io.Writer, fromNs, toNs int64) {
+	if r == nil {
+		return
+	}
+	events := r.Events()
+	in := 0
+	for _, e := range events {
+		if e.At >= fromNs && e.At < toNs {
+			in++
+		}
+	}
+	fmt.Fprintf(w, "flight %s: %d/%d retained events in window (%d/%d total retained, oldest first)\n",
+		r.Track, in, r.Len(), r.Len(), r.Total())
+	for _, e := range events {
+		if e.At < fromNs || e.At >= toNs {
+			continue
+		}
+		fmt.Fprintf(w, "  %14.6fs %-9s %-28s a=%-12d b=%-12d c=%d\n",
+			float64(e.At)/1e9, e.Kind, e.Name, e.A, e.B, e.C)
+	}
+}
+
 // Set groups the recorders of one simulation so failure paths can dump
 // every track at once.
 type Set struct {
@@ -148,15 +175,20 @@ func (s *Set) Dump(w io.Writer) {
 	}
 }
 
-// DumpWindow is Dump preceded by a locator header: the sample-window
-// index and sim-time range the dump was captured for. A mid-run dump
-// is then self-locating — the reader knows which slice of the run the
-// retained events belong to without any external context.
+// DumpWindow writes every track's retained events scoped to the
+// half-open sample window [fromNs, toNs), preceded by a locator header
+// naming the window index and sim-time range. A mid-run dump is then
+// self-locating — the reader knows which slice of the run the events
+// belong to — and scoped: events recorded outside the window (still
+// retained in the rings) are filtered out, an event exactly at fromNs
+// included, one exactly at toNs left to the next window.
 func (s *Set) DumpWindow(w io.Writer, window int, fromNs, toNs int64) {
 	if s == nil {
 		return
 	}
 	fmt.Fprintf(w, "flight dump @ sample window %d [%.6fs, %.6fs)\n",
 		window, float64(fromNs)/1e9, float64(toNs)/1e9)
-	s.Dump(w)
+	for _, r := range s.recs {
+		r.DumpRange(w, fromNs, toNs)
+	}
 }

@@ -71,6 +71,59 @@ func TestDumpFormat(t *testing.T) {
 	}
 }
 
+// TestDumpWindowBoundaries pins the half-open [From, To) window
+// semantics: an event timestamped exactly at From is part of the
+// window, one exactly at To belongs to the next window.
+func TestDumpWindowBoundaries(t *testing.T) {
+	s := NewSet(8)
+	r := s.Track("node1")
+	from, to := int64(1_000_000_000), int64(2_000_000_000)
+	r.Record(from-1, "pkt", "before", 1, 0, 0)
+	r.Record(from, "pkt", "at-from", 2, 0, 0)
+	r.Record(from+500_000_000, "pkt", "inside", 3, 0, 0)
+	r.Record(to, "pkt", "at-to", 4, 0, 0)
+	r.Record(to+1, "pkt", "after", 5, 0, 0)
+
+	var b strings.Builder
+	s.DumpWindow(&b, 1, from, to)
+	out := b.String()
+	if !strings.Contains(out, "flight dump @ sample window 1 [1.000000s, 2.000000s)") {
+		t.Fatalf("missing locator header:\n%s", out)
+	}
+	if !strings.Contains(out, "at-from") || !strings.Contains(out, "inside") {
+		t.Fatalf("window dropped in-range events (At==From must be included):\n%s", out)
+	}
+	for _, name := range []string{"before", "at-to", "after"} {
+		if strings.Contains(out, name) {
+			t.Fatalf("window leaked out-of-range event %q (At==To must be excluded):\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "flight node1: 2/5 retained events in window") {
+		t.Fatalf("header does not report the filtered count:\n%s", out)
+	}
+}
+
+// TestDumpRangeEmptyAndNil covers the degenerate windows: an empty
+// window dumps a header and nothing else, and a nil recorder is a no-op.
+func TestDumpRangeEmptyAndNil(t *testing.T) {
+	r := New("node1", 4)
+	r.Record(10, "pkt", "rx", 1, 0, 0)
+	var b strings.Builder
+	r.DumpRange(&b, 100, 200)
+	if !strings.Contains(b.String(), "0/1 retained events in window") {
+		t.Fatalf("empty window header wrong:\n%s", b.String())
+	}
+	if strings.Contains(b.String(), "rx") {
+		t.Fatalf("empty window leaked events:\n%s", b.String())
+	}
+	var nilR *Recorder
+	b.Reset()
+	nilR.DumpRange(&b, 0, 100)
+	if b.Len() != 0 {
+		t.Fatalf("nil recorder wrote output: %q", b.String())
+	}
+}
+
 // BenchmarkRecord pins the flight recorder's steady-state recording cost
 // at zero allocations: the ring overwrites in place and never copies the
 // event strings.

@@ -11,6 +11,7 @@ import (
 	"dvemig/internal/netstack"
 	"dvemig/internal/obs"
 	"dvemig/internal/proc"
+	"dvemig/internal/simprof"
 	"dvemig/internal/simtime"
 	"dvemig/internal/sockmig"
 	"dvemig/internal/xlat"
@@ -256,6 +257,14 @@ type Migrator struct {
 	// via SetObs so the metric handles in obsm are pre-resolved.
 	Obs  *obs.Obs
 	obsm migObsHandles
+
+	// Prof, when attached, records per-phase wall-vs-sim skew into the
+	// self-profiling plane: how much host time the simulator spent
+	// computing each phase against the virtual time the phase covered.
+	// Wall readings are recorded only — they never feed back into
+	// sim-time decisions, so profiled runs stay bit-identical. Nil (the
+	// default) costs one pointer comparison per phase event.
+	Prof *simprof.SkewProf
 
 	// active tracks the in-flight outbound migration per PID: the
 	// second Migrate of a process already leaving is rejected (no

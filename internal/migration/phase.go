@@ -121,6 +121,12 @@ type phaseTrack struct {
 	root *obs.Span
 	cur  *obs.Span
 
+	// lastWall is the self-profiling plane's wall timestamp of the
+	// previous phase event (ns since the profiler base), so firePhase
+	// can pair each phase's sim-time delta with the host time the
+	// simulator spent computing it. Unused (zero) when Prof is nil.
+	lastWall int64
+
 	// pullsAfterReinject marks a post-copy inbound: PhaseReinject is not
 	// terminal (the pull/drain phases follow) and PhaseDrained closes
 	// the trace instead.
@@ -134,6 +140,9 @@ type phaseTrack struct {
 // of rooting a fresh one; the zero context behaves exactly like Start.
 func (pt *phaseTrack) begin(m *Migrator, name string, pid int, ctx obs.TraceContext) {
 	pt.last = m.sched().Now()
+	if m.Prof != nil {
+		pt.lastWall = m.Prof.NowNs()
+	}
 	if m.Obs != nil {
 		pt.root = m.Obs.Trace.StartLinked(m.Node.Name, name, ctx)
 		pt.root.SetInt("pid", int64(pid))
@@ -154,6 +163,11 @@ func (m *Migrator) firePhase(pt *phaseTrack, ph Phase, round, pid int) {
 	if m.Node.FR != nil {
 		m.Node.FR.Record(int64(now), "phase", ph.String(),
 			int64(pid), int64(round), int64(now-since))
+	}
+	if m.Prof != nil {
+		w := m.Prof.NowNs()
+		m.Prof.Record(ph.String(), int64(now-since), w-pt.lastWall)
+		pt.lastWall = w
 	}
 	if m.Obs != nil {
 		m.obsm.phaseUs[ph].Observe(float64(now-since) / 1e3)

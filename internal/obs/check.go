@@ -236,6 +236,103 @@ func ValidateSeriesJSON(data []byte) error {
 	return nil
 }
 
+// seriesCSVHeader is the first line WriteSeriesCSV emits; tracecheck
+// uses it to auto-detect CSV series artifacts.
+const seriesCSVHeader = "capture,series,kind,t_ns,value"
+
+// LooksLikeSeriesCSV reports whether data starts with the series CSV
+// header line, so tracecheck can route .csv series artifacts without a
+// flag.
+func LooksLikeSeriesCSV(data []byte) bool {
+	s := string(data)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimRight(s, "\r") == seriesCSVHeader
+}
+
+// ValidateSeriesCSV validates a .csv series artifact under the same
+// invariants as the JSON form: the exact header, five well-formed
+// fields per row, known series kinds, and per (capture, series) group —
+// a consistent kind, strictly increasing timestamps, and non-negative
+// non-decreasing values for counter-backed kinds. Rows of one group
+// must be contiguous (WriteSeriesCSV emits them that way), so an
+// interleaved or shuffled file fails the timestamp check.
+func ValidateSeriesCSV(data []byte) error {
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || strings.TrimRight(lines[0], "\r") != seriesCSVHeader {
+		return fmt.Errorf("obs: series CSV missing header %q", seriesCSVHeader)
+	}
+	kinds := map[string]bool{
+		string(SeriesCounter): true, string(SeriesGauge): true,
+		string(SeriesHistCount): true, string(SeriesHistP99): true,
+	}
+	type group struct {
+		kind  string
+		lastT int64
+		lastV float64
+		rows  int
+	}
+	groups := map[[2]string]*group{}
+	rows := 0
+	for ln, line := range lines[1:] {
+		lineNo := ln + 2
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) != 5 {
+			return fmt.Errorf("obs: line %d: %d fields, want 5 (%s)", lineNo, len(f), seriesCSVHeader)
+		}
+		capture, series, kind := f[0], f[1], f[2]
+		if capture == "" || series == "" {
+			return fmt.Errorf("obs: line %d: empty capture or series name", lineNo)
+		}
+		if !kinds[kind] {
+			return fmt.Errorf("obs: line %d: series %q has unknown kind %q", lineNo, series, kind)
+		}
+		t, err := strconv.ParseInt(f[3], 10, 64)
+		if err != nil {
+			return fmt.Errorf("obs: line %d: t_ns %q is not an integer", lineNo, f[3])
+		}
+		v, err := strconv.ParseFloat(f[4], 64)
+		if err != nil {
+			return fmt.Errorf("obs: line %d: value %q is not numeric", lineNo, f[4])
+		}
+		key := [2]string{capture, series}
+		g := groups[key]
+		if g == nil {
+			g = &group{kind: kind}
+			groups[key] = g
+		}
+		where := fmt.Sprintf("capture %q series %q", capture, series)
+		if g.kind != kind {
+			return fmt.Errorf("obs: line %d: %s changes kind %q → %q", lineNo, where, g.kind, kind)
+		}
+		if g.rows > 0 && t <= g.lastT {
+			return fmt.Errorf("obs: line %d: %s timestamps not strictly increasing (%d after %d)",
+				lineNo, where, t, g.lastT)
+		}
+		if kind == string(SeriesCounter) || kind == string(SeriesHistCount) {
+			if v < 0 {
+				return fmt.Errorf("obs: line %d: %s counter value negative", lineNo, where)
+			}
+			if g.rows > 0 && v < g.lastV {
+				return fmt.Errorf("obs: line %d: %s counter series decreases (%g → %g)",
+					lineNo, where, g.lastV, v)
+			}
+		}
+		g.lastT, g.lastV = t, v
+		g.rows++
+		rows++
+	}
+	if rows == 0 {
+		return fmt.Errorf("obs: series CSV contains no sample rows")
+	}
+	return nil
+}
+
 // ValidateMetricsText validates a -metrics-out artifact: section
 // structure (`=== label ===` capture markers, `# counters` / `# gauges`
 // / `# histograms` headers), line shapes per section, counter values

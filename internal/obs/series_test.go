@@ -258,6 +258,46 @@ func TestSeriesJSONRoundTrip(t *testing.T) {
 	if !strings.Contains(csv.String(), "cell0,reqs,counter,") {
 		t.Fatalf("csv missing reqs row:\n%s", csv.String())
 	}
+	if !LooksLikeSeriesCSV(csv.Bytes()) {
+		t.Fatal("exported series CSV not auto-detected")
+	}
+	if LooksLikeSeriesCSV(data) {
+		t.Fatal("series JSON misdetected as CSV")
+	}
+	if err := ValidateSeriesCSV(csv.Bytes()); err != nil {
+		t.Fatalf("exported series CSV fails its own validator: %v", err)
+	}
+}
+
+func TestValidateSeriesCSVRejects(t *testing.T) {
+	const hdr = "capture,series,kind,t_ns,value\n"
+	bad := []struct{ name, doc string }{
+		{"missing header", "cell0,reqs,counter,1,1\n"},
+		{"no rows", hdr},
+		{"field count", hdr + "cell0,reqs,counter,1\n"},
+		{"unknown kind", hdr + "cell0,reqs,woble,1,1\n"},
+		{"bad timestamp", hdr + "cell0,reqs,counter,x,1\n"},
+		{"bad value", hdr + "cell0,reqs,counter,1,x\n"},
+		{"non-increasing time", hdr + "cell0,reqs,counter,2,1\ncell0,reqs,counter,2,2\n"},
+		{"counter decrease", hdr + "cell0,reqs,counter,1,2\ncell0,reqs,counter,2,1\n"},
+		{"negative counter", hdr + "cell0,reqs,counter,1,-1\n"},
+		{"kind flip", hdr + "cell0,reqs,counter,1,1\ncell0,reqs,gauge,2,0.5\n"},
+		{"empty names", hdr + ",reqs,counter,1,1\n"},
+	}
+	for _, tc := range bad {
+		if err := ValidateSeriesCSV([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: CSV validator accepted invalid doc", tc.name)
+		}
+	}
+	good := hdr +
+		"cell0,reqs,counter,1,1\n" +
+		"cell0,reqs,counter,2,3\n" +
+		"cell0,load,gauge,1,0.5\n" +
+		"cell0,load,gauge,2,0.25\n" + // gauges may decrease
+		"cell1,reqs,counter,1,7\n" // same series name, different capture
+	if err := ValidateSeriesCSV([]byte(good)); err != nil {
+		t.Errorf("CSV validator rejected valid doc: %v", err)
+	}
 }
 
 func TestValidateSeriesJSONRejects(t *testing.T) {

@@ -187,3 +187,64 @@ func TestSnapshotHistogramPercentile(t *testing.T) {
 		t.Fatal("absent histogram must report !ok")
 	}
 }
+
+// TestSnapshotHistogramPercentileEdges pins the estimator's degenerate
+// inputs: a registered-but-empty histogram, a single-bucket histogram,
+// and the p0/p100 extremes.
+func TestSnapshotHistogramPercentileEdges(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("empty", []float64{10, 100})
+	single := reg.Histogram("single", []float64{10})
+	for i := 0; i < 4; i++ {
+		single.Observe(5)
+	}
+	spread := reg.Histogram("spread", []float64{10, 100, 1000})
+	for i := 0; i < 5; i++ {
+		spread.Observe(5)   // (0, 10]
+		spread.Observe(50)  // (10, 100]
+		spread.Observe(500) // (100, 1000]
+	}
+	overflow := reg.Histogram("overflow", []float64{10})
+	overflow.Observe(99) // lands in the +Inf bucket
+	s := reg.Snapshot()
+
+	// Empty histogram: present (ok), estimate 0 — there is nothing to rank.
+	if v, ok := s.HistogramPercentile("empty", 99); !ok || v != 0 {
+		t.Errorf("empty hist p99 = (%v, %v), want (0, true)", v, ok)
+	}
+
+	// Single bucket: every percentile interpolates inside (0, 10].
+	for _, p := range []float64{0, 50, 100} {
+		if v, ok := s.HistogramPercentile("single", p); !ok || v < 0 || v > 10 {
+			t.Errorf("single-bucket p%g = (%v, %v), want within [0, 10]", p, v, ok)
+		}
+	}
+
+	// p0 is the minimum estimate, p100 the maximum; they bound every
+	// interior percentile and never exceed the data's bucket range.
+	p0, _ := s.HistogramPercentile("spread", 0)
+	p50, _ := s.HistogramPercentile("spread", 50)
+	p100, _ := s.HistogramPercentile("spread", 100)
+	if !(p0 <= p50 && p50 <= p100) {
+		t.Errorf("percentiles not monotone: p0=%v p50=%v p100=%v", p0, p50, p100)
+	}
+	if p0 < 0 || p0 > 10 {
+		t.Errorf("p0 = %v, want in first bucket [0, 10]", p0)
+	}
+	if p100 < 100 || p100 > 1000 {
+		t.Errorf("p100 = %v, want in last occupied bucket [100, 1000]", p100)
+	}
+	// Out-of-range p clamps rather than extrapolating.
+	if v, _ := s.HistogramPercentile("spread", -5); v != p0 {
+		t.Errorf("p(-5) = %v, want clamped to p0 %v", v, p0)
+	}
+	if v, _ := s.HistogramPercentile("spread", 250); v != p100 {
+		t.Errorf("p(250) = %v, want clamped to p100 %v", v, p100)
+	}
+
+	// An observation past the last bound sits in the +Inf bucket; the
+	// estimate clamps to the last finite bound instead of inventing one.
+	if v, ok := s.HistogramPercentile("overflow", 100); !ok || v != 10 {
+		t.Errorf("overflow p100 = (%v, %v), want (10, true)", v, ok)
+	}
+}

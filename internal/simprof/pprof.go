@@ -1,0 +1,95 @@
+package simprof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins a pprof CPU profile at path and returns the
+// function that stops it and closes the file. An empty path is a no-op
+// (the returned stop is still non-nil) — the -cpuprofile flag plumbing
+// shared by the commands.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// Session bundles the -cpuprofile / -memprofile / -simprof-out plumbing
+// every command shares: Open starts the CPU profile and (when a simprof
+// path is given) creates the Profiler; Close stops the CPU profile,
+// writes the heap profile and the simprof report. All three paths are
+// individually optional.
+type Session struct {
+	// Prof is non-nil only when a -simprof-out path was given; callers
+	// pass it (or its nil) straight into the eval config.
+	Prof *Profiler
+
+	cpuStop     func() error
+	memPath     string
+	simprofPath string
+}
+
+// OpenSession starts a profiling session for a command run. stride is
+// the event-loop sampling stride handed to New.
+func OpenSession(cpuPath, memPath, simprofPath string, stride int) (*Session, error) {
+	s := &Session{memPath: memPath, simprofPath: simprofPath}
+	if simprofPath != "" {
+		s.Prof = New(stride)
+	}
+	stop, err := StartCPUProfile(cpuPath)
+	if err != nil {
+		return nil, err
+	}
+	s.cpuStop = stop
+	return s, nil
+}
+
+// Close finishes the session: stops the CPU profile, then writes the
+// heap profile and the simprof report. The first error wins but every
+// step runs.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.cpuStop()
+	if e := WriteHeapProfile(s.memPath); err == nil {
+		err = e
+	}
+	if e := s.Prof.WriteFile(s.simprofPath); err == nil {
+		err = e
+	}
+	return err
+}
+
+// WriteHeapProfile writes a pprof heap profile to path after a full GC
+// (so the profile reflects live objects, not collectable garbage). An
+// empty path is a no-op — the -memprofile flag plumbing.
+func WriteHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,620 @@
+// Package simprof is the simulator's wall-clock self-profiling plane:
+// it attributes real nanoseconds and allocations to the simulator's own
+// hot paths — event-loop dispatch bucketed by the firing callback's
+// subsystem, per-sweep-cell wall time and memory deltas in the parallel
+// runner, and per-phase wall-vs-sim skew in the migration engine.
+//
+// Everything else in this repository measures *simulated* quantities;
+// simprof is the one plane that reads the host clock. It is strictly
+// read-only with respect to the simulation: it never schedules events,
+// never mutates simulation state, and no wall-clock reading ever feeds
+// a sim-time decision — which is why artifacts (trace/metrics/series)
+// are byte-identical with profiling on or off at any worker count.
+//
+// Like flight, simprof is a dependency-free leaf package (std only):
+// simtime, eval and migration all record into it, so it must import
+// none of them. Durations are plain int64 nanoseconds read from one
+// monotonic base per Profiler.
+//
+// Every recording type is nil-safe: a nil *Profiler hands out nil
+// *LoopProf / *SweepProf / *SkewProf whose methods are no-ops, so the
+// disabled path costs one pointer comparison and zero allocations
+// (pinned by allocgate_test.go).
+package simprof
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ReportKind is the top-level marker of a -simprof-out JSON artifact.
+const ReportKind = "dvemig-simprof"
+
+// Profiler owns one profiling session: a monotonic time base plus the
+// loop/sweep/skew collectors registered against it. Constructors are
+// safe to call from sweep worker goroutines; each returned collector is
+// then owned by the cell that requested it (SweepProf additionally
+// accepts concurrent CellStart/CellEnd from workers on disjoint
+// indices).
+type Profiler struct {
+	mu     sync.Mutex
+	base   time.Time
+	stride uint64
+	loops  []*LoopProf
+	sweeps []*SweepProf
+	skews  []*SkewProf
+}
+
+// New returns a profiler whose clock starts now. stride selects event-
+// loop sampling: every stride-th dispatched event is timed (≤ 1 times
+// every event).
+func New(stride int) *Profiler {
+	if stride < 1 {
+		stride = 1
+	}
+	return &Profiler{base: time.Now(), stride: uint64(stride)}
+}
+
+// nowNs is nanoseconds since the profiler's base — a monotonic-clock
+// reading (time.Since uses the monotonic part of the base).
+func (p *Profiler) nowNs() int64 { return int64(time.Since(p.base)) }
+
+// Loop registers an event-loop collector for one scheduler (one sweep
+// cell). Nil-safe: a nil profiler returns a nil collector.
+func (p *Profiler) Loop(label string) *LoopProf {
+	if p == nil {
+		return nil
+	}
+	lp := &LoopProf{label: label, base: p.base, stride: p.stride,
+		buckets: make(map[string]*loopBucket, 16)}
+	p.mu.Lock()
+	p.loops = append(p.loops, lp)
+	p.mu.Unlock()
+	return lp
+}
+
+// Sweep registers a parallel-runner collector: per-cell wall time and
+// ReadMemStats deltas plus per-worker occupancy. requested is the
+// worker count the caller asked for, before clamping.
+func (p *Profiler) Sweep(label string, requested int) *SweepProf {
+	if p == nil {
+		return nil
+	}
+	sp := &SweepProf{label: label, requested: requested, base: p.base}
+	p.mu.Lock()
+	p.sweeps = append(p.sweeps, sp)
+	p.mu.Unlock()
+	return sp
+}
+
+// Skew registers a migration phase-skew collector (one per cell; the
+// source and destination migrators of a cell share it).
+func (p *Profiler) Skew(label string) *SkewProf {
+	if p == nil {
+		return nil
+	}
+	sk := &SkewProf{label: label, base: p.base,
+		phases: make(map[string]*phaseSkew, 12)}
+	p.mu.Lock()
+	p.skews = append(p.skews, sk)
+	p.mu.Unlock()
+	return sk
+}
+
+// SubsystemOf maps an event name to its attribution bucket: the prefix
+// before the first '.' or '/' separator ("netsim.deliver" → "netsim",
+// "ctlplane/ctl-1" → "ctlplane"), "other" when the name has no
+// separator. Slicing a string allocates nothing, so the hot path stays
+// alloc-free.
+func SubsystemOf(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' || name[i] == '/' {
+			if i == 0 {
+				return "other"
+			}
+			return name[:i]
+		}
+	}
+	return "other"
+}
+
+// LoopProf attributes event-loop dispatch time: the scheduler calls
+// Begin before firing a callback and End after, and the sample lands in
+// the bucket of the event name's subsystem. Owned by a single cell
+// goroutine — not safe for concurrent use (each scheduler gets its
+// own).
+type LoopProf struct {
+	label   string
+	base    time.Time
+	stride  uint64
+	events  uint64 // all dispatched events
+	sampled uint64 // events actually timed
+	wallNs  int64  // total timed dispatch wall time
+	pendSum uint64 // sum of pending-queue depths at sampled events
+	pendMax int
+	buckets map[string]*loopBucket
+}
+
+type loopBucket struct {
+	events uint64
+	wallNs int64
+}
+
+// Begin marks the start of one event dispatch and returns the token to
+// pass to End; -1 means the event is not sampled (stride skip or nil
+// receiver) and End will ignore it.
+func (lp *LoopProf) Begin() int64 {
+	if lp == nil {
+		return -1
+	}
+	lp.events++
+	if lp.stride > 1 && lp.events%lp.stride != 0 {
+		return -1
+	}
+	return int64(time.Since(lp.base))
+}
+
+// End closes the dispatch opened by Begin: name is the fired event's
+// registered name, pending the queue depth after the dispatch.
+func (lp *LoopProf) End(t0 int64, name string, pending int) {
+	if lp == nil || t0 < 0 {
+		return
+	}
+	d := int64(time.Since(lp.base)) - t0
+	lp.sampled++
+	lp.wallNs += d
+	lp.pendSum += uint64(pending)
+	if pending > lp.pendMax {
+		lp.pendMax = pending
+	}
+	key := SubsystemOf(name)
+	b := lp.buckets[key]
+	if b == nil {
+		b = &loopBucket{}
+		lp.buckets[key] = b
+	}
+	b.events++
+	b.wallNs += d
+}
+
+// Events returns the total number of events dispatched through this
+// collector (sampled or not).
+func (lp *LoopProf) Events() uint64 {
+	if lp == nil {
+		return 0
+	}
+	return lp.events
+}
+
+// SweepProf records one parallel sweep: per-cell wall time, worker
+// assignment and runtime.MemStats deltas (GC cycles, pause total, heap
+// allocation), plus the sweep's own wall window for occupancy math.
+// CellStart/CellEnd may run concurrently on worker goroutines as long
+// as cell indices are disjoint (the runner guarantees that); Begin and
+// End bracket the whole sweep on the caller's goroutine.
+type SweepProf struct {
+	label     string
+	requested int
+	base      time.Time
+	effective int
+	startNs   int64
+	endNs     int64
+	cells     []sweepCell
+	memStart  runtime.MemStats
+	memEnd    runtime.MemStats
+}
+
+type sweepCell struct {
+	set        bool
+	worker     int
+	startNs    int64
+	endNs      int64
+	gcStart    uint32
+	gcEnd      uint32
+	pauseStart uint64
+	pauseEnd   uint64
+	allocStart uint64
+	allocEnd   uint64
+}
+
+// Begin opens the sweep window: ncells cells about to run on effective
+// workers (after clamping).
+func (sp *SweepProf) Begin(ncells, effective int) {
+	if sp == nil {
+		return
+	}
+	sp.effective = effective
+	sp.cells = make([]sweepCell, ncells)
+	runtime.ReadMemStats(&sp.memStart)
+	sp.startNs = int64(time.Since(sp.base))
+}
+
+// CellStart marks cell i as starting on the given worker.
+func (sp *SweepProf) CellStart(i, worker int) {
+	if sp == nil {
+		return
+	}
+	c := &sp.cells[i]
+	c.set = true
+	c.worker = worker
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.gcStart, c.pauseStart, c.allocStart = ms.NumGC, ms.PauseTotalNs, ms.TotalAlloc
+	c.startNs = int64(time.Since(sp.base))
+}
+
+// CellEnd marks cell i as finished. MemStats deltas are process-global:
+// with more than one effective worker, concurrent cells' allocations
+// and GC cycles overlap and the per-cell numbers are upper bounds.
+func (sp *SweepProf) CellEnd(i int) {
+	if sp == nil {
+		return
+	}
+	c := &sp.cells[i]
+	c.endNs = int64(time.Since(sp.base))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.gcEnd, c.pauseEnd, c.allocEnd = ms.NumGC, ms.PauseTotalNs, ms.TotalAlloc
+}
+
+// End closes the sweep window.
+func (sp *SweepProf) End() {
+	if sp == nil {
+		return
+	}
+	sp.endNs = int64(time.Since(sp.base))
+	runtime.ReadMemStats(&sp.memEnd)
+}
+
+// SkewProf accumulates per-phase wall-vs-sim time for one cell's
+// migrations: each phase transition records the simulated nanoseconds
+// the phase took next to the wall nanoseconds the simulator spent
+// computing it. A mutex guards the map so a shared collector stays safe
+// even if a cell ever fans out.
+type SkewProf struct {
+	label  string
+	base   time.Time
+	mu     sync.Mutex
+	phases map[string]*phaseSkew
+}
+
+type phaseSkew struct {
+	count  uint64
+	simNs  int64
+	wallNs int64
+}
+
+// NowNs returns nanoseconds since the profiler base — the wall
+// timestamp the migration engine stores per phase track.
+func (sk *SkewProf) NowNs() int64 {
+	if sk == nil {
+		return 0
+	}
+	return int64(time.Since(sk.base))
+}
+
+// Record adds one phase transition: simNs of virtual time elapsed since
+// the previous phase against wallNs of host time.
+func (sk *SkewProf) Record(phase string, simNs, wallNs int64) {
+	if sk == nil {
+		return
+	}
+	sk.mu.Lock()
+	ps := sk.phases[phase]
+	if ps == nil {
+		ps = &phaseSkew{}
+		sk.phases[phase] = ps
+	}
+	ps.count++
+	ps.simNs += simNs
+	ps.wallNs += wallNs
+	sk.mu.Unlock()
+}
+
+// Report is the -simprof-out JSON document.
+type Report struct {
+	Kind       string `json:"kind"`
+	Go         string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUs       int    `json:"cpus"`
+	WallNs     int64  `json:"wall_ns"`
+
+	// EventLoopTotal merges every registered loop collector: the sweep-
+	// wide attribution of dispatch wall time to subsystems.
+	EventLoopTotal *LoopReport  `json:"event_loop_total,omitempty"`
+	EventLoops     []LoopReport `json:"event_loops,omitempty"`
+
+	Sweeps []SweepReport `json:"sweeps,omitempty"`
+
+	// PhaseSkewTotal merges every skew collector: for each migration
+	// phase, simulated time elapsed vs wall time spent computing it.
+	PhaseSkewTotal []PhaseSkewReport `json:"phase_skew_total,omitempty"`
+}
+
+// LoopReport is one event loop's attribution: totals, pending-queue
+// stats and the per-subsystem buckets sorted by wall time (descending).
+type LoopReport struct {
+	Label          string         `json:"label,omitempty"`
+	Events         uint64         `json:"events"`
+	Sampled        uint64         `json:"sampled"`
+	WallNs         int64          `json:"wall_ns"`
+	PendingMax     int            `json:"pending_max"`
+	PendingAvg     float64        `json:"pending_avg"`
+	AttributedFrac float64        `json:"attributed_frac"`
+	Buckets        []BucketReport `json:"buckets"`
+}
+
+// BucketReport is one subsystem's share of an event loop.
+type BucketReport struct {
+	Subsystem string  `json:"subsystem"`
+	Events    uint64  `json:"events"`
+	WallNs    int64   `json:"wall_ns"`
+	Frac      float64 `json:"frac"`
+}
+
+// SweepReport is one parallel sweep: worker occupancy against the sweep
+// wall window plus process-global memory deltas.
+type SweepReport struct {
+	Label            string         `json:"label"`
+	WorkersRequested int            `json:"workers_requested"`
+	WorkersEffective int            `json:"workers_effective"`
+	Cells            int            `json:"cells"`
+	WallNs           int64          `json:"wall_ns"`
+	GCCycles         uint32         `json:"gc_cycles"`
+	GCPauseNs        uint64         `json:"gc_pause_ns"`
+	HeapGrowthBytes  int64          `json:"heap_growth_bytes"`
+	AllocBytes       uint64         `json:"alloc_bytes"`
+	Workers          []WorkerReport `json:"workers"`
+	CellStats        []CellReport   `json:"cell_stats"`
+}
+
+// WorkerReport is one worker's busy/idle split over a sweep: BusyNs
+// sums its cells' wall time, IdleNs is the sweep window minus that, and
+// Occupancy their ratio.
+type WorkerReport struct {
+	Worker    int     `json:"worker"`
+	Cells     int     `json:"cells"`
+	BusyNs    int64   `json:"busy_ns"`
+	IdleNs    int64   `json:"idle_ns"`
+	Occupancy float64 `json:"occupancy"`
+}
+
+// CellReport is one sweep cell's wall time and memory deltas.
+type CellReport struct {
+	Index      int    `json:"index"`
+	Worker     int    `json:"worker"`
+	WallNs     int64  `json:"wall_ns"`
+	GCCycles   uint32 `json:"gc_cycles"`
+	GCPauseNs  uint64 `json:"gc_pause_ns"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+}
+
+// PhaseSkewReport is one migration phase's aggregate wall-vs-sim skew.
+// WallPerSim > 1 means the simulator spends more host time than the
+// phase covers in virtual time.
+type PhaseSkewReport struct {
+	Phase      string  `json:"phase"`
+	Count      uint64  `json:"count"`
+	SimNs      int64   `json:"sim_ns"`
+	WallNs     int64   `json:"wall_ns"`
+	WallPerSim float64 `json:"wall_per_sim"`
+}
+
+func (lp *LoopProf) report() LoopReport {
+	r := LoopReport{Label: lp.label, Events: lp.events, Sampled: lp.sampled,
+		WallNs: lp.wallNs, PendingMax: lp.pendMax}
+	if lp.sampled > 0 {
+		r.PendingAvg = float64(lp.pendSum) / float64(lp.sampled)
+	}
+	var otherNs int64
+	for name, b := range lp.buckets {
+		frac := 0.0
+		if lp.wallNs > 0 {
+			frac = float64(b.wallNs) / float64(lp.wallNs)
+		}
+		r.Buckets = append(r.Buckets, BucketReport{
+			Subsystem: name, Events: b.events, WallNs: b.wallNs, Frac: frac})
+		if name == "other" {
+			otherNs = b.wallNs
+		}
+	}
+	sortBuckets(r.Buckets)
+	if lp.wallNs > 0 {
+		r.AttributedFrac = float64(lp.wallNs-otherNs) / float64(lp.wallNs)
+	}
+	return r
+}
+
+func sortBuckets(bs []BucketReport) {
+	sort.Slice(bs, func(i, j int) bool {
+		if bs[i].WallNs != bs[j].WallNs {
+			return bs[i].WallNs > bs[j].WallNs
+		}
+		return bs[i].Subsystem < bs[j].Subsystem
+	})
+}
+
+func (sp *SweepProf) report() SweepReport {
+	r := SweepReport{
+		Label:            sp.label,
+		WorkersRequested: sp.requested,
+		WorkersEffective: sp.effective,
+		Cells:            len(sp.cells),
+		WallNs:           sp.endNs - sp.startNs,
+		GCCycles:         sp.memEnd.NumGC - sp.memStart.NumGC,
+		GCPauseNs:        sp.memEnd.PauseTotalNs - sp.memStart.PauseTotalNs,
+		HeapGrowthBytes:  int64(sp.memEnd.HeapAlloc) - int64(sp.memStart.HeapAlloc),
+		AllocBytes:       sp.memEnd.TotalAlloc - sp.memStart.TotalAlloc,
+	}
+	busy := map[int]*WorkerReport{}
+	for i := range sp.cells {
+		c := &sp.cells[i]
+		if !c.set {
+			continue
+		}
+		r.CellStats = append(r.CellStats, CellReport{
+			Index:      i,
+			Worker:     c.worker,
+			WallNs:     c.endNs - c.startNs,
+			GCCycles:   c.gcEnd - c.gcStart,
+			GCPauseNs:  c.pauseEnd - c.pauseStart,
+			AllocBytes: c.allocEnd - c.allocStart,
+		})
+		w := busy[c.worker]
+		if w == nil {
+			w = &WorkerReport{Worker: c.worker}
+			busy[c.worker] = w
+		}
+		w.Cells++
+		w.BusyNs += c.endNs - c.startNs
+	}
+	ids := make([]int, 0, len(busy))
+	for id := range busy {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		w := busy[id]
+		if r.WallNs > w.BusyNs {
+			w.IdleNs = r.WallNs - w.BusyNs
+		}
+		if r.WallNs > 0 {
+			w.Occupancy = float64(w.BusyNs) / float64(r.WallNs)
+		}
+		r.Workers = append(r.Workers, *w)
+	}
+	return r
+}
+
+// Report assembles the profiling session into its JSON document. Safe
+// to call on a nil profiler (returns an empty, well-formed report);
+// call it after the profiled work completed — collectors are not
+// synchronized against in-flight recording.
+func (p *Profiler) Report() *Report {
+	r := &Report{
+		Kind:       ReportKind,
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUs:       runtime.NumCPU(),
+	}
+	if p == nil {
+		return r
+	}
+	p.mu.Lock()
+	loops := append([]*LoopProf(nil), p.loops...)
+	sweeps := append([]*SweepProf(nil), p.sweeps...)
+	skews := append([]*SkewProf(nil), p.skews...)
+	p.mu.Unlock()
+	r.WallNs = p.nowNs()
+
+	if len(loops) > 0 {
+		total := LoopReport{Label: "total"}
+		merged := map[string]*BucketReport{}
+		var pendSum uint64
+		for _, lp := range loops {
+			lr := lp.report()
+			r.EventLoops = append(r.EventLoops, lr)
+			total.Events += lr.Events
+			total.Sampled += lr.Sampled
+			total.WallNs += lr.WallNs
+			pendSum += lp.pendSum
+			if lr.PendingMax > total.PendingMax {
+				total.PendingMax = lr.PendingMax
+			}
+			for _, b := range lr.Buckets {
+				mb := merged[b.Subsystem]
+				if mb == nil {
+					mb = &BucketReport{Subsystem: b.Subsystem}
+					merged[b.Subsystem] = mb
+				}
+				mb.Events += b.Events
+				mb.WallNs += b.WallNs
+			}
+		}
+		if total.Sampled > 0 {
+			total.PendingAvg = float64(pendSum) / float64(total.Sampled)
+		}
+		var otherNs int64
+		for name, b := range merged {
+			if total.WallNs > 0 {
+				b.Frac = float64(b.WallNs) / float64(total.WallNs)
+			}
+			if name == "other" {
+				otherNs = b.WallNs
+			}
+			total.Buckets = append(total.Buckets, *b)
+		}
+		sortBuckets(total.Buckets)
+		if total.WallNs > 0 {
+			total.AttributedFrac = float64(total.WallNs-otherNs) / float64(total.WallNs)
+		}
+		r.EventLoopTotal = &total
+	}
+
+	for _, sp := range sweeps {
+		r.Sweeps = append(r.Sweeps, sp.report())
+	}
+
+	if len(skews) > 0 {
+		merged := map[string]*PhaseSkewReport{}
+		for _, sk := range skews {
+			sk.mu.Lock()
+			for phase, ps := range sk.phases {
+				mp := merged[phase]
+				if mp == nil {
+					mp = &PhaseSkewReport{Phase: phase}
+					merged[phase] = mp
+				}
+				mp.Count += ps.count
+				mp.SimNs += ps.simNs
+				mp.WallNs += ps.wallNs
+			}
+			sk.mu.Unlock()
+		}
+		names := make([]string, 0, len(merged))
+		for name := range merged {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			mp := merged[name]
+			if mp.SimNs > 0 {
+				mp.WallPerSim = float64(mp.WallNs) / float64(mp.SimNs)
+			}
+			r.PhaseSkewTotal = append(r.PhaseSkewTotal, *mp)
+		}
+	}
+	return r
+}
+
+// WriteJSON writes the report (indented) to w.
+func (p *Profiler) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(p.Report(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WriteFile writes the report to path — the -simprof-out plumbing
+// shared by the commands. No-op on a nil profiler or empty path.
+func (p *Profiler) WriteFile(path string) error {
+	if p == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,213 @@
+package simprof
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSubsystemOf(t *testing.T) {
+	cases := []struct{ name, want string }{
+		{"netsim.deliver", "netsim"},
+		{"tcp.retx", "tcp"},
+		{"ctlplane/ctl-1", "ctlplane"},
+		{"migd.phase.timer", "migd"},
+		{"plainname", "other"},
+		{"", "other"},
+		{".leading", "other"},
+		{"/leading", "other"},
+	}
+	for _, c := range cases {
+		if got := SubsystemOf(c.name); got != c.want {
+			t.Errorf("SubsystemOf(%q) = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestLoopProfStrideAndBuckets(t *testing.T) {
+	p := New(4)
+	lp := p.Loop("cell")
+	for i := 0; i < 100; i++ {
+		t0 := lp.Begin()
+		// Stride 4 samples i = 3, 7, 11, …; alternate the name on i/4 so
+		// both buckets receive sampled events.
+		name := "netsim.deliver"
+		if (i/4)%2 == 1 {
+			name = "bare"
+		}
+		lp.End(t0, name, i%7)
+	}
+	r := lp.report()
+	if r.Events != 100 {
+		t.Errorf("events = %d, want 100", r.Events)
+	}
+	if r.Sampled != 25 {
+		t.Errorf("sampled = %d with stride 4, want 25", r.Sampled)
+	}
+	var bucketEvents uint64
+	seen := map[string]bool{}
+	for _, b := range r.Buckets {
+		bucketEvents += b.Events
+		seen[b.Subsystem] = true
+	}
+	if bucketEvents != r.Sampled {
+		t.Errorf("bucket events %d != sampled %d", bucketEvents, r.Sampled)
+	}
+	if !seen["netsim"] || !seen["other"] {
+		t.Errorf("buckets missing netsim/other: %+v", r.Buckets)
+	}
+	if r.PendingMax > 6 || r.PendingMax < 0 {
+		t.Errorf("pending max = %d out of fed range", r.PendingMax)
+	}
+	// Full attribution sanity: frac sums to ~1 and attributed = 1 - other share.
+	var fracSum, otherFrac float64
+	for _, b := range r.Buckets {
+		fracSum += b.Frac
+		if b.Subsystem == "other" {
+			otherFrac = b.Frac
+		}
+	}
+	if r.WallNs > 0 {
+		if fracSum < 0.999 || fracSum > 1.001 {
+			t.Errorf("bucket fracs sum to %v, want 1", fracSum)
+		}
+		if got := 1 - otherFrac; r.AttributedFrac < got-1e-9 || r.AttributedFrac > got+1e-9 {
+			t.Errorf("AttributedFrac = %v, want %v", r.AttributedFrac, got)
+		}
+	}
+}
+
+func TestSweepProfOccupancy(t *testing.T) {
+	sp := New(1).Sweep("sweep", 8)
+	sp.Begin(3, 2)
+	sp.CellStart(0, 0)
+	sp.CellEnd(0)
+	sp.CellStart(1, 1)
+	sp.CellEnd(1)
+	sp.CellStart(2, 0)
+	time.Sleep(2 * time.Millisecond)
+	sp.CellEnd(2)
+	sp.End()
+	r := sp.report()
+	if r.WorkersRequested != 8 || r.WorkersEffective != 2 {
+		t.Errorf("workers requested/effective = %d/%d, want 8/2", r.WorkersRequested, r.WorkersEffective)
+	}
+	if r.Cells != 3 || len(r.CellStats) != 3 {
+		t.Fatalf("cells = %d, stats = %d, want 3/3", r.Cells, len(r.CellStats))
+	}
+	if len(r.Workers) != 2 {
+		t.Fatalf("worker reports = %d, want 2", len(r.Workers))
+	}
+	w0 := r.Workers[0]
+	if w0.Worker != 0 || w0.Cells != 2 {
+		t.Errorf("worker 0 ran %d cells, want 2: %+v", w0.Cells, w0)
+	}
+	for _, w := range r.Workers {
+		if w.BusyNs < 0 || w.BusyNs+w.IdleNs > r.WallNs+int64(time.Millisecond) {
+			t.Errorf("worker %d busy+idle %d exceeds sweep wall %d", w.Worker, w.BusyNs+w.IdleNs, r.WallNs)
+		}
+		if w.Occupancy < 0 || w.Occupancy > 1.0001 {
+			t.Errorf("worker %d occupancy %v out of [0,1]", w.Worker, w.Occupancy)
+		}
+	}
+	if w0.BusyNs < 2*int64(time.Millisecond)/2 {
+		t.Errorf("worker 0 busy %dns, want ≥ ~1ms from the slept cell", w0.BusyNs)
+	}
+}
+
+func TestSkewProf(t *testing.T) {
+	p := New(1)
+	sk := p.Skew("cell")
+	sk.Record("Freeze", 1000, 500)
+	sk.Record("Freeze", 1000, 1500)
+	sk.Record("Resume", 400, 100)
+	r := p.Report()
+	if len(r.PhaseSkewTotal) != 2 {
+		t.Fatalf("phases = %d, want 2", len(r.PhaseSkewTotal))
+	}
+	// Sorted by phase name.
+	if r.PhaseSkewTotal[0].Phase != "Freeze" || r.PhaseSkewTotal[1].Phase != "Resume" {
+		t.Errorf("phase order: %+v", r.PhaseSkewTotal)
+	}
+	f := r.PhaseSkewTotal[0]
+	if f.Count != 2 || f.SimNs != 2000 || f.WallNs != 2000 {
+		t.Errorf("Freeze aggregate wrong: %+v", f)
+	}
+	if f.WallPerSim != 1.0 {
+		t.Errorf("WallPerSim = %v, want 1.0", f.WallPerSim)
+	}
+}
+
+func TestReportMergesLoopsAndMarksKind(t *testing.T) {
+	p := New(1)
+	a := p.Loop("a")
+	b := p.Loop("b")
+	for i := 0; i < 10; i++ {
+		a.End(a.Begin(), "netsim.x", 1)
+		b.End(b.Begin(), "tcp.y", 2)
+	}
+	r := p.Report()
+	if r.Kind != ReportKind {
+		t.Errorf("kind = %q, want %q", r.Kind, ReportKind)
+	}
+	if r.EventLoopTotal == nil {
+		t.Fatal("EventLoopTotal missing")
+	}
+	if r.EventLoopTotal.Events != 20 {
+		t.Errorf("merged events = %d, want 20", r.EventLoopTotal.Events)
+	}
+	if len(r.EventLoops) != 2 {
+		t.Errorf("per-loop reports = %d, want 2", len(r.EventLoops))
+	}
+	seen := map[string]uint64{}
+	for _, bk := range r.EventLoopTotal.Buckets {
+		seen[bk.Subsystem] = bk.Events
+	}
+	if seen["netsim"] != 10 || seen["tcp"] != 10 {
+		t.Errorf("merged buckets wrong: %+v", r.EventLoopTotal.Buckets)
+	}
+
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if back["kind"] != ReportKind {
+		t.Errorf("JSON kind = %v", back["kind"])
+	}
+}
+
+// Every method must be a no-op on nil receivers — the disabled path the
+// alloc gate pins at zero allocations.
+func TestNilSafety(t *testing.T) {
+	var p *Profiler
+	lp := p.Loop("x")
+	if lp != nil {
+		t.Fatal("nil profiler handed out non-nil LoopProf")
+	}
+	lp.End(lp.Begin(), "netsim.x", 3)
+	if lp.Events() != 0 {
+		t.Error("nil LoopProf counted events")
+	}
+	sp := p.Sweep("x", 4)
+	sp.Begin(2, 1)
+	sp.CellStart(0, 0)
+	sp.CellEnd(0)
+	sp.End()
+	sk := p.Skew("x")
+	sk.Record("Freeze", 1, sk.NowNs())
+	r := p.Report()
+	if r == nil || r.Kind != ReportKind {
+		t.Fatalf("nil profiler report: %+v", r)
+	}
+	if r.EventLoopTotal != nil || len(r.Sweeps) != 0 || len(r.PhaseSkewTotal) != 0 {
+		t.Errorf("nil profiler report not empty: %+v", r)
+	}
+	if err := p.WriteFile("/nonexistent/dir/should-not-be-written"); err != nil {
+		t.Errorf("nil WriteFile must no-op, got %v", err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"dvemig/internal/flight"
+	"dvemig/internal/simprof"
 )
 
 // Duration is a span of virtual time. It reuses time.Duration so that the
@@ -119,6 +120,13 @@ type Scheduler struct {
 	// recorder: virtual time, event name, and sequence number. Nil (the
 	// default) costs one pointer comparison per step.
 	FR *flight.Recorder
+
+	// Prof, when attached, samples the wall-clock cost of every event
+	// dispatch into the self-profiling plane, bucketed by the event
+	// name's subsystem. It only reads the host clock — it never touches
+	// virtual time, so profiled and unprofiled runs are bit-identical.
+	// Nil (the default) costs two pointer comparisons per step.
+	Prof *simprof.LoopProf
 }
 
 // NewScheduler returns a scheduler whose clock starts at zero.
@@ -264,6 +272,10 @@ func (s *Scheduler) step() bool {
 	if s.FR != nil {
 		s.FR.Record(int64(s.now), "sched", e.name, int64(e.seq), 0, 0)
 	}
+	var t0 int64
+	if s.Prof != nil {
+		t0 = s.Prof.Begin()
+	}
 	e.state = stateFiring
 	if e.fn != nil {
 		fn := e.fn
@@ -271,6 +283,9 @@ func (s *Scheduler) step() bool {
 	} else {
 		fn2, a0, a1 := e.fn2, e.arg0, e.arg1
 		fn2(a0, a1)
+	}
+	if s.Prof != nil {
+		s.Prof.End(t0, e.name, len(s.queue))
 	}
 	s.release(e)
 	return true

@@ -24,6 +24,7 @@ import (
 
 	"dvemig/internal/eval"
 	"dvemig/internal/migration"
+	"dvemig/internal/simprof"
 	"dvemig/internal/simtime"
 	"dvemig/internal/sockmig"
 )
@@ -302,4 +303,87 @@ func TestWriteSimPerfSoakSLO(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("merged SoakSLO into BENCH_simperf.json (%d cells)", len(cells))
+}
+
+// TestWriteSimPerfSweepOccupancy profiles the chaos sweep at several
+// requested worker counts and merges the per-worker busy/idle occupancy
+// into BENCH_simperf.json under the "SweepOccupancy" key — only that
+// key, same merge discipline as SoakSLO. This is the measured answer to
+// why BenchmarkSimCoreChaosSweep shows no speedup on this host: the
+// runner clamps workers to GOMAXPROCS, so requested 2/4 collapse to the
+// same effective parallelism and the occupancy numbers prove where the
+// wall time went. Gated behind SIMPERF_OCC=1.
+func TestWriteSimPerfSweepOccupancy(t *testing.T) {
+	if os.Getenv("SIMPERF_OCC") == "" {
+		t.Skip("set SIMPERF_OCC=1 to record SweepOccupancy into BENCH_simperf.json")
+	}
+	sweeps := map[string]any{}
+	for _, workers := range []int{1, 2, 4} {
+		prof := simprof.New(1)
+		cfg := eval.DefaultChaosConfig()
+		cfg.Workers = workers
+		cfg.Observe = false
+		cfg.Prof = prof
+		if _, err := eval.RunChaosSweep(cfg); err != nil {
+			t.Fatal(err)
+		}
+		r := prof.Report()
+		if len(r.Sweeps) != 1 {
+			t.Fatalf("workers=%d: %d sweep reports, want 1", workers, len(r.Sweeps))
+		}
+		sw := r.Sweeps[0]
+		workerStats := map[string]any{}
+		for _, w := range sw.Workers {
+			workerStats[fmt.Sprintf("worker_%d", w.Worker)] = map[string]any{
+				"cells":     w.Cells,
+				"busy_ns":   w.BusyNs,
+				"idle_ns":   w.IdleNs,
+				"occupancy": w.Occupancy,
+			}
+		}
+		entry := map[string]any{
+			"workers_requested": sw.WorkersRequested,
+			"workers_effective": sw.WorkersEffective,
+			"cells":             sw.Cells,
+			"wall_ns":           sw.WallNs,
+			"gc_cycles":         sw.GCCycles,
+			"alloc_bytes":       sw.AllocBytes,
+			"workers":           workerStats,
+		}
+		if r.EventLoopTotal != nil {
+			entry["event_loop"] = map[string]any{
+				"events":          r.EventLoopTotal.Events,
+				"wall_ns":         r.EventLoopTotal.WallNs,
+				"attributed_frac": r.EventLoopTotal.AttributedFrac,
+			}
+		}
+		sweeps[fmt.Sprintf("workers_%d", workers)] = entry
+	}
+	occ := map[string]any{
+		"note": "per-worker busy/idle occupancy of the chaos sweep per requested worker " +
+			"count; workers_effective = min(requested, GOMAXPROCS, cells), which is why " +
+			"BenchmarkSimCoreChaosSweep's curve is flat on a single-CPU host — every " +
+			"requested count collapses to one effective worker at ~full occupancy",
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"cpus":       runtime.NumCPU(),
+		"go":         runtime.Version(),
+		"sweeps":     sweeps,
+	}
+
+	// Merge: rewrite only the SweepOccupancy key of the existing report.
+	report := map[string]any{}
+	if data, err := os.ReadFile("BENCH_simperf.json"); err == nil {
+		if err := json.Unmarshal(data, &report); err != nil {
+			t.Fatalf("BENCH_simperf.json: %v", err)
+		}
+	}
+	report["SweepOccupancy"] = occ
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_simperf.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("merged SweepOccupancy into BENCH_simperf.json (%d worker counts)", len(sweeps))
 }
